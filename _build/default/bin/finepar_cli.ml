@@ -1,0 +1,243 @@
+(* The finepar command-line interface.
+
+   Subcommands:
+     list       kernels and their Section IV classification
+     run        compile one kernel and simulate it
+     show       dump compiler stages for one kernel
+     sweep      transfer-latency sweep for one kernel
+     autotune   compile several code versions, keep the fastest
+     classify   the 51-loop characterization funnel *)
+
+open Cmdliner
+open Finepar
+open Finepar_kernels
+
+let find_entry name =
+  match Registry.find name with
+  | Some e -> e
+  | None ->
+    Fmt.epr "unknown kernel %s; try `finepar list`@." name;
+    exit 1
+
+let kernel_arg =
+  let doc = "Kernel name (see `finepar list`)." in
+  Arg.(required & opt (some string) None & info [ "k"; "kernel" ] ~doc)
+
+let cores_arg =
+  let doc = "Number of hardware cores (1, 2 or 4 in the paper)." in
+  Arg.(value & opt int 4 & info [ "c"; "cores" ] ~doc)
+
+let latency_arg =
+  let doc = "Queue transfer latency in cycles." in
+  Arg.(value & opt int 5 & info [ "latency" ] ~doc)
+
+let queue_len_arg =
+  let doc = "Queue length in slots." in
+  Arg.(value & opt int 20 & info [ "queue-len" ] ~doc)
+
+let speculation_arg =
+  let doc = "Enable control-flow speculation (Section III-H)." in
+  Arg.(value & flag & info [ "speculation" ] ~doc)
+
+let throughput_arg =
+  let doc = "Enable the throughput (unidirectional) merge heuristic." in
+  Arg.(value & flag & info [ "throughput" ] ~doc)
+
+let machine_of ~latency ~queue_len =
+  {
+    Finepar_machine.Config.default with
+    Finepar_machine.Config.transfer_latency = latency;
+    queue_len;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+let list_cmd =
+  let run () =
+    Fmt.pr "%-10s %-8s %6s %-50s@." "kernel" "app" "%time" "location";
+    List.iter
+      (fun (e : Registry.entry) ->
+        Fmt.pr "%-10s %-8s %6.1f %-50s@." e.Registry.kernel.Finepar_ir.Kernel.name
+          e.Registry.app e.Registry.pct_time e.Registry.location)
+      Registry.all;
+    Fmt.pr "@.%d additional corpus loops (use `finepar classify`).@."
+      (List.length Corpus.excluded)
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the evaluation kernels")
+    Term.(const run $ const ())
+
+let run_cmd =
+  let run name cores latency queue_len speculation throughput =
+    let e = find_entry name in
+    let machine = machine_of ~latency ~queue_len in
+    let config =
+      {
+        (Compiler.default_config ~cores ()) with
+        Compiler.speculation;
+        throughput;
+        machine;
+      }
+    in
+    let seq, par, s =
+      Runner.speedup ~machine ~config ~workload:e.Registry.workload ~cores
+        e.Registry.kernel
+    in
+    let c = Compiler.compile config e.Registry.kernel in
+    Fmt.pr "kernel      %s@." name;
+    Fmt.pr "sequential  %d cycles@." seq.Runner.cycles;
+    Fmt.pr "parallel    %d cycles on %d cores@." par.Runner.cycles
+      c.Compiler.stats.Compiler.n_partitions;
+    Fmt.pr "speedup     %.2f@." s;
+    Fmt.pr "stats       %a@." Compiler.pp_stats c.Compiler.stats;
+    Fmt.pr "result      verified bit-exact against the reference evaluator@."
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Compile and simulate one kernel")
+    Term.(
+      const run $ kernel_arg $ cores_arg $ latency_arg $ queue_len_arg
+      $ speculation_arg $ throughput_arg)
+
+let show_cmd =
+  let stage_arg =
+    let doc = "Stage to dump: kernel, region, fibers, graph, partition, asm, timeline." in
+    Arg.(value & opt string "partition" & info [ "stage" ] ~doc)
+  in
+  let run name cores stage =
+    let e = find_entry name in
+    let config = Compiler.default_config ~cores () in
+    let c = Compiler.compile config e.Registry.kernel in
+    match stage with
+    | "kernel" -> Fmt.pr "%a@." Finepar_ir.Kernel.pp e.Registry.kernel
+    | "region" ->
+      Fmt.pr "%a@." Finepar_ir.Region.pp
+        (Finepar_ir.Region.of_kernel e.Registry.kernel)
+    | "fibers" -> Fmt.pr "%a@." Finepar_ir.Region.pp c.Compiler.region
+    | "graph" -> Fmt.pr "%a@." Finepar_analysis.Deps.pp c.Compiler.deps
+    | "partition" ->
+      List.iter
+        (fun (s : Finepar_ir.Region.sstmt) ->
+          Fmt.pr "core %d | %a@."
+            c.Compiler.cluster_of.(s.Finepar_ir.Region.id)
+            Finepar_ir.Region.pp_sstmt s)
+        c.Compiler.region.Finepar_ir.Region.stmts
+    | "asm" ->
+      Fmt.pr "%a@." Finepar_machine.Program.pp
+        c.Compiler.code.Finepar_codegen.Lower.program
+    | "timeline" ->
+      (* Per-core activity for the first cycles of the run: one column
+         per cycle; '#' = instruction issued, 'E'/'D' = enqueue/dequeue
+         issued, '~' = stalled on a queue, '.' = other (operand stall or
+         idle). *)
+      let sim =
+        Finepar_machine.Sim.create ~tracing:true
+          ~config:c.Compiler.config.Compiler.machine
+          ~initial:e.Registry.workload
+          c.Compiler.code.Finepar_codegen.Lower.program
+      in
+      ignore (Finepar_machine.Sim.run sim);
+      let cores_n =
+        Array.length c.Compiler.code.Finepar_codegen.Lower.program.Finepar_machine.Program.cores
+      in
+      let width = 72 and rows = 4 in
+      let span = width * rows in
+      let grid = Array.init cores_n (fun _ -> Bytes.make span '.') in
+      List.iter
+        (fun ev ->
+          match ev with
+          | Finepar_machine.Sim.Ev_issue { core; cycle; instr }
+            when cycle < span ->
+            let ch =
+              match instr with
+              | Finepar_machine.Isa.Enq _ -> 'E'
+              | Finepar_machine.Isa.Deq _ -> 'D'
+              | _ -> '#'
+            in
+            Bytes.set grid.(core) cycle ch
+          | Finepar_machine.Sim.Ev_stall { core; cycle; _ } when cycle < span
+            ->
+            if Bytes.get grid.(core) cycle = '.' then
+              Bytes.set grid.(core) cycle '~'
+          | Finepar_machine.Sim.Ev_issue _ | Finepar_machine.Sim.Ev_stall _ ->
+            ())
+        (Finepar_machine.Sim.events sim);
+      for row = 0 to rows - 1 do
+        Fmt.pr "cycles %4d..%4d@." (row * width) (((row + 1) * width) - 1);
+        for core = 0 to cores_n - 1 do
+          Fmt.pr "  core %d |%s|@." core
+            (Bytes.to_string (Bytes.sub grid.(core) (row * width) width))
+        done;
+        Fmt.pr "@."
+      done;
+      Fmt.pr
+        "legend: '#' issue, 'E' enqueue, 'D' dequeue, '~' queue stall, '.' \
+         wait/idle@."
+    | other ->
+      Fmt.epr "unknown stage %s@." other;
+      exit 1
+  in
+  Cmd.v (Cmd.info "show" ~doc:"Dump compiler stages for one kernel")
+    Term.(const run $ kernel_arg $ cores_arg $ stage_arg)
+
+let sweep_cmd =
+  let run name cores queue_len =
+    let e = find_entry name in
+    Fmt.pr "%-10s %8s@." "latency" "speedup";
+    List.iter
+      (fun latency ->
+        let machine = machine_of ~latency ~queue_len in
+        let _, _, s =
+          Runner.speedup ~machine ~workload:e.Registry.workload ~cores
+            e.Registry.kernel
+        in
+        Fmt.pr "%-10d %8.2f@." latency s)
+      [ 5; 10; 20; 50; 100 ]
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Transfer-latency sweep for one kernel (Fig. 13)")
+    Term.(const run $ kernel_arg $ cores_arg $ queue_len_arg)
+
+let autotune_cmd =
+  let run name cores latency queue_len =
+    let e = find_entry name in
+    let machine = machine_of ~latency ~queue_len in
+    let t =
+      Runner.autotune ~machine ~cores ~workload:e.Registry.workload
+        e.Registry.kernel
+    in
+    Fmt.pr "%-24s %10s@." "configuration" "cycles";
+    List.iter
+      (fun (n, cy) ->
+        Fmt.pr "%-24s %10d%s@." n cy
+          (if String.equal n t.Runner.best_name then "  <- best" else ""))
+      t.Runner.candidates;
+    let seq = List.assoc "sequential" t.Runner.candidates in
+    Fmt.pr "@.best: %s (speedup %.2f over sequential)@." t.Runner.best_name
+      (float_of_int seq /. float_of_int t.Runner.best_cycles)
+  in
+  Cmd.v
+    (Cmd.info "autotune"
+       ~doc:
+         "Compile multiple code versions and keep the fastest (Section \
+          III-I)")
+    Term.(const run $ kernel_arg $ cores_arg $ latency_arg $ queue_len_arg)
+
+let classify_cmd =
+  let run () =
+    List.iter
+      (fun (k : Finepar_ir.Kernel.t) ->
+        Fmt.pr "%-18s %s@." k.Finepar_ir.Kernel.name
+          (Finepar_characterize.Classify.category_name
+             (Finepar_characterize.Classify.classify k)))
+      Corpus.all_hot_loops;
+    Fmt.pr "@.%a@." Finepar_characterize.Classify.pp_funnel
+      (Finepar_characterize.Classify.funnel Corpus.all_hot_loops)
+  in
+  Cmd.v
+    (Cmd.info "classify" ~doc:"Characterize all 51 hot loops (Section IV)")
+    Term.(const run $ const ())
+
+let () =
+  let doc =
+    "fine-grained parallelization of sequential loops with hardware queues"
+  in
+  let info = Cmd.info "finepar" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; show_cmd; sweep_cmd; autotune_cmd; classify_cmd ]))

@@ -1,0 +1,1 @@
+examples/latency_study.ml: Builder Finepar Finepar_ir Finepar_kernels Finepar_machine Fmt Kernel List

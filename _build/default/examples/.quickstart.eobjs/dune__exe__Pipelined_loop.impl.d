@@ -1,0 +1,1 @@
+examples/pipelined_loop.ml: Array Finepar Finepar_ir Finepar_kernels Finepar_machine Finepar_transform Fmt List Option Region Registry

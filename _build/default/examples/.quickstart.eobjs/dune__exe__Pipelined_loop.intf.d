@@ -1,0 +1,1 @@
+examples/pipelined_loop.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Builder Finepar Finepar_fiber Finepar_ir Finepar_kernels Fmt Kernel List Region

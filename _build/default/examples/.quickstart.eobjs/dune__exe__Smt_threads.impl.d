@@ -1,0 +1,1 @@
+examples/smt_threads.ml: Array Finepar Finepar_ir Finepar_kernels Fmt Fun Option Registry

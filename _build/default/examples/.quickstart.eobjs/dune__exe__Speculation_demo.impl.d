@@ -1,0 +1,1 @@
+examples/speculation_demo.ml: Builder Finepar Finepar_ir Finepar_kernels Finepar_transform Fmt Kernel

@@ -1,0 +1,39 @@
+(* SMT placement of fine-grained threads (Section II future work).
+
+   The paper: "Our technique can also be applied to multiple hardware
+   threads on the same core, but we have not experimented with this option
+   yet."  Here we do: the same 4-partition code runs with its threads
+   packed onto one physical core, split 2+2, and spread one per core.
+   Threads on a shared core arbitrate for its single issue slot round-robin
+   and share its L1.
+
+   Run with: dune exec examples/smt_threads.exe *)
+
+open Finepar_kernels
+
+let () =
+  let e = Option.get (Registry.find "lammps-5") in
+  let kernel = e.Registry.kernel and workload = e.Registry.workload in
+  let seq = Finepar.Compiler.compile_sequential kernel in
+  let seq_cycles = (Finepar.Runner.run ~workload seq).Finepar.Runner.cycles in
+  let par =
+    Finepar.Compiler.compile (Finepar.Compiler.default_config ~cores:4 ()) kernel
+  in
+  let threads = par.Finepar.Compiler.stats.Finepar.Compiler.n_partitions in
+  let measure name core_map =
+    let r = Finepar.Runner.run ~workload ~core_map par in
+    Fmt.pr "%-28s %8d cycles  (%.2fx over 1 thread / 1 core)@." name
+      r.Finepar.Runner.cycles
+      (float_of_int seq_cycles /. float_of_int r.Finepar.Runner.cycles)
+  in
+  Fmt.pr "kernel %s, %d fine-grained threads@.@." kernel.Finepar_ir.Kernel.name
+    threads;
+  Fmt.pr "%-28s %8d cycles@." "1 thread, 1 core (sequential)" seq_cycles;
+  measure "4 threads packed on 1 core" (Array.make threads 0);
+  measure "2 + 2 threads on 2 cores" (Array.init threads (fun t -> t mod 2));
+  measure "1 thread per core (paper)" (Array.init threads Fun.id);
+  Fmt.pr
+    "@.even with no extra issue bandwidth, the packed placement wins:@.\
+     decoupled partitions fill each other's latency stalls through the@.\
+     shared issue slot — classic SMT latency hiding, obtained from the@.\
+     same compiled code by changing only the thread placement.@."

@@ -1,0 +1,1 @@
+lib/analysis/affine.ml: Expr Finepar_ir Fmt String Types

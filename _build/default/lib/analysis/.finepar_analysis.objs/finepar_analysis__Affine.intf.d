@@ -1,0 +1,1 @@
+lib/analysis/affine.mli: Finepar_ir Format String

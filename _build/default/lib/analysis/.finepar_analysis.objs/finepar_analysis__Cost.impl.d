@@ -1,0 +1,1 @@
+lib/analysis/cost.ml: Expr Finepar_ir Hashtbl Kernel List Op_cost Profile Region String Types

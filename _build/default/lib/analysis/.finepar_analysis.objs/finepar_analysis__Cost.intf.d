@@ -1,0 +1,1 @@
+lib/analysis/cost.mli: Finepar_ir Profile

@@ -1,0 +1,1 @@
+lib/analysis/deps.ml: Affine Array Expr Finepar_ir Fmt Format Hashtbl Kernel List Map Option Region Set String

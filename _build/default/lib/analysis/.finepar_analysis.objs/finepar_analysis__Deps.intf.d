@@ -1,0 +1,1 @@
+lib/analysis/deps.mli: Finepar_ir Format Map Set String

@@ -1,0 +1,1 @@
+lib/analysis/profile.ml: Float Hashtbl List Option

@@ -1,0 +1,63 @@
+(** Affine analysis of array subscripts.
+
+    Classifies index expressions as [k * i + c] (with [i] the loop
+    induction variable and [k], [c] integer constants) so the memory
+    dependence test can distinguish provably disjoint accesses from
+    may-aliasing ones.  Anything it cannot prove affine is treated
+    conservatively by {!Deps}. *)
+
+open Finepar_ir
+
+type t = { k : int; c : int }  (** the subscript value is [k * i + c] *)
+
+let pp ppf { k; c } = Fmt.pf ppf "%d*i%+d" k c
+
+let equal a b = a.k = b.k && a.c = b.c
+
+let const c = { k = 0; c }
+
+(** Symbolically evaluate an index expression.  [lookup v] returns the
+    affine value of a region temporary [v] when its (unconditional, unique)
+    definition was itself affine. *)
+let rec of_expr ~induction ~lookup e =
+  let open Types in
+  match e with
+  | Expr.Const (VInt n) -> Some (const n)
+  | Expr.Const (VFloat _) -> None
+  | Expr.Var v ->
+    if String.equal v induction then Some { k = 1; c = 0 } else lookup v
+  | Expr.Binop (op, a, b) -> (
+    let va = of_expr ~induction ~lookup a
+    and vb = of_expr ~induction ~lookup b in
+    match (op, va, vb) with
+    | Add, Some x, Some y -> Some { k = x.k + y.k; c = x.c + y.c }
+    | Sub, Some x, Some y -> Some { k = x.k - y.k; c = x.c - y.c }
+    | Mul, Some x, Some y when x.k = 0 -> Some { k = x.c * y.k; c = x.c * y.c }
+    | Mul, Some x, Some y when y.k = 0 -> Some { k = y.c * x.k; c = y.c * x.c }
+    | _, _, _ -> None)
+  | Expr.Unop (Neg, a) -> (
+    match of_expr ~induction ~lookup a with
+    | Some x -> Some { k = -x.k; c = -x.c }
+    | None -> None)
+  | Expr.Load _ | Expr.Unop _ | Expr.Select _ -> None
+
+(** May two subscripts of the same array refer to the same element in the
+    same or different iterations of the loop?  [None] for either subscript
+    means "unknown", which is treated as may-alias. *)
+let may_alias a b =
+  match (a, b) with
+  | None, _ | _, None -> true
+  | Some x, Some y ->
+    if x.k = y.k then
+      if x.k = 0 then x.c = y.c
+      else (y.c - x.c) mod x.k = 0
+        (* same stride: collision iff offset difference is a multiple of
+           the stride (then some pair of iterations touches the same
+           element) *)
+    else true (* different strides: conservatively assume a collision *)
+
+(** Do the two subscripts collide within a single iteration? *)
+let same_iteration_alias a b =
+  match (a, b) with
+  | None, _ | _, None -> true
+  | Some x, Some y -> equal x y

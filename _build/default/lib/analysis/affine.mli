@@ -1,0 +1,17 @@
+(** Affine analysis of array subscripts.
+
+    Classifies index expressions as [k * i + c] (with [i] the loop
+    induction variable and [k], [c] integer constants) so the memory
+    dependence test can distinguish provably disjoint accesses from
+    may-aliasing ones.  Anything it cannot prove affine is treated
+    conservatively by {!Deps}. *)
+
+type t = { k : int; c : int; }
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+val const : int -> t
+val of_expr :
+  induction:String.t ->
+  lookup:(string -> t option) -> Finepar_ir.Expr.t -> t option
+val may_alias : t option -> t option -> bool
+val same_iteration_alias : t option -> t option -> bool

@@ -1,0 +1,66 @@
+(** Static execution-time estimates for region statements.
+
+    "The compute time is a static estimate obtained using fixed latencies
+    for compute operations, and profile feedback data for memory access
+    miss latencies" (Section III-B).  Estimates feed the merge-affinity
+    heuristic; they are deliberately approximate (Section III-I notes the
+    compiler cannot estimate time accurately). *)
+
+open Finepar_ir
+
+(** Estimated cycles to evaluate an expression: operator latencies plus
+    profiled load latencies. *)
+let rec expr_cycles ~tenv ~(profile : Profile.t) e =
+  match e with
+  | Expr.Const _ | Expr.Var _ -> 0
+  | Expr.Load (a, idx) ->
+    Profile.load_latency profile a + expr_cycles ~tenv ~profile idx
+  | Expr.Unop (op, x) ->
+    Op_cost.unop_latency op (Expr.infer tenv e)
+    + expr_cycles ~tenv ~profile x
+  | Expr.Binop (op, x, y) ->
+    Op_cost.binop_latency op (Expr.infer tenv x)
+    + expr_cycles ~tenv ~profile x
+    + expr_cycles ~tenv ~profile y
+  | Expr.Select (c, t, f) ->
+    Op_cost.select_latency
+    + expr_cycles ~tenv ~profile c
+    + expr_cycles ~tenv ~profile t
+    + expr_cycles ~tenv ~profile f
+
+let store_cycles = 1
+
+(** Estimated cycles for one flat statement. *)
+let sstmt_cycles ~tenv ~profile (s : Region.sstmt) =
+  let rhs = expr_cycles ~tenv ~profile s.Region.rhs in
+  match s.Region.lhs with
+  | Region.Lscalar _ -> rhs
+  | Region.Lstore (_, idx) ->
+    rhs + store_cycles + expr_cycles ~tenv ~profile idx
+
+(** Type environment for a region that may contain flattening/fiber
+    temporaries: temporary types are reconstructed by forward inference
+    over the statement list. *)
+let region_tenv (r : Region.t) : Expr.tenv =
+  let k = r.Region.kernel in
+  let base = Kernel.tenv k in
+  let temp_ty : (string, Types.ty) Hashtbl.t = Hashtbl.create 64 in
+  let env =
+    {
+      base with
+      Expr.var_ty =
+        (fun v ->
+          match Hashtbl.find_opt temp_ty v with
+          | Some t -> t
+          | None -> base.Expr.var_ty v);
+    }
+  in
+  List.iter
+    (fun (s : Region.sstmt) ->
+      match s.Region.lhs with
+      | Region.Lscalar v ->
+        if Kernel.find_scalar k v = None && not (String.equal v k.Kernel.index)
+        then Hashtbl.replace temp_ty v (Expr.infer env s.Region.rhs)
+      | Region.Lstore _ -> ())
+    r.Region.stmts;
+  env

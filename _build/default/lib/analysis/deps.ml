@@ -1,0 +1,249 @@
+(** Dependence analysis over a (fiber-split) region.
+
+    Produces the edges of the code graph (Section III-B: "Edges between
+    nodes represent data and control dependences ... determined from
+    use-def analysis, aliasing information, and dependence vectors") plus
+    the set of must-merge constraints that keep the generated code free of
+    cross-core memory-carried and loop-carried traffic:
+
+    - multiply-defined scalars are owned by a single core (all defs and
+      uses co-located);
+    - loop-carried scalar reads are co-located with the defs they race
+      with;
+    - may-aliasing memory accesses to the same array are co-located and
+      ordered.
+
+    These constraints are what lets the compiler statically guarantee that
+    every enqueue is matched by a dequeue (Section III-I). *)
+
+open Finepar_ir
+module SS = Set.Make (String)
+module SM = Map.Make (String)
+
+type edge_kind =
+  | Data of string  (** scalar value flows src -> dst *)
+  | Control of string  (** dst is predicated on a cnd computed at src *)
+  | Anti of string  (** dst overwrites a scalar that src still reads *)
+  | Mem of string  (** ordering between two accesses of the same array *)
+
+type edge = { src : int; dst : int; kind : edge_kind }
+
+let pp_edge_kind ppf = function
+  | Data v -> Fmt.pf ppf "data(%s)" v
+  | Control v -> Fmt.pf ppf "ctrl(%s)" v
+  | Anti v -> Fmt.pf ppf "anti(%s)" v
+  | Mem a -> Fmt.pf ppf "mem(%s)" a
+
+let pp_edge ppf e =
+  Fmt.pf ppf "%d -%a-> %d" e.src pp_edge_kind e.kind e.dst
+
+type t = {
+  region : Region.t;
+  n : int;  (** number of statements (= fibers after splitting) *)
+  edges : edge list;
+  must_merge : (int * int) list;
+  live_in : SS.t;  (** scalars read but never defined (excluding induction) *)
+  loop_carried : SS.t;
+  defs : int list SM.t;  (** var -> defining stmt ids, program order *)
+  owners : int SM.t;  (** var -> last defining stmt id *)
+}
+
+exception Unsupported of string
+
+let unsupported fmt = Format.kasprintf (fun s -> raise (Unsupported s)) fmt
+
+(** Count of pure data-dependence edges between distinct statements — the
+    "Data Deps" column of Table III. *)
+let data_dep_count t =
+  List.length
+    (List.filter (fun e -> match e.kind with Data _ -> true | _ -> false)
+       t.edges)
+
+let analyze (r : Region.t) =
+  let stmts = Array.of_list r.Region.stmts in
+  let n = Array.length stmts in
+  let k = r.Region.kernel in
+  let induction = k.Kernel.index in
+  (* Def and use sites. *)
+  let defs = ref SM.empty and uses = ref SM.empty and pred_uses = ref SM.empty in
+  let add map v id =
+    map := SM.update v (function None -> Some [ id ] | Some l -> Some (id :: l)) !map
+  in
+  Array.iter
+    (fun (s : Region.sstmt) ->
+      (match Region.sstmt_def s with
+      | Some v ->
+        if String.equal v induction then
+          unsupported "assignment to induction variable %s" v;
+        add defs v s.Region.id
+      | None -> ());
+      SS.iter (fun v -> add uses v s.Region.id) (Region.sstmt_uses s);
+      SS.iter (fun v -> add pred_uses v s.Region.id) (Region.sstmt_pred_vars s))
+    stmts;
+  let defs = SM.map List.rev !defs
+  and uses = SM.map List.rev !uses
+  and pred_uses = SM.map List.rev !pred_uses in
+  let defs_of v = Option.value ~default:[] (SM.find_opt v defs) in
+  let uses_of v = Option.value ~default:[] (SM.find_opt v uses) in
+  let pred_uses_of v = Option.value ~default:[] (SM.find_opt v pred_uses) in
+  let preds_of id = stmts.(id).Region.preds in
+  let edges : (int * int * edge_kind, unit) Hashtbl.t = Hashtbl.create 256 in
+  let must_merge : (int * int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let add_edge src dst kind =
+    if src <> dst then Hashtbl.replace edges (src, dst, kind) ()
+  in
+  let merge a b = if a <> b then Hashtbl.replace must_merge (min a b, max a b) () in
+  let live_in = ref SS.empty and loop_carried = ref SS.empty in
+  let all_read =
+    SM.fold (fun v _ acc -> SS.add v acc) uses SS.empty
+    |> SM.fold (fun v _ acc -> SS.add v acc) pred_uses
+  in
+  SS.iter
+    (fun v ->
+      if defs_of v = [] && not (String.equal v induction) then begin
+        if Kernel.find_scalar k v = None then
+          unsupported "undefined scalar %s" v;
+        live_in := SS.add v !live_in
+      end)
+    all_read;
+  (* Scalar dependences. *)
+  SM.iter
+    (fun v dlist ->
+      let ulist = uses_of v in
+      let first_def = List.hd dlist in
+      let carried = List.exists (fun u -> u <= first_def) ulist in
+      if carried then begin
+        if Kernel.find_scalar k v = None then
+          unsupported
+            "loop-carried scalar %s is not a declared (initialized) scalar" v;
+        loop_carried := SS.add v !loop_carried
+      end;
+      (match dlist with
+      | [ d ] ->
+        List.iter
+          (fun u ->
+            if u > d then begin
+              if not (Region.preds_prefix (preds_of d) (preds_of u)) then
+                unsupported
+                  "scalar %s defined under predicates that do not guard its \
+                   use (stmt %d -> %d)"
+                  v d u;
+              add_edge d u (Data v)
+            end
+            else begin
+              (* Reads the previous iteration's value: co-locate and keep
+                 the read before the overwrite. *)
+              merge u d;
+              add_edge u d (Anti v)
+            end)
+          ulist;
+        List.iter
+          (fun s ->
+            if not (Region.preds_prefix (preds_of d) (preds_of s)) then
+              unsupported "predicate %s not in scope at stmt %d" v s;
+            add_edge d s (Control v))
+          (pred_uses_of v)
+      | _ :: _ :: _ ->
+        if pred_uses_of v <> [] then
+          unsupported "multiply-defined scalar %s used as a predicate" v;
+        (* Single owner: co-locate every access. *)
+        List.iter (fun d -> merge first_def d) dlist;
+        List.iter (fun u -> merge first_def u) ulist;
+        (* Flow edges from the last def preceding each use, anti edges to
+           the next def following it, output edges between defs. *)
+        let rec consecutive = function
+          | a :: (b :: _ as rest) ->
+            add_edge a b (Anti v);
+            consecutive rest
+          | [ _ ] | [] -> ()
+        in
+        consecutive dlist;
+        List.iter
+          (fun u ->
+            (match List.filter (fun d -> d < u) dlist with
+            | [] -> ()
+            | ds -> add_edge (List.nth ds (List.length ds - 1)) u (Data v));
+            match List.find_opt (fun d -> d > u) dlist with
+            | Some d' -> add_edge u d' (Anti v)
+            | None -> ())
+          ulist
+      | [] -> assert false))
+    defs;
+  (* Memory dependences. *)
+  let affine_env : (string, Affine.t) Hashtbl.t = Hashtbl.create 32 in
+  let lookup v = Hashtbl.find_opt affine_env v in
+  let affine_of e = Affine.of_expr ~induction ~lookup e in
+  (* Forward pass recording affine values of unconditional single-def temps. *)
+  Array.iter
+    (fun (s : Region.sstmt) ->
+      match (s.Region.lhs, s.Region.preds) with
+      | Region.Lscalar v, [] when List.length (defs_of v) = 1 -> (
+        match affine_of s.Region.rhs with
+        | Some a -> Hashtbl.replace affine_env v a
+        | None -> ())
+      | _ -> ())
+    stmts;
+  let stores = ref [] and load_sites = ref [] in
+  Array.iter
+    (fun (s : Region.sstmt) ->
+      (match s.Region.lhs with
+      | Region.Lstore (a, idx) ->
+        stores := (s.Region.id, a, affine_of idx) :: !stores
+      | Region.Lscalar _ -> ());
+      List.iter
+        (fun (a, idx) -> load_sites := (s.Region.id, a, affine_of idx) :: !load_sites)
+        (Expr.loads s.Region.rhs))
+    stmts;
+  let stores = List.rev !stores and load_sites = List.rev !load_sites in
+  List.iter
+    (fun (s1, a1, i1) ->
+      (* store-store ordering *)
+      List.iter
+        (fun (s2, a2, i2) ->
+          if s1 < s2 && String.equal a1 a2 && Affine.may_alias i1 i2 then begin
+            merge s1 s2;
+            add_edge s1 s2 (Mem a1)
+          end)
+        stores;
+      (* store-load (flow and anti) ordering *)
+      List.iter
+        (fun (u, a2, i2) ->
+          if String.equal a1 a2 && Affine.may_alias i1 i2 then
+            if s1 < u then begin
+              merge s1 u;
+              add_edge s1 u (Mem a1)
+            end
+            else if u < s1 then begin
+              merge s1 u;
+              add_edge u s1 (Mem a1)
+            end)
+        load_sites)
+    stores;
+  let owners =
+    SM.fold
+      (fun v dlist acc ->
+        match dlist with
+        | [] -> acc
+        | l -> SM.add v (List.nth l (List.length l - 1)) acc)
+      defs SM.empty
+  in
+  {
+    region = r;
+    n;
+    edges = Hashtbl.fold (fun (src, dst, kind) () acc -> { src; dst; kind } :: acc) edges [];
+    must_merge = Hashtbl.fold (fun p () acc -> p :: acc) must_merge [];
+    live_in = !live_in;
+    loop_carried = !loop_carried;
+    defs;
+    owners;
+  }
+
+(** Edges sorted for deterministic processing. *)
+let sorted_edges t = List.sort compare t.edges
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%d stmts, %d edges, %d must-merge@,%a@]" t.n
+    (List.length t.edges)
+    (List.length t.must_merge)
+    Fmt.(list ~sep:(any "@,") pp_edge)
+    (sorted_edges t)

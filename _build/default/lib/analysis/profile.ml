@@ -1,0 +1,48 @@
+(** Profile feedback for the static cost model.
+
+    The paper's compiler "uses profile feedback data for memory access miss
+    latencies" (Section III-B) because it cannot predict memory delays
+    statically (Section III-I, limitation 3).  We reproduce the mechanism:
+    a profile maps each array to an L1 miss rate, typically collected from
+    a sequential simulator run ({!Finepar_machine.Sim} exposes the
+    counters), and the cost model prices loads with it. *)
+
+type t = {
+  miss_rate : string -> float;  (** array name -> fraction of loads missing L1 *)
+  hit_latency : int;
+  miss_latency : int;
+}
+
+let default_hit_latency = 6
+let default_miss_latency = 40
+
+(** A profile that assumes every load hits L1. *)
+let all_hits =
+  {
+    miss_rate = (fun _ -> 0.0);
+    hit_latency = default_hit_latency;
+    miss_latency = default_miss_latency;
+  }
+
+(** Build a profile from measured per-array (loads, misses) counters. *)
+let of_counters ?(hit_latency = default_hit_latency)
+    ?(miss_latency = default_miss_latency) counters =
+  let table = Hashtbl.create 16 in
+  List.iter
+    (fun (name, loads, misses) ->
+      let rate = if loads = 0 then 0.0 else float_of_int misses /. float_of_int loads in
+      Hashtbl.replace table name rate)
+    counters;
+  {
+    miss_rate = (fun a -> Option.value ~default:0.0 (Hashtbl.find_opt table a));
+    hit_latency;
+    miss_latency;
+  }
+
+(** Expected latency of one load from array [a]. *)
+let load_latency t a =
+  let r = t.miss_rate a in
+  int_of_float
+    (Float.round
+       (((1.0 -. r) *. float_of_int t.hit_latency)
+       +. (r *. float_of_int t.miss_latency)))

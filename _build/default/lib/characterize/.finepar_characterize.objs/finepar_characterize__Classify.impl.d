@@ -1,0 +1,1 @@
+lib/characterize/classify.ml: Affine Array Deps Expr Finepar_analysis Finepar_ir Fmt Hashtbl Kernel List Option Region Seq Set Stmt String

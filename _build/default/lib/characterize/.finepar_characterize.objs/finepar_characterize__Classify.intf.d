@@ -1,0 +1,1 @@
+lib/characterize/classify.mli: Finepar_ir Format Set String

@@ -1,0 +1,1 @@
+lib/characterize/simd.ml: Affine Cost Deps Expr Finepar_analysis Finepar_ir Hashtbl Kernel List Profile Region Set String

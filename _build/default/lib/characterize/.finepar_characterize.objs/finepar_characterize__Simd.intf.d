@@ -1,0 +1,1 @@
+lib/characterize/simd.mli: Finepar_analysis Finepar_ir Set String

@@ -1,0 +1,187 @@
+(** Loop characterization (Section IV).
+
+    The paper inspects the hot loops of the Sequoia tier-1 benchmarks and
+    buckets them:
+
+    - initialization loops that "lack arithmetic operations";
+    - loops "better suited to traditional loop parallelization" — few
+      operations per iteration, dependences at most a reduction
+      (8 scalar reductions, 1 array reduction, the rest elementwise);
+    - loops with "many conditionals in the loop body, with variables in
+      the conditional expressions involved in read-after-write
+      dependences";
+    - everything else: candidates for fine-grained parallelization.
+
+    This module computes the same judgment mechanically from measurable
+    features of a kernel. *)
+
+open Finepar_ir
+open Finepar_analysis
+module SS = Set.Make (String)
+
+type category =
+  | Init_loop
+  | Elementwise
+  | Scalar_reduction
+  | Array_reduction
+  | Conditional_raw
+  | Fine_grained
+
+let category_name = function
+  | Init_loop -> "initialization"
+  | Elementwise -> "loop-parallel (elementwise)"
+  | Scalar_reduction -> "loop-parallel (scalar reduction)"
+  | Array_reduction -> "loop-parallel (array reduction)"
+  | Conditional_raw -> "conditional RAW chains"
+  | Fine_grained -> "fine-grained candidate"
+
+(** Whether the category belongs to the paper's "better suited to
+    traditional loop parallelization" bucket. *)
+let is_loop_parallel = function
+  | Elementwise | Scalar_reduction | Array_reduction -> true
+  | Init_loop | Conditional_raw | Fine_grained -> false
+
+type features = {
+  ops : int;  (** compute operators per iteration *)
+  conditionals : int;  (** conditional structures in the body *)
+  accumulators : int;  (** scalars updated as [v = v op ...] *)
+  array_rmw_gather : bool;
+      (** a store to [a[idx]] whose value reads [a] with a non-affine
+          subscript — the amg-style array reduction *)
+  pred_raw_chain : bool;
+      (** some condition variable depends (directly or through a
+          loop-carried scalar) on a value produced under a predicate *)
+  stores : int;
+}
+
+let count_conditionals body =
+  let count = ref 0 in
+  Stmt.iter_block
+    (fun s -> match s with Stmt.If _ -> incr count | _ -> ())
+    body;
+  !count
+
+let features (k : Kernel.t) =
+  let body = k.Kernel.body in
+  let ops = Stmt.op_count body in
+  let conditionals = count_conditionals body in
+  let stores = ref 0 in
+  let accumulators = ref SS.empty in
+  let array_rmw_gather = ref false in
+  let region = Region.of_kernel k in
+  Stmt.iter_block
+    (fun s ->
+      match s with
+      | Stmt.Assign (v, e) ->
+        if SS.mem v (Expr.vars e) then accumulators := SS.add v !accumulators
+      | Stmt.Store (a, idx, e) ->
+        incr stores;
+        let gathered =
+          match idx with
+          | Expr.Const _ -> false
+          | Expr.Var x when String.equal x k.Kernel.index -> false
+          | _ ->
+            (* Non-trivial subscript: check affinity in the induction. *)
+            Affine.of_expr ~induction:k.Kernel.index
+              ~lookup:(fun _ -> None)
+              idx
+            = None
+        in
+        if gathered && SS.mem a (Expr.arrays_read e) then
+          array_rmw_gather := true
+      | Stmt.If _ -> ())
+    body;
+  (* Predicate RAW chains: a condition variable whose defining statement
+     reads a value defined under a predicate or a loop-carried scalar. *)
+  let pred_raw_chain =
+    try
+      let deps = Deps.analyze region in
+      let stmts = Array.of_list region.Region.stmts in
+      let pred_vars =
+        Array.to_seq stmts
+        |> Seq.concat_map (fun s -> List.to_seq s.Region.preds)
+        |> Seq.fold_left (fun acc p -> SS.add p.Region.cnd acc) SS.empty
+      in
+      SS.exists
+        (fun c ->
+          match Deps.SM.find_opt c deps.Deps.defs with
+          | Some (d :: _) ->
+            let reads = Region.sstmt_uses stmts.(d) in
+            SS.exists
+              (fun r ->
+                SS.mem r deps.Deps.loop_carried
+                || (match Deps.SM.find_opt r deps.Deps.defs with
+                   | Some defs ->
+                     List.exists (fun i -> stmts.(i).Region.preds <> []) defs
+                   | None -> false))
+              reads
+          | Some [] | None -> false)
+        pred_vars
+    with Deps.Unsupported _ -> false
+  in
+  {
+    ops;
+    conditionals;
+    accumulators = SS.cardinal !accumulators;
+    array_rmw_gather = !array_rmw_gather;
+    pred_raw_chain;
+    stores = !stores;
+  }
+
+(** The classification rules, in priority order. *)
+let classify_features f =
+  if f.ops = 0 then Init_loop
+  else if
+    f.conditionals >= 4 && f.pred_raw_chain
+    && float_of_int f.ops /. float_of_int (f.conditionals + 1) < 2.0
+  then Conditional_raw
+  else if f.conditionals = 0 && f.ops < 10 then
+    if f.array_rmw_gather then Array_reduction
+    else if f.accumulators = 1 && f.ops <= 6 then Scalar_reduction
+    else if f.accumulators = 0 && f.stores > 0 && f.ops <= 6 then Elementwise
+    else Fine_grained
+  else Fine_grained
+
+let classify k = classify_features (features k)
+
+(** Funnel counts over a set of loops — the Section IV table. *)
+type funnel = {
+  total : int;
+  init : int;
+  elementwise : int;
+  scalar_reduction : int;
+  array_reduction : int;
+  conditional_raw : int;
+  fine_grained : int;
+}
+
+let funnel loops =
+  let counts = Hashtbl.create 8 in
+  List.iter
+    (fun k ->
+      let c = classify k in
+      Hashtbl.replace counts c
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts c)))
+    loops;
+  let get c = Option.value ~default:0 (Hashtbl.find_opt counts c) in
+  {
+    total = List.length loops;
+    init = get Init_loop;
+    elementwise = get Elementwise;
+    scalar_reduction = get Scalar_reduction;
+    array_reduction = get Array_reduction;
+    conditional_raw = get Conditional_raw;
+    fine_grained = get Fine_grained;
+  }
+
+let pp_funnel ppf f =
+  Fmt.pf ppf
+    "@[<v>%d hot loops:@,\
+     \  %2d initialization (no arithmetic)@,\
+     \  %2d loop-parallel, elementwise@,\
+     \  %2d loop-parallel, scalar reductions@,\
+     \  %2d loop-parallel, array reductions@,\
+     \  %2d conditional RAW chains@,\
+     \  %2d selected for fine-grained parallelization@]"
+    f.total f.init f.elementwise f.scalar_reduction f.array_reduction
+    f.conditional_raw f.fine_grained

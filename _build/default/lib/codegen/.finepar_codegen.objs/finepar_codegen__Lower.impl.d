@@ -1,0 +1,1 @@
+lib/codegen/lower.ml: Array Comm Cost Deps Expr Finepar_analysis Finepar_ir Finepar_machine Finepar_transform Format Hashtbl Int64 Isa Kernel List Program Region Set String Types

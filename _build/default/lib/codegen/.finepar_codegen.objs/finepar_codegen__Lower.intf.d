@@ -1,0 +1,1 @@
+lib/codegen/lower.mli: Finepar_analysis Finepar_ir Finepar_machine Finepar_transform Format Hashtbl Set String

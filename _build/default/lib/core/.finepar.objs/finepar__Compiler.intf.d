@@ -1,0 +1,1 @@
+lib/core/compiler.mli: Finepar_analysis Finepar_codegen Finepar_ir Finepar_machine Finepar_partition Format

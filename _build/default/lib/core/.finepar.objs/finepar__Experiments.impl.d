@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Array Compiler Config Corpus Finepar_characterize Finepar_ir Finepar_kernels Finepar_machine Float Fun Isa Kernel List Option Program Registry Runner Sim Stmt String Types

@@ -1,0 +1,1 @@
+lib/core/experiments.mli: Compiler Finepar_characterize Finepar_kernels Finepar_machine Runner

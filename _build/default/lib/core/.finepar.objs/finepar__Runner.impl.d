@@ -1,0 +1,1 @@
+lib/core/runner.ml: Array Compiler Config Eval Finepar_analysis Finepar_codegen Finepar_ir Finepar_machine Fmt Kernel List Sim Stmt

@@ -1,0 +1,1 @@
+lib/core/runner.mli: Compiler Finepar_analysis Finepar_ir Finepar_machine

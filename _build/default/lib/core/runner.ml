@@ -1,0 +1,135 @@
+(** Running compiled kernels on the simulator, checking their results
+    against the reference evaluator, and measuring speedups. *)
+
+open Finepar_ir
+open Finepar_machine
+
+type run = {
+  cycles : int;
+  result : Eval.result;
+  queues_used : int;  (** dynamic — Table III "Num Queues" *)
+  instrs : int;
+  load_counters : (string * int * int) list;  (** array, loads, L1 misses *)
+}
+
+exception Mismatch of string
+
+(** Simulate a compiled kernel on [workload].  When [check] is set (the
+    default), the outputs are compared bit-for-bit with the reference
+    evaluator and {!Mismatch} is raised on any difference. *)
+let run ?(check = true) ?(workload = []) ?core_map (c : Compiler.compiled) =
+  let sim =
+    Sim.create ?core_map ~config:c.Compiler.config.Compiler.machine
+      ~initial:workload c.Compiler.code.Finepar_codegen.Lower.program
+  in
+  let cycles = Sim.run sim in
+  let written = Stmt.arrays_written c.Compiler.kernel.Kernel.body in
+  let result =
+    {
+      Eval.live_out =
+        List.map
+          (fun (v, r) -> (v, Sim.reg_value sim 0 r))
+          c.Compiler.code.Finepar_codegen.Lower.live_out_regs;
+      Eval.arrays_out =
+        List.filter_map
+          (fun (d : Kernel.array_decl) ->
+            if Stmt.String_set.mem d.Kernel.a_name written then
+              Some (d.Kernel.a_name, Array.copy (Sim.array_contents sim d.Kernel.a_name))
+            else None)
+          c.Compiler.kernel.Kernel.arrays;
+    }
+  in
+  if check then begin
+    let expected = Eval.run_result ~workload c.Compiler.source in
+    if not (Eval.result_equal expected result) then
+      raise
+        (Mismatch
+           (Fmt.str
+              "@[<v>kernel %s (%d cores): simulated result differs from \
+               reference@,expected: %a@,got: %a@]"
+              c.Compiler.source.Kernel.name c.Compiler.stats.Compiler.n_partitions
+              Eval.pp_result expected Eval.pp_result result))
+  end;
+  {
+    cycles;
+    result;
+    queues_used = Sim.queues_used sim;
+    instrs =
+      Array.fold_left
+        (fun acc (cs : Sim.core_stats) -> acc + cs.Sim.instrs)
+        0 sim.Sim.stats;
+    load_counters = Sim.load_counters sim;
+  }
+
+(** Collect profile feedback by running the sequential version — the
+    paper's profile-directed feedback loop (Sections III-B and III-I). *)
+let profile_feedback ?(machine = Config.default) ~workload kernel =
+  let seq = Compiler.compile_sequential ~machine kernel in
+  let r = run ~check:false ~workload seq in
+  Finepar_analysis.Profile.of_counters r.load_counters
+
+(** Compile and run the sequential baseline and an [n]-core parallel
+    version; returns (sequential run, parallel run, speedup). *)
+let speedup ?(machine = Config.default) ?(config = Compiler.default_config ())
+    ~workload ~cores kernel =
+  let config = { config with Compiler.machine; cores } in
+  let seq = Compiler.compile_sequential ~machine kernel in
+  let seq_run = run ~workload seq in
+  let profile =
+    Finepar_analysis.Profile.of_counters seq_run.load_counters
+  in
+  let par = Compiler.compile { config with Compiler.profile } kernel in
+  let par_run = run ~workload par in
+  let s = float_of_int seq_run.cycles /. float_of_int par_run.cycles in
+  (seq_run, par_run, s)
+
+(** Multi-version compilation with dynamic feedback.  Section III-I
+    (limitation 1): the compiler "can generate multiple code versions for
+    regions with potential, and rely on a runtime system with dynamic
+    feedback to decide which code version to execute".  We compile the
+    candidate configurations, measure each once, and keep the fastest. *)
+type tuned = {
+  best_name : string;
+  best : Compiler.compiled;
+  best_cycles : int;
+  candidates : (string * int) list;  (** configuration -> cycles *)
+}
+
+let autotune ?(machine = Config.default) ?(cores = 4) ?(workload = []) kernel =
+  let seq = Compiler.compile_sequential ~machine kernel in
+  let seq_run = run ~check:false ~workload seq in
+  let profile = Finepar_analysis.Profile.of_counters seq_run.load_counters in
+  let base = { (Compiler.default_config ~cores ()) with Compiler.machine; profile } in
+  let candidates =
+    [
+      ("sequential", { base with Compiler.cores = 1 });
+      ("baseline", base);
+      ("speculation", { base with Compiler.speculation = true });
+      ("throughput", { base with Compiler.throughput = true });
+      ("speculation+throughput",
+       { base with Compiler.speculation = true; throughput = true });
+      ("multi-pair", { base with Compiler.algorithm = `Multi_pair });
+    ]
+  in
+  let measured =
+    List.map
+      (fun (name, config) ->
+        let c = Compiler.compile config kernel in
+        let r = run ~workload c in
+        (name, c, r.cycles))
+      candidates
+  in
+  let best_name, best, best_cycles =
+    List.fold_left
+      (fun (bn, bc, bcy) (n, c, cy) ->
+        if cy < bcy then (n, c, cy) else (bn, bc, bcy))
+      (let n, c, cy = List.hd measured in
+       (n, c, cy))
+      (List.tl measured)
+  in
+  {
+    best_name;
+    best;
+    best_cycles;
+    candidates = List.map (fun (n, _, cy) -> (n, cy)) measured;
+  }

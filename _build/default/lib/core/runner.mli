@@ -1,0 +1,72 @@
+(** Running compiled kernels on the simulator, checking their results
+    against the reference evaluator, and measuring speedups. *)
+
+(** Outcome of one simulation. *)
+type run = {
+  cycles : int;  (** cycle of the last core's halt *)
+  result : Finepar_ir.Eval.result;  (** live-out scalars + written arrays *)
+  queues_used : int;  (** distinct (src, dst) core pairs that carried values *)
+  instrs : int;  (** instructions issued across all cores *)
+  load_counters : (string * int * int) list;
+      (** per array: (name, loads, L1 misses) — profile-feedback input *)
+}
+
+(** Raised by {!run} when the simulated outputs differ from the reference
+    evaluator in any bit. *)
+exception Mismatch of string
+
+(** [run compiled] simulates a compiled kernel.
+    @param check compare outputs bit-for-bit against the reference
+      evaluator and raise {!Mismatch} on any difference (default [true])
+    @param workload initial array contents
+    @param core_map logical-core (hardware thread) to physical-core
+      placement; several threads on one physical core share its issue
+      slot and L1 (SMT).  Defaults to one thread per core. *)
+val run :
+  ?check:bool ->
+  ?workload:Finepar_ir.Eval.workload ->
+  ?core_map:int array ->
+  Compiler.compiled ->
+  run
+
+(** Collect per-array miss-rate feedback from a sequential run — the
+    paper's profile-directed feedback (Sections III-B, III-I). *)
+val profile_feedback :
+  ?machine:Finepar_machine.Config.t ->
+  workload:Finepar_ir.Eval.workload ->
+  Finepar_ir.Kernel.t ->
+  Finepar_analysis.Profile.t
+
+(** [speedup ~workload ~cores kernel] compiles and runs the sequential
+    baseline, feeds its memory profile back into an [cores]-way parallel
+    compilation, runs that too, and returns
+    [(sequential run, parallel run, speedup)]. *)
+val speedup :
+  ?machine:Finepar_machine.Config.t ->
+  ?config:Compiler.config ->
+  workload:Finepar_ir.Eval.workload ->
+  cores:int ->
+  Finepar_ir.Kernel.t ->
+  run * run * float
+
+(** Result of {!autotune}. *)
+type tuned = {
+  best_name : string;
+  best : Compiler.compiled;
+  best_cycles : int;
+  candidates : (string * int) list;  (** configuration name -> cycles *)
+}
+
+(** Multi-version compilation with dynamic feedback.  Section III-I
+    (limitation 1): the compiler "can generate multiple code versions for
+    regions with potential, and rely on a runtime system with dynamic
+    feedback to decide which code version to execute".  Compiles the
+    candidate configurations (sequential, baseline, speculation,
+    throughput, their combination, multi-pair merge), measures each once,
+    and keeps the fastest. *)
+val autotune :
+  ?machine:Finepar_machine.Config.t ->
+  ?cores:int ->
+  ?workload:Finepar_ir.Eval.workload ->
+  Finepar_ir.Kernel.t ->
+  tuned

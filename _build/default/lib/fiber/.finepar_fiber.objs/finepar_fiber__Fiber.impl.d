@@ -1,0 +1,1 @@
+lib/fiber/fiber.ml: Expr Finepar_ir Fun Hashtbl Int List Printf Region

@@ -1,0 +1,151 @@
+(** Fiber partitioning (Section III-A).
+
+    A fiber is "a sequence of instructions without any control flow or
+    memory carried dependences among its instructions".  The partitioning
+    algorithm works individually on the expression tree of each statement:
+
+    - leaves (memory loads, literals, scalar reads) are live-ins and
+      always remain unassigned;
+    - post-order over internal nodes:
+      - all children unassigned (i.e. leaves): start a new fiber;
+      - all assigned children in the same fiber: continue that fiber;
+      - children in more than one fiber: start a new fiber.
+
+    The result, for the paper's Fig. 4 expression
+    [(p2 % 7) + a[...] * (p1 % 13)], is three fibers: [{C}], [{D, B}] and
+    [{A}] — reproduced as a unit test.
+
+    We materialize each fiber as one flat statement whose right-hand side
+    is the fused subtree, with cut edges replaced by fresh boundary
+    temporaries.  The output is therefore another {!Region.t} with exactly
+    one statement per fiber, which the dependence analysis and code graph
+    then treat as the graph nodes. *)
+
+open Finepar_ir
+
+type stats = {
+  initial_fibers : int;  (** Table III, "Initial Fibers" *)
+  statements_in : int;
+}
+
+(** Partition one expression tree.  Returns the list of
+    [(fiber_expr, is_root)] in creation (topological) order; the last
+    element is the root fiber's expression.  [fresh] allocates boundary
+    temporaries. *)
+let partition_expr ~fresh e =
+  (* Rebuilt expression per fiber, in creation order. *)
+  let fibers : (int, Expr.t) Hashtbl.t = Hashtbl.create 8 in
+  let temp_of : (int, string) Hashtbl.t = Hashtbl.create 8 in
+  let next = ref 0 in
+  let new_fiber e =
+    let f = !next in
+    incr next;
+    Hashtbl.replace fibers f e;
+    f
+  in
+  let fiber_value f =
+    match Hashtbl.find_opt temp_of f with
+    | Some t -> Expr.Var t
+    | None ->
+      let t = fresh () in
+      Hashtbl.replace temp_of f t;
+      Expr.Var t
+  in
+  (* Returns [None] for leaves, [Some fiber_id] for internal nodes. *)
+  let rec visit e =
+    match e with
+    | Expr.Const _ | Expr.Var _ | Expr.Load _ -> None
+    | Expr.Unop (op, a) -> join e (fun parts -> Expr.Unop (op, List.nth parts 0)) [ a ]
+    | Expr.Binop (op, a, b) ->
+      join e (fun parts -> Expr.Binop (op, List.nth parts 0, List.nth parts 1)) [ a; b ]
+    | Expr.Select (c, t, f) ->
+      join e
+        (fun parts ->
+          Expr.Select (List.nth parts 0, List.nth parts 1, List.nth parts 2))
+        [ c; t; f ]
+  and join _e rebuild children =
+    let assigned = List.map visit children in
+    let internal = List.filter_map Fun.id assigned in
+    match internal with
+    | [] ->
+      (* All children are leaves: start a new fiber. *)
+      Some (new_fiber (rebuild children))
+    | f :: rest when List.for_all (Int.equal f) rest ->
+      (* Continue fiber [f]: splice children's rebuilt expressions in. *)
+      let parts =
+        List.map2
+          (fun child fid ->
+            match fid with
+            | Some g when g = f -> Hashtbl.find fibers g
+            | Some g -> fiber_value g
+            | None -> child)
+          children assigned
+      in
+      Hashtbl.replace fibers f (rebuild parts);
+      Some f
+    | _ ->
+      (* Children span several fibers: start a new fiber consuming their
+         boundary values. *)
+      let parts =
+        List.map2
+          (fun child fid ->
+            match fid with Some g -> fiber_value g | None -> child)
+          children assigned
+      in
+      Some (new_fiber (rebuild parts))
+  in
+  let root = visit e in
+  let out = ref [] in
+  for f = !next - 1 downto 0 do
+    let is_root = root = Some f in
+    let lhs = if is_root then None else Hashtbl.find_opt temp_of f in
+    (* A fiber with no consumer and not the root is impossible in a tree. *)
+    out := (lhs, Hashtbl.find fibers f, is_root) :: !out
+  done;
+  (!out, root)
+
+(** Split every statement of a region into fibers.  The resulting region
+    has one statement per fiber; boundary temporaries are named
+    ["%f<n>"]. *)
+let split (r : Region.t) : Region.t * stats =
+  let counter = ref 0 in
+  let fresh () =
+    incr counter;
+    Printf.sprintf "%%f%d" !counter
+  in
+  let out = ref [] in
+  let next_id = ref 0 in
+  let emit ~line ~preds lhs rhs =
+    let id = !next_id in
+    incr next_id;
+    out := { Region.id; line; preds; lhs; rhs } :: !out
+  in
+  List.iter
+    (fun (s : Region.sstmt) ->
+      let pieces, root = partition_expr ~fresh s.Region.rhs in
+      match root with
+      | None ->
+        (* The right-hand side is a single leaf: the whole statement is
+           one fiber. *)
+        emit ~line:s.Region.line ~preds:s.Region.preds s.Region.lhs s.Region.rhs
+      | Some _ ->
+        List.iter
+          (fun (lhs, e, is_root) ->
+            if is_root then
+              emit ~line:s.Region.line ~preds:s.Region.preds s.Region.lhs e
+            else
+              match lhs with
+              | Some t ->
+                emit ~line:s.Region.line ~preds:s.Region.preds
+                  (Region.Lscalar t) e
+              | None ->
+                (* Unconsumed non-root fiber: cannot happen in a tree. *)
+                assert false)
+          pieces)
+    r.Region.stmts;
+  let stmts = List.rev !out in
+  ( { r with Region.stmts },
+    {
+      initial_fibers = List.length stmts;
+      statements_in = List.length r.Region.stmts;
+    } )

@@ -1,0 +1,29 @@
+(** Fiber partitioning (Section III-A).
+
+    A fiber is "a sequence of instructions without any control flow or
+    memory carried dependences among its instructions".  The partitioning
+    algorithm works individually on the expression tree of each statement:
+
+    - leaves (memory loads, literals, scalar reads) are live-ins and
+      always remain unassigned;
+    - post-order over internal nodes:
+      - all children unassigned (i.e. leaves): start a new fiber;
+      - all assigned children in the same fiber: continue that fiber;
+      - children in more than one fiber: start a new fiber.
+
+    The result, for the paper's Fig. 4 expression
+    [(p2 % 7) + a[...] * (p1 % 13)], is three fibers: [{C}], [{D, B}] and
+    [{A}] — reproduced as a unit test.
+
+    We materialize each fiber as one flat statement whose right-hand side
+    is the fused subtree, with cut edges replaced by fresh boundary
+    temporaries.  The output is therefore another {!Region.t} with exactly
+    one statement per fiber, which the dependence analysis and code graph
+    then treat as the graph nodes. *)
+
+type stats = { initial_fibers : int; statements_in : int; }
+val partition_expr :
+  fresh:(unit -> string) ->
+  Finepar_ir.Expr.t ->
+  (string option * Finepar_ir.Expr.t * bool) list * int option
+val split : Finepar_ir.Region.t -> Finepar_ir.Region.t * stats

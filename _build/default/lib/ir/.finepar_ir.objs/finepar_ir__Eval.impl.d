@@ -1,0 +1,1 @@
+lib/ir/eval.ml: Array Expr Fmt Format Hashtbl Kernel List Stmt String Types

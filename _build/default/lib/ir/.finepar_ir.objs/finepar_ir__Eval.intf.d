@@ -1,0 +1,1 @@
+lib/ir/eval.mli: Expr Format Hashtbl Kernel Stmt Types

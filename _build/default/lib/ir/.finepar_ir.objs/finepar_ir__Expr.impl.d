@@ -1,0 +1,1 @@
+lib/ir/expr.ml: Fmt List Op_cost Set String Types

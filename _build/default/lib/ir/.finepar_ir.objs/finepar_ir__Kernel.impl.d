@@ -1,0 +1,1 @@
+lib/ir/kernel.ml: Expr Fmt Format Hashtbl List Set Stmt String Types

@@ -1,0 +1,1 @@
+lib/ir/op_cost.mli: Types

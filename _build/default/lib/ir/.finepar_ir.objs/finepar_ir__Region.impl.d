@@ -1,0 +1,1 @@
+lib/ir/region.ml: Array Eval Expr Fmt Hashtbl Kernel List Map Printf Set Stmt String Types

@@ -1,0 +1,1 @@
+lib/ir/region.mli: Eval Expr Format Kernel Map Set String

@@ -1,0 +1,1 @@
+lib/ir/stmt.mli: Expr Fmt Format Set String

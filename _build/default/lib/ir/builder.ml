@@ -1,0 +1,54 @@
+(** A small combinator DSL for writing kernels.
+
+    All 18 evaluation kernels and the characterization corpus are written
+    with these combinators; see [lib/kernels].  Operators are suffixed
+    with [:] to avoid shadowing the standard arithmetic ones. *)
+
+open Types
+
+let i n = Expr.Const (VInt n)
+let f x = Expr.Const (VFloat x)
+let v name = Expr.Var name
+let ld arr idx = Expr.Load (arr, idx)
+
+let ( +: ) a b = Expr.Binop (Add, a, b)
+let ( -: ) a b = Expr.Binop (Sub, a, b)
+let ( *: ) a b = Expr.Binop (Mul, a, b)
+let ( /: ) a b = Expr.Binop (Div, a, b)
+let ( %: ) a b = Expr.Binop (Rem, a, b)
+let ( <: ) a b = Expr.Binop (Lt, a, b)
+let ( <=: ) a b = Expr.Binop (Le, a, b)
+let ( >: ) a b = Expr.Binop (Gt, a, b)
+let ( >=: ) a b = Expr.Binop (Ge, a, b)
+let ( ==: ) a b = Expr.Binop (Eq, a, b)
+let ( <>: ) a b = Expr.Binop (Ne, a, b)
+let ( &&: ) a b = Expr.Binop (And, a, b)
+let ( ||: ) a b = Expr.Binop (Or, a, b)
+let min_ a b = Expr.Binop (Min, a, b)
+let max_ a b = Expr.Binop (Max, a, b)
+let neg e = Expr.Unop (Neg, e)
+let not_ e = Expr.Unop (Not, e)
+let sqrt_ e = Expr.Unop (Sqrt, e)
+let abs_ e = Expr.Unop (Abs, e)
+let exp_ e = Expr.Unop (Exp, e)
+let log_ e = Expr.Unop (Log, e)
+let to_f e = Expr.Unop (To_float, e)
+let to_i e = Expr.Unop (To_int, e)
+let select c t f = Expr.Select (c, t, f)
+
+let set var e = Stmt.Assign (var, e)
+let store arr idx e = Stmt.Store (arr, idx, e)
+let if_ c t e = Stmt.If (c, t, e)
+let when_ c t = Stmt.If (c, t, [])
+
+(** Declarations. *)
+let farr name len = { Kernel.a_name = name; a_ty = F64; a_len = len }
+let iarr name len = { Kernel.a_name = name; a_ty = I64; a_len = len }
+let fscalar ?(init = 0.0) name =
+  { Kernel.s_name = name; s_ty = F64; s_init = VFloat init }
+let iscalar ?(init = 0) name =
+  { Kernel.s_name = name; s_ty = I64; s_init = VInt init }
+
+let kernel ~name ~index ~lo ~hi ~arrays ~scalars ?(live_out = []) body =
+  Kernel.validate
+    { Kernel.name; index; lo; hi; arrays; scalars; body; live_out }

@@ -1,0 +1,55 @@
+(** A small combinator DSL for writing kernels.
+
+    All 18 evaluation kernels and the characterization corpus are written
+    with these combinators; see [lib/kernels].  Operators are suffixed
+    with [:] to avoid shadowing the standard arithmetic ones. *)
+
+val i : int -> Expr.t
+val f : float -> Expr.t
+val v : string -> Expr.t
+val ld : string -> Expr.t -> Expr.t
+val ( +: ) : Expr.t -> Expr.t -> Expr.t
+val ( -: ) : Expr.t -> Expr.t -> Expr.t
+val ( *: ) : Expr.t -> Expr.t -> Expr.t
+val ( /: ) : Expr.t -> Expr.t -> Expr.t
+val ( %: ) : Expr.t -> Expr.t -> Expr.t
+val ( <: ) : Expr.t -> Expr.t -> Expr.t
+val ( <=: ) : Expr.t -> Expr.t -> Expr.t
+val ( >: ) : Expr.t -> Expr.t -> Expr.t
+val ( >=: ) : Expr.t -> Expr.t -> Expr.t
+val ( ==: ) : Expr.t -> Expr.t -> Expr.t
+val ( <>: ) : Expr.t -> Expr.t -> Expr.t
+val ( &&: ) : Expr.t -> Expr.t -> Expr.t
+val ( ||: ) : Expr.t -> Expr.t -> Expr.t
+val min_ : Expr.t -> Expr.t -> Expr.t
+val max_ : Expr.t -> Expr.t -> Expr.t
+val neg : Expr.t -> Expr.t
+val not_ : Expr.t -> Expr.t
+val sqrt_ : Expr.t -> Expr.t
+val abs_ : Expr.t -> Expr.t
+val exp_ : Expr.t -> Expr.t
+val log_ : Expr.t -> Expr.t
+val to_f : Expr.t -> Expr.t
+val to_i : Expr.t -> Expr.t
+val select :
+  Expr.t ->
+  Expr.t -> Expr.t -> Expr.t
+val set : string -> Expr.t -> Stmt.t
+val store :
+  string -> Expr.t -> Expr.t -> Stmt.t
+val if_ :
+  Expr.t ->
+  Stmt.t list -> Stmt.t list -> Stmt.t
+val when_ : Expr.t -> Stmt.t list -> Stmt.t
+val farr : string -> int -> Kernel.array_decl
+val iarr : string -> int -> Kernel.array_decl
+val fscalar : ?init:float -> string -> Kernel.scalar_decl
+val iscalar : ?init:int -> string -> Kernel.scalar_decl
+val kernel :
+  name:string ->
+  index:string ->
+  lo:int ->
+  hi:int ->
+  arrays:Kernel.array_decl list ->
+  scalars:Kernel.scalar_decl list ->
+  ?live_out:string list -> Stmt.t list -> Kernel.t

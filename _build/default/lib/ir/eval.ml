@@ -1,0 +1,138 @@
+(** Reference evaluator: ground-truth sequential semantics for kernels.
+
+    Every compiled/simulated configuration is checked bit-for-bit against
+    this evaluator (see the end-to-end test suite), which is what makes the
+    compiler pipeline trustworthy without the paper's production compiler. *)
+
+open Types
+
+(** Initial array contents for one kernel run. *)
+type workload = (string * value array) list
+
+exception Runtime_error of string
+
+let runtime_error fmt = Format.kasprintf (fun s -> raise (Runtime_error s)) fmt
+
+type state = {
+  scalars : (string, value) Hashtbl.t;
+  arrays : (string, value array) Hashtbl.t;
+}
+
+let init_state (k : Kernel.t) (w : workload) =
+  let scalars = Hashtbl.create 16 and arrays = Hashtbl.create 16 in
+  List.iter
+    (fun (d : Kernel.scalar_decl) -> Hashtbl.replace scalars d.s_name d.s_init)
+    k.scalars;
+  List.iter
+    (fun (d : Kernel.array_decl) ->
+      let contents =
+        match List.assoc_opt d.a_name w with
+        | Some c ->
+          if Array.length c <> d.a_len then
+            runtime_error "workload for %s has length %d, expected %d"
+              d.a_name (Array.length c) d.a_len;
+          Array.copy c
+        | None -> Array.make d.a_len (zero_of_ty d.a_ty)
+      in
+      Hashtbl.replace arrays d.a_name contents)
+    k.arrays;
+  { scalars; arrays }
+
+let get_scalar st v =
+  match Hashtbl.find_opt st.scalars v with
+  | Some x -> x
+  | None -> runtime_error "read of undefined scalar %s" v
+
+let get_array st a =
+  match Hashtbl.find_opt st.arrays a with
+  | Some x -> x
+  | None -> runtime_error "unknown array %s" a
+
+let check_bounds a arr idx =
+  if idx < 0 || idx >= Array.length arr then
+    runtime_error "array %s index %d out of bounds [0, %d)" a idx
+      (Array.length arr)
+
+let rec eval_expr st e =
+  match e with
+  | Expr.Const v -> v
+  | Expr.Var v -> get_scalar st v
+  | Expr.Load (a, idx) -> (
+    let arr = get_array st a in
+    match eval_expr st idx with
+    | VInt i ->
+      check_bounds a arr i;
+      arr.(i)
+    | VFloat _ -> runtime_error "array %s indexed by f64" a)
+  | Expr.Unop (op, a) -> apply_unop op (eval_expr st a)
+  | Expr.Binop (op, a, b) -> apply_binop op (eval_expr st a) (eval_expr st b)
+  | Expr.Select (c, t, f) ->
+    (* Both arms evaluated: matches the speculation lowering. *)
+    let vc = eval_expr st c in
+    let vt = eval_expr st t and vf = eval_expr st f in
+    if value_is_true vc then vt else vf
+
+let rec exec_stmt st s =
+  match s with
+  | Stmt.Assign (v, e) -> Hashtbl.replace st.scalars v (eval_expr st e)
+  | Stmt.Store (a, i, e) -> (
+    let arr = get_array st a in
+    match eval_expr st i with
+    | VInt idx ->
+      check_bounds a arr idx;
+      arr.(idx) <- eval_expr st e
+    | VFloat _ -> runtime_error "store to %s indexed by f64" a)
+  | Stmt.If (c, t, f) ->
+    if value_is_true (eval_expr st c) then List.iter (exec_stmt st) t
+    else List.iter (exec_stmt st) f
+
+(** Run the kernel loop to completion and return the final state. *)
+let run ?(workload = []) (k : Kernel.t) =
+  let st = init_state k workload in
+  for i = k.lo to k.hi - 1 do
+    Hashtbl.replace st.scalars k.index (VInt i);
+    List.iter (exec_stmt st) k.body
+  done;
+  st
+
+(** Observable result of a run: live-out scalars plus all arrays that the
+    kernel writes.  Two runs are equivalent iff their results are equal. *)
+type result = {
+  live_out : (string * value) list;
+  arrays_out : (string * value array) list;
+}
+
+let result_of_state (k : Kernel.t) st =
+  let written = Stmt.arrays_written k.body in
+  {
+    live_out = List.map (fun v -> (v, get_scalar st v)) k.live_out;
+    arrays_out =
+      List.filter_map
+        (fun (d : Kernel.array_decl) ->
+          if Stmt.String_set.mem d.a_name written then
+            Some (d.a_name, get_array st d.a_name)
+          else None)
+        k.arrays;
+  }
+
+let run_result ?workload k = result_of_state k (run ?workload k)
+
+let result_equal r1 r2 =
+  let scalar_eq (n1, v1) (n2, v2) = String.equal n1 n2 && value_equal v1 v2 in
+  let array_eq (n1, a1) (n2, a2) =
+    String.equal n1 n2
+    && Array.length a1 = Array.length a2
+    && Array.for_all2 value_equal a1 a2
+  in
+  List.length r1.live_out = List.length r2.live_out
+  && List.for_all2 scalar_eq r1.live_out r2.live_out
+  && List.length r1.arrays_out = List.length r2.arrays_out
+  && List.for_all2 array_eq r1.arrays_out r2.arrays_out
+
+let pp_result ppf r =
+  Fmt.pf ppf "@[<v>%a@,%a@]"
+    Fmt.(list (pair ~sep:(any " = ") string pp_value))
+    r.live_out
+    Fmt.(
+      list (pair ~sep:(any ": ") string (brackets (array ~sep:comma pp_value))))
+    (List.map (fun (n, a) -> (n, Array.sub a 0 (min 8 (Array.length a)))) r.arrays_out)

@@ -1,0 +1,129 @@
+(** Kernels: a single innermost loop extracted from an application,
+    together with its data environment — exactly the experimental unit of
+    the paper's Section V ("Each loop is extracted into a separate kernel
+    program, together with the necessary initialization code"). *)
+
+open Types
+module String_set = Set.Make (String)
+
+type array_decl = { a_name : string; a_ty : ty; a_len : int }
+
+type scalar_decl = { s_name : string; s_ty : ty; s_init : value }
+
+type t = {
+  name : string;
+  index : string;  (** induction variable (I64), defined by the loop *)
+  lo : int;
+  hi : int;  (** iteration space: [lo, hi) *)
+  arrays : array_decl list;
+  scalars : scalar_decl list;
+      (** loop-scope scalars, live-in; includes reduction accumulators *)
+  body : Stmt.t list;
+  live_out : string list;
+      (** scalars whose final value is needed after the loop *)
+}
+
+exception Invalid of string
+
+let invalid fmt = Format.kasprintf (fun s -> raise (Invalid s)) fmt
+
+let find_array k name =
+  List.find_opt (fun a -> String.equal a.a_name name) k.arrays
+
+let find_scalar k name =
+  List.find_opt (fun s -> String.equal s.s_name name) k.scalars
+
+let tenv k : Expr.tenv =
+  {
+    var_ty =
+      (fun v ->
+        if String.equal v k.index then I64
+        else
+          match find_scalar k v with
+          | Some s -> s.s_ty
+          | None -> invalid "kernel %s: unknown scalar %s" k.name v);
+    array_ty =
+      (fun a ->
+        match find_array k a with
+        | Some d -> d.a_ty
+        | None -> invalid "kernel %s: unknown array %s" k.name a);
+  }
+
+(** Number of iterations executed. *)
+let trip_count k = max 0 (k.hi - k.lo)
+
+(** Typecheck and structurally validate a kernel.  Raises {!Invalid} on:
+    unknown variables or arrays, type errors, writes to the induction
+    variable, or a use of a variable that is only defined under a
+    conditional whose predicate does not also guard the use (the
+    compiler requires def preds to be a prefix of use preds, or the
+    variable to be a declared live-in scalar). *)
+let validate k =
+  let env = tenv k in
+  let env =
+    {
+      env with
+      Expr.var_ty =
+        (fun v ->
+          (* Temporaries introduced by user bodies must be declared or
+             defined before use; defined-before-use temps are typed by
+             first walking the body, so here we first try declarations. *)
+          env.Expr.var_ty v);
+    }
+  in
+  (* Build a type table for body-defined temporaries in program order. *)
+  let temp_ty : (string, ty) Hashtbl.t = Hashtbl.create 16 in
+  let var_ty v =
+    if String.equal v k.index then I64
+    else
+      match find_scalar k v with
+      | Some s -> s.s_ty
+      | None -> (
+        match Hashtbl.find_opt temp_ty v with
+        | Some t -> t
+        | None -> invalid "kernel %s: use of undefined scalar %s" k.name v)
+  in
+  let env = { env with Expr.var_ty } in
+  let check_expr e = ignore (Expr.infer env e) in
+  let rec check_stmt s =
+    match s with
+    | Stmt.Assign (v, e) ->
+      if String.equal v k.index then
+        invalid "kernel %s: assignment to induction variable" k.name;
+      let te = Expr.infer env e in
+      (match find_scalar k v with
+      | Some d ->
+        if d.s_ty <> te then
+          invalid "kernel %s: assignment to %s changes type" k.name v
+      | None -> (
+        match Hashtbl.find_opt temp_ty v with
+        | Some t when t <> te ->
+          invalid "kernel %s: temp %s redefined at a different type" k.name v
+        | _ -> Hashtbl.replace temp_ty v te))
+    | Stmt.Store (a, i, e) ->
+      (match find_array k a with
+      | None -> invalid "kernel %s: store to unknown array %s" k.name a
+      | Some d ->
+        if Expr.infer env i <> I64 then
+          invalid "kernel %s: store index not i64" k.name;
+        if Expr.infer env e <> d.a_ty then
+          invalid "kernel %s: store to %s has wrong element type" k.name a)
+    | Stmt.If (c, t, f) ->
+      if Expr.infer env c <> I64 then
+        invalid "kernel %s: condition has type f64" k.name;
+      check_expr c;
+      List.iter check_stmt t;
+      List.iter check_stmt f
+  in
+  List.iter check_stmt k.body;
+  List.iter
+    (fun v ->
+      match find_scalar k v with
+      | Some _ -> ()
+      | None -> invalid "kernel %s: live-out %s is not a declared scalar" k.name v)
+    k.live_out;
+  k
+
+let pp ppf k =
+  Fmt.pf ppf "@[<v>kernel %s:@,for %s = %d .. %d@,%a@]" k.name k.index k.lo
+    k.hi Stmt.pp_block k.body

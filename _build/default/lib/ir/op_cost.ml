@@ -1,0 +1,42 @@
+(** Default operation latencies, in cycles.
+
+    These model a simple in-order core in the spirit of the Blue Gene/Q A2:
+    1-cycle integer ALU, a 6-cycle floating-point pipeline, long-latency
+    divides and special functions.  Both the compiler's static cost model
+    (Section III-B, heuristic 2) and the machine simulator default to this
+    table; the simulator's table is configurable independently, which is
+    exactly the imprecision the paper calls out in Section III-I (the
+    compiler cannot predict execution time exactly). *)
+
+open Types
+
+let unop_latency op ty =
+  match (op, ty) with
+  | Neg, I64 -> 1
+  | Neg, F64 -> 6
+  | Not, _ -> 1
+  | Abs, I64 -> 1
+  | Abs, F64 -> 6
+  | Sqrt, _ -> 40
+  | Exp, _ -> 64
+  | Log, _ -> 64
+  | To_float, _ -> 6
+  | To_int, _ -> 6
+
+let binop_latency op ty =
+  match (op, ty) with
+  | (Add | Sub), I64 -> 1
+  | (Add | Sub), F64 -> 6
+  | Mul, I64 -> 4
+  | Mul, F64 -> 6
+  | Div, I64 -> 24
+  | Div, F64 -> 30
+  | Rem, _ -> 24
+  | (Min | Max), I64 -> 1
+  | (Min | Max), F64 -> 6
+  | (And | Or | Xor | Shl | Shr), _ -> 1
+  | (Lt | Le | Gt | Ge | Eq | Ne), I64 -> 1
+  | (Lt | Le | Gt | Ge | Eq | Ne), F64 -> 2
+
+(** Latency of a select (conditional move): cheap, single ALU pass. *)
+let select_latency = 2

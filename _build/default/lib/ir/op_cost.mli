@@ -1,0 +1,13 @@
+(** Default operation latencies, in cycles.
+
+    These model a simple in-order core in the spirit of the Blue Gene/Q A2:
+    1-cycle integer ALU, a 6-cycle floating-point pipeline, long-latency
+    divides and special functions.  Both the compiler's static cost model
+    (Section III-B, heuristic 2) and the machine simulator default to this
+    table; the simulator's table is configurable independently, which is
+    exactly the imprecision the paper calls out in Section III-I (the
+    compiler cannot predict execution time exactly). *)
+
+val unop_latency : Types.unop -> Types.ty -> int
+val binop_latency : Types.binop -> Types.ty -> int
+val select_latency : int

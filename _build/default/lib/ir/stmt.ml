@@ -1,0 +1,89 @@
+(** Statements of a loop body: scalar assignments, array stores, and
+    structured conditionals.  Loop bodies are straight-line code with
+    (possibly nested) if-then-else; inner loops are fully unrolled or
+    hoisted when a kernel is extracted, mirroring the paper's focus on
+    innermost loop bodies with all calls inlined (Section V). *)
+
+module String_set = Set.Make (String)
+
+type t =
+  | Assign of string * Expr.t
+  | Store of string * Expr.t * Expr.t  (** [Store (a, idx, value)] *)
+  | If of Expr.t * t list * t list
+
+let rec pp ppf = function
+  | Assign (v, e) -> Fmt.pf ppf "%s = %a" v Expr.pp e
+  | Store (a, i, e) -> Fmt.pf ppf "%s[%a] = %a" a Expr.pp i Expr.pp e
+  | If (c, t, f) ->
+    Fmt.pf ppf "@[<v 2>if %a {@,%a@]@,}" Expr.pp c pp_block t;
+    if f <> [] then Fmt.pf ppf "@[<v 2> else {@,%a@]@,}" pp_block f
+
+and pp_block ppf stmts = Fmt.(list ~sep:(any "@,") pp) ppf stmts
+
+(** Apply [f] to every statement, recursing into conditionals. *)
+let rec iter f s =
+  f s;
+  match s with
+  | Assign _ | Store _ -> ()
+  | If (_, t, e) ->
+    List.iter (iter f) t;
+    List.iter (iter f) e
+
+let iter_block f stmts = List.iter (iter f) stmts
+
+(** All expressions appearing in a statement (not recursing into nested
+    statements). *)
+let exprs = function
+  | Assign (_, e) -> [ e ]
+  | Store (_, i, e) -> [ i; e ]
+  | If (c, _, _) -> [ c ]
+
+(** Scalar variables written anywhere in a block of statements. *)
+let vars_written stmts =
+  let acc = ref String_set.empty in
+  iter_block
+    (fun s ->
+      match s with
+      | Assign (v, _) -> acc := String_set.add v !acc
+      | Store _ | If _ -> ())
+    stmts;
+  !acc
+
+(** Scalar variables read anywhere in a block of statements. *)
+let vars_read stmts =
+  let acc = ref String_set.empty in
+  iter_block
+    (fun s ->
+      List.iter (fun e -> acc := String_set.union (Expr.vars e) !acc) (exprs s))
+    stmts;
+  !acc
+
+(** Arrays written anywhere in a block. *)
+let arrays_written stmts =
+  let acc = ref String_set.empty in
+  iter_block
+    (fun s ->
+      match s with
+      | Store (a, _, _) -> acc := String_set.add a !acc
+      | Assign _ | If _ -> ())
+    stmts;
+  !acc
+
+(** Arrays read anywhere in a block. *)
+let arrays_read stmts =
+  let acc = ref String_set.empty in
+  iter_block
+    (fun s ->
+      List.iter
+        (fun e -> acc := String_set.union (Expr.arrays_read e) !acc)
+        (exprs s))
+    stmts;
+  !acc
+
+(** Total compute-operator count in a block. *)
+let op_count stmts =
+  let acc = ref 0 in
+  iter_block
+    (fun s -> List.iter (fun e -> acc := !acc + Expr.op_count e) (exprs s))
+    stmts;
+  !acc

@@ -1,0 +1,21 @@
+(** Statements of a loop body: scalar assignments, array stores, and
+    structured conditionals.  Loop bodies are straight-line code with
+    (possibly nested) if-then-else; inner loops are fully unrolled or
+    hoisted when a kernel is extracted, mirroring the paper's focus on
+    innermost loop bodies with all calls inlined (Section V). *)
+
+module String_set : Set.S with type elt = String.t and type t = Set.Make(String).t
+type t =
+    Assign of string * Expr.t
+  | Store of string * Expr.t * Expr.t
+  | If of Expr.t * t list * t list
+val pp : t Fmt.t
+val pp_block : Format.formatter -> t list -> unit
+val iter : (t -> unit) -> t -> unit
+val iter_block : (t -> unit) -> t list -> unit
+val exprs : t -> Expr.t list
+val vars_written : t list -> String_set.t
+val vars_read : t list -> String_set.t
+val arrays_written : t list -> String_set.t
+val arrays_read : t list -> String_set.t
+val op_count : t list -> int

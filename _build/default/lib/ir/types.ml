@@ -1,0 +1,187 @@
+(** Scalar types, runtime values, and operator semantics.
+
+    These definitions are shared by the reference evaluator ({!Eval}) and
+    the machine simulator ({!Finepar_machine.Sim}), so that both execute
+    bit-identical arithmetic.  All operators are total: integer division
+    and remainder by zero yield zero (documented substitution for a
+    trapping machine; the kernels never rely on it). *)
+
+type ty = I64 | F64
+
+type value = VInt of int | VFloat of float
+
+exception Type_error of string
+
+let type_error fmt = Format.kasprintf (fun s -> raise (Type_error s)) fmt
+
+let ty_of_value = function VInt _ -> I64 | VFloat _ -> F64
+
+let pp_ty ppf = function
+  | I64 -> Fmt.string ppf "i64"
+  | F64 -> Fmt.string ppf "f64"
+
+let pp_value ppf = function
+  | VInt i -> Fmt.int ppf i
+  | VFloat f -> Fmt.pf ppf "%h" f
+
+let pp_value_human ppf = function
+  | VInt i -> Fmt.int ppf i
+  | VFloat f -> Fmt.float ppf f
+
+let value_equal a b =
+  match (a, b) with
+  | VInt x, VInt y -> x = y
+  | VFloat x, VFloat y ->
+    (* Bit-level equality so that NaNs compare equal to themselves and
+       +0. differs from -0.: the parallel code must reproduce the exact
+       sequential bits. *)
+    Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+  | VInt _, VFloat _ | VFloat _, VInt _ -> false
+
+type unop = Neg | Not | Sqrt | Abs | Exp | Log | To_float | To_int
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | Min
+  | Max
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Shr
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+
+let unop_name = function
+  | Neg -> "neg"
+  | Not -> "not"
+  | Sqrt -> "sqrt"
+  | Abs -> "abs"
+  | Exp -> "exp"
+  | Log -> "log"
+  | To_float -> "to_float"
+  | To_int -> "to_int"
+
+let binop_name = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Div -> "div"
+  | Rem -> "rem"
+  | Min -> "min"
+  | Max -> "max"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Shl -> "shl"
+  | Shr -> "shr"
+  | Lt -> "lt"
+  | Le -> "le"
+  | Gt -> "gt"
+  | Ge -> "ge"
+  | Eq -> "eq"
+  | Ne -> "ne"
+
+let pp_unop ppf op = Fmt.string ppf (unop_name op)
+let pp_binop ppf op = Fmt.string ppf (binop_name op)
+
+let is_comparison = function
+  | Lt | Le | Gt | Ge | Eq | Ne -> true
+  | Add | Sub | Mul | Div | Rem | Min | Max | And | Or | Xor | Shl | Shr ->
+    false
+
+(** Result type of a unary operator applied to an operand of type [ty]. *)
+let unop_result_ty op ty =
+  match (op, ty) with
+  | Neg, t -> t
+  | Abs, t -> t
+  | Not, I64 -> I64
+  | (Sqrt | Exp | Log), F64 -> F64
+  | To_float, I64 -> F64
+  | To_int, F64 -> I64
+  | Not, F64 -> type_error "not applied to f64"
+  | (Sqrt | Exp | Log), I64 -> type_error "%s applied to i64" (unop_name op)
+  | To_float, F64 -> type_error "to_float applied to f64"
+  | To_int, I64 -> type_error "to_int applied to i64"
+
+(** Result type of a binary operator applied to two operands of type [ty]
+    (both operands must have the same type). *)
+let binop_result_ty op ty =
+  match (op, ty) with
+  | (Add | Sub | Mul | Div | Min | Max), t -> t
+  | Rem, I64 -> I64
+  | (And | Or | Xor | Shl | Shr), I64 -> I64
+  | (Lt | Le | Gt | Ge | Eq | Ne), _ -> I64
+  | Rem, F64 -> type_error "rem applied to f64"
+  | (And | Or | Xor | Shl | Shr), F64 ->
+    type_error "%s applied to f64" (binop_name op)
+
+let bool_value b = VInt (if b then 1 else 0)
+
+let apply_unop op v =
+  match (op, v) with
+  | Neg, VInt i -> VInt (-i)
+  | Neg, VFloat f -> VFloat (-.f)
+  | Not, VInt i -> VInt (if i = 0 then 1 else 0)
+  | Abs, VInt i -> VInt (abs i)
+  | Abs, VFloat f -> VFloat (Float.abs f)
+  | Sqrt, VFloat f -> VFloat (sqrt f)
+  | Exp, VFloat f -> VFloat (exp f)
+  | Log, VFloat f -> VFloat (log f)
+  | To_float, VInt i -> VFloat (float_of_int i)
+  | To_int, VFloat f -> VInt (int_of_float f)
+  | Not, VFloat _ | (Sqrt | Exp | Log), VInt _
+  | To_float, VFloat _
+  | To_int, VInt _ ->
+    type_error "apply_unop %s: bad operand type" (unop_name op)
+
+let apply_binop op a b =
+  match (op, a, b) with
+  | Add, VInt x, VInt y -> VInt (x + y)
+  | Add, VFloat x, VFloat y -> VFloat (x +. y)
+  | Sub, VInt x, VInt y -> VInt (x - y)
+  | Sub, VFloat x, VFloat y -> VFloat (x -. y)
+  | Mul, VInt x, VInt y -> VInt (x * y)
+  | Mul, VFloat x, VFloat y -> VFloat (x *. y)
+  | Div, VInt x, VInt y -> VInt (if y = 0 then 0 else x / y)
+  | Div, VFloat x, VFloat y -> VFloat (x /. y)
+  | Rem, VInt x, VInt y -> VInt (if y = 0 then 0 else x mod y)
+  | Min, VInt x, VInt y -> VInt (min x y)
+  | Min, VFloat x, VFloat y -> VFloat (Float.min x y)
+  | Max, VInt x, VInt y -> VInt (max x y)
+  | Max, VFloat x, VFloat y -> VFloat (Float.max x y)
+  | And, VInt x, VInt y -> VInt (x land y)
+  | Or, VInt x, VInt y -> VInt (x lor y)
+  | Xor, VInt x, VInt y -> VInt (x lxor y)
+  | Shl, VInt x, VInt y -> VInt (x lsl (y land 63))
+  | Shr, VInt x, VInt y -> VInt (x asr (y land 63))
+  | Lt, VInt x, VInt y -> bool_value (x < y)
+  | Lt, VFloat x, VFloat y -> bool_value (x < y)
+  | Le, VInt x, VInt y -> bool_value (x <= y)
+  | Le, VFloat x, VFloat y -> bool_value (x <= y)
+  | Gt, VInt x, VInt y -> bool_value (x > y)
+  | Gt, VFloat x, VFloat y -> bool_value (x > y)
+  | Ge, VInt x, VInt y -> bool_value (x >= y)
+  | Ge, VFloat x, VFloat y -> bool_value (x >= y)
+  | Eq, VInt x, VInt y -> bool_value (x = y)
+  | Eq, VFloat x, VFloat y -> bool_value (x = y)
+  | Ne, VInt x, VInt y -> bool_value (x <> y)
+  | Ne, VFloat x, VFloat y -> bool_value (x <> y)
+  | _, _, _ ->
+    type_error "apply_binop %s: operand type mismatch (%a, %a)"
+      (binop_name op) pp_ty (ty_of_value a) pp_ty (ty_of_value b)
+
+(** Truthiness of a predicate value: any nonzero integer is true. *)
+let value_is_true = function
+  | VInt i -> i <> 0
+  | VFloat _ -> type_error "predicate value has type f64"
+
+let zero_of_ty = function I64 -> VInt 0 | F64 -> VFloat 0.0

@@ -1,0 +1,1 @@
+lib/kernels/corpus.ml: Builder Finepar_ir Kernel List Registry String

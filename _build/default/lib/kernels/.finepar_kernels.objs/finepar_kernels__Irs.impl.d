@@ -1,0 +1,1 @@
+lib/kernels/irs.ml: Builder Finepar_ir Kernel List Workload

@@ -1,0 +1,1 @@
+lib/kernels/lammps.ml: Builder Expr Finepar_ir Kernel List Types Workload

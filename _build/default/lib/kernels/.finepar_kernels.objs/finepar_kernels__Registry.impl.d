@@ -1,0 +1,1 @@
+lib/kernels/registry.ml: Eval Finepar_ir Irs Kernel Lammps List Sphot String Umt2k

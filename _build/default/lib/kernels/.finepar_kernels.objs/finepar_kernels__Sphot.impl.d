@@ -1,0 +1,1 @@
+lib/kernels/sphot.ml: Builder Finepar_ir Kernel List Types Workload

@@ -1,0 +1,1 @@
+lib/kernels/umt2k.ml: Builder Finepar_ir Kernel List Types Workload

@@ -1,0 +1,1 @@
+lib/kernels/workload.ml: Array Finepar_ir Int64 Kernel List Types

@@ -1,0 +1,1 @@
+lib/kernels/workload.mli: Finepar_ir

@@ -1,0 +1,170 @@
+(** The full 51-loop characterization corpus of Section IV.
+
+    The paper profiled the five Sequoia tier-1 applications, found 51 hot
+    innermost loops, and excluded 33 of them as unsuitable for
+    fine-grained parallelization:
+
+    - 6 initialization loops without arithmetic;
+    - 25 loops better suited to traditional loop parallelization
+      (16 simple elementwise loops, 8 scalar reductions, and 1 array
+      reduction — the amg loop);
+    - 2 loops (in umt2k) with many conditionals whose variables chain
+      read-after-write.
+
+    The remaining 18 are the evaluation kernels ({!Registry}).  This
+    module provides synthetic stand-ins for the 33 excluded loops so the
+    {!Finepar_characterize} classifier can reproduce the funnel. *)
+
+open Finepar_ir
+open Builder
+
+let n = 128
+
+(* ------------------------------------------------------------------ *)
+(* 6 initialization loops: assignments without arithmetic.             *)
+
+let init_loops =
+  [
+    kernel ~name:"init-zero" ~index:"i" ~lo:0 ~hi:n
+      ~arrays:[ farr "a" n ] ~scalars:[]
+      [ store "a" (v "i") (f 0.0) ];
+    kernel ~name:"init-const" ~index:"i" ~lo:0 ~hi:n
+      ~arrays:[ farr "a" n ] ~scalars:[ fscalar ~init:3.5 "c" ]
+      [ store "a" (v "i") (v "c") ];
+    kernel ~name:"init-copy" ~index:"i" ~lo:0 ~hi:n
+      ~arrays:[ farr "a" n; farr "b" n ] ~scalars:[]
+      [ store "b" (v "i") (ld "a" (v "i")) ];
+    kernel ~name:"init-two" ~index:"i" ~lo:0 ~hi:n
+      ~arrays:[ farr "a" n; farr "b" n ] ~scalars:[ fscalar "z" ]
+      [ store "a" (v "i") (v "z"); store "b" (v "i") (v "z") ];
+    kernel ~name:"init-gathercopy" ~index:"i" ~lo:0 ~hi:n
+      ~arrays:[ farr "a" n; farr "b" n; iarr "idx" n ] ~scalars:[]
+      [ store "b" (v "i") (ld "a" (ld "idx" (v "i"))) ];
+    kernel ~name:"init-flag" ~index:"i" ~lo:0 ~hi:n
+      ~arrays:[ iarr "flags" n ] ~scalars:[ iscalar ~init:1 "one" ]
+      [ store "flags" (v "i") (v "one") ];
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* 16 simple elementwise loops (traditional loop parallelization).     *)
+
+let elementwise_loops =
+  let binmap name e =
+    kernel ~name ~index:"i" ~lo:0 ~hi:n
+      ~arrays:[ farr "a" n; farr "b" n; farr "c" n ]
+      ~scalars:[ fscalar ~init:1.5 "s" ]
+      [ store "c" (v "i") e ]
+  in
+  [
+    binmap "ew-add" (ld "a" (v "i") +: ld "b" (v "i"));
+    binmap "ew-sub" (ld "a" (v "i") -: ld "b" (v "i"));
+    binmap "ew-mul" (ld "a" (v "i") *: ld "b" (v "i"));
+    binmap "ew-scale" (ld "a" (v "i") *: v "s");
+    binmap "ew-axpy" ((v "s" *: ld "a" (v "i")) +: ld "b" (v "i"));
+    binmap "ew-aypx" ((v "s" *: ld "b" (v "i")) +: ld "a" (v "i"));
+    binmap "ew-shift" (ld "a" (v "i") +: v "s");
+    binmap "ew-diff" (ld "a" (v "i" +: i 1) -: ld "a" (v "i"));
+    binmap "ew-avg" ((ld "a" (v "i") +: ld "b" (v "i")) *: f 0.5);
+    binmap "ew-min" (min_ (ld "a" (v "i")) (ld "b" (v "i")));
+    binmap "ew-max" (max_ (ld "a" (v "i")) (ld "b" (v "i")));
+    binmap "ew-neg" (neg (ld "a" (v "i")));
+    binmap "ew-abs" (abs_ (ld "a" (v "i")));
+    binmap "ew-sqr" (ld "a" (v "i") *: ld "a" (v "i"));
+    binmap "ew-recip" (f 1.0 /: (ld "a" (v "i") +: f 1.0));
+    kernel ~name:"ew-scatter-scale" ~index:"i" ~lo:0 ~hi:n
+      ~arrays:[ farr "a" n; farr "c" n; iarr "idx" n ]
+      ~scalars:[ fscalar ~init:2.0 "s" ]
+      [ store "c" (ld "idx" (v "i")) (ld "a" (v "i") *: v "s") ];
+  ]
+
+(* The diff loop reads a[i+1]: widen the source array. *)
+let elementwise_loops =
+  List.map
+    (fun (k : Kernel.t) ->
+      if String.equal k.Kernel.name "ew-diff" then
+        Kernel.validate
+          { k with
+            Kernel.arrays =
+              List.map
+                (fun (d : Kernel.array_decl) ->
+                  if String.equal d.Kernel.a_name "a" then
+                    { d with Kernel.a_len = n + 1 }
+                  else d)
+                k.Kernel.arrays }
+      else k)
+    elementwise_loops
+
+(* ------------------------------------------------------------------ *)
+(* 8 scalar-reduction loops (dot products and friends).                *)
+
+let reduction_loops =
+  let red name e =
+    kernel ~name ~index:"i" ~lo:0 ~hi:n
+      ~arrays:[ farr "a" n; farr "b" n ]
+      ~scalars:[ fscalar "acc" ] ~live_out:[ "acc" ]
+      [ set "acc" (v "acc" +: e) ]
+  in
+  [
+    red "dot-ab" (ld "a" (v "i") *: ld "b" (v "i"));
+    red "dot-aa" (ld "a" (v "i") *: ld "a" (v "i"));
+    red "sum-a" (ld "a" (v "i"));
+    red "sum-diff" (ld "a" (v "i") -: ld "b" (v "i"));
+    red "sum-abs" (abs_ (ld "a" (v "i")));
+    kernel ~name:"max-red" ~index:"i" ~lo:0 ~hi:n
+      ~arrays:[ farr "a" n ] ~scalars:[ fscalar "acc" ] ~live_out:[ "acc" ]
+      [ set "acc" (max_ (v "acc") (ld "a" (v "i"))) ];
+    kernel ~name:"min-red" ~index:"i" ~lo:0 ~hi:n
+      ~arrays:[ farr "a" n ] ~scalars:[ fscalar ~init:1.0e9 "acc" ]
+      ~live_out:[ "acc" ]
+      [ set "acc" (min_ (v "acc") (ld "a" (v "i"))) ];
+    kernel ~name:"count-pos" ~index:"i" ~lo:0 ~hi:n
+      ~arrays:[ farr "a" n ] ~scalars:[ iscalar "acc" ] ~live_out:[ "acc" ]
+      [ set "acc" (v "acc" +: (ld "a" (v "i") >: f 1.0)) ];
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* 1 array reduction (the amg loop: harder to parallelize because the
+   reduced elements are selected by an index array).                   *)
+
+let array_reduction_loops =
+  [
+    kernel ~name:"amg-array-red" ~index:"i" ~lo:0 ~hi:n
+      ~arrays:[ farr "y" n; farr "x" n; iarr "idx" n ] ~scalars:[]
+      [
+        store "y" (ld "idx" (v "i"))
+          (ld "y" (ld "idx" (v "i")) +: ld "x" (v "i"));
+      ];
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* 2 conditional-heavy loops with read-after-write condition chains
+   and tiny blocks between the conditionals (the excluded umt2k pair). *)
+
+let conditional_loops =
+  let cond_chain name =
+    kernel ~name ~index:"i" ~lo:0 ~hi:n
+      ~arrays:[ farr "a" n; farr "out" n ]
+      ~scalars:[ fscalar ~init:0.9 "t"; fscalar ~init:0.2 "st" ]
+      ~live_out:[ "st" ]
+      [
+        set "c1" (v "st" >: v "t");
+        if_ (v "c1") [ set "st" (v "st" *: f 0.5) ] [ set "st" (v "st" +: f 0.1) ];
+        set "c2" (v "st" >: f 0.5);
+        if_ (v "c2") [ set "st" (v "st" -: f 0.01) ] [ set "st" (v "st" +: f 0.02) ];
+        set "c3" (v "st" <: f 1.5);
+        when_ (v "c3") [ set "st" (v "st" *: f 1.01) ];
+        set "c4" (v "st" >: ld "a" (v "i"));
+        when_ (v "c4") [ store "out" (v "i") (v "st") ];
+      ]
+  in
+  [ cond_chain "cond-chain-1"; cond_chain "cond-chain-2" ]
+
+(** The 33 excluded loops. *)
+let excluded =
+  init_loops @ elementwise_loops @ reduction_loops @ array_reduction_loops
+  @ conditional_loops
+
+(** All 51 hot loops: the 18 evaluation kernels plus the 33 excluded. *)
+let all_hot_loops =
+  List.map (fun (e : Registry.entry) -> e.Registry.kernel) Registry.all
+  @ excluded

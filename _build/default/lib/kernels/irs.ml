@@ -1,0 +1,180 @@
+(** Kernels modeled on the irs hot loops of Table I.
+
+    irs is the Implicit Radiation Solver; its hot loops are the 27-point
+    stencil matrix multiply ([rmatmult3.c]), two loops of the conjugate
+    gradient solver ([MatrixSolve.c, MatrixSolveCG]) and the 3-D diffusion
+    coefficient construction ([DiffCoeff.c, DiffCoeff_3D]). *)
+
+open Finepar_ir
+open Builder
+
+let n = 256
+let plane = 18  (* stencil plane stride: neighbors at i +- 1, +- plane, ... *)
+let pad = plane + 5  (* widest stencil offset is plane + 4 *)
+let len = n + (2 * pad)
+
+(* Offset the induction variable so all stencil accesses stay in bounds. *)
+let at off = v "i" +: i (off + pad)
+
+(** irs-1: rmatmult3, the 27-point stencil b[i] = sum of band[k][i] *
+    x[i+off_k] (rmatmult3.c:75, 55.6%).  All 27 products are independent;
+    the sum tree is balanced in the source, so fibers are wide and the
+    partitions almost never need to communicate. *)
+let irs_1 =
+  let bands =
+    [
+      ("dbl", -plane - 1); ("dbc", -plane); ("dbr", -plane + 1);
+      ("dcl", -1); ("dcc", 0); ("dcr", 1);
+      ("dfl", plane - 1); ("dfc", plane); ("dfr", plane + 1);
+      ("cbl", -plane - 2); ("cbc", -plane + 2); ("cbr", -plane + 3);
+      ("ccl", -2); ("ccc", 2); ("ccr", 3);
+      ("cfl", plane + 2); ("cfc", plane + 3); ("cfr", plane - 2);
+      ("ubl", -plane + 4); ("ubc", -plane - 3); ("ubr", -plane - 4);
+      ("ucl", 4); ("ucc", -3); ("ucr", -4);
+      ("ufl", plane + 4); ("ufc", plane - 3); ("ufr", plane - 4);
+    ]
+  in
+  let products =
+    List.map (fun (b, off) -> set ("t_" ^ b) (ld b (at 0) *: ld "x" (at off)))
+      bands
+  in
+  let sum3 name (a, b, c) = set name (v a +: v b +: v c) in
+  let partials =
+    [
+      sum3 "s1" ("t_dbl", "t_dbc", "t_dbr");
+      sum3 "s2" ("t_dcl", "t_dcc", "t_dcr");
+      sum3 "s3" ("t_dfl", "t_dfc", "t_dfr");
+      sum3 "s4" ("t_cbl", "t_cbc", "t_cbr");
+      sum3 "s5" ("t_ccl", "t_ccc", "t_ccr");
+      sum3 "s6" ("t_cfl", "t_cfc", "t_cfr");
+      sum3 "s7" ("t_ubl", "t_ubc", "t_ubr");
+      sum3 "s8" ("t_ucl", "t_ucc", "t_ucr");
+      sum3 "s9" ("t_ufl", "t_ufc", "t_ufr");
+    ]
+  in
+  kernel ~name:"irs-1" ~index:"i" ~lo:0 ~hi:n
+    ~arrays:(farr "x" len :: farr "b_out" len
+             :: List.map (fun (b, _) -> farr b len) bands)
+    ~scalars:[]
+    (products @ partials
+    @ [
+        sum3 "u1" ("s1", "s2", "s3");
+        sum3 "u2" ("s4", "s5", "s6");
+        sum3 "u3" ("s7", "s8", "s9");
+        store "b_out" (at 0) (v "u1" +: v "u2" +: v "u3");
+      ])
+
+(** irs-2: the CG inner-product step (MatrixSolve.c:287, 5.1%).  Two
+    scalar reductions dominate; the multiplies feed serial accumulator
+    chains, so fine-grained threads have little to do. *)
+let irs_2 =
+  kernel ~name:"irs-2" ~index:"i" ~lo:0 ~hi:n
+    ~arrays:[ farr "rv" n; farr "zv" n; farr "pv" n; farr "qv" n ]
+    ~scalars:[ fscalar "rdotz"; fscalar "pdotq" ]
+    ~live_out:[ "rdotz"; "pdotq" ]
+    [
+      set "a1" (ld "rv" (v "i") *: ld "zv" (v "i"));
+      set "a2" (ld "pv" (v "i") *: ld "qv" (v "i"));
+      set "rdotz" (v "rdotz" +: v "a1");
+      set "pdotq" (v "pdotq" +: v "a2");
+    ]
+
+(** irs-3: the CG update step (MatrixSolve.c:250, 2.5%).  Independent
+    elementwise updates of two vectors — parallelizes cleanly. *)
+let irs_3 =
+  kernel ~name:"irs-3" ~index:"i" ~lo:0 ~hi:n
+    ~arrays:
+      [ farr "xv" n; farr "rv" n; farr "pv" n; farr "qv" n; farr "zv" n;
+        farr "mv" n; farr "sv" n ]
+    ~scalars:[ fscalar ~init:0.37 "alpha" ]
+    [
+      set "px" (ld "pv" (v "i"));
+      set "qx" (ld "qv" (v "i"));
+      set "precond" (ld "zv" (v "i") /: (ld "mv" (v "i") +: f 1.0e-9));
+      store "xv" (v "i") (ld "xv" (v "i") +: (v "alpha" *: v "px"));
+      store "rv" (v "i") (ld "rv" (v "i") -: (v "alpha" *: v "qx"));
+      store "sv" (v "i") (v "precond" +: (v "px" *: f 0.3));
+    ]
+
+(** irs-4: 3-D diffusion coefficient, first hot loop (DiffCoeff.c:191,
+    0.6%).  Harmonic means of face coefficients: division-heavy chains
+    that cross-couple, with a guard against zero denominators written as
+    an assign-only conditional (a control-flow speculation target). *)
+let irs_4 =
+  kernel ~name:"irs-4" ~index:"i" ~lo:0 ~hi:n
+    ~arrays:
+      [
+        farr "sig" len; farr "dlf" len; farr "dcf" len; farr "drf" len;
+        farr "coef" len; farr "cc_out" len;
+      ]
+    ~scalars:[ fscalar ~init:1.0e-6 "eps"; fscalar ~init:0.5 "half" ]
+    [
+      set "sl" (ld "sig" (at (-1)) *: ld "dlf" (at 0));
+      set "sc" (ld "sig" (at 0) *: ld "dcf" (at 0));
+      set "sr" (ld "sig" (at 1) *: ld "drf" (at 0));
+      set "den_l" (v "sl" +: v "sc");
+      set "den_r" (v "sc" +: v "sr");
+      set "ok_l" (v "den_l" >: v "eps");
+      set "ok_r" (v "den_r" >: v "eps");
+      (* Harmonic means computed unconditionally (they are pure); the
+         conditionals only commit or zero them — assign-only arms that
+         control-flow speculation turns into selects. *)
+      set "hl_v" ((v "sl" *: v "sc") /: v "den_l");
+      set "hr_v" ((v "sc" *: v "sr") /: v "den_r");
+      set "wl_v" (sqrt_ (v "sl" *: v "sc" +: f 1.0e-12));
+      set "wr_v" (sqrt_ (v "sc" *: v "sr" +: f 1.0e-12));
+      if_ (v "ok_l") [ set "hl" (v "hl_v" +: v "wl_v") ] [ set "hl" (f 0.0) ];
+      if_ (v "ok_r") [ set "hr" (v "hr_v" +: v "wr_v") ] [ set "hr" (f 0.0) ];
+      set "gl" (v "hl" *: v "half");
+      set "gr" (v "hr" *: v "half");
+      set "cc" ((v "gl" +: v "gr") *: ld "coef" (at 0));
+      store "cc_out" (at 0) (v "cc");
+    ]
+
+(** irs-5: 3-D diffusion coefficient, second hot loop (DiffCoeff.c:317,
+    1.5%).  The largest irs body: geometric couplings along the three
+    axes, each a division/sqrt chain, combined into face coefficients.
+    Wide despite many dependences. *)
+let irs_5 =
+  let axis ax off =
+    [
+      set (ax ^ "_a") (ld "sig" (at 0) *: ld ("d" ^ ax) (at 0));
+      set (ax ^ "_b") (ld "sig" (at off) *: ld ("d" ^ ax) (at off));
+      set (ax ^ "_sum") (v (ax ^ "_a") +: v (ax ^ "_b") +: f 1.0e-9);
+      set (ax ^ "_prod") (v (ax ^ "_a") *: v (ax ^ "_b"));
+      set (ax ^ "_h") (v (ax ^ "_prod") /: v (ax ^ "_sum"));
+      set (ax ^ "_g") (sqrt_ (v (ax ^ "_prod") +: f 1.0e-12));
+      set (ax ^ "_m") ((v (ax ^ "_h") +: v (ax ^ "_g")) *: f 0.5);
+      set (ax ^ "_w") (v (ax ^ "_m") /: (v (ax ^ "_g") +: f 1.0));
+    ]
+  in
+  kernel ~name:"irs-5" ~index:"i" ~lo:0 ~hi:n
+    ~arrays:
+      [
+        farr "sig" len; farr "dx" len; farr "dy" len; farr "dz" len;
+        farr "vol" len; farr "cx_out" len; farr "cy_out" len;
+        farr "cz_out" len; farr "dg_out" len;
+      ]
+    ~scalars:[ fscalar ~init:0.25 "quart" ]
+    (axis "x" 1 @ axis "y" plane @ axis "z" (plane + 1)
+    @ [
+        set "vinv" (f 1.0 /: ld "vol" (at 0));
+        (* Coefficient floor along the x axis: pure value selection. *)
+        if_ (v "x_w" >: f 1.0e-6)
+          [ set "x_wf" (v "x_w") ]
+          [ set "x_wf" (v "x_g" *: f 0.5) ];
+        set "cx" (v "x_wf" *: v "vinv");
+        set "cy" (v "y_w" *: v "vinv");
+        set "cz" (v "z_w" *: v "vinv");
+        set "diag"
+          ((v "cx" +: v "cy" +: v "cz") *: v "quart"
+          +: (v "x_m" +: v "y_m" +: v "z_m"));
+        store "cx_out" (at 0) (v "cx");
+        store "cy_out" (at 0) (v "cy");
+        store "cz_out" (at 0) (v "cz");
+        store "dg_out" (at 0) (v "diag");
+      ])
+
+let workload ?(seed = 11) (k : Kernel.t) = Workload.default ~seed k
+
+let all = [ irs_1; irs_2; irs_3; irs_4; irs_5 ]

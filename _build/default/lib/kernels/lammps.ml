@@ -1,0 +1,234 @@
+(** Kernels modeled on the lammps hot loops of Table I.
+
+    lammps is the LAMMPS molecular-dynamics code; the hot loops live in
+    the EAM pair potential ([pair_eam.cpp, PairEAM::compute]) and in
+    neighbor-list construction ([neigh_half_bin.cpp]).  The real code is
+    not redistributable, so each kernel mirrors the published structure of
+    its loop: the EAM loops gather neighbor coordinates, evaluate cubic
+    splines from coefficient tables, and scatter-accumulate densities and
+    forces; the neighbor loops compute squared distances and fill lists
+    under cutoff conditionals. *)
+
+open Finepar_ir
+open Builder
+
+let n = 256  (* iterations = neighbor pairs / atoms per call *)
+let tab = 64 (* spline table size *)
+
+(* Cubic spline evaluation from four coefficient arrays:
+   ((c3*p + c2)*p + c1)*p + c0, the kernel of EAM interpolation. *)
+let spline prefix m p =
+  ((ld (prefix ^ "3") m *: p +: ld (prefix ^ "2") m) *: p
+  +: ld (prefix ^ "1") m)
+    *: p
+  +: ld (prefix ^ "0") m
+
+let spline_arrays prefix =
+  [ farr (prefix ^ "0") tab; farr (prefix ^ "1") tab;
+    farr (prefix ^ "2") tab; farr (prefix ^ "3") tab ]
+
+(* Distance computation from gathered neighbor coordinates. *)
+let pair_distance =
+  [
+    set "j" (ld "jlist" (v "i"));
+    set "dx" (ld "xi" (v "i") -: ld "x" (v "j"));
+    set "dy" (ld "yi" (v "i") -: ld "y" (v "j"));
+    set "dz" (ld "zi" (v "i") -: ld "z" (v "j"));
+    set "r2" ((v "dx" *: v "dx") +: (v "dy" *: v "dy") +: (v "dz" *: v "dz"));
+  ]
+
+let coord_arrays =
+  [
+    iarr "jlist" n; farr "xi" n; farr "yi" n; farr "zi" n;
+    farr "x" n; farr "y" n; farr "z" n;
+  ]
+
+(* Table index from distance: p = r2 * rdr, m = clamp(int(p)). *)
+let table_index ~m ~p ~frac r2 =
+  [
+    set p (r2 *: v "rdr");
+    set m (max_ (min_ (to_i (v p)) (i (tab - 1))) (i 0));
+    set frac (v p -: to_f (v m));
+  ]
+
+let workload ?(seed = 7) (k : Kernel.t) =
+  let r = Workload.rng seed in
+  List.map
+    (fun (d : Kernel.array_decl) ->
+      match (d.Kernel.a_name, d.Kernel.a_ty) with
+      | "jlist", _ | "cand", _ ->
+        (d.Kernel.a_name, Workload.iarray_indices r d.Kernel.a_len ~bound:n)
+      | _, Types.I64 ->
+        (d.Kernel.a_name, Workload.iarray_indices r d.Kernel.a_len ~bound:n)
+      | _, Types.F64 -> (d.Kernel.a_name, Workload.farray r d.Kernel.a_len))
+    k.Kernel.arrays
+
+(** lammps-1: EAM electron-density accumulation (pair_eam.cpp:182, 30.0%).
+    Per neighbor pair: distance, two spline evaluations (density of j at i
+    and of i at j), accumulate rho[i] (affine) and scatter rho[j]. *)
+let lammps_1 =
+  kernel ~name:"lammps-1" ~index:"i" ~lo:0 ~hi:n
+    ~arrays:
+      (coord_arrays
+      @ spline_arrays "rhor"
+      @ spline_arrays "rhoj"
+      @ [ farr "rho_i" n; farr "rho_j" n ])
+    ~scalars:[ fscalar ~init:10.0 "rdr" ]
+    (pair_distance
+    @ table_index ~m:"m" ~p:"p" ~frac:"fr" (v "r2")
+    @ [
+        set "dens_ij" (spline "rhor" (v "m") (v "fr"));
+        set "dens_ji" (spline "rhoj" (v "m") (v "fr"));
+        (* Cutoff smoothing: select between the spline value and a tail
+           approximation (pure value selection). *)
+        if_ (v "r2" <: f 6.0)
+          [ set "dij" (v "dens_ij") ]
+          [ set "dij" (v "dens_ij" *: (f 12.0 -: v "r2") *: f 0.1) ];
+        store "rho_i" (v "i") (ld "rho_i" (v "i") +: v "dij");
+        store "rho_j" (v "j") (ld "rho_j" (v "j") +: v "dens_ji");
+      ])
+
+(** lammps-2: embedding energy and its derivative (pair_eam.cpp:214, 0.3%).
+    Per atom: two independent spline evaluations over the local density,
+    plus an energy reduction — chains are almost fully independent. *)
+let lammps_2 =
+  kernel ~name:"lammps-2" ~index:"i" ~lo:0 ~hi:n
+    ~arrays:
+      (spline_arrays "frho" @ spline_arrays "fprh" @ spline_arrays "scal"
+      @ [ farr "rho" n; farr "fp" n; farr "emb" n; farr "esc" n ])
+    ~scalars:[ fscalar ~init:8.0 "rdrho"; fscalar "esum" ]
+    ~live_out:[ "esum" ]
+    ([
+       set "p" (ld "rho" (v "i") *: v "rdrho");
+       set "m" (max_ (min_ (to_i (v "p")) (i (tab - 1))) (i 0));
+       set "fr" (v "p" -: to_f (v "m"));
+       set "fpv" (spline "fprh" (v "m") (v "fr"));
+       set "phi" (spline "frho" (v "m") (v "fr"));
+       set "scl" (spline "scal" (v "m") (v "fr"));
+       set "scaled" (v "phi" *: ld "rho" (v "i"));
+       store "fp" (v "i") (v "fpv");
+       store "emb" (v "i") (v "phi");
+       store "esc" (v "i") (v "scl" *: v "scl");
+       set "esum" (v "esum" +: v "scaled");
+     ])
+
+(** lammps-3: EAM force computation (pair_eam.cpp:247, 49.5%).  The
+    heaviest loop: distance, three spline evaluations (pair potential and
+    the two density derivatives), force assembly, scatter updates of the
+    three force components of atom j, accumulation for atom i, and two
+    virial reductions. *)
+let lammps_3 =
+  kernel ~name:"lammps-3" ~index:"i" ~lo:0 ~hi:n
+    ~arrays:
+      (coord_arrays
+      @ spline_arrays "z2r" @ spline_arrays "rhop" @ spline_arrays "phip"
+      @ [
+          farr "fpi" n; farr "fpj" n;
+          farr "fxi" n; farr "fyi" n; farr "fzi" n;
+          farr "fxj" n; farr "fyj" n; farr "fzj" n;
+        ])
+    ~scalars:[ fscalar ~init:10.0 "rdr"; fscalar "virial"; fscalar "epair" ]
+    ~live_out:[ "virial"; "epair" ]
+    (pair_distance
+    @ [ set "r" (sqrt_ (v "r2")) ]
+    @ table_index ~m:"m" ~p:"p" ~frac:"fr" (v "r")
+    @ [
+        set "z2" (spline "z2r" (v "m") (v "fr"));
+        set "rhoip" (spline "rhop" (v "m") (v "fr"));
+        set "phipv" (spline "phip" (v "m") (v "fr"));
+        set "recip" (f 1.0 /: v "r");
+        set "phi" (v "z2" *: v "recip");
+        set "psip"
+          ((ld "fpi" (v "i") *: v "rhoip")
+          +: (ld "fpj" (v "j") *: v "rhoip")
+          +: v "phipv");
+        set "fraw" (neg (v "psip") *: v "recip");
+        (* Force capping near the core radius: pure value selection. *)
+        if_ (v "r2" >: f 0.04)
+          [ set "fpair" (v "fraw") ]
+          [ set "fpair" (v "fraw" *: v "r2" *: f 25.0) ];
+        set "fx" (v "dx" *: v "fpair");
+        set "fy" (v "dy" *: v "fpair");
+        set "fz" (v "dz" *: v "fpair");
+        store "fxi" (v "i") (ld "fxi" (v "i") +: v "fx");
+        store "fyi" (v "i") (ld "fyi" (v "i") +: v "fy");
+        store "fzi" (v "i") (ld "fzi" (v "i") +: v "fz");
+        store "fxj" (v "j") (ld "fxj" (v "j") -: v "fx");
+        store "fyj" (v "j") (ld "fyj" (v "j") -: v "fy");
+        store "fzj" (v "j") (ld "fzj" (v "j") -: v "fz");
+        set "virial"
+          (v "virial"
+          +: ((v "dx" *: v "fx") +: (v "dy" *: v "fy") +: (v "dz" *: v "fz")));
+        set "epair" (v "epair" +: v "phi");
+      ])
+
+(** lammps-4: half-bin neighbor construction (neigh_half_bin.cpp:172,
+    3.6%).  Distance test against two cutoffs with conditional stores of
+    the accepted pair's data; the exclusion bitmask adds integer work. *)
+let lammps_4 =
+  kernel ~name:"lammps-4" ~index:"i" ~lo:0 ~hi:n
+    ~arrays:
+      (coord_arrays
+      @ [
+          iarr "mask" n; iarr "molecule" n;
+          farr "cutsq_t" n; farr "dist" n; farr "which" n; farr "inner" n;
+        ])
+    ~scalars:
+      [
+        fscalar ~init:3.2 "cutsq"; fscalar ~init:1.1 "innersq";
+        iscalar ~init:5 "excl_bits";
+      ]
+    (pair_distance
+    @ [
+        set "type_cut" (ld "cutsq_t" (v "j"));
+        set "excl"
+          (Expr.Binop (Types.And, ld "mask" (v "j"), v "excl_bits"));
+        set "same_mol" (ld "molecule" (v "j") ==: ld "molecule" (v "i"));
+        set "keep"
+          ((v "r2" <: v "cutsq")
+          &&: (v "r2" <: v "type_cut")
+          &&: not_ (v "same_mol" &&: (v "excl" >: i 0)));
+        when_ (v "keep")
+          [
+            set "w" (v "r2" *: ld "cutsq_t" (v "i") +: f 0.5);
+            store "dist" (v "i") (v "r2");
+            store "which" (v "i") (v "w");
+            when_ (v "r2" <: v "innersq")
+              [ store "inner" (v "i") (v "w" *: f 0.25) ];
+          ];
+      ])
+
+(** lammps-5: the second half-bin loop (neigh_half_bin.cpp:199, 3.6%).
+    Mostly independent per-pair computations stored to separate arrays —
+    the most parallel of the lammps loops. *)
+let lammps_5 =
+  kernel ~name:"lammps-5" ~index:"i" ~lo:0 ~hi:n
+    ~arrays:
+      (coord_arrays
+      @ [
+          farr "d_out" n; farr "rinv_out" n; farr "ex" n; farr "ey" n;
+          farr "ez" n; farr "wt" n;
+        ])
+    ~scalars:[ fscalar ~init:0.05 "skin" ]
+    (pair_distance
+    @ [
+        set "r" (sqrt_ (v "r2" +: v "skin"));
+        set "w" (f 1.0 /: (v "r2" +: f 1.0));
+        (* Independent per-component polynomial weights (a truncated
+           series instead of a shared 1/r chain keeps the components
+           independent — which is what makes this loop so parallel). *)
+        set "px2" (v "dx" *: v "dx");
+        set "py2" (v "dy" *: v "dy");
+        set "pz2" (v "dz" *: v "dz");
+        set "exv" (v "dx" *: (f 1.0 -: (v "px2" *: f 0.5) +: (v "px2" *: v "px2" *: f 0.375)));
+        set "eyv" (v "dy" *: (f 1.0 -: (v "py2" *: f 0.5) +: (v "py2" *: v "py2" *: f 0.375)));
+        set "ezv" (v "dz" *: (f 1.0 -: (v "pz2" *: f 0.5) +: (v "pz2" *: v "pz2" *: f 0.375)));
+        store "d_out" (v "i") (v "r");
+        store "rinv_out" (v "i") (v "w" *: v "r");
+        store "ex" (v "i") (v "exv");
+        store "ey" (v "i") (v "eyv");
+        store "ez" (v "i") (v "ezv");
+        store "wt" (v "i") (v "w");
+      ])
+
+let all = [ lammps_1; lammps_2; lammps_3; lammps_4; lammps_5 ]

@@ -1,0 +1,111 @@
+(** The 18 evaluation kernels (Table I), with the paper's published
+    per-kernel numbers for side-by-side reporting in the benchmark
+    harness and EXPERIMENTS.md. *)
+
+open Finepar_ir
+
+(** Paper values from Table III (4-core configuration). *)
+type paper_row = {
+  p_fibers : int;
+  p_deps : int;
+  p_balance : float;
+  p_com_ops : int;
+  p_queues : int;
+  p_speedup4 : float;
+}
+
+type entry = {
+  kernel : Kernel.t;
+  app : string;
+  location : string;  (** file, function, line from Table I *)
+  pct_time : float;  (** % of application time, Table I *)
+  paper : paper_row;
+  workload : Eval.workload;
+}
+
+let entry ~app ~location ~pct ~paper ~workload kernel =
+  { kernel; app; location; pct_time = pct; paper; workload = workload kernel }
+
+let row f d b c q s =
+  {
+    p_fibers = f;
+    p_deps = d;
+    p_balance = b;
+    p_com_ops = c;
+    p_queues = q;
+    p_speedup4 = s;
+  }
+
+let all : entry list =
+  [
+    entry ~app:"lammps" ~location:"pair_eam.cpp, PairEAM::compute, 182"
+      ~pct:30.0 ~paper:(row 63 37 1.49 9 3 1.94) ~workload:Lammps.workload
+      Lammps.lammps_1;
+    entry ~app:"lammps" ~location:"pair_eam.cpp, PairEAM::compute, 214"
+      ~pct:0.3 ~paper:(row 60 6 1.89 6 3 2.07) ~workload:Lammps.workload
+      Lammps.lammps_2;
+    entry ~app:"lammps" ~location:"pair_eam.cpp, PairEAM::compute, 247"
+      ~pct:49.5 ~paper:(row 123 96 1.49 23 6 1.67) ~workload:Lammps.workload
+      Lammps.lammps_3;
+    entry ~app:"lammps"
+      ~location:"neigh_half_bin.cpp, Neighbor::half_bin_newton, 172" ~pct:3.6
+      ~paper:(row 105 67 1.68 34 6 1.56) ~workload:Lammps.workload
+      Lammps.lammps_4;
+    entry ~app:"lammps"
+      ~location:"neigh_half_bin.cpp, Neighbor::half_bin_newton, 199" ~pct:3.6
+      ~paper:(row 87 14 1.45 18 6 2.80) ~workload:Lammps.workload
+      Lammps.lammps_5;
+    entry ~app:"irs" ~location:"rmatmult3.c, rmatmult3, 75" ~pct:55.6
+      ~paper:(row 208 54 1.69 3 3 2.29) ~workload:Irs.workload Irs.irs_1;
+    entry ~app:"irs" ~location:"MatrixSolve.c, MatrixSolveCG, 287" ~pct:5.1
+      ~paper:(row 47 6 2.54 8 6 1.33) ~workload:Irs.workload Irs.irs_2;
+    entry ~app:"irs" ~location:"MatrixSolve.c, MatrixSolveCG, 250" ~pct:2.5
+      ~paper:(row 30 3 1.88 2 2 2.06) ~workload:Irs.workload Irs.irs_3;
+    entry ~app:"irs" ~location:"DiffCoeff.c, DiffCoeff_3D, 191" ~pct:0.6
+      ~paper:(row 110 108 1.65 16 3 2.98) ~workload:Irs.workload Irs.irs_4;
+    entry ~app:"irs" ~location:"DiffCoeff.c, DiffCoeff_3D, 317" ~pct:1.5
+      ~paper:(row 390 698 1.84 60 3 2.99) ~workload:Irs.workload Irs.irs_5;
+    entry ~app:"umt2k" ~location:"snswp3d.f90, snswp3d, 96" ~pct:5.5
+      ~paper:(row 11 6 1.91 2 2 2.62) ~workload:Umt2k.workload Umt2k.umt2k_1;
+    entry ~app:"umt2k" ~location:"snswp3d.f90, snswp3d, 117" ~pct:8.0
+      ~paper:(row 33 2 87.50 3 2 1.01) ~workload:Umt2k.workload Umt2k.umt2k_2;
+    entry ~app:"umt2k" ~location:"snswp3d.f90, snswp3d, 145" ~pct:5.2
+      ~paper:(row 31 4 55.00 5 3 1.25) ~workload:Umt2k.workload Umt2k.umt2k_3;
+    entry ~app:"umt2k" ~location:"snswp3d.f90, snswp3d, 158" ~pct:22.6
+      ~paper:(row 35 62 1.67 10 7 2.79) ~workload:Umt2k.workload Umt2k.umt2k_4;
+    entry ~app:"umt2k" ~location:"snswp3d.f90, snswp3d, 178" ~pct:1.0
+      ~paper:(row 9 28 1.30 6 6 2.03) ~workload:Umt2k.workload Umt2k.umt2k_5;
+    entry ~app:"umt2k" ~location:"snswp3d.f90, snswp3d, 208" ~pct:5.7
+      ~paper:(row 38 1 1.57 6 6 0.90) ~workload:Umt2k.workload Umt2k.umt2k_6;
+    entry ~app:"sphot" ~location:"execute.f, execute, 88" ~pct:0.6
+      ~paper:(row 5 2 2.36 2 2 2.26) ~workload:Sphot.workload Sphot.sphot_1;
+    entry ~app:"sphot" ~location:"execute.f, execute, 300" ~pct:37.5
+      ~paper:(row 478 329 1.71 36 8 2.60) ~workload:Sphot.workload
+      Sphot.sphot_2;
+  ]
+
+let find name =
+  List.find_opt (fun e -> String.equal e.kernel.Kernel.name name) all
+
+let names = List.map (fun e -> e.kernel.Kernel.name) all
+
+let apps = [ "lammps"; "irs"; "umt2k"; "sphot" ]
+
+let by_app app = List.filter (fun e -> String.equal e.app app) all
+
+(** Paper-reported whole-application expected speedups (Table II). *)
+let paper_table2 =
+  [
+    ("lammps", 1.05, 1.70);
+    ("irs", 1.24, 1.79);
+    ("umt2k", 1.16, 1.51);
+    ("sphot", 1.25, 1.92);
+    ("average", 1.18, 1.73);
+  ]
+
+(** Paper-reported averages: (cores, mean speedup) from Fig. 12, plus the
+    latency sweep means from Fig. 13 and the speculation mean from
+    Fig. 14. *)
+let paper_fig12_avg = [ (2, 1.32); (4, 2.05) ]
+let paper_fig13_avg = [ (5, 2.05); (20, 1.85); (50, 1.36); (100, 1.0) ]
+let paper_fig14 = (2.05, 2.33)

@@ -1,0 +1,37 @@
+(** The 18 evaluation kernels (Table I), with the paper's published
+    per-kernel numbers for side-by-side reporting in the benchmark
+    harness and EXPERIMENTS.md. *)
+
+type paper_row = {
+  p_fibers : int;
+  p_deps : int;
+  p_balance : float;
+  p_com_ops : int;
+  p_queues : int;
+  p_speedup4 : float;
+}
+type entry = {
+  kernel : Finepar_ir.Kernel.t;
+  app : string;
+  location : string;
+  pct_time : float;
+  paper : paper_row;
+  workload : Finepar_ir.Eval.workload;
+}
+val entry :
+  app:string ->
+  location:string ->
+  pct:float ->
+  paper:paper_row ->
+  workload:(Finepar_ir.Kernel.t -> Finepar_ir.Eval.workload) ->
+  Finepar_ir.Kernel.t -> entry
+val row : int -> int -> float -> int -> int -> float -> paper_row
+val all : entry list
+val find : String.t -> entry option
+val names : string list
+val apps : string list
+val by_app : String.t -> entry list
+val paper_table2 : (string * float * float) list
+val paper_fig12_avg : (int * float) list
+val paper_fig13_avg : (int * float) list
+val paper_fig14 : float * float

@@ -1,0 +1,101 @@
+(** Kernels modeled on the sphot hot loops of Table I.
+
+    sphot is a Monte Carlo photon-transport benchmark ([execute.f]).
+    sphot-1 is the tiny source-sampling loop; sphot-2 is the large
+    tracking step: distance sampling with log/exp, cross-section gathers,
+    scatter/absorb branching (assign-only branches — prime control-flow
+    speculation targets), and tally reductions. *)
+
+open Finepar_ir
+open Builder
+
+let n = 256
+let groups = 32
+
+let workload ?(seed = 17) (k : Kernel.t) =
+  let r = Workload.rng seed in
+  List.map
+    (fun (d : Kernel.array_decl) ->
+      match (d.Kernel.a_name, d.Kernel.a_ty) with
+      | "grp", _ -> (d.Kernel.a_name, Workload.iarray_small r d.Kernel.a_len ~bound:groups)
+      | _, Types.I64 ->
+        (d.Kernel.a_name, Workload.iarray_indices r d.Kernel.a_len ~bound:n)
+      | _, Types.F64 -> (d.Kernel.a_name, Workload.farray r d.Kernel.a_len))
+    k.Kernel.arrays
+
+(** sphot-1: source-particle initialization (execute.f:88, 0.6%).  A tiny
+    body with two independent chains — little to distribute, yet the paper
+    still reports 2.26 on 4 cores. *)
+let sphot_1 =
+  kernel ~name:"sphot-1" ~index:"i" ~lo:0 ~hi:n
+    ~arrays:[ farr "rn1" n; farr "rn2" n; farr "ex_out" n; farr "ey_out" n ]
+    ~scalars:[ fscalar ~init:6.2831853 "twopi" ]
+    [
+      set "mu0" ((ld "rn1" (v "i") *: f 2.0) -: f 1.0);
+      set "sq" (sqrt_ (abs_ (f 1.0 -: (v "mu0" *: v "mu0")) +: f 1.0e-12));
+      set "phi0" (ld "rn2" (v "i") *: v "twopi");
+      (* Hemisphere selection for the emitted direction: pure value
+         selection on the polar sign. *)
+      if_ (v "mu0" >: f 0.0)
+        [ set "dirw" (v "sq") ]
+        [ set "dirw" (f 0.0 -: v "sq") ];
+      store "ex_out" (v "i") (v "dirw" *: v "phi0");
+      store "ey_out" (v "i") ((v "mu0" *: (v "phi0" +: f 0.5)) +: (v "dirw" *: f 0.01));
+    ]
+
+(** sphot-2: the particle tracking step (execute.f:300, 37.5%).  The
+    biggest kernel: sample a flight distance (log), gather group cross
+    sections, advance the position, branch on collision type with
+    assign-only arms, and accumulate three tallies. *)
+let sphot_2 =
+  kernel ~name:"sphot-2" ~index:"i" ~lo:0 ~hi:n
+    ~arrays:
+      [
+        iarr "grp" n;
+        farr "sig_t" groups; farr "sig_s" groups; farr "sig_a" groups;
+        farr "rn1" n; farr "rn2" n; farr "rn3" n;
+        farr "px" n; farr "pw" n;
+        farr "px_out" n; farr "pw_out" n; farr "esc_out" n;
+      ]
+    ~scalars:
+      [
+        fscalar "tal_scat"; fscalar "tal_abs"; fscalar "tal_esc";
+        fscalar ~init:10.0 "slab"; fscalar ~init:0.3 "wcut";
+      ]
+    ~live_out:[ "tal_scat"; "tal_abs"; "tal_esc" ]
+    [
+      set "g" (ld "grp" (v "i"));
+      set "st" (ld "sig_t" (v "g") +: f 0.05);
+      set "ss" (ld "sig_s" (v "g"));
+      set "sa" (ld "sig_a" (v "g"));
+      set "mfp" (f 1.0 /: v "st");
+      set "dist" (neg (log_ (ld "rn1" (v "i") +: f 1.0e-9)) *: v "mfp");
+      set "xnew" (ld "px" (v "i") +: v "dist");
+      set "escaped" (v "xnew" >: v "slab");
+      set "pscat" (v "ss" /: (v "ss" +: v "sa"));
+      set "scatters" (ld "rn2" (v "i") <: v "pscat");
+      (* The heavy collision arithmetic is pure, so it is hoisted out of
+         the branch; the arms only commit one of the two outcomes
+         (assign-only — control-flow speculation turns them into
+         selects). *)
+      set "w_scat" (ld "pw" (v "i") *: (f 1.0 -: (v "sa" *: v "mfp")));
+      set "x_scat" (v "xnew" *: ld "rn3" (v "i"));
+      set "w_abs" (ld "pw" (v "i") *: exp_ (neg (v "sa" *: v "dist")));
+      if_ (v "scatters")
+        [ set "wnew" (v "w_scat"); set "xres" (v "x_scat") ]
+        [ set "wnew" (v "w_abs"); set "xres" (v "xnew") ];
+      set "survives" (v "wnew" >: v "wcut");
+      if_ (v "escaped")
+        [ set "tal_esc" (v "tal_esc" +: ld "pw" (v "i")) ]
+        [
+          when_ (v "scatters") [ set "tal_scat" (v "tal_scat" +: v "wnew") ];
+          when_ (not_ (v "scatters"))
+            [ set "tal_abs" (v "tal_abs" +: (ld "pw" (v "i") -: v "wnew")) ];
+        ];
+      set "wfinal" (select (v "survives") (v "wnew") (f 0.0));
+      store "px_out" (v "i") (v "xres");
+      store "pw_out" (v "i") (v "wfinal");
+      store "esc_out" (v "i") (select (v "escaped") (f 1.0) (f 0.0));
+    ]
+
+let all = [ sphot_1; sphot_2 ]

@@ -1,0 +1,201 @@
+(** Kernels modeled on the umt2k hot loops of Table I.
+
+    umt2k is an unstructured-mesh photon transport (Sn) sweep; all six hot
+    loops come from [snswp3d.f90, snswp3d].  The family spans the paper's
+    interesting extremes: dense angular-flux updates (umt2k-1, -4, -5),
+    reduction-only conditional bodies with terrible load balance
+    (umt2k-2, -3), and the conditional-chained loop that slows down under
+    fine-grained parallelization (umt2k-6). *)
+
+open Finepar_ir
+open Builder
+
+let n = 256
+
+let gather_zone =
+  [
+    set "z" (ld "zone" (v "i"));
+    set "afp" (ld "a_fp" (v "z"));
+    set "aez" (ld "a_ez" (v "z"));
+  ]
+
+let base_arrays =
+  [ iarr "zone" n; farr "a_fp" n; farr "a_ez" n; farr "psi" n ]
+
+let workload ?(seed = 13) (k : Kernel.t) =
+  let r = Workload.rng seed in
+  List.map
+    (fun (d : Kernel.array_decl) ->
+      match d.Kernel.a_ty with
+      | Types.I64 -> (d.Kernel.a_name, Workload.iarray_indices r d.Kernel.a_len ~bound:n)
+      | Types.F64 -> (d.Kernel.a_name, Workload.farray r d.Kernel.a_len))
+    k.Kernel.arrays
+
+(** umt2k-1: corner flux update (snswp3d:96, 5.5%).  A small dense body:
+    gather zone data, form the upstream/downstream combination, store. *)
+let umt2k_1 =
+  kernel ~name:"umt2k-1" ~index:"i" ~lo:0 ~hi:n
+    ~arrays:
+      (base_arrays
+      @ [ farr "sigt" n; farr "q" n; farr "psi_out" n; farr "q2_out" n; farr "w_out" n ])
+    ~scalars:[ fscalar ~init:0.7 "mu" ]
+    (gather_zone
+    @ [
+        set "den" (ld "sigt" (v "z") +: (v "mu" *: v "afp") +: f 1.0e-9);
+        set "src" (ld "q" (v "z") +: (v "aez" *: ld "psi" (v "i")));
+        set "xtr" ((v "afp" -: v "aez") *: ld "q" (v "z"));
+        set "xtr2" (v "xtr" *: v "xtr" +: (v "mu" *: v "xtr"));
+        set "wgt" (sqrt_ ((v "aez" *: v "aez") +: (v "mu" *: v "mu")));
+        set "psi_v" (v "src" /: v "den");
+        (* Negative-flux fixup: pure value selection, the Fig. 10 pattern. *)
+        if_ (v "psi_v" >: f 0.0)
+          [ set "psi_f" (v "psi_v") ]
+          [ set "psi_f" (v "src" *: f 0.01) ];
+        store "psi_out" (v "i") (v "psi_f");
+        store "q2_out" (v "i") (v "xtr2" +: ld "sigt" (v "z"));
+        store "w_out" (v "i") (v "wgt" *: f 0.5);
+      ])
+
+(** umt2k-2: scalar-flux accumulation (snswp3d:117, 8.0%).  The loop body
+    is nothing but reduction statements inside conditionals; both arms
+    update the same accumulator, so everything serializes onto one thread
+    and the load balance collapses (the paper reports a 87.5 ratio and a
+    speedup of 1.01). *)
+let umt2k_2 =
+  kernel ~name:"umt2k-2" ~index:"i" ~lo:0 ~hi:n
+    ~arrays:
+      [ farr "a_fp" n; farr "a_ez" n; farr "psi" n; farr "w" n; farr "chk" n ]
+    ~scalars:[ fscalar "phi"; fscalar ~init:0.9 "thr" ]
+    ~live_out:[ "phi" ]
+    [
+      (* Nothing but reduction statements within conditionals, and the
+         conditions read the accumulator being updated: every fiber
+         touches phi, so the whole body collapses onto one thread.  The
+         lone independent bookkeeping store is all the other threads get,
+         hence the pathological load-balance ratio. *)
+      set "inflow" (ld "a_fp" (v "i") >: (v "phi" *: f 0.004));
+      when_ (v "inflow") [ set "phi" (v "phi" +: ld "psi" (v "i")) ];
+      set "outflow" (ld "a_ez" (v "i") >: (v "phi" *: f 0.003));
+      when_ (v "outflow") [ set "phi" (v "phi" +: ld "w" (v "i")) ];
+      store "chk" (v "i") (f 1.0);
+    ]
+
+(** umt2k-3: boundary-current accumulation (snswp3d:145, 5.2%).  Same
+    pathology as umt2k-2 with slightly larger conditional expressions. *)
+let umt2k_3 =
+  kernel ~name:"umt2k-3" ~index:"i" ~lo:0 ~hi:n
+    ~arrays:[ farr "a_fp" n; farr "a_ez" n; farr "psi" n; farr "w" n; farr "area" n ]
+    ~scalars:[ fscalar "leak"; fscalar ~init:1.0 "thr" ]
+    ~live_out:[ "leak" ]
+    [
+      set "flux" (ld "w" (v "i") *: ld "psi" (v "i"));
+      set "scalev" (ld "a_fp" (v "i") *: ld "a_ez" (v "i"));
+      (* Same accumulator-in-the-condition pathology as umt2k-2, with a
+         slightly wider body. *)
+      set "escaping" (v "scalev" >: (v "thr" +: (v "leak" *: f 0.0001)));
+      when_ (v "escaping")
+        [ set "leak" (v "leak" +: (v "flux" *: ld "area" (v "i"))) ];
+      when_ (not_ (v "escaping"))
+        [ set "leak" (v "leak" +: (v "flux" *: f 0.5)) ];
+    ]
+
+(** umt2k-4: the main angular-flux solve (snswp3d:158, 22.6%).  Dense and
+    wide: several coupled product chains with a final division — high
+    dependence count, high speedup. *)
+let umt2k_4 =
+  kernel ~name:"umt2k-4" ~index:"i" ~lo:0 ~hi:n
+    ~arrays:
+      (base_arrays
+      @ [
+          farr "sigt" n; farr "qc" n; farr "ql" n; farr "vol" n;
+          farr "psi_out" n; farr "phic" n; farr "aux_out" n;
+        ])
+    ~scalars:[ fscalar ~init:0.58 "mu"; fscalar ~init:0.33 "eta" ]
+    (gather_zone
+    @ [
+        set "sv" (ld "sigt" (v "z") *: ld "vol" (v "z"));
+        set "qq" (ld "qc" (v "z") +: (ld "ql" (v "z") *: v "eta"));
+        set "gain" ((v "afp" *: v "mu") +: (v "aez" *: v "eta"));
+        set "psi_in" (ld "psi" (v "i"));
+        set "numer" ((v "qq" *: ld "vol" (v "z")) +: (v "gain" *: v "psi_in"));
+        set "denom" (v "sv" +: v "gain" +: f 1.0e-9);
+        set "psi_raw" (v "numer" /: v "denom");
+        (* Upstream selection between the solved flux and the damped
+           incident flux — a pure value-selection conditional. *)
+        if_ (v "psi_raw" >: (v "psi_in" *: f 0.05))
+          [ set "psi_new" (v "psi_raw") ]
+          [ set "psi_new" ((v "psi_raw" +: v "psi_in") *: f 0.5) ];
+        set "dpsi" (v "psi_new" -: v "psi_in");
+        set "phi_c" ((v "psi_new" +: v "psi_in") *: f 0.5);
+        (* Independent side chains: leakage estimate and edge source. *)
+        set "leak" ((v "afp" *: v "afp") /: (v "sv" +: f 1.0));
+        set "edge" ((ld "ql" (v "z") *: v "aez") +: (ld "qc" (v "z") *: v "mu"));
+        set "edge2" (sqrt_ (v "edge" *: v "edge" +: f 1.0e-9));
+        store "psi_out" (v "i") (v "psi_new" +: (v "dpsi" *: f 0.1));
+        store "phic" (v "i") (v "phi_c" *: ld "vol" (v "z"));
+        store "aux_out" (v "i") (v "leak" +: v "edge2");
+      ])
+
+(** umt2k-5: face-flux extrapolation (snswp3d:178, 1.0%).  A small but
+    dependence-dense body: one long coupled expression chain. *)
+let umt2k_5 =
+  kernel ~name:"umt2k-5" ~index:"i" ~lo:0 ~hi:n
+    ~arrays:(base_arrays @ [ farr "psi_out" n; farr "psi2_out" n ])
+    ~scalars:[ fscalar ~init:1.2 "c1"; fscalar ~init:0.8 "c2" ]
+    (gather_zone
+    @ [
+        set "t1" ((v "afp" *: v "c1") +: ld "psi" (v "i"));
+        set "t2" ((v "t1" *: v "aez") +: (v "t1" *: v "c2"));
+        set "t3" (v "t2" /: (v "t1" +: f 1.0));
+        set "t4" ((v "t3" *: v "t3") -: (v "t2" *: f 0.25));
+        (* A second, independent extrapolation chain. *)
+        set "u1" ((v "aez" *: v "c2") -: ld "psi" (v "i"));
+        set "u2" (v "u1" *: v "u1" +: (v "afp" *: f 0.125));
+        set "u3" (sqrt_ (v "u2" *: v "u2" +: f 1.0e-9));
+        (* Extrapolation limiter: value selection between the two chains. *)
+        if_ ((v "t4" +: v "t3") >: v "u3")
+          [ set "lim" (v "u3") ]
+          [ set "lim" ((v "t4" +: v "t3") *: f 0.9) ];
+        store "psi_out" (v "i") (v "lim");
+        store "psi2_out" (v "i") (v "u3" -: v "u1");
+      ])
+
+(** umt2k-6: the exit-test loop (snswp3d:208, 5.7%).  Conditional
+    variables chained read-after-write through the iteration: each block
+    both consumes the previous block's result and produces the next
+    condition.  Fine-grained partitions must round-trip values every
+    iteration — the one kernel the paper reports slowing down (0.90). *)
+let umt2k_6 =
+  kernel ~name:"umt2k-6" ~index:"i" ~lo:0 ~hi:n
+    ~arrays:
+      [
+        farr "a_fp" n; farr "a_ez" n; farr "psi" n; farr "w" n;
+        farr "out1" n; farr "out2" n; farr "out3" n;
+      ]
+    ~scalars:
+      [ fscalar ~init:0.6 "tol"; fscalar ~init:0.5 "u"; fscalar ~init:1.0 "s" ]
+    ~live_out:[ "u"; "s" ]
+    [
+      (* A small state machine threaded through the iteration: each
+         condition reads state carried from the previous block, and each
+         block updates that state — read-after-write chains between the
+         conditionals, nothing to overlap, plus per-iteration broadcasts
+         of three condition values. *)
+      set "c1" (v "u" >: v "tol");
+      if_ (v "c1")
+        [ set "u" ((v "u" *: f 0.5) +: ld "a_fp" (v "i")) ]
+        [ set "u" (v "u" +: (ld "w" (v "i") *: f 0.25)) ];
+      set "c2" (v "s" >: v "u");
+      if_ (v "c2")
+        [ set "s" ((v "s" *: f 0.25) +: v "u") ]
+        [ set "s" (v "s" -: (v "u" *: f 0.125)) ];
+      set "c3" ((v "s" +: v "u") <: (v "tol" *: f 4.0));
+      if_ (v "c3")
+        [ set "t" (v "s" +: ld "psi" (v "i")) ]
+        [ set "t" (v "s" -: ld "psi" (v "i")) ];
+      when_ (v "c1") [ store "out1" (v "i") (v "t") ];
+      when_ (v "c2") [ store "out2" (v "i") (v "u") ];
+      when_ (v "c3") [ store "out3" (v "i") (v "s") ];
+    ]
+
+let all = [ umt2k_1; umt2k_2; umt2k_3; umt2k_4; umt2k_5; umt2k_6 ]

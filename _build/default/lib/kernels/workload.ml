@@ -1,0 +1,70 @@
+(** Deterministic synthetic workload generation.
+
+    The paper extracts each hot loop "into a separate kernel program,
+    together with the necessary initialization code from the main
+    application" (Section V).  Our initialization code is a seeded
+    splitmix64 generator, so every run of every experiment sees identical
+    data. *)
+
+open Finepar_ir
+
+type rng = { mutable state : int64 }
+
+let rng seed = { state = Int64.of_int (0x9E3779B9 + (seed * 0x85EBCA6B)) }
+
+let next_int64 r =
+  r.state <- Int64.add r.state 0x9E3779B97F4A7C15L;
+  let z = r.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** Uniform float in [lo, hi). *)
+let float_in r lo hi =
+  let u =
+    Int64.to_float (Int64.shift_right_logical (next_int64 r) 11)
+    /. 9007199254740992.0
+  in
+  lo +. (u *. (hi -. lo))
+
+(** Uniform int in [0, bound). *)
+let int_below r bound =
+  let u = Int64.to_int (Int64.shift_right_logical (next_int64 r) 2) in
+  u mod bound
+
+let farray ?(lo = 0.1) ?(hi = 2.0) r len =
+  Array.init len (fun _ -> Types.VFloat (float_in r lo hi))
+
+(** An index array whose entries are valid indices into an array of length
+    [bound] — models gather/scatter neighbor lists. *)
+let iarray_indices r len ~bound =
+  Array.init len (fun _ -> Types.VInt (int_below r bound))
+
+(** Monotonically increasing offsets (e.g. CSR-style row pointers). *)
+let iarray_ascending r len ~max_step =
+  let acc = ref 0 in
+  Array.init len (fun _ ->
+      acc := !acc + int_below r (max_step + 1);
+      Types.VInt !acc)
+
+(** Integers in [0, bound), e.g. material ids or bin ids. *)
+let iarray_small r len ~bound =
+  Array.init len (fun _ -> Types.VInt (int_below r bound))
+
+(** Default workload for a kernel: every float array gets values in
+    [0.1, 2.0); every int array gets valid indices into the smallest float
+    array (safe for gathers).  Kernels with specific needs build their own
+    workloads and override entries. *)
+let default ?(seed = 42) (k : Kernel.t) =
+  let r = rng seed in
+  let min_len =
+    List.fold_left (fun acc (d : Kernel.array_decl) -> min acc d.Kernel.a_len)
+      max_int k.Kernel.arrays
+  in
+  List.map
+    (fun (d : Kernel.array_decl) ->
+      match d.Kernel.a_ty with
+      | Types.F64 -> (d.Kernel.a_name, farray r d.Kernel.a_len)
+      | Types.I64 ->
+        (d.Kernel.a_name, iarray_indices r d.Kernel.a_len ~bound:min_len))
+    k.Kernel.arrays

@@ -1,0 +1,22 @@
+(** Deterministic synthetic workload generation.
+
+    The paper extracts each hot loop "into a separate kernel program,
+    together with the necessary initialization code from the main
+    application" (Section V).  Our initialization code is a seeded
+    splitmix64 generator, so every run of every experiment sees identical
+    data. *)
+
+type rng = { mutable state : int64; }
+val rng : int -> rng
+val next_int64 : rng -> int64
+val float_in : rng -> float -> float -> float
+val int_below : rng -> int -> int
+val farray :
+  ?lo:float -> ?hi:float -> rng -> int -> Finepar_ir.Types.value array
+val iarray_indices : rng -> int -> bound:int -> Finepar_ir.Types.value array
+val iarray_ascending :
+  rng -> int -> max_step:int -> Finepar_ir.Types.value array
+val iarray_small : rng -> int -> bound:int -> Finepar_ir.Types.value array
+val default :
+  ?seed:int ->
+  Finepar_ir.Kernel.t -> (string * Finepar_ir.Types.value array) list

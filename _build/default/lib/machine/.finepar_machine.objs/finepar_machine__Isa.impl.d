@@ -1,0 +1,1 @@
+lib/machine/isa.ml: Finepar_ir Fmt Types

@@ -1,0 +1,1 @@
+lib/machine/isa.mli: Finepar_ir Format

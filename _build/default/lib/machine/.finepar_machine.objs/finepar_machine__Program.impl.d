@@ -1,0 +1,1 @@
+lib/machine/program.ml: Array Finepar_ir Fmt Isa Kernel List Printf Seq String Types

@@ -1,0 +1,1 @@
+lib/machine/program.mli: Finepar_ir Format Isa String

@@ -1,0 +1,1 @@
+lib/machine/sim.ml: Array Buffer Cache Config Finepar_ir Fmt Fun Hashtbl Isa List Op_cost Printf Program Queue Types

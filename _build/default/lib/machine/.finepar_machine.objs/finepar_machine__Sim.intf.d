@@ -1,0 +1,1 @@
+lib/machine/sim.mli: Cache Config Finepar_ir Isa Program Queue String

@@ -1,0 +1,32 @@
+(** A direct-mapped cache model (tags only; data values live in the flat
+    simulator memory, the cache decides latency). *)
+
+type t = { line : int; sets : int; tags : int array }
+
+let create ~bytes ~line =
+  let sets = max 1 (bytes / line) in
+  { line; sets; tags = Array.make sets (-1) }
+
+let set_and_tag t addr =
+  let block = addr / t.line in
+  (block mod t.sets, block)
+
+(** Probe and fill: returns whether the access hit. *)
+let access t addr =
+  let s, tag = set_and_tag t addr in
+  if t.tags.(s) = tag then true
+  else begin
+    t.tags.(s) <- tag;
+    false
+  end
+
+(** Probe without filling. *)
+let probe t addr =
+  let s, tag = set_and_tag t addr in
+  t.tags.(s) = tag
+
+let invalidate t addr =
+  let s, tag = set_and_tag t addr in
+  if t.tags.(s) = tag then t.tags.(s) <- -1
+
+let clear t = Array.fill t.tags 0 t.sets (-1)

@@ -1,0 +1,10 @@
+(** A direct-mapped cache model (tags only; data values live in the flat
+    simulator memory, the cache decides latency). *)
+
+type t = { line : int; sets : int; tags : int array; }
+val create : bytes:int -> line:int -> t
+val set_and_tag : t -> int -> int * int
+val access : t -> int -> bool
+val probe : t -> int -> bool
+val invalidate : t -> int -> unit
+val clear : t -> unit

@@ -1,0 +1,74 @@
+(** The simulated instruction set.
+
+    A conventional load/store scalar ISA over virtual registers, extended
+    with the paper's two new instructions (Section II):
+
+    - [Enq (q, r)] — place the value of [r] in the next free slot of queue
+      [q]; stalls while the queue is full;
+    - [Deq (r, q)] — load the next value of queue [q] into [r]; stalls
+      until a value is available (i.e. its enqueue happened at least
+      [transfer_latency] cycles ago). *)
+
+open Finepar_ir
+
+type reg = int
+
+type qclass = Qint | Qfloat
+
+(** A dedicated point-to-point queue: transfers from core [src] to core
+    [dst] for one value class (there are separate queues for
+    floating-point and general-purpose values, Section V). *)
+type queue_spec = { src : int; dst : int; cls : qclass }
+
+type label = int
+
+type instr =
+  | Li of reg * Types.value
+  | Mov of reg * reg
+  | Un of Types.unop * reg * reg  (** dst, src *)
+  | Bin of Types.binop * reg * reg * reg  (** dst, a, b *)
+  | Sel of reg * reg * reg * reg  (** dst, cond, if-true, if-false *)
+  | Load of reg * int * reg  (** dst, array id, index reg *)
+  | Store of int * reg * reg  (** array id, index reg, value reg *)
+  | Enq of int * reg  (** queue id, source reg *)
+  | Deq of reg * int  (** destination reg, queue id *)
+  | Bz of reg * label  (** branch to label if zero *)
+  | Bnz of reg * label  (** branch to label if nonzero *)
+  | Jmp of label
+  | Halt
+
+let pp_instr ppf = function
+  | Li (d, v) -> Fmt.pf ppf "li r%d, %a" d Types.pp_value_human v
+  | Mov (d, s) -> Fmt.pf ppf "mov r%d, r%d" d s
+  | Un (op, d, s) -> Fmt.pf ppf "%a r%d, r%d" Types.pp_unop op d s
+  | Bin (op, d, a, b) -> Fmt.pf ppf "%a r%d, r%d, r%d" Types.pp_binop op d a b
+  | Sel (d, c, t, f) -> Fmt.pf ppf "sel r%d, r%d, r%d, r%d" d c t f
+  | Load (d, a, i) -> Fmt.pf ppf "load r%d, arr%d[r%d]" d a i
+  | Store (a, i, s) -> Fmt.pf ppf "store arr%d[r%d], r%d" a i s
+  | Enq (q, s) -> Fmt.pf ppf "enq q%d, r%d" q s
+  | Deq (d, q) -> Fmt.pf ppf "deq r%d, q%d" d q
+  | Bz (r, l) -> Fmt.pf ppf "bz r%d, L%d" r l
+  | Bnz (r, l) -> Fmt.pf ppf "bnz r%d, L%d" r l
+  | Jmp l -> Fmt.pf ppf "jmp L%d" l
+  | Halt -> Fmt.string ppf "halt"
+
+(** Source registers read by an instruction. *)
+let srcs = function
+  | Li _ -> []
+  | Mov (_, s) -> [ s ]
+  | Un (_, _, s) -> [ s ]
+  | Bin (_, _, a, b) -> [ a; b ]
+  | Sel (_, c, t, f) -> [ c; t; f ]
+  | Load (_, _, i) -> [ i ]
+  | Store (_, i, s) -> [ i; s ]
+  | Enq (_, s) -> [ s ]
+  | Deq _ -> []
+  | Bz (r, _) | Bnz (r, _) -> [ r ]
+  | Jmp _ | Halt -> []
+
+(** Destination register written by an instruction, if any. *)
+let dst = function
+  | Li (d, _) | Mov (d, _) | Un (_, d, _) | Bin (_, d, _, _)
+  | Sel (d, _, _, _) | Load (d, _, _) | Deq (d, _) ->
+    Some d
+  | Store _ | Enq _ | Bz _ | Bnz _ | Jmp _ | Halt -> None

@@ -1,0 +1,32 @@
+(** The simulated instruction set.
+
+    A conventional load/store scalar ISA over virtual registers, extended
+    with the paper's two new instructions (Section II):
+
+    - [Enq (q, r)] — place the value of [r] in the next free slot of queue
+      [q]; stalls while the queue is full;
+    - [Deq (r, q)] — load the next value of queue [q] into [r]; stalls
+      until a value is available (i.e. its enqueue happened at least
+      [transfer_latency] cycles ago). *)
+
+type reg = int
+type qclass = Qint | Qfloat
+type queue_spec = { src : int; dst : int; cls : qclass; }
+type label = int
+type instr =
+    Li of reg * Finepar_ir.Types.value
+  | Mov of reg * reg
+  | Un of Finepar_ir.Types.unop * reg * reg
+  | Bin of Finepar_ir.Types.binop * reg * reg * reg
+  | Sel of reg * reg * reg * reg
+  | Load of reg * int * reg
+  | Store of int * reg * reg
+  | Enq of int * reg
+  | Deq of reg * int
+  | Bz of reg * label
+  | Bnz of reg * label
+  | Jmp of label
+  | Halt
+val pp_instr : Format.formatter -> instr -> unit
+val srcs : instr -> reg list
+val dst : instr -> reg option

@@ -1,0 +1,42 @@
+(** Multi-core machine programs: per-core code with resolved labels, the
+    queue table, and the shared-memory array layout. *)
+
+type array_layout = {
+  arr_name : string;
+  arr_ty : Finepar_ir.Types.ty;
+  arr_len : int;
+  arr_base : int;
+}
+type core_program = {
+  code : Isa.instr array;
+  label_pos : int array;
+  n_regs : int;
+}
+type t = {
+  cores : core_program array;
+  queues : Isa.queue_spec array;
+  arrays : array_layout array;
+}
+val array_id : t -> String.t -> int
+val layout_arrays :
+  line:int -> Finepar_ir.Kernel.array_decl list -> array_layout array
+module Builder :
+  sig
+    type b = {
+      mutable instrs : Isa.instr list;
+      mutable count : int;
+      mutable labels : (int * int) list;
+      mutable next_label : int;
+      mutable next_reg : int;
+    }
+    val create : unit -> b
+    val emit : b -> Isa.instr -> unit
+    val fresh_label : b -> int
+    val place_label : b -> int -> unit
+    val fresh_reg : b -> int
+    val here : b -> int
+    val finish : b -> core_program
+  end
+val total_instrs : t -> int
+val pp_core : Format.formatter -> core_program -> unit
+val pp : Format.formatter -> t -> unit

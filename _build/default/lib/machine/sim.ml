@@ -1,0 +1,381 @@
+(** Cycle-level multi-core simulator.
+
+    Cores are in-order, single-issue, with a register scoreboard: an
+    instruction issues once its operands are ready and at most one
+    instruction issues per cycle; results become available after the
+    operation latency.  Loads consult a private L1 / shared L2 hierarchy.
+    Enqueue and dequeue follow the semantics of Section II and Fig. 11:
+    enqueue blocks while the queue is full, dequeue blocks until the head
+    value's [enqueue time + transfer latency] has elapsed.
+
+    The simulator executes real values, so the outputs of a parallel run
+    can be compared bit-for-bit against the reference evaluator. *)
+
+open Finepar_ir
+
+exception Stuck of string
+
+type queue_state = {
+  spec : Isa.queue_spec;
+  items : (Types.value * int) Queue.t;  (** value, visible-at cycle *)
+  mutable transfers : int;
+  mutable max_occupancy : int;
+}
+
+type core_stats = {
+  mutable instrs : int;
+  mutable stall_operand : int;
+  mutable stall_queue_full : int;
+  mutable stall_queue_empty : int;
+  mutable idle_after_halt : int;
+  mutable finished_at : int;
+}
+
+type event =
+  | Ev_issue of { core : int; cycle : int; instr : Isa.instr }
+  | Ev_stall of { core : int; cycle : int; reason : string }
+
+type t = {
+  config : Config.t;
+  program : Program.t;
+  memory : Types.value array array;  (** array id -> contents *)
+  queues : queue_state array;
+  core_map : int array;
+      (** logical core (hardware thread) -> physical core.  With the
+          identity map every thread has its own core; mapping several
+          threads to one core models SMT: they share that core's single
+          issue slot and its L1 (Section II discusses this option). *)
+  l1 : Cache.t array;  (** per physical core *)
+  l2 : Cache.t;
+  regs : Types.value array array;
+  reg_ready : int array array;
+  pc : int array;
+  min_issue : int array;
+  halted : bool array;
+  stats : core_stats array;
+  rr : int array;  (** per physical core: SMT round-robin cursor *)
+  threads_of : int list array;  (** physical core -> logical cores *)
+  loads : int array;  (** per array id *)
+  l1_misses : int array;
+  mutable cycles : int;
+  mutable trace : event list;  (** reversed; only filled when tracing *)
+  tracing : bool;
+}
+
+let create ?(tracing = false) ?core_map ~(config : Config.t)
+    ~(initial : (string * Types.value array) list) (program : Program.t) =
+  let n = Array.length program.Program.cores in
+  let core_map =
+    match core_map with
+    | Some m ->
+      if Array.length m <> n then
+        invalid_arg "Sim.create: core_map length mismatch";
+      Array.copy m
+    | None -> Array.init n Fun.id
+  in
+  let n_phys = 1 + Array.fold_left max 0 core_map in
+  let threads_of = Array.make n_phys [] in
+  for t = n - 1 downto 0 do
+    threads_of.(core_map.(t)) <- t :: threads_of.(core_map.(t))
+  done;
+  let memory =
+    Array.map
+      (fun (l : Program.array_layout) ->
+        match List.assoc_opt l.Program.arr_name initial with
+        | Some contents ->
+          if Array.length contents <> l.Program.arr_len then
+            invalid_arg
+              (Printf.sprintf "Sim.create: %s has %d elements, expected %d"
+                 l.Program.arr_name (Array.length contents) l.Program.arr_len);
+          Array.copy contents
+        | None -> Array.make l.Program.arr_len (Types.zero_of_ty l.Program.arr_ty))
+      program.Program.arrays
+  in
+  {
+    config;
+    program;
+    memory;
+    queues =
+      Array.map
+        (fun spec ->
+          { spec; items = Queue.create (); transfers = 0; max_occupancy = 0 })
+        program.Program.queues;
+    core_map;
+    l1 =
+      Array.init n_phys (fun _ ->
+          Cache.create ~bytes:config.Config.l1_bytes ~line:config.Config.l1_line);
+    l2 = Cache.create ~bytes:config.Config.l2_bytes ~line:config.Config.l1_line;
+    regs =
+      Array.map
+        (fun (c : Program.core_program) ->
+          Array.make c.Program.n_regs (Types.VInt 0))
+        program.Program.cores;
+    reg_ready =
+      Array.map
+        (fun (c : Program.core_program) -> Array.make c.Program.n_regs 0)
+        program.Program.cores;
+    pc = Array.make n 0;
+    min_issue = Array.make n 0;
+    halted = Array.make n false;
+    stats =
+      Array.init n (fun _ ->
+          {
+            instrs = 0;
+            stall_operand = 0;
+            stall_queue_full = 0;
+            stall_queue_empty = 0;
+            idle_after_halt = 0;
+            finished_at = 0;
+          });
+    rr = Array.make n_phys 0;
+    threads_of;
+    loads = Array.make (Array.length program.Program.arrays) 0;
+    l1_misses = Array.make (Array.length program.Program.arrays) 0;
+    cycles = 0;
+    trace = [];
+    tracing;
+  }
+
+let addr_of t arr idx = t.program.Program.arrays.(arr).Program.arr_base + (idx * 8)
+
+let load_latency t core arr idx =
+  let addr = addr_of t arr idx in
+  t.loads.(arr) <- t.loads.(arr) + 1;
+  if Cache.access t.l1.(t.core_map.(core)) addr then t.config.Config.l1_hit
+  else begin
+    t.l1_misses.(arr) <- t.l1_misses.(arr) + 1;
+    if Cache.access t.l2 addr then t.config.Config.l2_hit
+    else t.config.Config.mem_latency
+  end
+
+let store_effects t core arr idx =
+  let addr = addr_of t arr idx in
+  let phys = t.core_map.(core) in
+  ignore (Cache.access t.l1.(phys) addr);
+  ignore (Cache.access t.l2 addr);
+  (* Invalidate other private L1 copies so a later consumer pays a miss. *)
+  Array.iteri (fun k l1 -> if k <> phys then Cache.invalidate l1 addr) t.l1
+
+let check_idx t arr idx =
+  let len = t.program.Program.arrays.(arr).Program.arr_len in
+  if idx < 0 || idx >= len then
+    raise
+      (Stuck
+         (Printf.sprintf "array %s index %d out of bounds [0, %d)"
+            t.program.Program.arrays.(arr).Program.arr_name idx len))
+
+let int_of_reg t core r =
+  match t.regs.(core).(r) with
+  | Types.VInt i -> i
+  | Types.VFloat _ ->
+    raise (Stuck (Printf.sprintf "core %d: r%d used as integer holds f64" core r))
+
+let record_event t ev = if t.tracing then t.trace <- ev :: t.trace
+
+(** Attempt to issue the next instruction of [core] at cycle [cy].
+    Returns [true] if an instruction issued. *)
+let step_core t core cy =
+  let cfg = t.config in
+  let stats = t.stats.(core) in
+  let prog = t.program.Program.cores.(core) in
+  let pc = t.pc.(core) in
+  if pc >= Array.length prog.Program.code then
+    raise (Stuck (Printf.sprintf "core %d ran off the end of its code" core));
+  let instr = prog.Program.code.(pc) in
+  let regs = t.regs.(core) and ready = t.reg_ready.(core) in
+  let operands_ready =
+    List.for_all (fun r -> ready.(r) <= cy) (Isa.srcs instr)
+  in
+  if not operands_ready then begin
+    stats.stall_operand <- stats.stall_operand + 1;
+    false
+  end
+  else begin
+    let finish_simple latency value_opt =
+      (match (Isa.dst instr, value_opt) with
+      | Some d, Some v ->
+        regs.(d) <- v;
+        ready.(d) <- cy + latency
+      | Some _, None | None, Some _ -> assert false
+      | None, None -> ());
+      t.pc.(core) <- pc + 1;
+      t.min_issue.(core) <- cy + 1;
+      stats.instrs <- stats.instrs + 1;
+      record_event t (Ev_issue { core; cycle = cy; instr });
+      true
+    in
+    let branch_to taken label =
+      t.pc.(core) <-
+        (if taken then prog.Program.label_pos.(label) else pc + 1);
+      t.min_issue.(core) <-
+        (cy + 1 + if taken then cfg.Config.branch_taken_penalty else 0);
+      stats.instrs <- stats.instrs + 1;
+      record_event t (Ev_issue { core; cycle = cy; instr });
+      true
+    in
+    match instr with
+    | Isa.Li (_, v) -> finish_simple 1 (Some v)
+    | Isa.Mov (_, s) -> finish_simple 1 (Some regs.(s))
+    | Isa.Un (op, _, s) ->
+      let v = regs.(s) in
+      finish_simple
+        (Op_cost.unop_latency op (Types.ty_of_value v))
+        (Some (Types.apply_unop op v))
+    | Isa.Bin (op, _, a, b) ->
+      let va = regs.(a) and vb = regs.(b) in
+      finish_simple
+        (Op_cost.binop_latency op (Types.ty_of_value va))
+        (Some (Types.apply_binop op va vb))
+    | Isa.Sel (_, c, tr, fr) ->
+      let v = if Types.value_is_true regs.(c) then regs.(tr) else regs.(fr) in
+      finish_simple Op_cost.select_latency (Some v)
+    | Isa.Load (_, arr, ir) ->
+      let idx = int_of_reg t core ir in
+      check_idx t arr idx;
+      let latency = load_latency t core arr idx in
+      finish_simple latency (Some t.memory.(arr).(idx))
+    | Isa.Store (arr, ir, sr) ->
+      let idx = int_of_reg t core ir in
+      check_idx t arr idx;
+      t.memory.(arr).(idx) <- regs.(sr);
+      store_effects t core arr idx;
+      finish_simple 1 None
+    | Isa.Enq (q, sr) ->
+      let qs = t.queues.(q) in
+      if Queue.length qs.items >= cfg.Config.queue_len then begin
+        stats.stall_queue_full <- stats.stall_queue_full + 1;
+        record_event t (Ev_stall { core; cycle = cy; reason = "queue full" });
+        false
+      end
+      else begin
+        Queue.add (regs.(sr), cy + cfg.Config.transfer_latency) qs.items;
+        qs.transfers <- qs.transfers + 1;
+        qs.max_occupancy <- max qs.max_occupancy (Queue.length qs.items);
+        finish_simple 1 None
+      end
+    | Isa.Deq (_, q) ->
+      let qs = t.queues.(q) in
+      (match Queue.peek_opt qs.items with
+      | Some (v, visible_at) when visible_at <= cy ->
+        ignore (Queue.pop qs.items);
+        finish_simple cfg.Config.deq_latency (Some v)
+      | Some _ | None ->
+        stats.stall_queue_empty <- stats.stall_queue_empty + 1;
+        record_event t (Ev_stall { core; cycle = cy; reason = "queue empty" });
+        false)
+    | Isa.Bz (r, l) -> branch_to (not (Types.value_is_true regs.(r))) l
+    | Isa.Bnz (r, l) -> branch_to (Types.value_is_true regs.(r)) l
+    | Isa.Jmp l -> branch_to true l
+    | Isa.Halt ->
+      t.halted.(core) <- true;
+      stats.finished_at <- cy;
+      stats.instrs <- stats.instrs + 1;
+      record_event t (Ev_issue { core; cycle = cy; instr });
+      true
+  end
+
+let all_halted t = Array.for_all Fun.id t.halted
+
+let describe_blockage t =
+  let b = Buffer.create 128 in
+  Array.iteri
+    (fun core halted ->
+      if not halted then begin
+        let pc = t.pc.(core) in
+        let instr = t.program.Program.cores.(core).Program.code.(pc) in
+        Buffer.add_string b
+          (Fmt.str "core %d blocked at pc %d: %a; " core pc Isa.pp_instr instr)
+      end)
+    t.halted;
+  Buffer.contents b
+
+(** Run the program to completion; returns the cycle count of the last
+    core to halt.  Raises {!Stuck} on deadlock (no core can make progress
+    for [queue length * transfer latency + slack] consecutive cycles) or
+    when [max_cycles] is exceeded. *)
+let run t =
+  let cy = ref 0 in
+  let last_progress = ref 0 in
+  let deadlock_window =
+    (t.config.Config.queue_len * max 1 t.config.Config.transfer_latency)
+    + t.config.Config.mem_latency + 1000
+  in
+  while not (all_halted t) do
+    if !cy > t.config.Config.max_cycles then
+      raise
+        (Stuck
+           (Printf.sprintf "exceeded max_cycles=%d: %s"
+              t.config.Config.max_cycles (describe_blockage t)));
+    let progressed = ref false in
+    (* Each physical core issues at most one instruction per cycle; its
+       hardware threads arbitrate round-robin (SMT sharing when several
+       logical cores map to one physical core). *)
+    Array.iteri
+      (fun phys threads ->
+        let k = List.length threads in
+        if k > 0 then begin
+          let arr = Array.of_list threads in
+          let issued = ref false in
+          for j = 0 to k - 1 do
+            let core = arr.((t.rr.(phys) + j) mod k) in
+            if
+              (not !issued)
+              && (not t.halted.(core))
+              && t.min_issue.(core) <= !cy
+            then
+              if step_core t core !cy then begin
+                issued := true;
+                t.rr.(phys) <- (t.rr.(phys) + j + 1) mod k;
+                progressed := true
+              end
+          done
+        end)
+      t.threads_of;
+    if !progressed then last_progress := !cy;
+    if !cy - !last_progress > deadlock_window then
+      raise (Stuck ("deadlock: " ^ describe_blockage t));
+    incr cy
+  done;
+  t.cycles <- !cy;
+  !cy
+
+(** Final contents of a named array. *)
+let array_contents t name =
+  t.memory.(Program.array_id t.program name)
+
+(** Value of a register on a core after the run. *)
+let reg_value t core r = t.regs.(core).(r)
+
+(** Per-array (name, loads, L1 misses) counters — the profile feedback
+    input (Section III-B). *)
+let load_counters t =
+  Array.to_list
+    (Array.mapi
+       (fun i (l : Program.array_layout) ->
+         (l.Program.arr_name, t.loads.(i), t.l1_misses.(i)))
+       t.program.Program.arrays)
+
+let queue_stats t =
+  Array.to_list
+    (Array.map
+       (fun q -> (q.spec, q.transfers, q.max_occupancy))
+       t.queues)
+
+(** Number of distinct (src, dst) core pairs whose queues carried at least
+    one value — the Table III "Queues" column. *)
+let queues_used t =
+  let pairs = Hashtbl.create 16 in
+  Array.iter
+    (fun q ->
+      if q.transfers > 0 then
+        Hashtbl.replace pairs (q.spec.Isa.src, q.spec.Isa.dst) ())
+    t.queues;
+  Hashtbl.length pairs
+
+(** All queues drained — after a complete run this certifies that every
+    enqueued value was consumed (the paper's static sender/receiver
+    pairing, observed dynamically). *)
+let queues_empty t =
+  Array.for_all (fun q -> Queue.is_empty q.items) t.queues
+
+let events t = List.rev t.trace

@@ -1,0 +1,77 @@
+(** Cycle-level multi-core simulator.
+
+    Cores are in-order, single-issue, with a register scoreboard: an
+    instruction issues once its operands are ready and at most one
+    instruction issues per cycle; results become available after the
+    operation latency.  Loads consult a private L1 / shared L2 hierarchy.
+    Enqueue and dequeue follow the semantics of Section II and Fig. 11:
+    enqueue blocks while the queue is full, dequeue blocks until the head
+    value's [enqueue time + transfer latency] has elapsed.
+
+    The simulator executes real values, so the outputs of a parallel run
+    can be compared bit-for-bit against the reference evaluator. *)
+
+exception Stuck of string
+type queue_state = {
+  spec : Isa.queue_spec;
+  items : (Finepar_ir.Types.value * int) Queue.t;
+  mutable transfers : int;
+  mutable max_occupancy : int;
+}
+type core_stats = {
+  mutable instrs : int;
+  mutable stall_operand : int;
+  mutable stall_queue_full : int;
+  mutable stall_queue_empty : int;
+  mutable idle_after_halt : int;
+  mutable finished_at : int;
+}
+type event =
+    Ev_issue of { core : int; cycle : int; instr : Isa.instr;
+    }
+  | Ev_stall of { core : int; cycle : int; reason : string; }
+type t = {
+  config : Config.t;
+  program : Program.t;
+  memory : Finepar_ir.Types.value array array;
+  queues : queue_state array;
+  core_map : int array;
+  l1 : Cache.t array;
+  l2 : Cache.t;
+  regs : Finepar_ir.Types.value array array;
+  reg_ready : int array array;
+  pc : int array;
+  min_issue : int array;
+  halted : bool array;
+  stats : core_stats array;
+  rr : int array;
+  threads_of : int list array;
+  loads : int array;
+  l1_misses : int array;
+  mutable cycles : int;
+  mutable trace : event list;
+  tracing : bool;
+}
+val create :
+  ?tracing:bool ->
+  ?core_map:int array ->
+  config:Config.t ->
+  initial:(string * Finepar_ir.Types.value array) list ->
+  Program.t -> t
+val addr_of : t -> int -> int -> int
+val load_latency : t -> int -> int -> int -> int
+val store_effects : t -> int -> int -> int -> unit
+val check_idx : t -> int -> int -> unit
+val int_of_reg : t -> int -> int -> int
+val record_event : t -> event -> unit
+val step_core : t -> int -> int -> bool
+val all_halted : t -> bool
+val describe_blockage : t -> string
+val run : t -> int
+val array_contents : t -> String.t -> Finepar_ir.Types.value array
+val reg_value : t -> int -> int -> Finepar_ir.Types.value
+val load_counters : t -> (string * int * int) list
+val queue_stats : t -> (Isa.queue_spec * int * int) list
+val queues_used : t -> int
+val queues_empty : t -> bool
+val events : t -> event list

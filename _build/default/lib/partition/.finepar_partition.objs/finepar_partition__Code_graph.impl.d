@@ -1,0 +1,1 @@
+lib/partition/code_graph.ml: Array Cost Deps Expr Finepar_analysis Finepar_ir Fmt List Profile Region

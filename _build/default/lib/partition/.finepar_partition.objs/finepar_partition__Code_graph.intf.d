@@ -1,0 +1,1 @@
+lib/partition/code_graph.mli: Finepar_analysis Finepar_ir Format

@@ -1,0 +1,1 @@
+lib/partition/merge.ml: Affinity Array Code_graph Deps Finepar_analysis Fun Hashtbl List Map Option

@@ -1,0 +1,1 @@
+lib/partition/merge.mli: Affinity Code_graph Map Seq

@@ -1,0 +1,1 @@
+lib/partition/schedule.ml: Array Code_graph Deps Finepar_analysis Finepar_ir List Region

@@ -1,0 +1,1 @@
+lib/partition/schedule.mli: Code_graph

@@ -1,0 +1,47 @@
+(** Merge-affinity heuristics (Section III-B).
+
+    "Multiple individual heuristics are weighted and combined to compute an
+    affinity value for each node pair":
+
+    - higher affinity to pairs with more dependence edges between them;
+    - higher affinity to pairs with smaller (combined) compute time;
+    - higher affinity to pairs whose code sections are close in the serial
+      source (line numbers). *)
+
+type weights = { w_dep : float; w_time : float; w_prox : float }
+
+let default = { w_dep = 0.45; w_time = 0.35; w_prox = 0.20 }
+
+(** Summary of one cluster, as maintained incrementally by {!Merge}. *)
+type cluster = {
+  id : int;  (** representative fiber id *)
+  est : int;  (** summed static cycle estimate *)
+  ops : int;
+  line_lo : int;
+  line_hi : int;
+}
+
+(** Distance between the source-line intervals of two clusters. *)
+let line_distance a b =
+  if a.line_lo > b.line_hi then a.line_lo - b.line_hi
+  else if b.line_lo > a.line_hi then b.line_lo - a.line_hi
+  else 0
+
+(** Affinity of merging [a] and [b].
+
+    [edges] is the number of dependence edges between the two clusters;
+    [max_edges] and [max_pair_est] normalize the terms across all live
+    pairs at this merge step. *)
+let score ~weights ~edges ~max_edges ~max_pair_est a b =
+  let dep_term =
+    if max_edges = 0 then 0.0
+    else float_of_int edges /. float_of_int max_edges
+  in
+  let time_term =
+    if max_pair_est = 0 then 0.0
+    else 1.0 -. (float_of_int (a.est + b.est) /. float_of_int max_pair_est)
+  in
+  let prox_term = 1.0 /. (1.0 +. (float_of_int (line_distance a b) /. 4.0)) in
+  (weights.w_dep *. dep_term)
+  +. (weights.w_time *. time_term)
+  +. (weights.w_prox *. prox_term)

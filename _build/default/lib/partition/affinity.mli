@@ -1,0 +1,24 @@
+(** Merge-affinity heuristics (Section III-B).
+
+    "Multiple individual heuristics are weighted and combined to compute an
+    affinity value for each node pair":
+
+    - higher affinity to pairs with more dependence edges between them;
+    - higher affinity to pairs with smaller (combined) compute time;
+    - higher affinity to pairs whose code sections are close in the serial
+      source (line numbers). *)
+
+type weights = { w_dep : float; w_time : float; w_prox : float; }
+val default : weights
+type cluster = {
+  id : int;
+  est : int;
+  ops : int;
+  line_lo : int;
+  line_hi : int;
+}
+val line_distance : cluster -> cluster -> int
+val score :
+  weights:weights ->
+  edges:int ->
+  max_edges:int -> max_pair_est:int -> cluster -> cluster -> float

@@ -1,0 +1,80 @@
+(** Global fiber schedule.
+
+    Produces one topological order of all fibers; each core's code is the
+    restriction of this order to its own fibers.  Using a single global
+    order guarantees that, for every pair of cores, enqueue and dequeue
+    sequences are mutually consistent (FIFO queues never cross values) and
+    that the cross-core wait graph is acyclic.
+
+    Priorities implement Section III-B's intra-core code motion:
+    "instructions producing values to be communicated to other cores
+    execute as early as possible, and instructions that depend on values
+    obtained from other cores execute as late as possible", and
+    Section III-E's constraint that "statements that share the same
+    control flow predicate remain grouped together". *)
+
+open Finepar_ir
+open Finepar_analysis
+
+(** [order g ~cluster_of] returns fiber ids in scheduled order. *)
+let order (g : Code_graph.t) ~(cluster_of : int array) =
+  let n = Code_graph.n_nodes g in
+  let indeg = Array.make n 0 in
+  Array.iteri
+    (fun dst es ->
+      indeg.(dst) <-
+        List.length (List.filter (fun (e : Deps.edge) -> e.Deps.src <> dst) es))
+    g.Code_graph.in_edges;
+  (* Communication pressure per fiber: values sent to / received from other
+     clusters (data and control edges only). *)
+  let remote_sends = Array.make n 0 and remote_recvs = Array.make n 0 in
+  List.iter
+    (fun (e : Deps.edge) ->
+      match e.Deps.kind with
+      | Deps.Data _ | Deps.Control _ ->
+        if cluster_of.(e.Deps.src) <> cluster_of.(e.Deps.dst) then begin
+          remote_sends.(e.Deps.src) <- remote_sends.(e.Deps.src) + 1;
+          remote_recvs.(e.Deps.dst) <- remote_recvs.(e.Deps.dst) + 1
+        end
+      | Deps.Anti _ | Deps.Mem _ -> ())
+    g.Code_graph.deps.Deps.edges;
+  let scheduled = Array.make n false in
+  let out = ref [] in
+  let last_preds = ref [] in
+  let remaining = ref n in
+  while !remaining > 0 do
+    (* Pick among ready fibers. *)
+    let best = ref None in
+    for i = n - 1 downto 0 do
+      if (not scheduled.(i)) && indeg.(i) = 0 then begin
+        let nd = g.Code_graph.nodes.(i) in
+        let same_preds =
+          Region.preds_equal nd.Code_graph.stmt.Region.preds !last_preds
+        in
+        let key =
+          ( (if same_preds then 1 else 0),
+            remote_sends.(i) - remote_recvs.(i),
+            -i )
+        in
+        match !best with
+        | Some (bkey, _) when compare bkey key >= 0 -> ()
+        | _ -> best := Some (key, i)
+      end
+    done;
+    match !best with
+    | None ->
+      (* A cycle in the fiber graph would be a bug: all edges point
+         forward in program order by construction. *)
+      invalid_arg "Schedule.order: dependence cycle among fibers"
+    | Some (_, i) ->
+      scheduled.(i) <- true;
+      decr remaining;
+      last_preds := g.Code_graph.nodes.(i).Code_graph.stmt.Region.preds;
+      out := i :: !out;
+      List.iter
+        (fun (e : Deps.edge) ->
+          if e.Deps.src <> e.Deps.dst then
+            indeg.(e.Deps.dst) <- indeg.(e.Deps.dst) - 1)
+        g.Code_graph.out_edges.(i)
+  done;
+  List.rev !out

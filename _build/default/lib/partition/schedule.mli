@@ -1,0 +1,17 @@
+(** Global fiber schedule.
+
+    Produces one topological order of all fibers; each core's code is the
+    restriction of this order to its own fibers.  Using a single global
+    order guarantees that, for every pair of cores, enqueue and dequeue
+    sequences are mutually consistent (FIFO queues never cross values) and
+    that the cross-core wait graph is acyclic.
+
+    Priorities implement Section III-B's intra-core code motion:
+    "instructions producing values to be communicated to other cores
+    execute as early as possible, and instructions that depend on values
+    obtained from other cores execute as late as possible", and
+    Section III-E's constraint that "statements that share the same
+    control flow predicate remain grouped together". *)
+
+val order :
+  Code_graph.t -> cluster_of:int array -> int list

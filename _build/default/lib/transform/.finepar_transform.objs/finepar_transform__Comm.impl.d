@@ -1,0 +1,1 @@
+lib/transform/comm.ml: Array Cost Deps Expr Finepar_analysis Finepar_ir Fmt Hashtbl List Option Region Types

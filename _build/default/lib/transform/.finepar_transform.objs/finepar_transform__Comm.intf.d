@@ -1,0 +1,1 @@
+lib/transform/comm.mli: Finepar_analysis Finepar_ir

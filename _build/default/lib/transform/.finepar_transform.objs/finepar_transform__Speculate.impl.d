@@ -1,0 +1,1 @@
+lib/transform/speculate.ml: Expr Finepar_ir Hashtbl Kernel List Option Printf Set Stmt String

@@ -1,0 +1,1 @@
+lib/transform/speculate.mli: Finepar_ir Hashtbl Set String

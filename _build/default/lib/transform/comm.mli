@@ -1,0 +1,35 @@
+(** Communication insertion (Section III-D).
+
+    For every data or control dependence edge whose endpoints were
+    partitioned onto different cores, a value transfer is created: one
+    enqueue after the producing fiber, one dequeue before the first
+    consuming fiber on each consuming core.
+
+    Anchors are positions in the single global fiber schedule, which keeps
+    the enqueue and dequeue sequences of every queue mutually consistent.
+    The code generator finalizes dequeue placement per consuming core: it
+    orders all dequeues by enqueue anchor and hoists each so that none is
+    delayed past another (suffix-min of consumer anchors), which preserves
+    per-queue FIFO order and guarantees a transferred predicate value is
+    dequeued before any dequeue or statement guarded by it. *)
+
+type transfer = {
+  var : string;
+  ty : Finepar_ir.Types.ty;
+  src_core : int;
+  dst_core : int;
+  preds : Finepar_ir.Region.pred list;
+  enq_anchor : int;
+  deq_anchor : int;
+  seq : int;
+}
+type t = {
+  transfers : transfer list;
+  com_ops : int;
+  pairs_used : (int * int) list;
+  warnings : string list;
+}
+val compute :
+  region:Finepar_ir.Region.t ->
+  deps:Finepar_analysis.Deps.t ->
+  cluster_of:int array -> order:int list -> queue_len:int -> t

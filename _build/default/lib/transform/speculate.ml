@@ -1,0 +1,151 @@
+(** Control-flow speculation (Section III-H).
+
+    A deliberately limited, rollback-free form of speculation: if-then-else
+    statements whose branches are independent and side-effect free are
+    executed ahead of time, before the condition value is known, and the
+    results are committed with selects.  Because there is never a rollback,
+    the compiler can still statically pair every enqueue with a dequeue.
+
+    Eligibility for an [If (c, then_, else_)]:
+    - both branches contain only scalar assignments (no stores, no nested
+      conditionals), and
+    - the sets of scalars assigned in the two branches can be anything;
+      each assigned scalar commits through a select (variables assigned in
+      only one branch select between the speculative value and the
+      original one).
+
+    The transformation renames branch-local definitions, hoists both
+    branches' computations above the conditional, and replaces the
+    conditional by one select per assigned variable — the pattern of the
+    paper's Fig. 10 (compute then-value and else-value concurrently, commit
+    with the condition). *)
+
+open Finepar_ir
+module SS = Set.Make (String)
+
+let eligible_branches ~defined then_ else_ =
+  let assigns_only stmts =
+    List.for_all
+      (function Stmt.Assign _ -> true | Stmt.Store _ | Stmt.If _ -> false)
+      stmts
+  in
+  (* Variables assigned anywhere in either arm. *)
+  let assigned = SS.union (Stmt.vars_written then_) (Stmt.vars_written else_) in
+  (* An arm must not read the pre-branch value of a variable the
+     conditional assigns (e.g. accumulator updates "phi = phi + x"):
+     speculating those turns a sometimes-executed reduction into an
+     always-executed serial chain, which is exactly what the paper's
+     rollback-free speculation avoids by targeting pure value selection. *)
+  let no_self_read stmts =
+    let defined = ref SS.empty in
+    List.for_all
+      (fun s ->
+        match s with
+        | Stmt.Assign (v, e) ->
+          let reads = Expr.vars e in
+          let bad =
+            SS.exists
+              (fun r -> SS.mem r assigned && not (SS.mem r !defined))
+              reads
+          in
+          defined := SS.add v !defined;
+          not bad
+        | Stmt.Store _ | Stmt.If _ -> false)
+      stmts
+  in
+  (* A variable assigned in only one arm commits as
+     [select (c, new, old)]; the [old] value must exist, i.e. the
+     variable must be assigned in both arms or already have a definite
+     value (declared scalar or unconditional earlier definition). *)
+  let one_sided_defined =
+    let both =
+      SS.inter (Stmt.vars_written then_) (Stmt.vars_written else_)
+    in
+    SS.for_all (fun v -> SS.mem v both || SS.mem v defined) assigned
+  in
+  assigns_only then_ && assigns_only else_
+  && (then_ <> [] || else_ <> [])
+  && no_self_read then_ && no_self_read else_ && one_sided_defined
+
+(** Rename branch-local definitions with [suffix]; reads of a variable
+    refer to the renamed version once it has been (re)defined in the same
+    branch.  Returns the rewritten statements and the mapping from original
+    assigned variables to their renamed final names. *)
+let rename_branch ~suffix stmts =
+  let renamed : (string, string) Hashtbl.t = Hashtbl.create 8 in
+  let map v = Option.map (fun n -> Expr.Var n) (Hashtbl.find_opt renamed v) in
+  let out =
+    List.map
+      (fun s ->
+        match s with
+        | Stmt.Assign (v, e) ->
+          let e' = Expr.subst map e in
+          let v' = v ^ suffix in
+          Hashtbl.replace renamed v v';
+          Stmt.Assign (v', e')
+        | Stmt.Store _ | Stmt.If _ -> assert false)
+      stmts
+  in
+  (out, renamed)
+
+(** Apply speculation to every eligible conditional in a kernel body.
+    Returns the transformed kernel and the number of conditionals
+    converted. *)
+let apply (k : Kernel.t) =
+  let count = ref 0 in
+  let fresh_id = ref 0 in
+  (* Scalars with a definite value at any program point: declared scalars
+     plus targets of unconditional assignments seen so far. *)
+  let defined =
+    ref
+      (List.fold_left
+         (fun acc (d : Kernel.scalar_decl) -> SS.add d.Kernel.s_name acc)
+         SS.empty k.Kernel.scalars)
+  in
+  let rec walk ~unconditional s =
+    match s with
+    | Stmt.Assign (v, _) ->
+      if unconditional then defined := SS.add v !defined;
+      [ s ]
+    | Stmt.Store _ -> [ s ]
+    | Stmt.If (c, then_, else_)
+      when eligible_branches ~defined:!defined then_ else_ ->
+      incr count;
+      incr fresh_id;
+      let id = !fresh_id in
+      let cnd = Printf.sprintf "%%spec_c%d" id in
+      let then', tmap = rename_branch ~suffix:(Printf.sprintf "%%st%d" id) then_ in
+      let else', emap = rename_branch ~suffix:(Printf.sprintf "%%se%d" id) else_ in
+      let assigned =
+        SS.union
+          (Hashtbl.fold (fun v _ acc -> SS.add v acc) tmap SS.empty)
+          (Hashtbl.fold (fun v _ acc -> SS.add v acc) emap SS.empty)
+      in
+      let commits =
+        List.map
+          (fun v ->
+            let tv =
+              match Hashtbl.find_opt tmap v with
+              | Some n -> Expr.Var n
+              | None -> Expr.Var v
+            and ev =
+              match Hashtbl.find_opt emap v with
+              | Some n -> Expr.Var n
+              | None -> Expr.Var v
+            in
+            Stmt.Assign (v, Expr.Select (Expr.Var cnd, tv, ev)))
+          (SS.elements assigned)
+      in
+      if unconditional then
+        defined := SS.union assigned !defined;
+      (Stmt.Assign (cnd, c) :: then') @ else' @ commits
+    | Stmt.If (c, then_, else_) ->
+      [
+        Stmt.If
+          ( c,
+            List.concat_map (walk ~unconditional:false) then_,
+            List.concat_map (walk ~unconditional:false) else_ );
+      ]
+  in
+  let body = List.concat_map (walk ~unconditional:true) k.Kernel.body in
+  ({ k with Kernel.body }, !count)

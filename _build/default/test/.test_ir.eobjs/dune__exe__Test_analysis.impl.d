@@ -1,0 +1,1 @@
+test/test_analysis.ml: Affine Alcotest Array Builder Cost Deps Finepar_analysis Finepar_fiber Finepar_ir Hashtbl Kernel List Profile Region String

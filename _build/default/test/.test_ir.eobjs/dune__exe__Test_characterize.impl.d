@@ -1,0 +1,1 @@
+test/test_characterize.ml: Alcotest Builder Classify Corpus Finepar_characterize Finepar_ir Finepar_kernels Kernel List Option Registry Simd String

@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Array Config Finepar Finepar_codegen Finepar_ir Finepar_kernels Finepar_machine Fmt Hashtbl Isa Kernel List Option Printf Program Registry Sim Types

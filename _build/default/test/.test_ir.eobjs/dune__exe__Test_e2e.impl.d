@@ -1,0 +1,1 @@
+test/test_e2e.ml: Alcotest Builder Expr Finepar Finepar_ir Finepar_kernels Finepar_machine Fmt Kernel List Option Printf QCheck QCheck_alcotest Registry Types Workload

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Config Finepar Finepar_codegen Finepar_ir Finepar_kernels Finepar_machine Fun Kernel List Option Printf Registry Sim

@@ -1,0 +1,1 @@
+test/test_fiber.ml: Alcotest Builder Eval Expr Fiber Finepar_fiber Finepar_ir Finepar_kernels Fmt Hashtbl List Printf QCheck QCheck_alcotest Region String Types

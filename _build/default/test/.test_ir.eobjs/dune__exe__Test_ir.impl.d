@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Builder Eval Expr Finepar_ir Finepar_kernels Float Fmt Kernel List Printf QCheck QCheck_alcotest Region Types

@@ -1,0 +1,1 @@
+test/test_kernels.ml: Alcotest Array Corpus Eval Finepar_ir Finepar_kernels Float Irs Kernel Lammps List Option Printf Registry Sphot Stmt Types Umt2k Workload

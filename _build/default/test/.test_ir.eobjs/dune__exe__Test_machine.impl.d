@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Cache Config Finepar_ir Finepar_machine Isa Kernel List Program Sim String Types

@@ -1,0 +1,321 @@
+(* Dependence analysis tests: affine subscripts, use-def edges,
+   loop-carried detection, multi-def co-location, control dependences,
+   memory dependences, and the profile/cost models. *)
+
+open Finepar_ir
+open Finepar_analysis
+open Builder
+
+let region_of body ~arrays ~scalars ?(live_out = []) () =
+  Region.of_kernel
+    (kernel ~name:"t" ~index:"i" ~lo:0 ~hi:8 ~arrays ~scalars ~live_out body)
+
+let analyze ?live_out ?(arrays = [ farr "a" 32; farr "b" 32; farr "out" 32 ])
+    ?(scalars = [ fscalar "s"; fscalar ~init:1.0 "inv" ]) body =
+  Deps.analyze (region_of body ~arrays ~scalars ?live_out ())
+
+let has_edge deps ~kind_match src_var dst_var =
+  (* Find an edge whose src defines [src_var] and dst defines/uses
+     [dst_var]; variables identify statements in these small tests. *)
+  let stmts = Array.of_list deps.Deps.region.Region.stmts in
+  List.exists
+    (fun (e : Deps.edge) ->
+      kind_match e.Deps.kind
+      && (match Region.sstmt_def stmts.(e.Deps.src) with
+         | Some d -> String.equal d src_var
+         | None -> false)
+      &&
+      match Region.sstmt_def stmts.(e.Deps.dst) with
+      | Some d -> String.equal d dst_var
+      | None -> dst_var = "<store>")
+    deps.Deps.edges
+
+(* ------------------------------------------------------------------ *)
+(* Affine analysis.                                                    *)
+
+let affine e = Affine.of_expr ~induction:"i" ~lookup:(fun _ -> None) e
+
+let test_affine_forms () =
+  Alcotest.(check bool) "constant" true (affine (i 7) = Some { Affine.k = 0; c = 7 });
+  Alcotest.(check bool) "induction" true (affine (v "i") = Some { Affine.k = 1; c = 0 });
+  Alcotest.(check bool) "i+3" true (affine (v "i" +: i 3) = Some { Affine.k = 1; c = 3 });
+  Alcotest.(check bool) "2*i-1" true
+    (affine ((i 2 *: v "i") -: i 1) = Some { Affine.k = 2; c = -1 });
+  Alcotest.(check bool) "neg i" true (affine (neg (v "i")) = Some { Affine.k = -1; c = 0 });
+  Alcotest.(check bool) "gather is not affine" true (affine (ld "idx" (v "i")) = None);
+  Alcotest.(check bool) "i*i is not affine" true (affine (v "i" *: v "i") = None)
+
+let test_affine_alias () =
+  let a k c = Some { Affine.k; c } in
+  Alcotest.(check bool) "same subscript aliases" true
+    (Affine.may_alias (a 1 0) (a 1 0));
+  Alcotest.(check bool) "i vs i+1 aliases across iterations" true
+    (Affine.may_alias (a 1 0) (a 1 1));
+  Alcotest.(check bool) "2i vs 2i+1 never alias" false
+    (Affine.may_alias (a 2 0) (a 2 1));
+  Alcotest.(check bool) "distinct constants don't alias" false
+    (Affine.may_alias (a 0 3) (a 0 4));
+  Alcotest.(check bool) "unknown aliases conservatively" true
+    (Affine.may_alias None (a 1 0));
+  Alcotest.(check bool) "same-iteration needs equality" false
+    (Affine.same_iteration_alias (a 1 0) (a 1 1))
+
+(* ------------------------------------------------------------------ *)
+(* Scalar dependences.                                                 *)
+
+let test_data_edge () =
+  let deps =
+    analyze
+      [
+        set "x" (ld "a" (v "i") *: f 2.0);
+        store "out" (v "i") (v "x" +: f 1.0);
+      ]
+  in
+  Alcotest.(check bool) "def-use edge present" true
+    (has_edge deps "x" "<store>" ~kind_match:(function
+      | Deps.Data "x" -> true
+      | _ -> false))
+
+let test_loop_carried () =
+  let deps =
+    analyze ~live_out:[ "s" ]
+      [ set "s" (v "s" +: ld "a" (v "i")) ]
+  in
+  Alcotest.(check bool) "accumulator is loop-carried" true
+    (Deps.SS.mem "s" deps.Deps.loop_carried)
+
+let test_loop_carried_requires_declaration () =
+  Alcotest.(check bool) "undeclared carried scalar rejected" true
+    (try
+       ignore (analyze [ set "x" (v "x" +: f 1.0) ]);
+       false
+     with Deps.Unsupported _ | Kernel.Invalid _ -> true)
+
+let test_multi_def_co_location () =
+  let deps =
+    analyze
+      [
+        set "c" (ld "a" (v "i") >: f 1.0);
+        if_ (v "c") [ set "x" (f 1.0) ] [ set "x" (f 2.0) ];
+        store "out" (v "i") (v "x");
+      ]
+  in
+  (* Both defs of x and its use must be pairwise co-located. *)
+  let stmts = Array.of_list deps.Deps.region.Region.stmts in
+  let x_stmts =
+    List.filter_map
+      (fun (s : Region.sstmt) ->
+        match Region.sstmt_def s with
+        | Some "x" -> Some s.Region.id
+        | _ ->
+          if Deps.SS.mem "x" (Region.sstmt_uses s) then Some s.Region.id
+          else None)
+      (Array.to_list stmts)
+  in
+  Alcotest.(check int) "three statements touch x" 3 (List.length x_stmts);
+  (* must_merge must connect them all (as a connected component). *)
+  let parent = Hashtbl.create 8 in
+  let rec find i =
+    match Hashtbl.find_opt parent i with
+    | Some p when p <> i -> find p
+    | _ -> i
+  in
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra <> rb then Hashtbl.replace parent ra rb
+  in
+  List.iter (fun (a, b) -> union a b) deps.Deps.must_merge;
+  match x_stmts with
+  | first :: rest ->
+    List.iter
+      (fun s ->
+        Alcotest.(check int) "co-located with first x stmt" (find first) (find s))
+      rest
+  | [] -> Alcotest.fail "no x statements"
+
+let test_control_edge () =
+  let deps =
+    analyze
+      [
+        set "c" (ld "a" (v "i") >: f 1.0);
+        when_ (v "c") [ store "out" (v "i") (f 1.0) ];
+      ]
+  in
+  Alcotest.(check bool) "control edge from cnd def" true
+    (List.exists
+       (fun (e : Deps.edge) ->
+         match e.Deps.kind with Deps.Control "c" -> true | _ -> false)
+       deps.Deps.edges)
+
+let test_conditional_def_scope_violation () =
+  Alcotest.(check bool) "conditional def used unconditionally rejected" true
+    (try
+       ignore
+         (analyze
+            [
+              set "c" (ld "a" (v "i") >: f 1.0);
+              when_ (v "c") [ set "x" (f 1.0) ];
+              store "out" (v "i") (v "x");
+            ]);
+       false
+     with Deps.Unsupported _ -> true)
+
+let test_live_in () =
+  let deps = analyze [ store "out" (v "i") (v "inv" *: ld "a" (v "i")) ] in
+  Alcotest.(check bool) "inv is live-in" true (Deps.SS.mem "inv" deps.Deps.live_in);
+  Alcotest.(check bool) "induction is not live-in" false
+    (Deps.SS.mem "i" deps.Deps.live_in)
+
+let test_owners () =
+  let deps =
+    analyze ~live_out:[ "s" ]
+      [ set "s" (ld "a" (v "i")); set "s" (v "s" *: f 2.0) ]
+  in
+  let stmts = Array.of_list deps.Deps.region.Region.stmts in
+  (match Deps.SM.find_opt "s" deps.Deps.owners with
+  | Some id ->
+    Alcotest.(check bool) "owner is the last def" true
+      (Region.sstmt_def stmts.(id) = Some "s"
+      && id
+         = List.fold_left max 0
+             (List.filter_map
+                (fun (s : Region.sstmt) ->
+                  if Region.sstmt_def s = Some "s" then Some s.Region.id
+                  else None)
+                (Array.to_list stmts)))
+  | None -> Alcotest.fail "no owner for s")
+
+(* ------------------------------------------------------------------ *)
+(* Memory dependences.                                                 *)
+
+let count_mem deps =
+  List.length
+    (List.filter
+       (fun (e : Deps.edge) ->
+         match e.Deps.kind with Deps.Mem _ -> true | _ -> false)
+       deps.Deps.edges)
+
+let test_mem_rmw_same_index () =
+  (* Deep enough that the fiber split separates the load from the store;
+     the analysis must then pin them together and order them. *)
+  let r =
+    region_of
+      [
+        store "out" (v "i")
+          (sqrt_ ((ld "out" (v "i") *: f 2.0) +: f 1.0) /: (ld "out" (v "i") +: f 3.0));
+      ]
+      ~arrays:[ farr "out" 32 ] ~scalars:[] ()
+  in
+  let split, _ = Finepar_fiber.Fiber.split r in
+  let deps = Deps.analyze split in
+  Alcotest.(check bool) "store-load same index must merge" true
+    (deps.Deps.must_merge <> [])
+
+let test_mem_disjoint_strides () =
+  (* out[2i] stores never alias b[2i+1]-style loads of the same array. *)
+  let deps =
+    analyze
+      ~arrays:[ farr "a" 32; farr "out" 64 ]
+      [
+        set "x" (ld "out" ((i 2 *: v "i") +: i 1));
+        store "out" (i 2 *: v "i") (v "x" +: f 1.0);
+      ]
+  in
+  Alcotest.(check int) "no memory edges between disjoint strides" 0
+    (count_mem deps)
+
+let test_mem_gather_conservative () =
+  (* A gathered read-modify-write deep enough that the fiber split puts
+     the loads and the store in different fibers: the analysis must then
+     order and co-locate them (non-affine subscripts may alias anything
+     on the same array). *)
+  let r =
+    region_of
+      [
+        set "j" (ld "idx" (v "i"));
+        store "out" (v "j")
+          (sqrt_ ((ld "out" (v "j") *: f 2.0) +: f 1.0)
+          /: (ld "out" (v "j") +: f 3.0));
+      ]
+      ~arrays:[ farr "out" 32; iarr "idx" 32 ]
+      ~scalars:[] ()
+  in
+  let split, _ = Finepar_fiber.Fiber.split r in
+  let deps = Deps.analyze split in
+  Alcotest.(check bool) "gathered RMW forces ordering" true
+    (count_mem deps > 0 && deps.Deps.must_merge <> [])
+
+let test_store_store_order () =
+  let deps =
+    analyze
+      [
+        store "out" (v "i") (f 1.0);
+        store "out" (v "i") (f 2.0);
+      ]
+  in
+  Alcotest.(check bool) "output dependence ordered" true (count_mem deps > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Profile and cost.                                                   *)
+
+let test_profile () =
+  let p = Profile.of_counters [ ("a", 100, 50); ("b", 10, 0) ] in
+  Alcotest.(check int) "50% misses" 23 (Profile.load_latency p "a");
+  Alcotest.(check int) "all hits" 6 (Profile.load_latency p "b");
+  Alcotest.(check int) "unknown array defaults to hits" 6
+    (Profile.load_latency p "zzz")
+
+let test_cost_monotone () =
+  let r1 = region_of [ set "x" (ld "a" (v "i")) ]
+      ~arrays:[ farr "a" 8 ] ~scalars:[] ()
+  and r2 =
+    region_of
+      [ set "x" (sqrt_ (ld "a" (v "i") *: ld "a" (v "i"))) ]
+      ~arrays:[ farr "a" 8 ] ~scalars:[] ()
+  in
+  let cost r =
+    let tenv = Cost.region_tenv r in
+    List.fold_left
+      (fun acc s -> acc + Cost.sstmt_cycles ~tenv ~profile:Profile.all_hits s)
+      0 r.Region.stmts
+  in
+  Alcotest.(check bool) "more work costs more" true (cost r2 > cost r1)
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "affine",
+        [
+          Alcotest.test_case "forms" `Quick test_affine_forms;
+          Alcotest.test_case "aliasing" `Quick test_affine_alias;
+        ] );
+      ( "scalar deps",
+        [
+          Alcotest.test_case "data edge" `Quick test_data_edge;
+          Alcotest.test_case "loop-carried" `Quick test_loop_carried;
+          Alcotest.test_case "carried must be declared" `Quick
+            test_loop_carried_requires_declaration;
+          Alcotest.test_case "multi-def co-location" `Quick
+            test_multi_def_co_location;
+          Alcotest.test_case "control edge" `Quick test_control_edge;
+          Alcotest.test_case "scope violation rejected" `Quick
+            test_conditional_def_scope_violation;
+          Alcotest.test_case "live-in" `Quick test_live_in;
+          Alcotest.test_case "owners" `Quick test_owners;
+        ] );
+      ( "memory deps",
+        [
+          Alcotest.test_case "same-index RMW" `Quick test_mem_rmw_same_index;
+          Alcotest.test_case "disjoint strides free" `Quick
+            test_mem_disjoint_strides;
+          Alcotest.test_case "gather conservative" `Quick
+            test_mem_gather_conservative;
+          Alcotest.test_case "store-store ordered" `Quick
+            test_store_store_order;
+        ] );
+      ( "cost model",
+        [
+          Alcotest.test_case "profile feedback" `Quick test_profile;
+          Alcotest.test_case "cost monotone" `Quick test_cost_monotone;
+        ] );
+    ]

@@ -1,0 +1,138 @@
+(* Characterization tests: the Section IV funnel must reproduce exactly,
+   each corpus loop must land in its bucket, the feature extractor must
+   report sensible values, and the SIMD estimator must reproduce the
+   paper's qualitative split. *)
+
+open Finepar_ir
+open Finepar_characterize
+open Finepar_kernels
+open Builder
+
+let test_funnel_exact () =
+  let f = Classify.funnel Corpus.all_hot_loops in
+  Alcotest.(check int) "51 hot loops" 51 f.Classify.total;
+  Alcotest.(check int) "6 initialization" 6 f.Classify.init;
+  Alcotest.(check int) "16 elementwise" 16 f.Classify.elementwise;
+  Alcotest.(check int) "8 scalar reductions" 8 f.Classify.scalar_reduction;
+  Alcotest.(check int) "1 array reduction" 1 f.Classify.array_reduction;
+  Alcotest.(check int) "2 conditional chains" 2 f.Classify.conditional_raw;
+  Alcotest.(check int) "18 selected" 18 f.Classify.fine_grained
+
+let test_all_kernels_fine_grained () =
+  List.iter
+    (fun (e : Registry.entry) ->
+      Alcotest.(check string)
+        (e.Registry.kernel.Kernel.name ^ " is a fine-grained candidate")
+        "fine-grained candidate"
+        (Classify.category_name (Classify.classify e.Registry.kernel)))
+    Registry.all
+
+let test_excluded_loops_bucketed () =
+  let expect prefix category =
+    List.iter
+      (fun (k : Kernel.t) ->
+        let name = k.Kernel.name in
+        if
+          String.length name >= String.length prefix
+          && String.sub name 0 (String.length prefix) = prefix
+        then
+          Alcotest.(check string) name category
+            (Classify.category_name (Classify.classify k)))
+      Corpus.excluded
+  in
+  expect "init-" "initialization";
+  expect "ew-" "loop-parallel (elementwise)";
+  expect "dot-" "loop-parallel (scalar reduction)";
+  expect "sum-" "loop-parallel (scalar reduction)";
+  expect "amg-" "loop-parallel (array reduction)";
+  expect "cond-chain" "conditional RAW chains"
+
+let test_features () =
+  let e = Option.get (Registry.find "umt2k-6") in
+  let f = Classify.features e.Registry.kernel in
+  Alcotest.(check int) "six conditionals" 6 f.Classify.conditionals;
+  Alcotest.(check bool) "predicate RAW chain detected" true
+    f.Classify.pred_raw_chain;
+  let d = Option.get (Registry.find "irs-1") in
+  let f1 = Classify.features d.Registry.kernel in
+  Alcotest.(check int) "stencil has no conditionals" 0 f1.Classify.conditionals;
+  Alcotest.(check bool) "stencil is big" true (f1.Classify.ops > 50)
+
+let test_array_reduction_feature () =
+  let k =
+    kernel ~name:"ar" ~index:"i" ~lo:0 ~hi:8
+      ~arrays:[ farr "y" 8; farr "x" 8; iarr "idx" 8 ]
+      ~scalars:[]
+      [
+        store "y" (ld "idx" (v "i"))
+          (ld "y" (ld "idx" (v "i")) +: ld "x" (v "i"));
+      ]
+  in
+  Alcotest.(check bool) "gathered RMW detected" true
+    (Classify.features k).Classify.array_rmw_gather
+
+let test_is_loop_parallel () =
+  Alcotest.(check bool) "elementwise is loop-parallel" true
+    (Classify.is_loop_parallel Classify.Elementwise);
+  Alcotest.(check bool) "fine-grained is not" false
+    (Classify.is_loop_parallel Classify.Fine_grained);
+  Alcotest.(check bool) "init is not" false
+    (Classify.is_loop_parallel Classify.Init_loop)
+
+(* ------------------------------------------------------------------ *)
+(* SIMD estimates (the Section IV aside).                              *)
+
+let simd name =
+  let e = Option.get (Registry.find name) in
+  (Simd.estimate e.Registry.kernel).Simd.simd_speedup
+
+let test_simd_stencil_vectorizes () =
+  Alcotest.(check bool) "irs-1 vectorizes well" true (simd "irs-1" > 2.0)
+
+let test_simd_gathers_do_not () =
+  (* lammps and sphot-2 gather through neighbor lists — "not suitable for
+     SIMD" in the paper. *)
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " barely vectorizes") true
+        (simd name < 1.3))
+    [ "lammps-1"; "lammps-3"; "lammps-4"; "sphot-2"; "umt2k-1"; "umt2k-4" ]
+
+let test_simd_reductions_do_not () =
+  Alcotest.(check bool) "pure conditional reduction does not vectorize" true
+    (simd "umt2k-2" < 1.1)
+
+let test_simd_width_scales () =
+  let e = Option.get (Registry.find "irs-1") in
+  let s2 = (Simd.estimate ~width:2 e.Registry.kernel).Simd.simd_speedup in
+  let s8 = (Simd.estimate ~width:8 e.Registry.kernel).Simd.simd_speedup in
+  Alcotest.(check bool) "wider SIMD, higher bound" true (s8 > s2)
+
+let () =
+  Alcotest.run "characterize"
+    [
+      ( "funnel",
+        [
+          Alcotest.test_case "Section IV funnel exact" `Quick test_funnel_exact;
+          Alcotest.test_case "18 kernels fine-grained" `Quick
+            test_all_kernels_fine_grained;
+          Alcotest.test_case "excluded loops bucketed" `Quick
+            test_excluded_loops_bucketed;
+        ] );
+      ( "features",
+        [
+          Alcotest.test_case "feature extraction" `Quick test_features;
+          Alcotest.test_case "array reduction" `Quick
+            test_array_reduction_feature;
+          Alcotest.test_case "bucket partition" `Quick test_is_loop_parallel;
+        ] );
+      ( "simd",
+        [
+          Alcotest.test_case "stencil vectorizes" `Quick
+            test_simd_stencil_vectorizes;
+          Alcotest.test_case "gathers don't" `Quick test_simd_gathers_do_not;
+          Alcotest.test_case "reductions don't" `Quick
+            test_simd_reductions_do_not;
+          Alcotest.test_case "width scales" `Quick test_simd_width_scales;
+        ] );
+    ]

@@ -1,0 +1,233 @@
+(* Code generation tests: structural invariants of the emitted machine
+   programs — constant pooling, the runtime driver protocol (Section
+   III-G), statically matched enqueue/dequeue counts per queue, valid
+   branch targets, and live-out register bookkeeping. *)
+
+open Finepar_ir
+open Finepar_machine
+open Finepar_kernels
+
+let compiled ?(cores = 4) name =
+  let e = Option.get (Registry.find name) in
+  ( e,
+    Finepar.Compiler.compile (Finepar.Compiler.default_config ~cores ())
+      e.Registry.kernel )
+
+let program (c : Finepar.Compiler.compiled) =
+  c.Finepar.Compiler.code.Finepar_codegen.Lower.program
+
+let iter_instrs p f =
+  Array.iteri
+    (fun core (cp : Program.core_program) ->
+      Array.iteri (fun idx instr -> f ~core ~idx instr) cp.Program.code)
+    p.Program.cores
+
+(* ------------------------------------------------------------------ *)
+
+let test_all_targets_valid () =
+  List.iter
+    (fun (e : Registry.entry) ->
+      let c =
+        Finepar.Compiler.compile
+          (Finepar.Compiler.default_config ~cores:4 ())
+          e.Registry.kernel
+      in
+      let p = program c in
+      Array.iter
+        (fun (cp : Program.core_program) ->
+          let check_label l =
+            Alcotest.(check bool) "label resolved" true
+              (l >= 0
+              && l < Array.length cp.Program.label_pos
+              && cp.Program.label_pos.(l) >= 0
+              && cp.Program.label_pos.(l) <= Array.length cp.Program.code)
+          in
+          Array.iter
+            (fun instr ->
+              match instr with
+              | Isa.Bz (_, l) | Isa.Bnz (_, l) | Isa.Jmp l -> check_label l
+              | _ -> ())
+            cp.Program.code)
+        p.Program.cores)
+    Registry.all
+
+let test_register_bounds () =
+  List.iter
+    (fun (e : Registry.entry) ->
+      let c =
+        Finepar.Compiler.compile
+          (Finepar.Compiler.default_config ~cores:4 ())
+          e.Registry.kernel
+      in
+      let p = program c in
+      Array.iter
+        (fun (cp : Program.core_program) ->
+          Array.iter
+            (fun instr ->
+              let ok r = r >= 0 && r < cp.Program.n_regs in
+              Alcotest.(check bool) "register ids in range" true
+                (List.for_all ok (Isa.srcs instr)
+                && match Isa.dst instr with Some d -> ok d | None -> true))
+            cp.Program.code)
+        p.Program.cores)
+    Registry.all
+
+let test_queue_pairing_dynamic () =
+  (* The paper's "senders and receivers are always paired" requirement,
+     observed at run time: after a complete run every queue has drained
+     (the static Deq in the driver loop serves both the wake and the halt
+     tokens, so purely static counts differ on the control queue). *)
+  List.iter
+    (fun name ->
+      let e, c = compiled name in
+      let sim =
+        Sim.create ~config:Config.default ~initial:e.Registry.workload
+          (program c)
+      in
+      ignore (Sim.run sim);
+      Alcotest.(check bool)
+        (name ^ ": every enqueued value was dequeued")
+        true (Sim.queues_empty sim))
+    Registry.names
+
+let test_enqueue_on_producer_core_only () =
+  List.iter
+    (fun name ->
+      let _, c = compiled name in
+      let p = program c in
+      iter_instrs p (fun ~core ~idx:_ instr ->
+          match instr with
+          | Isa.Enq (q, _) ->
+            Alcotest.(check int) "enqueue on the queue's source core"
+              p.Program.queues.(q).Isa.src core
+          | Isa.Deq (_, q) ->
+            Alcotest.(check int) "dequeue on the queue's destination core"
+              p.Program.queues.(q).Isa.dst core
+          | _ -> ()))
+    Registry.names
+
+let test_const_pool_dedup () =
+  (* Secondary cores materialize each distinct literal at most once. *)
+  let _, c = compiled "irs-5" in
+  let p = program c in
+  Array.iteri
+    (fun core (cp : Program.core_program) ->
+      if core > 0 then begin
+        let seen = Hashtbl.create 16 in
+        Array.iter
+          (fun instr ->
+            match instr with
+            | Isa.Li (_, v) ->
+              Alcotest.(check bool)
+                (Fmt.str "core %d: literal %a pooled once" core
+                   Types.pp_value v)
+                false (Hashtbl.mem seen v);
+              Hashtbl.replace seen v ()
+            | _ -> ())
+          cp.Program.code
+      end)
+    p.Program.cores
+
+let test_driver_protocol_shape () =
+  let _, c = compiled "lammps-1" in
+  let p = program c in
+  Array.iteri
+    (fun core (cp : Program.core_program) ->
+      let count pred =
+        Array.fold_left
+          (fun acc i -> if pred i then acc + 1 else acc)
+          0 cp.Program.code
+      in
+      let halts = count (function Isa.Halt -> true | _ -> false) in
+      Alcotest.(check int)
+        (Printf.sprintf "core %d has exactly one halt" core)
+        1 halts;
+      if core > 0 then begin
+        (* The driver: a dequeue of the wake token guarded by a Bz to the
+           halt, and a back jump to the driver top. *)
+        Alcotest.(check bool) "driver has a back jump" true
+          (count (function Isa.Jmp _ -> true | _ -> false) >= 1);
+        Alcotest.(check bool) "driver waits on the primary" true
+          (count (function Isa.Deq _ -> true | _ -> false) >= 1)
+      end)
+    p.Program.cores
+
+let test_live_out_regs () =
+  let e, c = compiled "lammps-3" in
+  let names =
+    List.map fst c.Finepar.Compiler.code.Finepar_codegen.Lower.live_out_regs
+  in
+  Alcotest.(check (list string)) "live-out registers recorded"
+    e.Registry.kernel.Kernel.live_out names
+
+let test_sequential_has_no_queues () =
+  let _, c = compiled ~cores:1 "lammps-1" in
+  let p = program c in
+  Alcotest.(check int) "one core" 1 (Array.length p.Program.cores);
+  Alcotest.(check int) "no queues" 0 (Array.length p.Program.queues);
+  iter_instrs p (fun ~core:_ ~idx:_ instr ->
+      match instr with
+      | Isa.Enq _ | Isa.Deq _ -> Alcotest.fail "queue op in sequential code"
+      | _ -> ())
+
+let test_loop_structure () =
+  (* Every core's code contains a backward conditional branch (the loop)
+     and the loop bound constant. *)
+  let _, c = compiled "umt2k-4" in
+  let p = program c in
+  Array.iteri
+    (fun core (cp : Program.core_program) ->
+      let has_backedge = ref false in
+      Array.iteri
+        (fun idx instr ->
+          match instr with
+          | Isa.Bnz (_, l) when cp.Program.label_pos.(l) <= idx ->
+            has_backedge := true
+          | _ -> ())
+        cp.Program.code;
+      Alcotest.(check bool)
+        (Printf.sprintf "core %d has a loop back-edge" core)
+        true !has_backedge)
+    p.Program.cores
+
+let test_deterministic_codegen () =
+  let _, c1 = compiled "sphot-2" in
+  let _, c2 = compiled "sphot-2" in
+  let p1 = program c1 and p2 = program c2 in
+  Array.iteri
+    (fun core (cp1 : Program.core_program) ->
+      Alcotest.(check int)
+        (Printf.sprintf "core %d same code size" core)
+        (Array.length cp1.Program.code)
+        (Array.length p2.Program.cores.(core).Program.code);
+      Alcotest.(check bool) "identical instructions" true
+        (cp1.Program.code = p2.Program.cores.(core).Program.code))
+    p1.Program.cores
+
+let () =
+  Alcotest.run "codegen"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "branch targets valid" `Quick
+            test_all_targets_valid;
+          Alcotest.test_case "registers in range" `Quick test_register_bounds;
+          Alcotest.test_case "loop back-edges" `Quick test_loop_structure;
+          Alcotest.test_case "deterministic" `Quick test_deterministic_codegen;
+        ] );
+      ( "queues",
+        [
+          Alcotest.test_case "dynamically paired (drained)" `Quick
+            test_queue_pairing_dynamic;
+          Alcotest.test_case "ends on the right cores" `Quick
+            test_enqueue_on_producer_core_only;
+          Alcotest.test_case "sequential is queue-free" `Quick
+            test_sequential_has_no_queues;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "constant pool dedup" `Quick test_const_pool_dedup;
+          Alcotest.test_case "driver shape" `Quick test_driver_protocol_shape;
+          Alcotest.test_case "live-out registers" `Quick test_live_out_regs;
+        ] );
+    ]

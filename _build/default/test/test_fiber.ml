@@ -1,0 +1,227 @@
+(* Fiber partitioning tests (Section III-A), including the paper's Fig. 4
+   worked example and qcheck structural properties. *)
+
+open Finepar_ir
+open Builder
+open Finepar_fiber
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 4: (p2 % 7) + a[i] * (p1 % 13) partitions into three fibers:
+   {C}, {D, B}, {A} where C = p2 % 7, D = p1 % 13, B = a[i] * D,
+   A = C + B. *)
+
+let fig4_expr = (v "p2" %: i 7) +: (ld "a" (v "i") *: (v "p1" %: i 13))
+
+let test_fig4 () =
+  let counter = ref 0 in
+  let fresh () =
+    incr counter;
+    Printf.sprintf "%%f%d" !counter
+  in
+  let pieces, root = Fiber.partition_expr ~fresh fig4_expr in
+  Alcotest.(check int) "three fibers" 3 (List.length pieces);
+  Alcotest.(check bool) "root assigned" true (root <> None);
+  match pieces with
+  | [ (Some t1, e1, false); (Some t2, e2, false); (None, e3, true) ] ->
+    (* Fiber 0 = {C}: p2 % 7. *)
+    Alcotest.(check bool) "fiber C" true (Expr.equal e1 (v "p2" %: i 7));
+    (* Fiber 1 = {D, B}: a[i] * (p1 % 13) — B continued D's fiber. *)
+    Alcotest.(check bool) "fiber D,B" true
+      (Expr.equal e2 (ld "a" (v "i") *: (v "p1" %: i 13)));
+    (* Fiber 2 = {A}: consumes both boundary temps. *)
+    Alcotest.(check bool) "fiber A" true
+      (Expr.equal e3 (Expr.Binop (Types.Add, v t1, v t2)))
+  | _ -> Alcotest.fail "unexpected fiber structure"
+
+let test_leaf_statement_single_fiber () =
+  let counter = ref 0 in
+  let fresh () =
+    incr counter;
+    Printf.sprintf "%%f%d" !counter
+  in
+  let pieces, root = Fiber.partition_expr ~fresh (ld "a" (v "i")) in
+  Alcotest.(check int) "leaf has no operator fibers" 0 (List.length pieces);
+  Alcotest.(check bool) "no root fiber" true (root = None)
+
+(* ------------------------------------------------------------------ *)
+(* Region-level splitting.                                             *)
+
+let kernel_fig4 =
+  kernel ~name:"fig4" ~index:"i" ~lo:0 ~hi:8
+    ~arrays:[ farr "a" 8; iarr "p1a" 8; iarr "p2a" 8; farr "out" 8 ]
+    ~scalars:[]
+    [
+      set "p1" (ld "p1a" (v "i"));
+      set "p2" (ld "p2a" (v "i"));
+      store "out" (v "i")
+        (to_f ((v "p2" %: i 7) +: (to_i (ld "a" (v "i")) *: (v "p1" %: i 13))));
+    ]
+
+let test_split_counts () =
+  let r = Region.of_kernel ~max_height:4 kernel_fig4 in
+  let split, stats = Fiber.split r in
+  Alcotest.(check int) "statements in" (List.length r.Region.stmts)
+    stats.Fiber.statements_in;
+  Alcotest.(check int) "fibers out"
+    (List.length split.Region.stmts)
+    stats.Fiber.initial_fibers;
+  Alcotest.(check bool) "at least one fiber per statement" true
+    (stats.Fiber.initial_fibers >= stats.Fiber.statements_in)
+
+let test_split_preserves_semantics () =
+  let workload = Finepar_kernels.Workload.default kernel_fig4 in
+  let expected = Eval.run_result ~workload kernel_fig4 in
+  let r = Region.of_kernel ~max_height:4 kernel_fig4 in
+  let split, _ = Fiber.split r in
+  Alcotest.(check bool) "split region evaluates identically" true
+    (Eval.result_equal expected (Region.eval ~workload split))
+
+let test_split_single_assignment_temps () =
+  let r = Region.of_kernel kernel_fig4 in
+  let split, _ = Fiber.split r in
+  let defs = Hashtbl.create 16 in
+  List.iter
+    (fun (s : Region.sstmt) ->
+      match Region.sstmt_def s with
+      | Some v when String.length v > 1 && v.[0] = '%' ->
+        Alcotest.(check bool) (v ^ " defined once") false (Hashtbl.mem defs v);
+        Hashtbl.replace defs v ()
+      | Some _ | None -> ())
+    split.Region.stmts;
+  Alcotest.(check bool) "some boundary temps exist" true
+    (Hashtbl.length defs > 0)
+
+let test_split_preserves_preds () =
+  let k =
+    kernel ~name:"p" ~index:"i" ~lo:0 ~hi:4
+      ~arrays:[ farr "a" 4; farr "out" 4 ]
+      ~scalars:[]
+      [
+        set "c" (ld "a" (v "i") >: f 1.0);
+        if_ (v "c")
+          [ store "out" (v "i") ((ld "a" (v "i") *: f 2.0) +: f 1.0) ]
+          [];
+      ]
+  in
+  let r = Region.of_kernel k in
+  let split, _ = Fiber.split r in
+  List.iter
+    (fun (s : Region.sstmt) ->
+      match s.Region.lhs with
+      | Region.Lstore ("out", _) ->
+        Alcotest.(check int) "store keeps its predicate" 1
+          (List.length s.Region.preds)
+      | Region.Lstore _ | Region.Lscalar _ -> ())
+    split.Region.stmts
+
+(* ------------------------------------------------------------------ *)
+(* qcheck: structural properties of the partitioning.                  *)
+
+let gen_expr =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [
+        map (fun x -> Builder.f x) (float_bound_inclusive 4.0);
+        return (ld "a" (v "i"));
+        return (ld "b" (v "i"));
+        return (v "s1");
+      ]
+  in
+  let rec go depth =
+    if depth = 0 then leaf
+    else
+      frequency
+        [
+          (1, leaf);
+          ( 5,
+            oneof
+              [
+                map2 (fun a b -> a +: b) (go (depth - 1)) (go (depth - 1));
+                map2 (fun a b -> a *: b) (go (depth - 1)) (go (depth - 1));
+                map2 (fun a b -> a -: b) (go (depth - 1)) (go (depth - 1));
+                map (fun a -> neg a) (go (depth - 1));
+              ] );
+        ]
+  in
+  go 6
+
+let arbitrary_expr = QCheck.make ~print:(Fmt.to_to_string Expr.pp) gen_expr
+
+let partition e =
+  let counter = ref 0 in
+  let fresh () =
+    incr counter;
+    Printf.sprintf "%%f%d" !counter
+  in
+  Fiber.partition_expr ~fresh e
+
+let prop_fiber_count_bounded =
+  QCheck.Test.make ~count:300 ~name:"fiber count <= operator count"
+    arbitrary_expr (fun e ->
+      let pieces, _ = partition e in
+      List.length pieces <= max 1 (Expr.op_count e))
+
+let prop_ops_conserved =
+  QCheck.Test.make ~count:300 ~name:"operators conserved across fibers"
+    arbitrary_expr (fun e ->
+      let pieces, _ = partition e in
+      let total =
+        List.fold_left (fun acc (_, fe, _) -> acc + Expr.op_count fe) 0 pieces
+      in
+      total = Expr.op_count e)
+
+let prop_topological_order =
+  QCheck.Test.make ~count:300 ~name:"fibers are emitted in dependence order"
+    arbitrary_expr (fun e ->
+      let pieces, _ = partition e in
+      let defined = Hashtbl.create 8 in
+      List.for_all
+        (fun (lhs, fe, _) ->
+          let ok =
+            Expr.String_set.for_all
+              (fun u ->
+                if String.length u > 1 && u.[0] = '%' then Hashtbl.mem defined u
+                else true)
+              (Expr.vars fe)
+          in
+          (match lhs with Some t -> Hashtbl.replace defined t () | None -> ());
+          ok)
+        pieces)
+
+let prop_exactly_one_root =
+  QCheck.Test.make ~count:300 ~name:"exactly one root fiber for non-leaves"
+    arbitrary_expr (fun e ->
+      let pieces, root = partition e in
+      match root with
+      | None -> pieces = []
+      | Some _ -> List.length (List.filter (fun (_, _, r) -> r) pieces) = 1)
+
+let () =
+  Alcotest.run "fiber"
+    [
+      ( "fig4",
+        [
+          Alcotest.test_case "paper example: three fibers" `Quick test_fig4;
+          Alcotest.test_case "leaf statements" `Quick
+            test_leaf_statement_single_fiber;
+        ] );
+      ( "split",
+        [
+          Alcotest.test_case "counts" `Quick test_split_counts;
+          Alcotest.test_case "semantics preserved" `Quick
+            test_split_preserves_semantics;
+          Alcotest.test_case "boundary temps single-assignment" `Quick
+            test_split_single_assignment_temps;
+          Alcotest.test_case "predicates preserved" `Quick
+            test_split_preserves_preds;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_fiber_count_bounded;
+            prop_ops_conserved;
+            prop_topological_order;
+            prop_exactly_one_root;
+          ] );
+    ]

@@ -1,0 +1,377 @@
+(* IR layer tests: operator semantics, expression utilities, kernel
+   validation, the reference evaluator, and the flattening pre-pass
+   (including qcheck properties: flattening bounds tree height and
+   preserves semantics). *)
+
+open Finepar_ir
+open Types
+open Builder
+
+let check_value = Alcotest.testable pp_value value_equal
+
+(* ------------------------------------------------------------------ *)
+(* Operator semantics.                                                 *)
+
+let test_binop_semantics () =
+  Alcotest.check check_value "int add" (VInt 7)
+    (apply_binop Add (VInt 3) (VInt 4));
+  Alcotest.check check_value "float mul" (VFloat 6.0)
+    (apply_binop Mul (VFloat 1.5) (VFloat 4.0));
+  Alcotest.check check_value "int div by zero is total" (VInt 0)
+    (apply_binop Div (VInt 5) (VInt 0));
+  Alcotest.check check_value "int rem by zero is total" (VInt 0)
+    (apply_binop Rem (VInt 5) (VInt 0));
+  Alcotest.check check_value "float compare" (VInt 1)
+    (apply_binop Lt (VFloat 1.0) (VFloat 2.0));
+  Alcotest.check check_value "int min" (VInt (-2))
+    (apply_binop Min (VInt 5) (VInt (-2)));
+  Alcotest.check check_value "shift masks its count" (VInt 2)
+    (apply_binop Shl (VInt 1) (VInt 1))
+
+let test_unop_semantics () =
+  Alcotest.check check_value "neg" (VInt (-3)) (apply_unop Neg (VInt 3));
+  Alcotest.check check_value "not 0" (VInt 1) (apply_unop Not (VInt 0));
+  Alcotest.check check_value "not nonzero" (VInt 0) (apply_unop Not (VInt 9));
+  Alcotest.check check_value "sqrt" (VFloat 3.0) (apply_unop Sqrt (VFloat 9.0));
+  Alcotest.check check_value "to_int truncates" (VInt 2)
+    (apply_unop To_int (VFloat 2.9));
+  Alcotest.check check_value "to_float" (VFloat 5.0)
+    (apply_unop To_float (VInt 5))
+
+let test_type_errors () =
+  Alcotest.check_raises "mixed operand types"
+    (Type_error "apply_binop add: operand type mismatch (i64, f64)")
+    (fun () -> ignore (apply_binop Add (VInt 1) (VFloat 1.0)));
+  Alcotest.(check bool) "sqrt of int rejected by typing" true
+    (try
+       ignore (unop_result_ty Sqrt I64);
+       false
+     with Type_error _ -> true)
+
+let test_value_equal_nan () =
+  Alcotest.(check bool) "nan equals itself bitwise" true
+    (value_equal (VFloat Float.nan) (VFloat Float.nan));
+  Alcotest.(check bool) "+0 and -0 differ" false
+    (value_equal (VFloat 0.0) (VFloat (-0.0)))
+
+(* ------------------------------------------------------------------ *)
+(* Expression utilities.                                               *)
+
+let fig4_expr =
+  (* (p2 % 7) + a[i] * (p1 % 13) *)
+  (v "p2" %: i 7) +: (ld "a" (v "i") *: (v "p1" %: i 13))
+
+let test_expr_utilities () =
+  Alcotest.(check int) "op count" 4 (Expr.op_count fig4_expr);
+  Alcotest.(check int) "height" 3 (Expr.height fig4_expr);
+  Alcotest.(check (list string)) "vars"
+    [ "i"; "p1"; "p2" ]
+    (Expr.String_set.elements (Expr.vars fig4_expr));
+  Alcotest.(check (list string)) "arrays read" [ "a" ]
+    (Expr.String_set.elements (Expr.arrays_read fig4_expr));
+  Alcotest.(check int) "loads" 1 (List.length (Expr.loads fig4_expr));
+  Alcotest.(check bool) "equal reflexive" true (Expr.equal fig4_expr fig4_expr);
+  Alcotest.(check bool) "equal distinguishes" false
+    (Expr.equal fig4_expr (v "p2"))
+
+let test_expr_subst () =
+  let e = v "x" +: v "y" in
+  let e' = Expr.subst (fun n -> if n = "x" then Some (i 5) else None) e in
+  Alcotest.(check bool) "substituted" true (Expr.equal e' (i 5 +: v "y"))
+
+(* ------------------------------------------------------------------ *)
+(* Kernel validation.                                                  *)
+
+let tiny body =
+  kernel ~name:"t" ~index:"i" ~lo:0 ~hi:4
+    ~arrays:[ farr "a" 4; farr "out" 4 ]
+    ~scalars:[ fscalar "s" ] body
+
+let test_validation_ok () =
+  let k = tiny [ set "x" (ld "a" (v "i")); store "out" (v "i") (v "x") ] in
+  Alcotest.(check string) "name" "t" k.Kernel.name
+
+let expect_invalid name body =
+  Alcotest.(check bool) name true
+    (try
+       ignore (tiny body);
+       false
+     with Kernel.Invalid _ -> true)
+
+let test_validation_errors () =
+  expect_invalid "unknown array" [ store "nope" (v "i") (f 1.0) ];
+  expect_invalid "undefined scalar" [ store "out" (v "i") (v "ghost") ];
+  expect_invalid "assign to induction" [ set "i" (i 0) ];
+  expect_invalid "type change" [ set "s" (i 1) ];
+  expect_invalid "f64 condition" [ if_ (f 1.0) [ set "x" (i 1) ] [] ];
+  expect_invalid "f64 index" [ store "out" (f 1.0) (f 0.0) ]
+
+let test_validation_liveout () =
+  Alcotest.(check bool) "undeclared live-out rejected" true
+    (try
+       ignore
+         (kernel ~name:"t" ~index:"i" ~lo:0 ~hi:4 ~arrays:[] ~scalars:[]
+            ~live_out:[ "ghost" ] []);
+       false
+     with Kernel.Invalid _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Evaluator.                                                          *)
+
+let test_eval_basic () =
+  let k =
+    kernel ~name:"e" ~index:"i" ~lo:0 ~hi:5
+      ~arrays:[ farr "a" 5; farr "out" 5 ]
+      ~scalars:[ fscalar "sum" ]
+      ~live_out:[ "sum" ]
+      [
+        set "x" (ld "a" (v "i") *: f 2.0);
+        set "sum" (v "sum" +: v "x");
+        store "out" (v "i") (v "x");
+      ]
+  in
+  let workload = [ ("a", Array.init 5 (fun j -> VFloat (float_of_int j))) ] in
+  let r = Eval.run_result ~workload k in
+  Alcotest.check check_value "sum = 2*(0+1+2+3+4)" (VFloat 20.0)
+    (List.assoc "sum" r.Eval.live_out);
+  Alcotest.check check_value "out[3]" (VFloat 6.0)
+    (List.assoc "out" r.Eval.arrays_out).(3)
+
+let test_eval_conditional () =
+  let k =
+    kernel ~name:"e" ~index:"i" ~lo:0 ~hi:4
+      ~arrays:[ farr "out" 4 ]
+      ~scalars:[ iscalar "hits" ]
+      ~live_out:[ "hits" ]
+      [
+        set "odd" (v "i" %: i 2);
+        if_ (v "odd")
+          [ set "hits" (v "hits" +: i 1); store "out" (v "i") (f 1.0) ]
+          [ store "out" (v "i") (f (-1.0)) ];
+      ]
+  in
+  let r = Eval.run_result k in
+  Alcotest.check check_value "hits" (VInt 2) (List.assoc "hits" r.Eval.live_out);
+  Alcotest.check check_value "out[0]" (VFloat (-1.0))
+    (List.assoc "out" r.Eval.arrays_out).(0);
+  Alcotest.check check_value "out[1]" (VFloat 1.0)
+    (List.assoc "out" r.Eval.arrays_out).(1)
+
+let test_eval_bounds () =
+  let k = tiny [ store "out" (v "i" +: i 100) (f 0.0) ] in
+  Alcotest.(check bool) "out of bounds raises" true
+    (try
+       ignore (Eval.run k);
+       false
+     with Eval.Runtime_error _ -> true)
+
+let test_eval_select_both_arms () =
+  (* Select evaluates both arms: nan from the untaken arm must not leak. *)
+  let k =
+    kernel ~name:"e" ~index:"i" ~lo:0 ~hi:1
+      ~arrays:[ farr "out" 1 ]
+      ~scalars:[]
+      [ store "out" (v "i") (select (i 1) (f 2.0) (sqrt_ (f (-1.0)))) ]
+  in
+  let r = Eval.run_result k in
+  Alcotest.check check_value "taken arm" (VFloat 2.0)
+    (List.assoc "out" r.Eval.arrays_out).(0)
+
+(* ------------------------------------------------------------------ *)
+(* Flattening / regions.                                               *)
+
+let deep_kernel =
+  kernel ~name:"deep" ~index:"i" ~lo:0 ~hi:8
+    ~arrays:[ farr "a" 8; farr "out" 8; iarr "idx" 8 ]
+    ~scalars:[ fscalar "acc" ]
+    ~live_out:[ "acc" ]
+    [
+      set "x"
+        (sqrt_
+           ((ld "a" (v "i") *: f 2.0 +: f 1.0)
+           /: (ld "a" (v "i") +: f 3.0)
+           +: (f 0.5 *: ld "a" (v "i") *: ld "a" (v "i"))));
+      set "acc" (v "acc" +: v "x");
+      store "out" (ld "idx" (v "i")) (v "x" *: v "x" +: v "x" /: f 7.0);
+      if_ (v "x" >: f 1.0) [ set "acc" (v "acc" +: f 0.125) ] [];
+    ]
+
+let region_heights r =
+  List.map (fun (s : Region.sstmt) -> Expr.height s.Region.rhs) r.Region.stmts
+
+let test_flatten_bounds_height () =
+  List.iter
+    (fun max_height ->
+      let r = Region.of_kernel ~max_height deep_kernel in
+      List.iter
+        (fun h ->
+          Alcotest.(check bool)
+            (Printf.sprintf "height %d <= %d" h max_height)
+            true (h <= max_height))
+        (region_heights r))
+    [ 1; 2; 3; 4 ]
+
+let test_flatten_preserves_semantics () =
+  let workload = Finepar_kernels.Workload.default deep_kernel in
+  let expected = Eval.run_result ~workload deep_kernel in
+  List.iter
+    (fun max_height ->
+      let r = Region.of_kernel ~max_height deep_kernel in
+      let got = Region.eval ~workload r in
+      Alcotest.(check bool)
+        (Printf.sprintf "region eval (h=%d) matches" max_height)
+        true
+        (Eval.result_equal expected got))
+    [ 1; 2; 3 ]
+
+let test_flatten_simple_indices () =
+  let r = Region.of_kernel deep_kernel in
+  List.iter
+    (fun (s : Region.sstmt) ->
+      (match s.Region.lhs with
+      | Region.Lstore (_, idx) ->
+        Alcotest.(check bool) "store index simple" true (Region.is_simple idx)
+      | Region.Lscalar _ -> ());
+      Expr.iter
+        (fun e ->
+          match e with
+          | Expr.Load (_, idx) ->
+            Alcotest.(check bool) "load index simple" true
+              (Region.is_simple idx)
+          | _ -> ())
+        s.Region.rhs)
+    r.Region.stmts
+
+let test_flatten_predicates () =
+  let r = Region.of_kernel deep_kernel in
+  let conditional =
+    List.filter (fun (s : Region.sstmt) -> s.Region.preds <> []) r.Region.stmts
+  in
+  Alcotest.(check int) "one predicated statement" 1 (List.length conditional);
+  let s = List.hd conditional in
+  Alcotest.(check bool) "predicate wants true" true
+    (List.for_all (fun p -> p.Region.want) s.Region.preds)
+
+let test_preds_prefix () =
+  let p c w = { Region.cnd = c; want = w } in
+  Alcotest.(check bool) "empty prefix" true (Region.preds_prefix [] [ p "c" true ]);
+  Alcotest.(check bool) "self prefix" true
+    (Region.preds_prefix [ p "c" true ] [ p "c" true ]);
+  Alcotest.(check bool) "longer not prefix" false
+    (Region.preds_prefix [ p "c" true; p "d" false ] [ p "c" true ]);
+  Alcotest.(check bool) "mismatched want" false
+    (Region.preds_prefix [ p "c" false ] [ p "c" true ])
+
+(* ------------------------------------------------------------------ *)
+(* qcheck: random expressions.                                         *)
+
+let gen_fexpr =
+  (* Random float expressions over a[i], a few scalars, and literals. *)
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [
+        map (fun x -> Builder.f x) (float_bound_inclusive 10.0);
+        return (ld "a" (v "i"));
+        return (v "s1");
+        return (v "s2");
+      ]
+  in
+  let rec go depth =
+    if depth = 0 then leaf
+    else
+      frequency
+        [
+          (1, leaf);
+          ( 4,
+            oneof
+              [
+                map2 (fun a b -> a +: b) (go (depth - 1)) (go (depth - 1));
+                map2 (fun a b -> a -: b) (go (depth - 1)) (go (depth - 1));
+                map2 (fun a b -> a *: b) (go (depth - 1)) (go (depth - 1));
+                map2 (fun a b -> a /: b) (go (depth - 1)) (go (depth - 1));
+                map (fun a -> sqrt_ (abs_ a)) (go (depth - 1));
+              ] );
+        ]
+  in
+  go 5
+
+let arbitrary_fexpr = QCheck.make ~print:(Fmt.to_to_string Expr.pp) gen_fexpr
+
+let kernel_of_expr e =
+  kernel ~name:"q" ~index:"i" ~lo:0 ~hi:6
+    ~arrays:[ farr "a" 6; farr "out" 6 ]
+    ~scalars:[ fscalar ~init:1.25 "s1"; fscalar ~init:0.5 "s2" ]
+    [ store "out" (v "i") e ]
+
+let prop_flatten_height =
+  QCheck.Test.make ~count:200 ~name:"flatten bounds every rhs height"
+    arbitrary_fexpr (fun e ->
+      let r = Region.of_kernel ~max_height:2 (kernel_of_expr e) in
+      List.for_all (fun h -> h <= 2) (region_heights r))
+
+let prop_flatten_semantics =
+  QCheck.Test.make ~count:200 ~name:"flatten preserves semantics"
+    arbitrary_fexpr (fun e ->
+      let k = kernel_of_expr e in
+      let workload = Finepar_kernels.Workload.default k in
+      let expected = Eval.run_result ~workload k in
+      List.for_all
+        (fun max_height ->
+          Eval.result_equal expected
+            (Region.eval ~workload (Region.of_kernel ~max_height k)))
+        [ 1; 2; 4 ])
+
+let prop_height_zero_leaves =
+  QCheck.Test.make ~count:200 ~name:"height 0 iff leaf" arbitrary_fexpr
+    (fun e ->
+      Expr.height e = 0
+      = match e with Expr.Const _ | Expr.Var _ -> true
+        | Expr.Load (_, idx) -> Expr.height idx = 0
+        | _ -> false)
+
+let () =
+  Alcotest.run "ir"
+    [
+      ( "types",
+        [
+          Alcotest.test_case "binop semantics" `Quick test_binop_semantics;
+          Alcotest.test_case "unop semantics" `Quick test_unop_semantics;
+          Alcotest.test_case "type errors" `Quick test_type_errors;
+          Alcotest.test_case "value equality" `Quick test_value_equal_nan;
+        ] );
+      ( "expr",
+        [
+          Alcotest.test_case "utilities" `Quick test_expr_utilities;
+          Alcotest.test_case "subst" `Quick test_expr_subst;
+        ] );
+      ( "kernel",
+        [
+          Alcotest.test_case "validation accepts" `Quick test_validation_ok;
+          Alcotest.test_case "validation rejects" `Quick test_validation_errors;
+          Alcotest.test_case "live-out declared" `Quick test_validation_liveout;
+        ] );
+      ( "eval",
+        [
+          Alcotest.test_case "basic" `Quick test_eval_basic;
+          Alcotest.test_case "conditionals" `Quick test_eval_conditional;
+          Alcotest.test_case "bounds checked" `Quick test_eval_bounds;
+          Alcotest.test_case "select evaluates both arms" `Quick
+            test_eval_select_both_arms;
+        ] );
+      ( "flatten",
+        [
+          Alcotest.test_case "bounds heights" `Quick test_flatten_bounds_height;
+          Alcotest.test_case "preserves semantics" `Quick
+            test_flatten_preserves_semantics;
+          Alcotest.test_case "indices stay simple" `Quick
+            test_flatten_simple_indices;
+          Alcotest.test_case "predicates extracted" `Quick
+            test_flatten_predicates;
+          Alcotest.test_case "preds_prefix" `Quick test_preds_prefix;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_flatten_height; prop_flatten_semantics; prop_height_zero_leaves ]
+      );
+    ]

@@ -1,0 +1,182 @@
+(* Kernel registry and workload tests: every kernel's workload is
+   deterministic and in bounds, the registry carries the paper's published
+   data intact, and kernel structure matches the published descriptions. *)
+
+open Finepar_ir
+open Finepar_kernels
+
+let test_registry_complete () =
+  Alcotest.(check int) "18 kernels" 18 (List.length Registry.all);
+  Alcotest.(check (list string)) "four applications"
+    [ "lammps"; "irs"; "umt2k"; "sphot" ]
+    Registry.apps;
+  List.iter
+    (fun app ->
+      Alcotest.(check bool)
+        (app ^ " has kernels")
+        true
+        (Registry.by_app app <> []))
+    Registry.apps;
+  Alcotest.(check int) "5 + 5 + 6 + 2 split" 18
+    (List.length (Registry.by_app "lammps")
+    + List.length (Registry.by_app "irs")
+    + List.length (Registry.by_app "umt2k")
+    + List.length (Registry.by_app "sphot"))
+
+let test_pct_times_match_paper () =
+  (* The paper gives coverage of application time: ~85% lammps, ~65% irs,
+     ~50% umt2k, ~55% sphot (Section IV). *)
+  let total app =
+    List.fold_left
+      (fun acc (e : Registry.entry) -> acc +. e.Registry.pct_time)
+      0.0 (Registry.by_app app)
+  in
+  let near app expected =
+    Alcotest.(check bool)
+      (Printf.sprintf "%s covers ~%.0f%%" app expected)
+      true
+      (Float.abs (total app -. expected) < 5.0)
+  in
+  near "lammps" 87.0;
+  near "irs" 65.3;
+  near "umt2k" 48.0;
+  near "sphot" 38.1
+
+let test_paper_rows_positive () =
+  List.iter
+    (fun (e : Registry.entry) ->
+      let p = e.Registry.paper in
+      Alcotest.(check bool) "paper row sane" true
+        (p.Registry.p_fibers > 0 && p.Registry.p_balance >= 1.0
+        && p.Registry.p_speedup4 > 0.0 && p.Registry.p_queues <= 12))
+    Registry.all
+
+let test_workloads_in_bounds () =
+  (* Every int array used as an index must stay within every array it
+     gathers into; the reference evaluator enforces this at run time, so
+     a plain sequential evaluation is the check. *)
+  List.iter
+    (fun (e : Registry.entry) ->
+      ignore (Eval.run_result ~workload:e.Registry.workload e.Registry.kernel))
+    Registry.all
+
+let test_workloads_deterministic () =
+  List.iter
+    (fun (e : Registry.entry) ->
+      let again =
+        match e.Registry.app with
+        | "lammps" -> Lammps.workload e.Registry.kernel
+        | "irs" -> Irs.workload e.Registry.kernel
+        | "umt2k" -> Umt2k.workload e.Registry.kernel
+        | "sphot" -> Sphot.workload e.Registry.kernel
+        | _ -> assert false
+      in
+      List.iter2
+        (fun (n1, a1) (n2, a2) ->
+          Alcotest.(check string) "same array order" n1 n2;
+          Alcotest.(check bool) (n1 ^ " regenerates identically") true
+            (Array.for_all2 Types.value_equal a1 a2))
+        e.Registry.workload again)
+    Registry.all
+
+let test_workload_rng_ranges () =
+  let r = Workload.rng 123 in
+  for _ = 1 to 1000 do
+    let x = Workload.float_in r 0.25 2.0 in
+    Alcotest.(check bool) "float in range" true (x >= 0.25 && x < 2.0)
+  done;
+  let r = Workload.rng 77 in
+  for _ = 1 to 1000 do
+    let i = Workload.int_below r 17 in
+    Alcotest.(check bool) "int below bound" true (i >= 0 && i < 17)
+  done
+
+let test_workload_ascending () =
+  let r = Workload.rng 5 in
+  let a = Workload.iarray_ascending r 64 ~max_step:3 in
+  let prev = ref (-1) in
+  Array.iter
+    (fun v ->
+      match v with
+      | Types.VInt i ->
+        Alcotest.(check bool) "monotone" true (i >= !prev);
+        prev := i
+      | Types.VFloat _ -> Alcotest.fail "not an int")
+    a
+
+let test_structure_matches_descriptions () =
+  let body name = (Option.get (Registry.find name)).Registry.kernel.Kernel.body in
+  let conditionals name =
+    let c = ref 0 in
+    Stmt.iter_block
+      (fun s -> match s with Stmt.If _ -> incr c | _ -> ())
+      (body name);
+    !c
+  in
+  (* "7 of the 18 loops have no conditionals within the loop body". *)
+  let unconditional =
+    List.length
+      (List.filter
+         (fun (e : Registry.entry) ->
+           conditionals e.Registry.kernel.Kernel.name = 0)
+         Registry.all)
+  in
+  Alcotest.(check bool) "several kernels are branch-free" true
+    (unconditional >= 5 && unconditional <= 9);
+  (* umt2k-6 has the most conditional structure. *)
+  Alcotest.(check bool) "umt2k-6 is conditional-heavy" true
+    (conditionals "umt2k-6" >= 5);
+  (* The big kernels are big; the small ones are small. *)
+  Alcotest.(check bool) "irs-1 is the largest body" true
+    (Stmt.op_count (body "irs-1")
+    > Stmt.op_count (body "sphot-1"))
+
+let test_live_outs_are_reductions () =
+  (* Every declared live-out is actually written by the loop. *)
+  List.iter
+    (fun (e : Registry.entry) ->
+      let written = Stmt.vars_written e.Registry.kernel.Kernel.body in
+      List.iter
+        (fun v ->
+          Alcotest.(check bool)
+            (e.Registry.kernel.Kernel.name ^ " live-out " ^ v ^ " written")
+            true
+            (Stmt.String_set.mem v written))
+        e.Registry.kernel.Kernel.live_out)
+    Registry.all
+
+let test_corpus_counts () =
+  Alcotest.(check int) "33 excluded loops" 33 (List.length Corpus.excluded);
+  Alcotest.(check int) "51 total hot loops" 51
+    (List.length Corpus.all_hot_loops);
+  (* All corpus loops evaluate cleanly. *)
+  List.iter
+    (fun (k : Kernel.t) ->
+      ignore (Eval.run_result ~workload:(Workload.default k) k))
+    Corpus.excluded
+
+let () =
+  Alcotest.run "kernels"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "complete" `Quick test_registry_complete;
+          Alcotest.test_case "time coverage" `Quick test_pct_times_match_paper;
+          Alcotest.test_case "paper rows" `Quick test_paper_rows_positive;
+          Alcotest.test_case "structure" `Quick
+            test_structure_matches_descriptions;
+          Alcotest.test_case "live-outs written" `Quick
+            test_live_outs_are_reductions;
+        ] );
+      ( "workloads",
+        [
+          Alcotest.test_case "in bounds" `Quick test_workloads_in_bounds;
+          Alcotest.test_case "deterministic" `Quick
+            test_workloads_deterministic;
+          Alcotest.test_case "rng ranges" `Quick test_workload_rng_ranges;
+          Alcotest.test_case "ascending arrays" `Quick test_workload_ascending;
+        ] );
+      ( "corpus",
+        [ Alcotest.test_case "counts and evaluation" `Quick test_corpus_counts ]
+      );
+    ]

@@ -1,0 +1,259 @@
+(* Transformation tests: control-flow speculation (eligibility rules and
+   semantics preservation) and communication insertion (coverage and
+   FIFO consistency of the computed transfers). *)
+
+open Finepar_ir
+open Finepar_analysis
+open Finepar_partition
+open Finepar_transform
+open Builder
+
+(* ------------------------------------------------------------------ *)
+(* Speculation.                                                        *)
+
+let base_kernel body =
+  kernel ~name:"s" ~index:"i" ~lo:0 ~hi:8
+    ~arrays:[ farr "a" 8; farr "b" 8; farr "out" 8 ]
+    ~scalars:[ fscalar "acc"; fscalar ~init:1.0 "thr"; fscalar "x" ]
+    ~live_out:[ "acc" ] body
+
+let selection_body =
+  [
+    set "c" (ld "a" (v "i") >: v "thr");
+    if_ (v "c")
+      [ set "x" (ld "a" (v "i") *: f 2.0); set "y" (v "x" +: f 1.0) ]
+      [ set "y" (ld "b" (v "i")) ];
+    store "out" (v "i") (v "y");
+  ]
+
+let test_speculation_applies () =
+  let k = base_kernel selection_body in
+  let k', count = Speculate.apply k in
+  Alcotest.(check int) "one conditional converted" 1 count;
+  (* No structured conditionals remain. *)
+  let ifs = ref 0 in
+  Stmt.iter_block
+    (fun s -> match s with Stmt.If _ -> incr ifs | _ -> ())
+    k'.Kernel.body;
+  Alcotest.(check int) "no ifs remain" 0 !ifs;
+  (* Selects appear. *)
+  let selects = ref 0 in
+  Stmt.iter_block
+    (fun s ->
+      List.iter
+        (fun e ->
+          Expr.iter
+            (fun e -> match e with Expr.Select _ -> incr selects | _ -> ())
+            e)
+        (Stmt.exprs s))
+    k'.Kernel.body;
+  Alcotest.(check bool) "selects inserted" true (!selects >= 1)
+
+let test_speculation_preserves_semantics () =
+  let k = base_kernel selection_body in
+  let k', _ = Speculate.apply k in
+  let workload = Finepar_kernels.Workload.default k in
+  Alcotest.(check bool) "same results" true
+    (Eval.result_equal
+       (Eval.run_result ~workload k)
+       (Eval.run_result ~workload k'))
+
+let test_speculation_skips_stores () =
+  let k =
+    base_kernel
+      [
+        set "c" (ld "a" (v "i") >: v "thr");
+        if_ (v "c") [ store "out" (v "i") (f 1.0) ] [ set "x" (f 0.0) ];
+      ]
+  in
+  let _, count = Speculate.apply k in
+  Alcotest.(check int) "stores make a branch ineligible" 0 count
+
+let test_speculation_skips_accumulators () =
+  let k =
+    base_kernel
+      [
+        set "c" (ld "a" (v "i") >: v "thr");
+        if_ (v "c") [ set "acc" (v "acc" +: f 1.0) ] [];
+      ]
+  in
+  let _, count = Speculate.apply k in
+  Alcotest.(check int) "guarded reductions are not speculated" 0 count
+
+let test_speculation_skips_nested () =
+  let k =
+    base_kernel
+      [
+        set "c" (ld "a" (v "i") >: v "thr");
+        set "d" (ld "b" (v "i") >: v "thr");
+        if_ (v "c") [ when_ (v "d") [ set "x" (f 1.0) ]; ] [ set "x" (f 2.0) ];
+        set "acc" (v "acc" +: f 1.0);
+      ]
+  in
+  let _, count = Speculate.apply k in
+  Alcotest.(check int) "nested conditionals ineligible (outer)" 1 count
+  (* the inner [when_] becomes eligible after recursion into the arm is
+     skipped; only the inner single-arm if converts *)
+
+let test_speculation_one_sided () =
+  (* A variable assigned in only one arm selects against its old value. *)
+  let k =
+    kernel ~name:"s" ~index:"i" ~lo:0 ~hi:8
+      ~arrays:[ farr "a" 8; farr "out" 8 ]
+      ~scalars:[ fscalar ~init:5.0 "x" ]
+      [
+        set "c" (ld "a" (v "i") >: f 1.0);
+        if_ (v "c") [ set "x" (ld "a" (v "i")) ] [];
+        store "out" (v "i") (v "x");
+      ]
+  in
+  let k', count = Speculate.apply k in
+  Alcotest.(check int) "converted" 1 count;
+  let workload = Finepar_kernels.Workload.default k in
+  Alcotest.(check bool) "keeps the old value when untaken" true
+    (Eval.result_equal
+       (Eval.run_result ~workload k)
+       (Eval.run_result ~workload k'))
+
+let test_speculation_all_kernels_semantics () =
+  List.iter
+    (fun (e : Finepar_kernels.Registry.entry) ->
+      let k = e.Finepar_kernels.Registry.kernel in
+      let k', _ = Speculate.apply k in
+      let workload = e.Finepar_kernels.Registry.workload in
+      Alcotest.(check bool)
+        (k.Kernel.name ^ " speculation preserves semantics")
+        true
+        (Eval.result_equal
+           (Eval.run_result ~workload k)
+           (Eval.run_result ~workload k')))
+    Finepar_kernels.Registry.all
+
+(* ------------------------------------------------------------------ *)
+(* Communication insertion.                                            *)
+
+let comm_of kernel ~cores =
+  let region = Region.of_kernel kernel in
+  let split, _ = Finepar_fiber.Fiber.split region in
+  let deps = Deps.analyze split in
+  let graph = Code_graph.build ~profile:Profile.all_hits split deps in
+  let merge = Merge.run ~cores graph in
+  let order = Schedule.order graph ~cluster_of:merge.Merge.cluster_of in
+  let comm =
+    Comm.compute ~region:split ~deps ~cluster_of:merge.Merge.cluster_of ~order
+      ~queue_len:20
+  in
+  (split, deps, merge, order, comm)
+
+let test_comm_covers_cross_edges () =
+  let e = Option.get (Finepar_kernels.Registry.find "umt2k-4") in
+  let _, deps, merge, _, comm = comm_of e.Finepar_kernels.Registry.kernel ~cores:4 in
+  (* Every cross-cluster data/control edge must have a transfer for its
+     variable to the consumer's core. *)
+  List.iter
+    (fun (ed : Deps.edge) ->
+      match ed.Deps.kind with
+      | Deps.Data var | Deps.Control var ->
+        let sc = merge.Merge.cluster_of.(ed.Deps.src)
+        and dc = merge.Merge.cluster_of.(ed.Deps.dst) in
+        if sc <> dc then
+          Alcotest.(check bool)
+            (Fmt.str "transfer for %s %d->%d (edge %a)" var sc dc Deps.pp_edge
+               ed)
+            true
+            (List.exists
+               (fun (tr : Comm.transfer) ->
+                 String.equal tr.Comm.var var
+                 && tr.Comm.src_core = sc && tr.Comm.dst_core = dc)
+               comm.Comm.transfers)
+      | Deps.Anti _ | Deps.Mem _ ->
+        (* Anti and memory edges never cross clusters (must-merge). *)
+        Alcotest.(check int)
+          (Fmt.str "edge %a intra-cluster" Deps.pp_edge ed)
+          merge.Merge.cluster_of.(ed.Deps.src)
+          merge.Merge.cluster_of.(ed.Deps.dst))
+    deps.Deps.edges
+
+let test_comm_anchors_ordered () =
+  let e = Option.get (Finepar_kernels.Registry.find "lammps-3") in
+  let _, _, _, order, comm = comm_of e.Finepar_kernels.Registry.kernel ~cores:4 in
+  let n = List.length order in
+  List.iter
+    (fun (tr : Comm.transfer) ->
+      Alcotest.(check bool) "enqueue anchored before dequeue" true
+        (tr.Comm.enq_anchor < tr.Comm.deq_anchor);
+      Alcotest.(check bool) "anchors in range" true
+        (tr.Comm.enq_anchor >= 0 && tr.Comm.deq_anchor < n))
+    comm.Comm.transfers
+
+let test_comm_seq_matches_enq_order () =
+  let e = Option.get (Finepar_kernels.Registry.find "irs-5") in
+  let _, _, _, _, comm = comm_of e.Finepar_kernels.Registry.kernel ~cores:4 in
+  (* Within a queue, seq numbers must be strictly increasing with the
+     enqueue anchor. *)
+  let by_queue = Hashtbl.create 8 in
+  List.iter
+    (fun (tr : Comm.transfer) ->
+      let key = (tr.Comm.src_core, tr.Comm.dst_core, tr.Comm.ty) in
+      Hashtbl.replace by_queue key
+        (tr :: Option.value ~default:[] (Hashtbl.find_opt by_queue key)))
+    comm.Comm.transfers;
+  Hashtbl.iter
+    (fun _ trs ->
+      let sorted =
+        List.sort (fun a b -> compare a.Comm.seq b.Comm.seq) trs
+      in
+      let rec check = function
+        | a :: (b :: _ as rest) ->
+          Alcotest.(check bool) "seq follows enqueue order" true
+            (a.Comm.enq_anchor <= b.Comm.enq_anchor);
+          check rest
+        | [ _ ] | [] -> ()
+      in
+      check sorted)
+    by_queue
+
+let test_comm_counts () =
+  let e = Option.get (Finepar_kernels.Registry.find "lammps-1") in
+  let _, _, _, _, comm = comm_of e.Finepar_kernels.Registry.kernel ~cores:4 in
+  Alcotest.(check int) "com_ops = 2 * transfers"
+    (2 * List.length comm.Comm.transfers)
+    comm.Comm.com_ops;
+  Alcotest.(check bool) "pairs used nonempty" true (comm.Comm.pairs_used <> [])
+
+let test_comm_sequential_empty () =
+  let e = Option.get (Finepar_kernels.Registry.find "lammps-1") in
+  let _, _, _, _, comm = comm_of e.Finepar_kernels.Registry.kernel ~cores:1 in
+  Alcotest.(check int) "no transfers on one core" 0 comm.Comm.com_ops
+
+let () =
+  Alcotest.run "transform"
+    [
+      ( "speculation",
+        [
+          Alcotest.test_case "applies to value selection" `Quick
+            test_speculation_applies;
+          Alcotest.test_case "preserves semantics" `Quick
+            test_speculation_preserves_semantics;
+          Alcotest.test_case "skips stores" `Quick test_speculation_skips_stores;
+          Alcotest.test_case "skips accumulators" `Quick
+            test_speculation_skips_accumulators;
+          Alcotest.test_case "nested conditionals" `Quick
+            test_speculation_skips_nested;
+          Alcotest.test_case "one-sided branches" `Quick
+            test_speculation_one_sided;
+          Alcotest.test_case "all kernels preserve semantics" `Slow
+            test_speculation_all_kernels_semantics;
+        ] );
+      ( "communication",
+        [
+          Alcotest.test_case "covers cross edges" `Quick
+            test_comm_covers_cross_edges;
+          Alcotest.test_case "anchors ordered" `Quick test_comm_anchors_ordered;
+          Alcotest.test_case "per-queue FIFO seq" `Quick
+            test_comm_seq_matches_enq_order;
+          Alcotest.test_case "op counts" `Quick test_comm_counts;
+          Alcotest.test_case "sequential has no comm" `Quick
+            test_comm_sequential_empty;
+        ] );
+    ]
