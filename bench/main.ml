@@ -6,9 +6,17 @@
    Sections (select with a command-line argument prefix, default: all):
      table1 table2 table3 fig11 fig12 fig13 fig14
      ablation_throughput ablation_multipair ablation_overhead
-     ablation_queue characterization wallclock *)
+     ablation_queue characterization wallclock
+
+   --json=FILE additionally writes the measured numbers of the sections
+   that ran as machine-readable JSON (for tracking runs over time). *)
 
 open Finepar
+module J = Finepar_telemetry.Json
+
+(* Machine-readable copies of the printed numbers, keyed by section. *)
+let collected : (string * J.t) list ref = ref []
+let collect name v = collected := (name, v) :: !collected
 
 let rule () = print_endline (String.make 78 '-')
 
@@ -39,18 +47,47 @@ let fig12 () =
     rows;
   let a2, a4 = Experiments.fig12_averages rows in
   Fmt.pr "%-10s %8.2f %8.2f   (paper: 1.32 / 2.05)@." "average" a2 a4;
+  collect "fig12"
+    (J.Obj
+       [
+         ( "kernels",
+           J.List
+             (List.map
+                (fun (r : Experiments.fig12_row) ->
+                  J.Obj
+                    [
+                      ("kernel", J.String r.Experiments.f12_name);
+                      ("speedup_2core", J.Float r.Experiments.s2);
+                      ("speedup_4core", J.Float r.Experiments.s4);
+                    ])
+                rows) );
+         ("average_2core", J.Float a2);
+         ("average_4core", J.Float a4);
+       ]);
   rows
 
 let table2 rows =
   section "table2" "expected whole-application speedups (paper Table II)";
   Fmt.pr "%-10s %8s %8s %10s %10s@." "app" "2-core" "4-core" "paper-2c"
     "paper-4c";
+  let t2 = Experiments.table2 ~fig12_rows:rows () in
   List.iter
     (fun (r : Experiments.table2_row) ->
       Fmt.pr "%-10s %8.2f %8.2f %10.2f %10.2f@." r.Experiments.t2_app
         r.Experiments.t2_s2 r.Experiments.t2_s4 r.Experiments.t2_paper_s2
         r.Experiments.t2_paper_s4)
-    (Experiments.table2 ~fig12_rows:rows ())
+    t2;
+  collect "table2"
+    (J.List
+       (List.map
+          (fun (r : Experiments.table2_row) ->
+            J.Obj
+              [
+                ("app", J.String r.Experiments.t2_app);
+                ("speedup_2core", J.Float r.Experiments.t2_s2);
+                ("speedup_4core", J.Float r.Experiments.t2_s4);
+              ])
+          t2))
 
 let table3 () =
   section "table3" "per-kernel characteristics at 4 cores (paper Table III)";
@@ -58,6 +95,7 @@ let table3 () =
   Fmt.pr "%-10s | %5s %5s %7s %4s %3s %5s | %5s %5s %7s %4s %3s %5s@." "kernel"
     "fib" "deps" "balance" "com" "qs" "spdup" "fib" "deps" "balance" "com"
     "qs" "spdup";
+  let t3 = Experiments.table3 () in
   List.iter
     (fun (r : Experiments.table3_row) ->
       let p = r.Experiments.paper in
@@ -70,7 +108,22 @@ let table3 () =
         p.Finepar_kernels.Registry.p_com_ops
         p.Finepar_kernels.Registry.p_queues
         p.Finepar_kernels.Registry.p_speedup4)
-    (Experiments.table3 ())
+    t3;
+  collect "table3"
+    (J.List
+       (List.map
+          (fun (r : Experiments.table3_row) ->
+            J.Obj
+              [
+                ("kernel", J.String r.Experiments.t3_name);
+                ("fibers", J.Int r.Experiments.fibers);
+                ("deps", J.Int r.Experiments.deps);
+                ("balance", J.Float r.Experiments.balance);
+                ("com_ops", J.Int r.Experiments.com_ops);
+                ("queues", J.Int r.Experiments.queues);
+                ("speedup_4core", J.Float r.Experiments.t3_speedup);
+              ])
+          t3))
 
 let fig11 () =
   section "fig11" "queue transfer-latency semantics (paper Fig. 11)";
@@ -114,7 +167,18 @@ let fig13 () =
     (fun (p : Experiments.fig13_point) ->
       Fmt.pr " %7d" p.Experiments.no_speedup)
     points;
-  Fmt.pr "@."
+  Fmt.pr "@.";
+  collect "fig13"
+    (J.List
+       (List.map
+          (fun (p : Experiments.fig13_point) ->
+            J.Obj
+              [
+                ("latency", J.Int p.Experiments.latency);
+                ("average_speedup", J.Float p.Experiments.f13_avg);
+                ("kernels_without_speedup", J.Int p.Experiments.no_speedup);
+              ])
+          points))
 
 let fig14 () =
   section "fig14"
@@ -145,7 +209,27 @@ let fig14 () =
     (avg (fun r -> r.Experiments.base))
     ""
     (avg (fun r -> r.Experiments.chosen))
-    improved
+    improved;
+  collect "fig14"
+    (J.Obj
+       [
+         ( "kernels",
+           J.List
+             (List.map
+                (fun (r : Experiments.fig14_row) ->
+                  J.Obj
+                    [
+                      ("kernel", J.String r.Experiments.f14_name);
+                      ("base", J.Float r.Experiments.base);
+                      ("speculated", J.Float r.Experiments.speculated);
+                      ("chosen", J.Float r.Experiments.chosen);
+                      ("converted_ifs", J.Int r.Experiments.converted_ifs);
+                    ])
+                rows) );
+         ("average_base", J.Float (avg (fun r -> r.Experiments.base)));
+         ("average_chosen", J.Float (avg (fun r -> r.Experiments.chosen)));
+         ("improved", J.Int improved);
+       ])
 
 let ablation name title rows ~paper_note =
   section name title;
@@ -328,10 +412,16 @@ let wallclock () =
       | Some [ est ] -> rows := (name, est) :: !rows
       | Some _ | None -> ())
     results;
+  let rows = List.sort compare !rows in
   List.iter
-    (fun (name, est) ->
-      Fmt.pr "%-55s %14.1f ns/run@." name est)
-    (List.sort compare !rows)
+    (fun (name, est) -> Fmt.pr "%-55s %14.1f ns/run@." name est)
+    rows;
+  collect "wallclock"
+    (J.List
+       (List.map
+          (fun (name, est) ->
+            J.Obj [ ("name", J.String name); ("ns_per_run", J.Float est) ])
+          rows))
 
 let all_sections =
   [
@@ -357,7 +447,18 @@ let all_sections =
   ]
 
 let () =
-  let wanted = List.tl (Array.to_list Sys.argv) in
+  let args = List.tl (Array.to_list Sys.argv) in
+  let json_prefix = "--json=" in
+  let json_out, wanted =
+    List.partition_map
+      (fun a ->
+        if String.starts_with ~prefix:json_prefix a then
+          Left
+            (String.sub a (String.length json_prefix)
+               (String.length a - String.length json_prefix))
+        else Right a)
+      args
+  in
   let matches name w =
     String.length w > 0 && String.length name >= String.length w
     && String.sub name 0 (String.length w) = w
@@ -366,5 +467,15 @@ let () =
     (fun (name, f) ->
       if wanted = [] || List.exists (matches name) wanted then f ())
     all_sections;
+  (match json_out with
+  | [] -> ()
+  | file :: _ ->
+    let oc = open_out file in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        J.to_channel oc (J.Obj [ ("sections", J.Obj (List.rev !collected)) ]);
+        output_char oc '\n');
+    Fmt.pr "metrics written to %s@." file);
   rule ();
   print_endline "done."

@@ -4,6 +4,8 @@
      list       kernels and their Section IV classification
      run        compile one kernel and simulate it
      show       dump compiler stages for one kernel
+     trace      simulate and export a Chrome trace_event timeline
+     report     per-core / per-queue / per-fiber cycle attribution
      sweep      transfer-latency sweep for one kernel
      autotune   compile several code versions, keep the fastest
      classify   the 51-loop characterization funnel *)
@@ -139,12 +141,26 @@ let show_cmd =
       in
       let width = 72 and rows = 4 in
       let span = width * rows in
+      (* The trace ring keeps the most recent events; on long runs the
+         start of the run is gone, so show the oldest window we have. *)
+      let events = Finepar_machine.Sim.events sim in
+      let base =
+        List.fold_left
+          (fun acc ev ->
+            match ev with
+            | Finepar_machine.Sim.Ev_issue { cycle; _ }
+            | Finepar_machine.Sim.Ev_stall { cycle; _ } ->
+              min acc cycle)
+          max_int events
+      in
+      let base = if base = max_int then 0 else base in
       let grid = Array.init cores_n (fun _ -> Bytes.make span '.') in
       List.iter
         (fun ev ->
           match ev with
-          | Finepar_machine.Sim.Ev_issue { core; cycle; instr }
-            when cycle < span ->
+          | Finepar_machine.Sim.Ev_issue { core; cycle; instr; _ }
+            when cycle - base < span ->
+            let cycle = cycle - base in
             let ch =
               match instr with
               | Finepar_machine.Isa.Enq _ -> 'E'
@@ -152,15 +168,27 @@ let show_cmd =
               | _ -> '#'
             in
             Bytes.set grid.(core) cycle ch
-          | Finepar_machine.Sim.Ev_stall { core; cycle; _ } when cycle < span
-            ->
+          | Finepar_machine.Sim.Ev_stall { core; cycle; reason; _ }
+            when cycle - base < span ->
+            let cycle = cycle - base in
             if Bytes.get grid.(core) cycle = '.' then
-              Bytes.set grid.(core) cycle '~'
+              Bytes.set grid.(core) cycle
+                (match reason with
+                | Finepar_telemetry.Stall.Operand -> 'o'
+                | Finepar_telemetry.Stall.Queue_full _
+                | Finepar_telemetry.Stall.Queue_empty _ -> '~')
           | Finepar_machine.Sim.Ev_issue _ | Finepar_machine.Sim.Ev_stall _ ->
             ())
-        (Finepar_machine.Sim.events sim);
+        events;
+      if base > 0 then
+        Fmt.pr
+          "(the trace ring kept the last %d events; showing the oldest \
+           retained window)@.@."
+          (List.length events);
       for row = 0 to rows - 1 do
-        Fmt.pr "cycles %4d..%4d@." (row * width) (((row + 1) * width) - 1);
+        Fmt.pr "cycles %4d..%4d@."
+          (base + (row * width))
+          (base + (((row + 1) * width) - 1));
         for core = 0 to cores_n - 1 do
           Fmt.pr "  core %d |%s|@." core
             (Bytes.to_string (Bytes.sub grid.(core) (row * width) width))
@@ -168,14 +196,106 @@ let show_cmd =
         Fmt.pr "@."
       done;
       Fmt.pr
-        "legend: '#' issue, 'E' enqueue, 'D' dequeue, '~' queue stall, '.' \
-         wait/idle@."
+        "legend: '#' issue, 'E' enqueue, 'D' dequeue, '~' queue stall, 'o' \
+         operand stall, '.' wait/idle@."
     | other ->
       Fmt.epr "unknown stage %s@." other;
       exit 1
   in
   Cmd.v (Cmd.info "show" ~doc:"Dump compiler stages for one kernel")
     Term.(const run $ kernel_arg $ cores_arg $ stage_arg)
+
+let output_arg =
+  let doc = "Output file ('-' for stdout)." in
+  Arg.(value & opt string "-" & info [ "o"; "output" ] ~doc)
+
+let with_output file f =
+  if String.equal file "-" then f stdout
+  else begin
+    let oc = open_out file in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc);
+    Fmt.pr "wrote %s@." file
+  end
+
+let compile_and_sim ~name ~cores ~latency ~queue_len ~speculation ~throughput
+    ~tracing =
+  let e = find_entry name in
+  let machine = machine_of ~latency ~queue_len in
+  let config =
+    {
+      (Compiler.default_config ~cores ()) with
+      Compiler.speculation;
+      throughput;
+      machine;
+    }
+  in
+  let c = Compiler.compile config e.Registry.kernel in
+  let run, sim =
+    Runner.run_with_sim ~tracing ~workload:e.Registry.workload c
+  in
+  (c, run, sim)
+
+let trace_cmd =
+  let run name cores latency queue_len speculation throughput output =
+    let c, _, sim =
+      compile_and_sim ~name ~cores ~latency ~queue_len ~speculation
+        ~throughput ~tracing:true
+    in
+    let events =
+      Report.chrome_trace ~pass_times:c.Compiler.pass_times sim
+    in
+    with_output output (fun oc ->
+        Finepar_telemetry.Chrome_trace.to_channel oc events);
+    let dropped = Finepar_machine.Sim.dropped_events sim in
+    if dropped > 0 then
+      Fmt.epr
+        "warning: trace ring dropped %d early events; raise the capacity \
+         to keep them@."
+        dropped
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Simulate one kernel and export a Chrome trace_event timeline \
+          (open in chrome://tracing or Perfetto): one lane per core, an \
+          occupancy counter per queue, and a compiler-pass lane")
+    Term.(
+      const run $ kernel_arg $ cores_arg $ latency_arg $ queue_len_arg
+      $ speculation_arg $ throughput_arg $ output_arg)
+
+let report_cmd =
+  let format_arg =
+    let doc = "Output format: text, json or csv." in
+    Arg.(value & opt string "text" & info [ "format" ] ~doc)
+  in
+  let run name cores latency queue_len speculation throughput format output =
+    let _, r, _ =
+      compile_and_sim ~name ~cores ~latency ~queue_len ~speculation
+        ~throughput ~tracing:false
+    in
+    let t = r.Runner.telemetry in
+    match format with
+    | "text" ->
+      with_output output (fun oc ->
+          Fmt.pf (Format.formatter_of_out_channel oc) "%a@." Report.pp t)
+    | "json" ->
+      with_output output (fun oc ->
+          Finepar_telemetry.Json.to_channel oc (Report.to_json t);
+          output_char oc '\n')
+    | "csv" ->
+      with_output output (fun oc -> output_string oc (Report.to_csv t))
+    | other ->
+      Fmt.epr "unknown format %s (expected text, json or csv)@." other;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Per-core, per-queue and per-fiber cycle attribution for one \
+          simulated kernel, plus compiler pass times")
+    Term.(
+      const run $ kernel_arg $ cores_arg $ latency_arg $ queue_len_arg
+      $ speculation_arg $ throughput_arg $ format_arg $ output_arg)
 
 let sweep_cmd =
   let run name cores queue_len =
@@ -240,4 +360,10 @@ let () =
     "fine-grained parallelization of sequential loops with hardware queues"
   in
   let info = Cmd.info "finepar" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; show_cmd; sweep_cmd; autotune_cmd; classify_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            list_cmd; run_cmd; show_cmd; trace_cmd; report_cmd; sweep_cmd;
+            autotune_cmd; classify_cmd;
+          ]))

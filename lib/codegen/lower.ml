@@ -186,8 +186,11 @@ let item_preds = function
   | It_enq tr | It_deq tr -> tr.Comm.preds
 
 (** Emit a list of predicated items, replicating conditional structure by
-    opening and closing branch scopes as the predicate context changes. *)
-let emit_items ctx ~array_id ~queues items =
+    opening and closing branch scopes as the predicate context changes.
+    [fiber_of] gives the source fiber each item's instructions are
+    attributed to (provenance for the telemetry layer); guard branches are
+    attributed to the item they guard. *)
+let emit_items ctx ~array_id ~queues ~fiber_of items =
   let open Program.Builder in
   let stack = ref [] in
   (* innermost first: (pred, end label) *)
@@ -221,6 +224,7 @@ let emit_items ctx ~array_id ~queues items =
   in
   List.iter
     (fun it ->
+      Program.Builder.set_fiber ctx.b (fiber_of it);
       adjust (item_preds it);
       match it with
       | It_fiber s -> (
@@ -243,7 +247,8 @@ let emit_items ctx ~array_id ~queues items =
         in
         emit ctx.b (Isa.Deq (reg_def ctx tr.Comm.var, q)))
     items;
-  close_down_to 0
+  close_down_to 0;
+  Program.Builder.set_fiber ctx.b Program.no_fiber
 
 (* ------------------------------------------------------------------ *)
 (* Constant collection.                                                *)
@@ -327,6 +332,17 @@ let generate ~(kernel : Kernel.t) ~(region : Region.t) ~(deps : Deps.t)
   let stmts = Array.of_list region.Region.stmts in
   let pos = Array.make (Array.length stmts) 0 in
   List.iteri (fun i f -> pos.(f) <- i) order;
+  (* Inverse of [pos]: schedule position -> fiber id, used to attribute
+     communication instructions to the fiber that produced the value. *)
+  let fiber_at = Array.make (List.length order) Program.no_fiber in
+  List.iteri (fun i f -> fiber_at.(i) <- f) order;
+  let item_fiber = function
+    | It_fiber s -> s.Region.id
+    | It_enq tr | It_deq tr ->
+      if tr.Comm.enq_anchor >= 0 && tr.Comm.enq_anchor < Array.length fiber_at
+      then fiber_at.(tr.Comm.enq_anchor)
+      else Program.no_fiber
+  in
   let queues = Queues.create () in
   (* Build per-core items with sort keys: (anchor, phase, tiebreak). *)
   let items_of_core core =
@@ -400,7 +416,7 @@ let generate ~(kernel : Kernel.t) ~(region : Region.t) ~(deps : Deps.t)
     emit ctx.b (Isa.Bin (Types.Lt, r_t, r_idx, r_hi));
     emit ctx.b (Isa.Bz (r_t, l_exit));
     place_label ctx.b l_top;
-    emit_items ctx ~array_id ~queues items;
+    emit_items ctx ~array_id ~queues ~fiber_of:item_fiber items;
     emit ctx.b (Isa.Bin (Types.Add, r_idx, r_idx, creg ctx (Types.VInt 1)));
     emit ctx.b (Isa.Bin (Types.Lt, r_t, r_idx, r_hi));
     emit ctx.b (Isa.Bnz (r_t, l_top));

@@ -53,7 +53,8 @@ type item =
 val item_preds : item -> Finepar_ir.Region.pred list
 val emit_items :
   core_ctx ->
-  array_id:(string -> int) -> queues:Queues.t -> item list -> unit
+  array_id:(string -> int) ->
+  queues:Queues.t -> fiber_of:(item -> int) -> item list -> unit
 val consts_of_expr : Finepar_ir.Expr.t -> Finepar_ir.Types.value list
 val consts_of_items : item list -> Finepar_ir.Types.value list
 type t = {

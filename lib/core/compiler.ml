@@ -67,6 +67,8 @@ type compiled = {
   order : int list;
   code : Lower.t;
   stats : stats;
+  pass_times : (string * float) list;
+      (** per-pass wall-clock seconds, in pipeline order *)
 }
 
 let pp_stats ppf s =
@@ -76,27 +78,42 @@ let pp_stats ppf s =
     s.queue_pairs_static s.n_partitions
 
 let compile (config : config) (kernel : Kernel.t) =
+  let passes = Finepar_telemetry.Passes.create () in
+  let timed name f = Finepar_telemetry.Passes.time passes name f in
   let kernel', speculated_ifs =
-    if config.speculation then Speculate.apply kernel else (kernel, 0)
+    timed "speculate" (fun () ->
+        if config.speculation then Speculate.apply kernel else (kernel, 0))
   in
-  let region0 = Region.of_kernel ~max_height:config.max_height kernel' in
-  let region, fstats = Fiber.split region0 in
-  let deps = Deps.analyze region in
-  let graph = Code_graph.build ~profile:config.profile region deps in
+  let region0 =
+    timed "flatten" (fun () ->
+        Region.of_kernel ~max_height:config.max_height kernel')
+  in
+  let region, fstats = timed "fiber-split" (fun () -> Fiber.split region0) in
+  let deps = timed "deps" (fun () -> Deps.analyze region) in
+  let graph =
+    timed "code-graph" (fun () ->
+        Code_graph.build ~profile:config.profile region deps)
+  in
   let merge =
-    Merge.run ~algorithm:config.algorithm ~throughput:config.throughput
-      ?max_queue_pairs:config.max_queue_pairs ~weights:config.weights
-      ~cores:config.cores graph
+    timed "merge" (fun () ->
+        Merge.run ~algorithm:config.algorithm ~throughput:config.throughput
+          ?max_queue_pairs:config.max_queue_pairs ~weights:config.weights
+          ~cores:config.cores graph)
   in
-  let order = Schedule.order graph ~cluster_of:merge.Merge.cluster_of in
+  let order =
+    timed "schedule" (fun () ->
+        Schedule.order graph ~cluster_of:merge.Merge.cluster_of)
+  in
   let comm =
-    Comm.compute ~region ~deps ~cluster_of:merge.Merge.cluster_of ~order
-      ~queue_len:config.machine.Config.queue_len
+    timed "comm" (fun () ->
+        Comm.compute ~region ~deps ~cluster_of:merge.Merge.cluster_of ~order
+          ~queue_len:config.machine.Config.queue_len)
   in
   let code =
-    Lower.generate ~kernel:kernel' ~region ~deps
-      ~cluster_of:merge.Merge.cluster_of ~n_clusters:merge.Merge.n_clusters
-      ~order ~comm ~line_size:config.machine.Config.l1_line ()
+    timed "lower" (fun () ->
+        Lower.generate ~kernel:kernel' ~region ~deps
+          ~cluster_of:merge.Merge.cluster_of ~n_clusters:merge.Merge.n_clusters
+          ~order ~comm ~line_size:config.machine.Config.l1_line ())
   in
   List.iter (fun w -> Logs.warn (fun m -> m "%s: %s" kernel.Kernel.name w))
     comm.Comm.warnings;
@@ -120,6 +137,7 @@ let compile (config : config) (kernel : Kernel.t) =
         merge_steps = merge.Merge.merge_steps;
         speculated_ifs;
       };
+    pass_times = Finepar_telemetry.Passes.to_list passes;
   }
 
 (** Compile for sequential execution on one core (the baseline of all the

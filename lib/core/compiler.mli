@@ -58,6 +58,8 @@ type compiled = {
   order : int list;  (** the global fiber schedule *)
   code : Finepar_codegen.Lower.t;  (** machine program + metadata *)
   stats : stats;
+  pass_times : (string * float) list;
+      (** per-pass wall-clock seconds, in pipeline order *)
 }
 
 val pp_stats : Format.formatter -> stats -> unit

@@ -389,7 +389,7 @@ let fig11_demo ?(transfer_latency = 5) () =
   let issue_times core pred =
     List.filter_map
       (function
-        | Sim.Ev_issue { core = c; cycle; instr } when c = core && pred instr ->
+        | Sim.Ev_issue { core = c; cycle; instr; _ } when c = core && pred instr ->
           Some cycle
         | Sim.Ev_issue _ | Sim.Ev_stall _ -> None)
       events

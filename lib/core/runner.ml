@@ -10,17 +10,22 @@ type run = {
   queues_used : int;  (** dynamic — Table III "Num Queues" *)
   instrs : int;
   load_counters : (string * int * int) list;  (** array, loads, L1 misses *)
+  telemetry : Report.t;
 }
 
 exception Mismatch of string
 
-(** Simulate a compiled kernel on [workload].  When [check] is set (the
-    default), the outputs are compared bit-for-bit with the reference
-    evaluator and {!Mismatch} is raised on any difference. *)
-let run ?(check = true) ?(workload = []) ?core_map (c : Compiler.compiled) =
+(** Simulate a compiled kernel on [workload] and also return the
+    simulator itself, for callers that need the raw event trace.  When
+    [check] is set (the default), the outputs are compared bit-for-bit
+    with the reference evaluator and {!Mismatch} is raised on any
+    difference. *)
+let run_with_sim ?(check = true) ?(workload = []) ?core_map ?tracing
+    ?trace_capacity (c : Compiler.compiled) =
   let sim =
-    Sim.create ?core_map ~config:c.Compiler.config.Compiler.machine
-      ~initial:workload c.Compiler.code.Finepar_codegen.Lower.program
+    Sim.create ?core_map ?tracing ?trace_capacity
+      ~config:c.Compiler.config.Compiler.machine ~initial:workload
+      c.Compiler.code.Finepar_codegen.Lower.program
   in
   let cycles = Sim.run sim in
   let written = Stmt.arrays_written c.Compiler.kernel.Kernel.body in
@@ -50,16 +55,21 @@ let run ?(check = true) ?(workload = []) ?core_map (c : Compiler.compiled) =
               c.Compiler.source.Kernel.name c.Compiler.stats.Compiler.n_partitions
               Eval.pp_result expected Eval.pp_result result))
   end;
-  {
-    cycles;
-    result;
-    queues_used = Sim.queues_used sim;
-    instrs =
-      Array.fold_left
-        (fun acc (cs : Sim.core_stats) -> acc + cs.Sim.instrs)
-        0 sim.Sim.stats;
-    load_counters = Sim.load_counters sim;
-  }
+  ( {
+      cycles;
+      result;
+      queues_used = Sim.queues_used sim;
+      instrs =
+        Array.fold_left
+          (fun acc (cs : Sim.core_stats) -> acc + cs.Sim.instrs)
+          0 sim.Sim.stats;
+      load_counters = Sim.load_counters sim;
+      telemetry = Report.of_sim ~compiled:c sim;
+    },
+    sim )
+
+let run ?check ?workload ?core_map ?tracing ?trace_capacity c =
+  fst (run_with_sim ?check ?workload ?core_map ?tracing ?trace_capacity c)
 
 (** Collect profile feedback by running the sequential version — the
     paper's profile-directed feedback loop (Sections III-B and III-I). *)

@@ -9,6 +9,8 @@ type run = {
   instrs : int;  (** instructions issued across all cores *)
   load_counters : (string * int * int) list;
       (** per array: (name, loads, L1 misses) — profile-feedback input *)
+  telemetry : Report.t;
+      (** per-core / per-queue / per-fiber cycle attribution *)
 }
 
 (** Raised by {!run} when the simulated outputs differ from the reference
@@ -21,13 +23,30 @@ exception Mismatch of string
     @param workload initial array contents
     @param core_map logical-core (hardware thread) to physical-core
       placement; several threads on one physical core share its issue
-      slot and L1 (SMT).  Defaults to one thread per core. *)
+      slot and L1 (SMT).  Defaults to one thread per core.
+    @param tracing record per-cycle issue/stall events in the simulator's
+      bounded ring buffer (default [false])
+    @param trace_capacity ring capacity when tracing
+      (default {!Finepar_machine.Sim.default_trace_capacity}) *)
 val run :
   ?check:bool ->
   ?workload:Finepar_ir.Eval.workload ->
   ?core_map:int array ->
+  ?tracing:bool ->
+  ?trace_capacity:int ->
   Compiler.compiled ->
   run
+
+(** Like {!run}, but also returns the simulator, whose event trace feeds
+    {!Report.chrome_trace}. *)
+val run_with_sim :
+  ?check:bool ->
+  ?workload:Finepar_ir.Eval.workload ->
+  ?core_map:int array ->
+  ?tracing:bool ->
+  ?trace_capacity:int ->
+  Compiler.compiled ->
+  run * Finepar_machine.Sim.t
 
 (** Collect per-array miss-rate feedback from a sequential run — the
     paper's profile-directed feedback (Sections III-B, III-I). *)

@@ -10,10 +10,17 @@ type array_layout = {
   arr_base : int;  (** byte address of element 0 *)
 }
 
+(** Fiber id an instruction was generated from, or {!no_fiber} for runtime
+    glue (constant pool, loop control, spawn/collect protocol). *)
+let no_fiber = -1
+
 type core_program = {
   code : Isa.instr array;
   label_pos : int array;  (** label id -> instruction index *)
   n_regs : int;
+  fiber_of : int array;
+      (** provenance, same length as [code]: source fiber id per
+          instruction, {!no_fiber} for runtime glue *)
 }
 
 type t = {
@@ -52,6 +59,8 @@ let layout_arrays ~line (decls : Kernel.array_decl list) =
 module Builder = struct
   type b = {
     mutable instrs : Isa.instr list;  (** reversed *)
+    mutable fibers : int list;  (** reversed, parallel to [instrs] *)
+    mutable cur_fiber : int;
     mutable count : int;
     mutable labels : (int * int) list;  (** label id, position *)
     mutable next_label : int;
@@ -59,11 +68,24 @@ module Builder = struct
   }
 
   let create () =
-    { instrs = []; count = 0; labels = []; next_label = 0; next_reg = 0 }
+    {
+      instrs = [];
+      fibers = [];
+      cur_fiber = no_fiber;
+      count = 0;
+      labels = [];
+      next_label = 0;
+      next_reg = 0;
+    }
 
   let emit b i =
     b.instrs <- i :: b.instrs;
+    b.fibers <- b.cur_fiber :: b.fibers;
     b.count <- b.count + 1
+
+  (** Attribute subsequently emitted instructions to fiber [f]
+      ({!no_fiber} resets to runtime glue). *)
+  let set_fiber b f = b.cur_fiber <- f
 
   let fresh_label b =
     let l = b.next_label in
@@ -91,8 +113,16 @@ module Builder = struct
       code = Array.of_list (List.rev b.instrs);
       label_pos;
       n_regs = max 1 b.next_reg;
+      fiber_of = Array.of_list (List.rev b.fibers);
     }
 end
+
+(** Largest fiber id appearing in any core's provenance, or [no_fiber]
+    when the program carries only glue. *)
+let max_fiber t =
+  Array.fold_left
+    (fun acc c -> Array.fold_left max acc c.fiber_of)
+    no_fiber t.cores
 
 let total_instrs t =
   Array.fold_left (fun acc c -> acc + Array.length c.code) 0 t.cores

@@ -7,10 +7,17 @@ type array_layout = {
   arr_len : int;
   arr_base : int;
 }
+val no_fiber : int
+(** Fiber id an instruction was generated from, or {!no_fiber} (-1) for
+    runtime glue (constant pool, loop control, spawn/collect protocol). *)
+
 type core_program = {
   code : Isa.instr array;
   label_pos : int array;
   n_regs : int;
+  fiber_of : int array;
+      (** provenance, same length as [code]: source fiber id per
+          instruction, {!no_fiber} for runtime glue *)
 }
 type t = {
   cores : core_program array;
@@ -24,6 +31,8 @@ module Builder :
   sig
     type b = {
       mutable instrs : Isa.instr list;
+      mutable fibers : int list;
+      mutable cur_fiber : int;
       mutable count : int;
       mutable labels : (int * int) list;
       mutable next_label : int;
@@ -31,12 +40,21 @@ module Builder :
     }
     val create : unit -> b
     val emit : b -> Isa.instr -> unit
+
+    (** Attribute subsequently emitted instructions to this fiber
+        ({!no_fiber} resets to runtime glue). *)
+    val set_fiber : b -> int -> unit
+
     val fresh_label : b -> int
     val place_label : b -> int -> unit
     val fresh_reg : b -> int
     val here : b -> int
     val finish : b -> core_program
   end
+
+(** Largest fiber id appearing in any core's provenance, or {!no_fiber}
+    when the program carries only glue. *)
+val max_fiber : t -> int
 val total_instrs : t -> int
 val pp_core : Format.formatter -> core_program -> unit
 val pp : Format.formatter -> t -> unit

@@ -15,11 +15,15 @@ open Finepar_ir
 
 exception Stuck of string
 
+module Telemetry = Finepar_telemetry
+
 type queue_state = {
   spec : Isa.queue_spec;
   items : (Types.value * int) Queue.t;  (** value, visible-at cycle *)
   mutable transfers : int;
   mutable max_occupancy : int;
+  occupancy : Telemetry.Histogram.t;
+      (** occupancy after each enqueue; bucket total = [transfers] *)
 }
 
 type core_stats = {
@@ -27,13 +31,27 @@ type core_stats = {
   mutable stall_operand : int;
   mutable stall_queue_full : int;
   mutable stall_queue_empty : int;
+  mutable branch_wait : int;  (** cycles lost to taken-branch penalties *)
+  mutable smt_wait : int;
+      (** cycles an eligible thread lost the shared issue slot (SMT) *)
   mutable idle_after_halt : int;
   mutable finished_at : int;
 }
 
+(** Total cycles this core spent blocked on an issue attempt. *)
+let stall_total (s : core_stats) =
+  s.stall_operand + s.stall_queue_full + s.stall_queue_empty
+
+(** Every cycle of a core is exactly one of: issue, stall, branch-penalty
+    wait, SMT arbitration loss, or post-halt idle — so this equals the
+    run's total cycle count for every core (the invariant the telemetry
+    tests check). *)
+let accounted_cycles (s : core_stats) =
+  s.instrs + stall_total s + s.branch_wait + s.smt_wait + s.idle_after_halt
+
 type event =
-  | Ev_issue of { core : int; cycle : int; instr : Isa.instr }
-  | Ev_stall of { core : int; cycle : int; reason : string }
+  | Ev_issue of { core : int; cycle : int; pc : int; instr : Isa.instr }
+  | Ev_stall of { core : int; cycle : int; pc : int; reason : Telemetry.Stall.t }
 
 type t = {
   config : Config.t;
@@ -58,11 +76,22 @@ type t = {
   loads : int array;  (** per array id *)
   l1_misses : int array;
   mutable cycles : int;
-  mutable trace : event list;  (** reversed; only filled when tracing *)
+  trace : event Telemetry.Ring.t;
+      (** bounded; only filled when tracing, oldest events overwritten *)
   tracing : bool;
+  stall_hist : Telemetry.Histogram.t array;
+      (** per logical core: durations of contiguous stall episodes *)
+  stall_run_class : int array;  (** current episode's stall class, -1 none *)
+  stall_run_len : int array;
+  fiber_issue : int array;
+      (** per fiber id + 1 (slot 0 = runtime glue): issue cycles *)
+  fiber_stall : int array;  (** same indexing: stall cycles *)
 }
 
-let create ?(tracing = false) ?core_map ~(config : Config.t)
+let default_trace_capacity = 65_536
+
+let create ?(tracing = false) ?(trace_capacity = default_trace_capacity)
+    ?core_map ~(config : Config.t)
     ~(initial : (string * Types.value array) list) (program : Program.t) =
   let n = Array.length program.Program.cores in
   let core_map =
@@ -98,7 +127,17 @@ let create ?(tracing = false) ?core_map ~(config : Config.t)
     queues =
       Array.map
         (fun spec ->
-          { spec; items = Queue.create (); transfers = 0; max_occupancy = 0 })
+          {
+            spec;
+            items = Queue.create ();
+            transfers = 0;
+            max_occupancy = 0;
+            occupancy =
+              Telemetry.Histogram.create
+                ~bounds:
+                  (Telemetry.Histogram.linear_bounds
+                     (max 1 config.Config.queue_len));
+          })
         program.Program.queues;
     core_map;
     l1 =
@@ -124,6 +163,8 @@ let create ?(tracing = false) ?core_map ~(config : Config.t)
             stall_operand = 0;
             stall_queue_full = 0;
             stall_queue_empty = 0;
+            branch_wait = 0;
+            smt_wait = 0;
             idle_after_halt = 0;
             finished_at = 0;
           });
@@ -132,8 +173,17 @@ let create ?(tracing = false) ?core_map ~(config : Config.t)
     loads = Array.make (Array.length program.Program.arrays) 0;
     l1_misses = Array.make (Array.length program.Program.arrays) 0;
     cycles = 0;
-    trace = [];
+    trace =
+      Telemetry.Ring.create ~capacity:(if tracing then trace_capacity else 0);
     tracing;
+    stall_hist =
+      Array.init n (fun _ ->
+          Telemetry.Histogram.create
+            ~bounds:(Telemetry.Histogram.exponential_bounds 16));
+    stall_run_class = Array.make n (-1);
+    stall_run_len = Array.make n 0;
+    fiber_issue = Array.make (Program.max_fiber program + 2) 0;
+    fiber_stall = Array.make (Program.max_fiber program + 2) 0;
   }
 
 let addr_of t arr idx = t.program.Program.arrays.(arr).Program.arr_base + (idx * 8)
@@ -170,7 +220,50 @@ let int_of_reg t core r =
   | Types.VFloat _ ->
     raise (Stuck (Printf.sprintf "core %d: r%d used as integer holds f64" core r))
 
-let record_event t ev = if t.tracing then t.trace <- ev :: t.trace
+let record_event t ev = if t.tracing then Telemetry.Ring.push t.trace ev
+
+(* Fiber the instruction at [pc] on [core] was generated from, shifted by
+   one so slot 0 holds runtime glue ([Program.no_fiber]). *)
+let fiber_slot t core pc =
+  t.program.Program.cores.(core).Program.fiber_of.(pc) + 1
+
+(* Close the current stall episode, recording its duration. *)
+let flush_stall_run t core =
+  if t.stall_run_class.(core) >= 0 then begin
+    Telemetry.Histogram.observe t.stall_hist.(core) t.stall_run_len.(core);
+    t.stall_run_class.(core) <- -1;
+    t.stall_run_len.(core) <- 0
+  end
+
+(* One cycle blocked on [reason]: bump the per-class counter, extend or
+   open a stall episode, attribute the cycle to the blocked instruction's
+   fiber, and trace the event. *)
+let note_stall t core cy pc reason =
+  let stats = t.stats.(core) in
+  (match reason with
+  | Telemetry.Stall.Operand -> stats.stall_operand <- stats.stall_operand + 1
+  | Telemetry.Stall.Queue_full _ ->
+    stats.stall_queue_full <- stats.stall_queue_full + 1
+  | Telemetry.Stall.Queue_empty _ ->
+    stats.stall_queue_empty <- stats.stall_queue_empty + 1);
+  let cls = Telemetry.Stall.class_index reason in
+  if t.stall_run_class.(core) = cls then
+    t.stall_run_len.(core) <- t.stall_run_len.(core) + 1
+  else begin
+    flush_stall_run t core;
+    t.stall_run_class.(core) <- cls;
+    t.stall_run_len.(core) <- 1
+  end;
+  let slot = fiber_slot t core pc in
+  t.fiber_stall.(slot) <- t.fiber_stall.(slot) + 1;
+  record_event t (Ev_stall { core; cycle = cy; pc; reason })
+
+(* An instruction issued at [pc]: close any stall episode and attribute
+   the cycle to its fiber. *)
+let note_issue t core pc =
+  flush_stall_run t core;
+  let slot = fiber_slot t core pc in
+  t.fiber_issue.(slot) <- t.fiber_issue.(slot) + 1
 
 (** Attempt to issue the next instruction of [core] at cycle [cy].
     Returns [true] if an instruction issued. *)
@@ -187,7 +280,7 @@ let step_core t core cy =
     List.for_all (fun r -> ready.(r) <= cy) (Isa.srcs instr)
   in
   if not operands_ready then begin
-    stats.stall_operand <- stats.stall_operand + 1;
+    note_stall t core cy pc Telemetry.Stall.Operand;
     false
   end
   else begin
@@ -201,7 +294,8 @@ let step_core t core cy =
       t.pc.(core) <- pc + 1;
       t.min_issue.(core) <- cy + 1;
       stats.instrs <- stats.instrs + 1;
-      record_event t (Ev_issue { core; cycle = cy; instr });
+      note_issue t core pc;
+      record_event t (Ev_issue { core; cycle = cy; pc; instr });
       true
     in
     let branch_to taken label =
@@ -210,7 +304,8 @@ let step_core t core cy =
       t.min_issue.(core) <-
         (cy + 1 + if taken then cfg.Config.branch_taken_penalty else 0);
       stats.instrs <- stats.instrs + 1;
-      record_event t (Ev_issue { core; cycle = cy; instr });
+      note_issue t core pc;
+      record_event t (Ev_issue { core; cycle = cy; pc; instr });
       true
     in
     match instr with
@@ -243,14 +338,14 @@ let step_core t core cy =
     | Isa.Enq (q, sr) ->
       let qs = t.queues.(q) in
       if Queue.length qs.items >= cfg.Config.queue_len then begin
-        stats.stall_queue_full <- stats.stall_queue_full + 1;
-        record_event t (Ev_stall { core; cycle = cy; reason = "queue full" });
+        note_stall t core cy pc (Telemetry.Stall.Queue_full q);
         false
       end
       else begin
         Queue.add (regs.(sr), cy + cfg.Config.transfer_latency) qs.items;
         qs.transfers <- qs.transfers + 1;
         qs.max_occupancy <- max qs.max_occupancy (Queue.length qs.items);
+        Telemetry.Histogram.observe qs.occupancy (Queue.length qs.items);
         finish_simple 1 None
       end
     | Isa.Deq (_, q) ->
@@ -260,8 +355,7 @@ let step_core t core cy =
         ignore (Queue.pop qs.items);
         finish_simple cfg.Config.deq_latency (Some v)
       | Some _ | None ->
-        stats.stall_queue_empty <- stats.stall_queue_empty + 1;
-        record_event t (Ev_stall { core; cycle = cy; reason = "queue empty" });
+        note_stall t core cy pc (Telemetry.Stall.Queue_empty q);
         false)
     | Isa.Bz (r, l) -> branch_to (not (Types.value_is_true regs.(r))) l
     | Isa.Bnz (r, l) -> branch_to (Types.value_is_true regs.(r)) l
@@ -270,7 +364,8 @@ let step_core t core cy =
       t.halted.(core) <- true;
       stats.finished_at <- cy;
       stats.instrs <- stats.instrs + 1;
-      record_event t (Ev_issue { core; cycle = cy; instr });
+      note_issue t core pc;
+      record_event t (Ev_issue { core; cycle = cy; pc; instr });
       true
   end
 
@@ -294,12 +389,18 @@ let describe_blockage t =
     for [queue length * transfer latency + slack] consecutive cycles) or
     when [max_cycles] is exceeded. *)
 let run t =
+  let n = Array.length t.program.Program.cores in
   let cy = ref 0 in
   let last_progress = ref 0 in
   let deadlock_window =
     (t.config.Config.queue_len * max 1 t.config.Config.transfer_latency)
     + t.config.Config.mem_latency + 1000
   in
+  (* Per-cycle issue-attempt marks, reused across cycles.  [step_core]
+     accounts every attempted core (issue or stall counter); the
+     second pass below classifies the cores that were never attempted, so
+     every (core, cycle) lands in exactly one counter. *)
+  let attempted = Array.make n false in
   while not (all_halted t) do
     if !cy > t.config.Config.max_cycles then
       raise
@@ -307,6 +408,7 @@ let run t =
            (Printf.sprintf "exceeded max_cycles=%d: %s"
               t.config.Config.max_cycles (describe_blockage t)));
     let progressed = ref false in
+    Array.fill attempted 0 n false;
     (* Each physical core issues at most one instruction per cycle; its
        hardware threads arbitrate round-robin (SMT sharing when several
        logical cores map to one physical core). *)
@@ -322,19 +424,34 @@ let run t =
               (not !issued)
               && (not t.halted.(core))
               && t.min_issue.(core) <= !cy
-            then
+            then begin
+              attempted.(core) <- true;
               if step_core t core !cy then begin
                 issued := true;
                 t.rr.(phys) <- (t.rr.(phys) + j + 1) mod k;
                 progressed := true
               end
+            end
           done
         end)
       t.threads_of;
+    for core = 0 to n - 1 do
+      if not attempted.(core) then begin
+        let stats = t.stats.(core) in
+        if t.halted.(core) then
+          stats.idle_after_halt <- stats.idle_after_halt + 1
+        else if t.min_issue.(core) > !cy then
+          stats.branch_wait <- stats.branch_wait + 1
+        else stats.smt_wait <- stats.smt_wait + 1
+      end
+    done;
     if !progressed then last_progress := !cy;
     if !cy - !last_progress > deadlock_window then
       raise (Stuck ("deadlock: " ^ describe_blockage t));
     incr cy
+  done;
+  for core = 0 to n - 1 do
+    flush_stall_run t core
   done;
   t.cycles <- !cy;
   !cy
@@ -378,4 +495,28 @@ let queues_used t =
 let queues_empty t =
   Array.for_all (fun q -> Queue.is_empty q.items) t.queues
 
-let events t = List.rev t.trace
+(** Traced events, oldest first.  Bounded: when the run outgrew the trace
+    ring only the most recent [trace_capacity] events remain — check
+    {!dropped_events}. *)
+let events t = Telemetry.Ring.to_list t.trace
+
+(** Events overwritten because the trace ring was full. *)
+let dropped_events t = Telemetry.Ring.dropped t.trace
+
+(** Per-fiber cycle attribution: (fiber id, issue cycles, stall cycles),
+    fiber id [Program.no_fiber] (-1) for runtime glue.  Summed with the
+    per-core branch/SMT/idle waits this accounts for every cycle of every
+    core. *)
+let fiber_counters t =
+  Array.to_list
+    (Array.mapi
+       (fun slot issue -> (slot - 1, issue, t.fiber_stall.(slot)))
+       t.fiber_issue)
+
+(** Cycles no issue was attempted, per core beyond the issue/stall
+    accounting: taken-branch penalties + SMT arbitration losses +
+    post-halt idling. *)
+let wait_cycles t =
+  Array.fold_left
+    (fun acc s -> acc + s.branch_wait + s.smt_wait + s.idle_after_halt)
+    0 t.stats

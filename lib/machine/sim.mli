@@ -9,27 +9,56 @@
     value's [enqueue time + transfer latency] has elapsed.
 
     The simulator executes real values, so the outputs of a parallel run
-    can be compared bit-for-bit against the reference evaluator. *)
+    can be compared bit-for-bit against the reference evaluator.
+
+    Telemetry: every (core, cycle) is attributed to exactly one counter
+    (issue, a stall class, branch-penalty wait, SMT arbitration loss, or
+    post-halt idle); stall episodes and queue occupancy feed
+    {!Finepar_telemetry.Histogram}s; a bounded ring buffer keeps the most
+    recent trace events; and issue/stall cycles are charged to the source
+    fiber recorded in the program's provenance. *)
+
+module Telemetry = Finepar_telemetry
 
 exception Stuck of string
+
 type queue_state = {
   spec : Isa.queue_spec;
   items : (Finepar_ir.Types.value * int) Queue.t;
   mutable transfers : int;
   mutable max_occupancy : int;
+  occupancy : Telemetry.Histogram.t;
+      (** occupancy after each enqueue; bucket total = [transfers] *)
 }
+
 type core_stats = {
   mutable instrs : int;
   mutable stall_operand : int;
   mutable stall_queue_full : int;
   mutable stall_queue_empty : int;
+  mutable branch_wait : int;  (** cycles lost to taken-branch penalties *)
+  mutable smt_wait : int;
+      (** cycles an eligible thread lost the shared issue slot (SMT) *)
   mutable idle_after_halt : int;
   mutable finished_at : int;
 }
+
+val stall_total : core_stats -> int
+(** Total cycles this core spent blocked on an issue attempt. *)
+
+val accounted_cycles : core_stats -> int
+(** [instrs + stalls + branch_wait + smt_wait + idle_after_halt]; equals
+    the run's total cycle count for every core after {!run}. *)
+
 type event =
-    Ev_issue of { core : int; cycle : int; instr : Isa.instr;
+  | Ev_issue of { core : int; cycle : int; pc : int; instr : Isa.instr }
+  | Ev_stall of {
+      core : int;
+      cycle : int;
+      pc : int;
+      reason : Telemetry.Stall.t;
     }
-  | Ev_stall of { core : int; cycle : int; reason : string; }
+
 type t = {
   config : Config.t;
   program : Program.t;
@@ -49,15 +78,26 @@ type t = {
   loads : int array;
   l1_misses : int array;
   mutable cycles : int;
-  mutable trace : event list;
+  trace : event Telemetry.Ring.t;
   tracing : bool;
+  stall_hist : Telemetry.Histogram.t array;
+      (** per logical core: durations of contiguous stall episodes *)
+  stall_run_class : int array;
+  stall_run_len : int array;
+  fiber_issue : int array;
+  fiber_stall : int array;
 }
+
+val default_trace_capacity : int
+
 val create :
   ?tracing:bool ->
+  ?trace_capacity:int ->
   ?core_map:int array ->
   config:Config.t ->
   initial:(string * Finepar_ir.Types.value array) list ->
   Program.t -> t
+
 val addr_of : t -> int -> int -> int
 val load_latency : t -> int -> int -> int -> int
 val store_effects : t -> int -> int -> int -> unit
@@ -74,4 +114,17 @@ val load_counters : t -> (string * int * int) list
 val queue_stats : t -> (Isa.queue_spec * int * int) list
 val queues_used : t -> int
 val queues_empty : t -> bool
+
 val events : t -> event list
+(** Traced events, oldest first; bounded by the trace ring — check
+    {!dropped_events} for truncation. *)
+
+val dropped_events : t -> int
+
+val fiber_counters : t -> (int * int * int) list
+(** (fiber id, issue cycles, stall cycles); fiber id
+    [Program.no_fiber] (-1) is runtime glue. *)
+
+val wait_cycles : t -> int
+(** Total branch-penalty + SMT-loss + post-halt idle cycles across
+    cores. *)

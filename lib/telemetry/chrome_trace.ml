@@ -1,0 +1,113 @@
+(** Chrome [trace_event] export.
+
+    Produces the JSON object format understood by [chrome://tracing] and
+    Perfetto: a top-level [{"traceEvents": [...]}] with complete ("X"),
+    instant ("i"), counter ("C") and metadata ("M") events.  Timestamps
+    and durations are in microseconds; the simulator maps one cycle to one
+    microsecond so the viewer's time axis reads directly in cycles. *)
+
+type event =
+  | Complete of {
+      name : string;
+      cat : string;
+      pid : int;
+      tid : int;
+      ts : int;  (** microseconds *)
+      dur : int;
+      args : (string * Json.t) list;
+    }
+  | Instant of {
+      name : string;
+      cat : string;
+      pid : int;
+      tid : int;
+      ts : int;
+      args : (string * Json.t) list;
+    }
+  | Counter of {
+      name : string;
+      pid : int;
+      ts : int;
+      values : (string * int) list;  (** series name -> value *)
+    }
+  | Process_name of { pid : int; name : string }
+  | Thread_name of { pid : int; tid : int; name : string }
+  | Thread_sort of { pid : int; tid : int; index : int }
+
+let args_json = function
+  | [] -> []
+  | args -> [ ("args", Json.Obj args) ]
+
+let event_json = function
+  | Complete { name; cat; pid; tid; ts; dur; args } ->
+    Json.Obj
+      ([
+         ("name", Json.String name);
+         ("cat", Json.String cat);
+         ("ph", Json.String "X");
+         ("pid", Json.Int pid);
+         ("tid", Json.Int tid);
+         ("ts", Json.Int ts);
+         ("dur", Json.Int dur);
+       ]
+      @ args_json args)
+  | Instant { name; cat; pid; tid; ts; args } ->
+    Json.Obj
+      ([
+         ("name", Json.String name);
+         ("cat", Json.String cat);
+         ("ph", Json.String "i");
+         ("s", Json.String "t");
+         ("pid", Json.Int pid);
+         ("tid", Json.Int tid);
+         ("ts", Json.Int ts);
+       ]
+      @ args_json args)
+  | Counter { name; pid; ts; values } ->
+    Json.Obj
+      [
+        ("name", Json.String name);
+        ("ph", Json.String "C");
+        ("pid", Json.Int pid);
+        ("tid", Json.Int 0);
+        ("ts", Json.Int ts);
+        ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) values));
+      ]
+  | Process_name { pid; name } ->
+    Json.Obj
+      [
+        ("name", Json.String "process_name");
+        ("ph", Json.String "M");
+        ("pid", Json.Int pid);
+        ("tid", Json.Int 0);
+        ("args", Json.Obj [ ("name", Json.String name) ]);
+      ]
+  | Thread_name { pid; tid; name } ->
+    Json.Obj
+      [
+        ("name", Json.String "thread_name");
+        ("ph", Json.String "M");
+        ("pid", Json.Int pid);
+        ("tid", Json.Int tid);
+        ("args", Json.Obj [ ("name", Json.String name) ]);
+      ]
+  | Thread_sort { pid; tid; index } ->
+    Json.Obj
+      [
+        ("name", Json.String "thread_sort_index");
+        ("ph", Json.String "M");
+        ("pid", Json.Int pid);
+        ("tid", Json.Int tid);
+        ("args", Json.Obj [ ("sort_index", Json.Int index) ]);
+      ]
+
+let to_json events =
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.map event_json events));
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
+let to_string events = Json.to_string (to_json events)
+
+let to_channel oc events = Json.to_channel oc (to_json events)

@@ -1,0 +1,128 @@
+(** Fixed-bucket integer histograms.
+
+    Buckets are defined by an increasing array of inclusive upper bounds
+    plus an implicit overflow bucket, mirroring the Prometheus histogram
+    layout.  [observe] is O(log buckets), cheap enough for the simulator's
+    hot path (queue occupancy is sampled on every enqueue). *)
+
+type t = {
+  bounds : int array;  (** strictly increasing inclusive upper bounds *)
+  counts : int array;  (** length = Array.length bounds + 1 (overflow) *)
+  mutable count : int;  (** total observations *)
+  mutable sum : int;  (** sum of observed values *)
+  mutable min : int;
+  mutable max : int;
+}
+
+let create ~bounds =
+  let n = Array.length bounds in
+  if n = 0 then invalid_arg "Histogram.create: no buckets";
+  for i = 1 to n - 1 do
+    if bounds.(i) <= bounds.(i - 1) then
+      invalid_arg "Histogram.create: bounds must be strictly increasing"
+  done;
+  {
+    bounds = Array.copy bounds;
+    counts = Array.make (n + 1) 0;
+    count = 0;
+    sum = 0;
+    min = max_int;
+    max = min_int;
+  }
+
+(** Upper bounds 1, 2, 4, ... doubling [n] times — the natural scale for
+    cycle durations. *)
+let exponential_bounds n =
+  if n <= 0 then invalid_arg "Histogram.exponential_bounds";
+  Array.init n (fun i -> 1 lsl i)
+
+(** Upper bounds 1, 2, ..., [n] — the natural scale for queue occupancy,
+    which is capped at the queue length. *)
+let linear_bounds n =
+  if n <= 0 then invalid_arg "Histogram.linear_bounds";
+  Array.init n (fun i -> i + 1)
+
+(* Index of the first bucket whose bound is >= v (binary search), or the
+   overflow bucket. *)
+let bucket_index t v =
+  let n = Array.length t.bounds in
+  if v > t.bounds.(n - 1) then n
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if t.bounds.(mid) >= v then hi := mid else lo := mid + 1
+    done;
+    !lo
+  end
+
+let observe t v =
+  let i = bucket_index t v in
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.count <- t.count + 1;
+  t.sum <- t.sum + v;
+  if v < t.min then t.min <- v;
+  if v > t.max then t.max <- v
+
+let count t = t.count
+let sum t = t.sum
+let min_value t = if t.count = 0 then None else Some t.min
+let max_value t = if t.count = 0 then None else Some t.max
+
+let mean t =
+  if t.count = 0 then None else Some (float_of_int t.sum /. float_of_int t.count)
+
+(** (inclusive upper bound, count) per bucket; the overflow bucket is
+    reported with bound [max_int]. *)
+let buckets t =
+  Array.to_list
+    (Array.mapi
+       (fun i c ->
+         ((if i < Array.length t.bounds then t.bounds.(i) else max_int), c))
+       t.counts)
+
+(** Sum of all bucket counts; always equals [count]. *)
+let bucket_total t = Array.fold_left ( + ) 0 t.counts
+
+let merge_into ~into t =
+  if into.bounds <> t.bounds then invalid_arg "Histogram.merge_into: bounds differ";
+  Array.iteri (fun i c -> into.counts.(i) <- into.counts.(i) + c) t.counts;
+  into.count <- into.count + t.count;
+  into.sum <- into.sum + t.sum;
+  if t.count > 0 then begin
+    if t.min < into.min then into.min <- t.min;
+    if t.max > into.max then into.max <- t.max
+  end
+
+let to_json t =
+  Json.Obj
+    [
+      ("count", Json.Int t.count);
+      ("sum", Json.Int t.sum);
+      ("min", if t.count = 0 then Json.Null else Json.Int t.min);
+      ("max", if t.count = 0 then Json.Null else Json.Int t.max);
+      ( "buckets",
+        Json.List
+          (List.map
+             (fun (le, c) ->
+               Json.Obj
+                 [
+                   ( "le",
+                     if le = max_int then Json.String "+inf" else Json.Int le );
+                   ("count", Json.Int c);
+                 ])
+             (buckets t)) );
+    ]
+
+let pp ppf t =
+  if t.count = 0 then Format.fprintf ppf "(empty)"
+  else begin
+    Format.fprintf ppf "n=%d sum=%d min=%d max=%d [" t.count t.sum t.min t.max;
+    List.iteri
+      (fun i (le, c) ->
+        if i > 0 then Format.fprintf ppf " ";
+        if le = max_int then Format.fprintf ppf "inf:%d" c
+        else Format.fprintf ppf "%d:%d" le c)
+      (buckets t);
+    Format.fprintf ppf "]"
+  end

@@ -1,0 +1,34 @@
+(** Fixed-bucket integer histograms (Prometheus-style: increasing
+    inclusive upper bounds plus an implicit overflow bucket). *)
+
+type t
+
+(** [create ~bounds] with strictly increasing inclusive upper bounds;
+    raises [Invalid_argument] on an empty or non-increasing array. *)
+val create : bounds:int array -> t
+
+(** Upper bounds 1, 2, 4, ... doubling [n] times. *)
+val exponential_bounds : int -> int array
+
+(** Upper bounds 1, 2, ..., [n]. *)
+val linear_bounds : int -> int array
+
+val observe : t -> int -> unit
+val count : t -> int
+val sum : t -> int
+val min_value : t -> int option
+val max_value : t -> int option
+val mean : t -> float option
+
+(** (inclusive upper bound, count) per bucket, overflow reported with
+    bound [max_int]. *)
+val buckets : t -> (int * int) list
+
+(** Sum of all bucket counts; always equals [count]. *)
+val bucket_total : t -> int
+
+(** Accumulate [t] into [into]; both must share the same bounds. *)
+val merge_into : into:t -> t -> unit
+
+val to_json : t -> Json.t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,16 @@
+(** A minimal JSON document type and serializer (emit-only). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Serialize; strings escaped per RFC 8259, non-finite floats become
+    [null]. *)
+val to_string : t -> string
+
+val to_channel : out_channel -> t -> unit

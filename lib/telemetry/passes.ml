@@ -1,0 +1,28 @@
+(** Wall-clock timing of named pipeline stages.
+
+    The compiler wraps each pass in {!time}; the recorder keeps (name,
+    seconds) in execution order for the telemetry report and the Chrome
+    trace's compiler lane.  Uses [Sys.time] (processor time) so no extra
+    dependency is needed; pass durations here are milliseconds-scale, well
+    within its resolution for comparative use. *)
+
+type t = { mutable entries : (string * float) list (** reversed *) }
+
+let create () = { entries = [] }
+
+let time t name f =
+  let t0 = Sys.time () in
+  let finally () = t.entries <- (name, Sys.time () -. t0) :: t.entries in
+  Fun.protect ~finally f
+
+(** (pass, seconds) in execution order. *)
+let to_list t = List.rev t.entries
+
+let total t = List.fold_left (fun acc (_, s) -> acc +. s) 0. t.entries
+
+let to_json t =
+  Json.List
+    (List.map
+       (fun (name, s) ->
+         Json.Obj [ ("pass", Json.String name); ("seconds", Json.Float s) ])
+       (to_list t))

@@ -1,0 +1,15 @@
+(** Wall-clock timing of named pipeline stages. *)
+
+type t
+
+val create : unit -> t
+
+(** [time t name f] runs [f] and records its duration under [name]
+    (recorded even if [f] raises). *)
+val time : t -> string -> (unit -> 'a) -> 'a
+
+(** (pass, seconds) in execution order. *)
+val to_list : t -> (string * float) list
+
+val total : t -> float
+val to_json : t -> Json.t

@@ -156,7 +156,7 @@ let producer_consumer ~work0 ~work1 =
 let deq_completion_cycle sim =
   List.filter_map
     (function
-      | Sim.Ev_issue { core = 1; cycle; instr = Isa.Deq _ } -> Some cycle
+      | Sim.Ev_issue { core = 1; cycle; instr = Isa.Deq _; _ } -> Some cycle
       | _ -> None)
     (Sim.events sim)
   |> List.hd
@@ -164,7 +164,7 @@ let deq_completion_cycle sim =
 let enq_issue_cycle sim =
   List.filter_map
     (function
-      | Sim.Ev_issue { core = 0; cycle; instr = Isa.Enq _ } -> Some cycle
+      | Sim.Ev_issue { core = 0; cycle; instr = Isa.Enq _; _ } -> Some cycle
       | _ -> None)
     (Sim.events sim)
   |> List.hd

@@ -1,0 +1,433 @@
+(* Telemetry tests: the primitives (ring buffer, histograms, metrics
+   registry, JSON, Chrome trace events, pass timers) and the simulator
+   invariants they are meant to uphold — exhaustive per-core cycle
+   accounting, queue occupancy bounds, histogram conservation, and
+   fiber-level attribution summing to the run's total cycles. *)
+
+module T = Finepar_telemetry
+open Finepar
+
+(* ------------------------------------------------------------------ *)
+(* Ring buffer.                                                        *)
+
+let test_ring_basic () =
+  let r = T.Ring.create ~capacity:3 in
+  Alcotest.(check bool) "fresh ring empty" true (T.Ring.is_empty r);
+  T.Ring.push r 1;
+  T.Ring.push r 2;
+  Alcotest.(check (list int)) "oldest first" [ 1; 2 ] (T.Ring.to_list r);
+  T.Ring.push r 3;
+  T.Ring.push r 4;
+  Alcotest.(check (list int)) "overwrites oldest" [ 2; 3; 4 ]
+    (T.Ring.to_list r);
+  Alcotest.(check int) "one dropped" 1 (T.Ring.dropped r);
+  Alcotest.(check int) "length capped" 3 (T.Ring.length r);
+  T.Ring.clear r;
+  Alcotest.(check (list int)) "cleared" [] (T.Ring.to_list r)
+
+let test_ring_zero_capacity () =
+  let r = T.Ring.create ~capacity:0 in
+  T.Ring.push r "x";
+  T.Ring.push r "y";
+  Alcotest.(check (list string)) "keeps nothing" [] (T.Ring.to_list r);
+  Alcotest.(check int) "counts drops" 2 (T.Ring.dropped r)
+
+let test_ring_fold_order () =
+  let r = T.Ring.create ~capacity:4 in
+  for i = 1 to 9 do
+    T.Ring.push r i
+  done;
+  Alcotest.(check (list int)) "last four, in order" [ 6; 7; 8; 9 ]
+    (List.rev (T.Ring.fold (fun acc x -> x :: acc) [] r))
+
+(* ------------------------------------------------------------------ *)
+(* Histograms.                                                         *)
+
+let test_histogram_buckets () =
+  let h = T.Histogram.create ~bounds:[| 1; 2; 4 |] in
+  List.iter (T.Histogram.observe h) [ 0; 1; 2; 3; 4; 5; 100 ];
+  Alcotest.(check int) "count" 7 (T.Histogram.count h);
+  Alcotest.(check int) "sum" 115 (T.Histogram.sum h);
+  Alcotest.(check (list (pair int int)))
+    "bucket layout"
+    [ (1, 2); (2, 1); (4, 2); (max_int, 2) ]
+    (T.Histogram.buckets h);
+  Alcotest.(check int) "bucket total = count" (T.Histogram.count h)
+    (T.Histogram.bucket_total h);
+  Alcotest.(check (option int)) "min" (Some 0) (T.Histogram.min_value h);
+  Alcotest.(check (option int)) "max" (Some 100) (T.Histogram.max_value h)
+
+let test_histogram_bounds_generators () =
+  Alcotest.(check (array int)) "exponential" [| 1; 2; 4; 8 |]
+    (T.Histogram.exponential_bounds 4);
+  Alcotest.(check (array int)) "linear" [| 1; 2; 3 |]
+    (T.Histogram.linear_bounds 3);
+  Alcotest.check_raises "empty bounds rejected"
+    (Invalid_argument "Histogram.create: no buckets") (fun () ->
+      ignore (T.Histogram.create ~bounds:[||]))
+
+let test_histogram_merge () =
+  let a = T.Histogram.create ~bounds:[| 1; 2 |] in
+  let b = T.Histogram.create ~bounds:[| 1; 2 |] in
+  List.iter (T.Histogram.observe a) [ 1; 5 ];
+  List.iter (T.Histogram.observe b) [ 2; 2; 9 ];
+  T.Histogram.merge_into ~into:a b;
+  Alcotest.(check int) "merged count" 5 (T.Histogram.count a);
+  Alcotest.(check int) "merged sum" 19 (T.Histogram.sum a);
+  Alcotest.(check (option int)) "merged max" (Some 9)
+    (T.Histogram.max_value a)
+
+let test_histogram_observe_qcheck =
+  QCheck.Test.make ~name:"histogram conserves observations" ~count:200
+    QCheck.(list (int_bound 64))
+    (fun xs ->
+      let h = T.Histogram.create ~bounds:(T.Histogram.exponential_bounds 4) in
+      List.iter (T.Histogram.observe h) xs;
+      T.Histogram.count h = List.length xs
+      && T.Histogram.bucket_total h = List.length xs
+      && T.Histogram.sum h = List.fold_left ( + ) 0 xs)
+
+(* ------------------------------------------------------------------ *)
+(* Stall reasons.                                                      *)
+
+let test_stall_classes () =
+  Alcotest.(check int) "three classes" 3 T.Stall.n_classes;
+  let all = [ T.Stall.Operand; T.Stall.Queue_full 3; T.Stall.Queue_empty 7 ] in
+  Alcotest.(check (list int)) "distinct class indices" [ 0; 1; 2 ]
+    (List.map T.Stall.class_index all);
+  Alcotest.(check (option int)) "queue of full" (Some 3)
+    (T.Stall.queue_of (T.Stall.Queue_full 3));
+  Alcotest.(check (option int)) "operand has no queue" None
+    (T.Stall.queue_of T.Stall.Operand);
+  Alcotest.(check bool) "equal on same queue" true
+    (T.Stall.equal (T.Stall.Queue_empty 1) (T.Stall.Queue_empty 1));
+  Alcotest.(check bool) "distinct queues differ" false
+    (T.Stall.equal (T.Stall.Queue_empty 1) (T.Stall.Queue_empty 2))
+
+(* ------------------------------------------------------------------ *)
+(* JSON.                                                               *)
+
+let test_json_escaping () =
+  Alcotest.(check string) "escapes" "\"a\\\"b\\\\c\\n\\u0007\""
+    (T.Json.to_string (T.Json.String "a\"b\\c\n\007"));
+  Alcotest.(check string) "non-finite floats are null" "[null,null]"
+    (T.Json.to_string (T.Json.List [ T.Json.Float nan; T.Json.Float infinity ]));
+  Alcotest.(check string) "object"
+    "{\"a\":1,\"b\":[true,null]}"
+    (T.Json.to_string
+       (T.Json.Obj
+          [
+            ("a", T.Json.Int 1);
+            ("b", T.Json.List [ T.Json.Bool true; T.Json.Null ]);
+          ]))
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry.                                                   *)
+
+let test_metrics_registry () =
+  let m = T.Metrics.create () in
+  let c = T.Metrics.counter m ~labels:[ ("core", "0") ] "instrs" in
+  T.Metrics.incr c;
+  T.Metrics.incr ~by:4 c;
+  Alcotest.(check int) "counter accumulates" 5 (T.Metrics.counter_value c);
+  let c' = T.Metrics.counter m ~labels:[ ("core", "0") ] "instrs" in
+  T.Metrics.incr c';
+  Alcotest.(check int) "find-or-create shares state" 6
+    (T.Metrics.counter_value c);
+  let g = T.Metrics.gauge m "occupancy" in
+  T.Metrics.set g 2.5;
+  Alcotest.(check (float 0.0)) "gauge set" 2.5 (T.Metrics.gauge_value g);
+  let h = T.Metrics.histogram m ~bounds:[| 1; 2 |] "lat" in
+  T.Histogram.observe h 1;
+  Alcotest.(check int) "histogram registered live" 1 (T.Histogram.count h);
+  Alcotest.(check int) "three samples" 3 (List.length (T.Metrics.samples m));
+  Alcotest.check_raises "negative incr rejected"
+    (Invalid_argument "Metrics.incr: counters only increase") (fun () ->
+      T.Metrics.incr ~by:(-1) c);
+  Alcotest.check_raises "kind mismatch rejected"
+    (Invalid_argument "Metrics: instrs already registered with another kind")
+    (fun () -> ignore (T.Metrics.gauge m ~labels:[ ("core", "0") ] "instrs"))
+
+let test_metrics_csv () =
+  let m = T.Metrics.create () in
+  T.Metrics.incr ~by:7 (T.Metrics.counter m ~labels:[ ("k", "v") ] "c");
+  let csv = T.Metrics.to_csv m in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  Alcotest.(check string) "header" "name,labels,kind,value,count,sum,min,max"
+    (List.nth lines 0);
+  Alcotest.(check string) "row" "c,k=v,counter,7,,,," (List.nth lines 1)
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace events.                                                *)
+
+let test_chrome_trace_shapes () =
+  let s =
+    T.Chrome_trace.to_string
+      [
+        T.Chrome_trace.Process_name { pid = 0; name = "cores" };
+        T.Chrome_trace.Complete
+          {
+            name = "fiber 1";
+            cat = "issue";
+            pid = 0;
+            tid = 2;
+            ts = 10;
+            dur = 5;
+            args = [];
+          };
+        T.Chrome_trace.Counter
+          { name = "q0"; pid = 1; ts = 3; values = [ ("occupancy", 4) ] };
+      ]
+  in
+  let contains needle =
+    let nl = String.length needle and sl = String.length s in
+    let rec go i = i + nl <= sl && (String.sub s i nl = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "contains %s" needle)
+        true (contains needle))
+    [
+      "\"traceEvents\"";
+      "\"ph\":\"M\"";
+      "\"ph\":\"X\"";
+      "\"ph\":\"C\"";
+      "\"dur\":5";
+      "\"occupancy\":4";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Pass timers.                                                        *)
+
+let test_passes () =
+  let p = T.Passes.create () in
+  let x = T.Passes.time p "one" (fun () -> 41 + 1) in
+  let () = T.Passes.time p "two" (fun () -> ()) in
+  Alcotest.(check int) "result passed through" 42 x;
+  Alcotest.(check (list string)) "execution order" [ "one"; "two" ]
+    (List.map fst (T.Passes.to_list p));
+  Alcotest.(check bool) "total is the sum" true
+    (abs_float
+       (T.Passes.total p
+       -. List.fold_left (fun a (_, s) -> a +. s) 0. (T.Passes.to_list p))
+    < 1e-12)
+
+(* ------------------------------------------------------------------ *)
+(* Simulator invariants (satellite: queue_stats / core_stats).         *)
+
+let sim_of ~cores name =
+  let e =
+    match Finepar_kernels.Registry.find name with
+    | Some e -> e
+    | None -> Alcotest.failf "kernel %s not in registry" name
+  in
+  let c = Compiler.compile (Compiler.default_config ~cores ()) e.Finepar_kernels.Registry.kernel in
+  let _, sim =
+    Runner.run_with_sim ~tracing:true ~workload:e.Finepar_kernels.Registry.workload c
+  in
+  (c, sim)
+
+let check_accounting name sim =
+  let module Sim = Finepar_machine.Sim in
+  let cycles = sim.Sim.cycles in
+  Array.iteri
+    (fun i s ->
+      Alcotest.(check int)
+        (Printf.sprintf "%s core %d: every cycle accounted" name i)
+        cycles
+        (Sim.accounted_cycles s))
+    sim.Sim.stats
+
+let test_cycle_accounting () =
+  List.iter
+    (fun (name, cores) ->
+      let _, sim = sim_of ~cores name in
+      check_accounting name sim)
+    [ ("lammps-1", 4); ("lammps-3", 2); ("sphot-1", 4); ("umt2k-6", 4) ]
+
+let test_queue_invariants () =
+  let module Sim = Finepar_machine.Sim in
+  let c, sim = sim_of ~cores:4 "lammps-3" in
+  let queue_len =
+    c.Compiler.config.Compiler.machine.Finepar_machine.Config.queue_len
+  in
+  Alcotest.(check bool) "has queues" true (Array.length sim.Sim.queues > 0);
+  Array.iteri
+    (fun i (q : Sim.queue_state) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "queue %d: occupancy within capacity" i)
+        true
+        (q.Sim.max_occupancy >= 0 && q.Sim.max_occupancy <= queue_len);
+      Alcotest.(check int)
+        (Printf.sprintf "queue %d: histogram total = transfers" i)
+        q.Sim.transfers
+        (T.Histogram.bucket_total q.Sim.occupancy);
+      match T.Histogram.max_value q.Sim.occupancy with
+      | None -> ()
+      | Some m ->
+        Alcotest.(check int)
+          (Printf.sprintf "queue %d: histogram max = max occupancy" i)
+          q.Sim.max_occupancy m)
+    sim.Sim.queues;
+  (* queue_stats mirrors the queue table. *)
+  List.iteri
+    (fun i (_, transfers, max_occ) ->
+      Alcotest.(check int) "queue_stats transfers" sim.Sim.queues.(i).Sim.transfers
+        transfers;
+      Alcotest.(check int) "queue_stats occupancy"
+        sim.Sim.queues.(i).Sim.max_occupancy max_occ)
+    (Sim.queue_stats sim)
+
+let test_stall_histograms () =
+  let module Sim = Finepar_machine.Sim in
+  let _, sim = sim_of ~cores:4 "lammps-3" in
+  Array.iteri
+    (fun i s ->
+      let h = sim.Sim.stall_hist.(i) in
+      Alcotest.(check int)
+        (Printf.sprintf "core %d: episode durations sum to stall cycles" i)
+        (Sim.stall_total s) (T.Histogram.sum h))
+    sim.Sim.stats
+
+let test_fiber_attribution () =
+  let module Sim = Finepar_machine.Sim in
+  List.iter
+    (fun (name, cores) ->
+      let _, sim = sim_of ~cores name in
+      let attributed =
+        List.fold_left
+          (fun acc (_, issue, stall) -> acc + issue + stall)
+          0 (Sim.fiber_counters sim)
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "%s: fiber cycles + waits = cycles x cores" name)
+        (sim.Sim.cycles * Array.length sim.Sim.stats)
+        (attributed + Sim.wait_cycles sim))
+    [ ("lammps-1", 4); ("lammps-3", 4); ("sphot-1", 2) ]
+
+let test_trace_bounded () =
+  let module Sim = Finepar_machine.Sim in
+  let e = Option.get (Finepar_kernels.Registry.find "lammps-3") in
+  let c =
+    Compiler.compile
+      (Compiler.default_config ~cores:4 ())
+      e.Finepar_kernels.Registry.kernel
+  in
+  let _, sim =
+    Runner.run_with_sim ~tracing:true ~trace_capacity:128
+      ~workload:e.Finepar_kernels.Registry.workload c
+  in
+  Alcotest.(check int) "ring respects capacity" 128
+    (List.length (Sim.events sim));
+  Alcotest.(check bool) "drops are counted" true (Sim.dropped_events sim > 0);
+  let untraced =
+    let _, s = Runner.run_with_sim ~workload:e.Finepar_kernels.Registry.workload c in
+    Sim.events s
+  in
+  Alcotest.(check int) "tracing off keeps nothing" 0 (List.length untraced)
+
+(* ------------------------------------------------------------------ *)
+(* Report.                                                             *)
+
+let test_report_invariants () =
+  let e = Option.get (Finepar_kernels.Registry.find "lammps-1") in
+  let c =
+    Compiler.compile
+      (Compiler.default_config ~cores:4 ())
+      e.Finepar_kernels.Registry.kernel
+  in
+  let r = Runner.run ~workload:e.Finepar_kernels.Registry.workload c in
+  let t = r.Runner.telemetry in
+  Alcotest.(check string) "kernel name" "lammps-1" t.Report.kernel;
+  Alcotest.(check int) "total = cycles x cores" (t.Report.cycles * t.Report.n_cores)
+    t.Report.total_core_cycles;
+  let attributed =
+    List.fold_left
+      (fun acc (f : Report.fiber_row) -> acc + f.Report.issue + f.Report.stall)
+      0 t.Report.fibers
+  in
+  Alcotest.(check int) "attribution sums to total"
+    t.Report.total_core_cycles
+    (attributed + t.Report.wait_cycles);
+  List.iter
+    (fun (f : Report.fiber_row) ->
+      if f.Report.fiber >= 0 then
+        Alcotest.(check bool)
+          (Printf.sprintf "fiber %d placed on a core" f.Report.fiber)
+          true
+          (f.Report.partition >= 0 && f.Report.partition < t.Report.n_cores))
+    t.Report.fibers;
+  Alcotest.(check (list string)) "pipeline passes recorded"
+    [
+      "speculate"; "flatten"; "fiber-split"; "deps"; "code-graph"; "merge";
+      "schedule"; "comm"; "lower";
+    ]
+    (List.map fst t.Report.pass_times)
+
+let test_chrome_trace_of_sim () =
+  let _, sim = sim_of ~cores:4 "lammps-1" in
+  let module CT = T.Chrome_trace in
+  let events = Report.chrome_trace ~pass_times:[ ("merge", 1e-3) ] sim in
+  let lanes = Hashtbl.create 8 in
+  let cycles = ref 0 in
+  List.iter
+    (function
+      | CT.Complete { pid = 0; tid; dur; _ } ->
+        Hashtbl.replace lanes tid ();
+        cycles := !cycles + dur
+      | _ -> ())
+    events;
+  Alcotest.(check int) "one span lane per core" 4 (Hashtbl.length lanes);
+  Alcotest.(check bool) "spans cover traced cycles" true (!cycles > 0);
+  Alcotest.(check bool) "has queue counters" true
+    (List.exists (function CT.Counter { pid = 1; _ } -> true | _ -> false) events);
+  Alcotest.(check bool) "has compiler lane" true
+    (List.exists
+       (function CT.Complete { pid = 2; _ } -> true | _ -> false)
+       events)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "ring",
+        [
+          Alcotest.test_case "basics" `Quick test_ring_basic;
+          Alcotest.test_case "zero capacity" `Quick test_ring_zero_capacity;
+          Alcotest.test_case "fold order" `Quick test_ring_fold_order;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "buckets" `Quick test_histogram_buckets;
+          Alcotest.test_case "bounds generators" `Quick
+            test_histogram_bounds_generators;
+          Alcotest.test_case "merge" `Quick test_histogram_merge;
+          QCheck_alcotest.to_alcotest test_histogram_observe_qcheck;
+        ] );
+      ("stall", [ Alcotest.test_case "classes" `Quick test_stall_classes ]);
+      ("json", [ Alcotest.test_case "escaping" `Quick test_json_escaping ]);
+      ( "metrics",
+        [
+          Alcotest.test_case "registry" `Quick test_metrics_registry;
+          Alcotest.test_case "csv" `Quick test_metrics_csv;
+        ] );
+      ( "chrome trace",
+        [ Alcotest.test_case "event shapes" `Quick test_chrome_trace_shapes ] );
+      ("passes", [ Alcotest.test_case "timing" `Quick test_passes ]);
+      ( "sim invariants",
+        [
+          Alcotest.test_case "cycle accounting" `Quick test_cycle_accounting;
+          Alcotest.test_case "queue stats" `Quick test_queue_invariants;
+          Alcotest.test_case "stall histograms" `Quick test_stall_histograms;
+          Alcotest.test_case "fiber attribution" `Quick test_fiber_attribution;
+          Alcotest.test_case "bounded trace" `Quick test_trace_bounded;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "invariants" `Quick test_report_invariants;
+          Alcotest.test_case "chrome export" `Quick test_chrome_trace_of_sim;
+        ] );
+    ]
