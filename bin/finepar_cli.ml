@@ -8,7 +8,8 @@
      report     per-core / per-queue / per-fiber cycle attribution
      sweep      transfer-latency sweep for one kernel
      autotune   compile several code versions, keep the fastest
-     classify   the 51-loop characterization funnel *)
+     classify   the 51-loop characterization funnel
+     fuzz       differential fuzzing with shrinking and a corpus *)
 
 open Cmdliner
 open Finepar
@@ -340,6 +341,119 @@ let autotune_cmd =
           III-I)")
     Term.(const run $ kernel_arg $ cores_arg $ latency_arg $ queue_len_arg)
 
+let fuzz_cmd =
+  let cases_arg =
+    let doc = "Number of random cases to generate and check." in
+    Arg.(value & opt int 200 & info [ "cases" ] ~doc)
+  in
+  let seconds_arg =
+    let doc =
+      "Wall-clock budget in seconds; generation stops at whichever of \
+       --cases and --seconds is hit first."
+    in
+    Arg.(value & opt (some float) None & info [ "seconds" ] ~doc)
+  in
+  let seed_arg =
+    let doc =
+      "Root seed.  Case $(i,i) uses the derived seed printed on failure, \
+       so any failure reproduces from its seed alone."
+    in
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc)
+  in
+  let out_dir_arg =
+    let doc = "Directory to write shrunk reproducers into (created)." in
+    Arg.(value & opt (some string) None & info [ "out-dir" ] ~doc)
+  in
+  let summary_arg =
+    let doc = "Write a JSON campaign summary to this file ('-' for stdout)." in
+    Arg.(value & opt (some string) None & info [ "summary" ] ~doc)
+  in
+  let replay_arg =
+    let doc =
+      "Replay every reproducer in this corpus directory instead of \
+       generating new cases."
+    in
+    Arg.(value & opt (some string) None & info [ "replay" ] ~doc)
+  in
+  let run cases seconds seed out_dir summary replay =
+    match replay with
+    | Some dir ->
+      let replays = Finepar_fuzz.Corpus.replay_dir dir in
+      let failed = ref 0 in
+      List.iter
+        (fun (r : Finepar_fuzz.Corpus.replay) ->
+          match r.Finepar_fuzz.Corpus.outcome with
+          | Ok (Finepar_fuzz.Oracle.Pass _) ->
+            Fmt.pr "PASS %s@." r.Finepar_fuzz.Corpus.entry.Finepar_fuzz.Corpus.path
+          | Ok (Finepar_fuzz.Oracle.Fail f) ->
+            incr failed;
+            Fmt.pr "FAIL %s: %a@."
+              r.Finepar_fuzz.Corpus.entry.Finepar_fuzz.Corpus.path
+              Finepar_fuzz.Oracle.pp_failure f
+          | Error msg ->
+            incr failed;
+            Fmt.pr "FAIL %s: unreadable reproducer: %s@."
+              r.Finepar_fuzz.Corpus.entry.Finepar_fuzz.Corpus.path msg)
+        replays;
+      Fmt.pr "replayed %d reproducers, %d failing@." (List.length replays)
+        !failed;
+      if !failed > 0 then exit 1
+    | None ->
+      let s =
+        Finepar_fuzz.Driver.run ?out_dir
+          ?seconds
+          ~cases ~seed ()
+      in
+      List.iter
+        (fun (f : Finepar_fuzz.Driver.failure_report) ->
+          Fmt.pr "FAIL seed %d: %a@." f.Finepar_fuzz.Driver.case_seed
+            Finepar_fuzz.Oracle.pp_failure f.Finepar_fuzz.Driver.failure;
+          Fmt.pr "  shrunk to %d statements%a@."
+            (Finepar_fuzz.Shrink.stmt_count
+               f.Finepar_fuzz.Driver.shrunk.Finepar_fuzz.Gen.kernel)
+            Fmt.(option (fun ppf p -> Fmt.pf ppf ", reproducer %s" p))
+            f.Finepar_fuzz.Driver.repro_path)
+        s.Finepar_fuzz.Driver.failures;
+      Fmt.pr
+        "fuzz: %d cases (seed %d), %d passed, %d failed, %.1fs@."
+        s.Finepar_fuzz.Driver.cases_run s.Finepar_fuzz.Driver.root_seed
+        s.Finepar_fuzz.Driver.passed s.Finepar_fuzz.Driver.failed
+        s.Finepar_fuzz.Driver.elapsed;
+      Fmt.pr
+        "coverage: %d with ifs, %d indirect, %d int-ops; %d speculated, %d \
+         multi-core, %d smt@."
+        s.Finepar_fuzz.Driver.kernels_with_ifs
+        s.Finepar_fuzz.Driver.kernels_with_indirect
+        s.Finepar_fuzz.Driver.kernels_with_int_ops
+        s.Finepar_fuzz.Driver.speculated s.Finepar_fuzz.Driver.multi_core
+        s.Finepar_fuzz.Driver.smt_cases;
+      (match summary with
+      | None -> ()
+      | Some file ->
+        let json = Finepar_fuzz.Driver.summary_to_json s in
+        if String.equal file "-" then print_endline json
+        else begin
+          let oc = open_out file in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () ->
+              output_string oc json;
+              output_char oc '\n');
+          Fmt.pr "wrote %s@." file
+        end);
+      if s.Finepar_fuzz.Driver.failed > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: random well-typed kernels and \
+          configurations checked for bit-exactness, determinism, \
+          telemetry invariants and cross-core agreement; failures are \
+          shrunk to minimal reproducers")
+    Term.(
+      const run $ cases_arg $ seconds_arg $ seed_arg $ out_dir_arg
+      $ summary_arg $ replay_arg)
+
 let classify_cmd =
   let run () =
     List.iter
@@ -365,5 +479,5 @@ let () =
        (Cmd.group info
           [
             list_cmd; run_cmd; show_cmd; trace_cmd; report_cmd; sweep_cmd;
-            autotune_cmd; classify_cmd;
+            autotune_cmd; classify_cmd; fuzz_cmd;
           ]))

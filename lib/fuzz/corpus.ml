@@ -1,0 +1,47 @@
+(** The persistent regression corpus: a directory of reproducer files
+    (one {!Repro} s-expression each, [.sexp] extension) replayed against
+    the full oracle set on every test run. *)
+
+type entry = { path : string; case : Gen.case }
+
+type replay = {
+  entry : entry;
+  outcome : (Oracle.outcome, string) result;
+      (** [Error _] when the file does not even parse. *)
+}
+
+let is_corpus_file name = Filename.check_suffix name ".sexp"
+
+(** Corpus files in [dir], sorted by name for deterministic replay
+    order.  A missing directory is an empty corpus. *)
+let files dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | names ->
+    let names = Array.to_list names in
+    List.filter is_corpus_file names
+    |> List.sort String.compare
+    |> List.map (Filename.concat dir)
+
+let load_file path = { path; case = Repro.load path }
+
+let replay_file ?compile path =
+  match load_file path with
+  | entry -> { entry; outcome = Ok (Oracle.check ?compile entry.case) }
+  | exception (Repro.Parse_error msg | Finepar_ir.Kernel.Invalid msg) ->
+    {
+      entry = { path; case = Gen.case_of_seed 0 };
+      outcome = Error msg;
+    }
+
+let replay_dir ?compile dir = List.map (replay_file ?compile) (files dir)
+
+(** A short stable basename for a new corpus entry derived from the
+    failing oracle and the seed that produced it. *)
+let entry_name ~oracle ~seed = Printf.sprintf "%s-seed%d.sexp" oracle seed
+
+let save dir ~oracle ~seed ?failure case =
+  (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+  let path = Filename.concat dir (entry_name ~oracle ~seed) in
+  Repro.save path ?failure case;
+  path

@@ -1,0 +1,161 @@
+(** The fuzzing campaign driver: generate cases from a root seed, run
+    the oracle set on each, shrink and persist any failure, and report a
+    machine-readable summary.
+
+    Case [i] of a campaign rooted at [seed] is generated from the
+    derived seed [seed * 1_000_003 + i], so any individual failure is
+    reproducible from the summary line alone (no shared generator state
+    between cases). *)
+
+module Json = Finepar_telemetry.Json
+
+type failure_report = {
+  case_seed : int;
+  failure : Oracle.failure;
+  shrunk : Gen.case;
+  shrunk_failure : Oracle.failure;
+  repro_path : string option;
+}
+
+type summary = {
+  root_seed : int;
+  cases_run : int;
+  passed : int;
+  failed : int;
+  elapsed : float;
+  (* Coverage-style tallies over the generated population, so a nightly
+     log shows what the campaign actually exercised. *)
+  kernels_with_ifs : int;
+  kernels_with_indirect : int;
+  kernels_with_int_ops : int;
+  speculated : int;
+  multi_core : int;
+  smt_cases : int;
+  total_partitions : int;
+  total_cycles : int;
+  failures : failure_report list;
+}
+
+let derive_seed ~root i = (root * 1_000_003) + i
+
+let case_features (case : Gen.case) =
+  let has_if = ref false and has_indirect = ref false in
+  let has_int = ref false in
+  Finepar_ir.Stmt.iter_block
+    (fun s ->
+      (match s with Finepar_ir.Stmt.If _ -> has_if := true | _ -> ());
+      List.iter
+        (Finepar_ir.Expr.iter (fun e ->
+             match e with
+             | Finepar_ir.Expr.Load (_, Finepar_ir.Expr.Load _) ->
+               has_indirect := true
+             | Finepar_ir.Expr.Binop
+                 ((Finepar_ir.Types.And | Or | Xor | Shl | Shr), _, _) ->
+               has_int := true
+             | _ -> ()))
+        (Finepar_ir.Stmt.exprs s))
+    case.Gen.kernel.Finepar_ir.Kernel.body;
+  (!has_if, !has_indirect, !has_int)
+
+(** Run a campaign.  Stops at [cases] generated cases or once [seconds]
+    of wall-clock budget is spent, whichever comes first.  Failures are
+    shrunk; when [out_dir] is given, each shrunk reproducer is saved
+    there.  [on_case] is a progress hook. *)
+let run ?compile ?out_dir ?(seconds = infinity) ?(on_case = fun _ _ -> ())
+    ~cases ~seed () =
+  let started = Sys.time () in
+  let passed = ref 0 and failures = ref [] in
+  let kernels_with_ifs = ref 0
+  and kernels_with_indirect = ref 0
+  and kernels_with_int_ops = ref 0
+  and speculated = ref 0
+  and multi_core = ref 0
+  and smt_cases = ref 0
+  and total_partitions = ref 0
+  and total_cycles = ref 0 in
+  let i = ref 0 in
+  while !i < cases && Sys.time () -. started < seconds do
+    let case_seed = derive_seed ~root:seed !i in
+    let case = Gen.case_of_seed case_seed in
+    let has_if, has_indirect, has_int = case_features case in
+    if has_if then incr kernels_with_ifs;
+    if has_indirect then incr kernels_with_indirect;
+    if has_int then incr kernels_with_int_ops;
+    if case.Gen.config.Finepar.Compiler.speculation then incr speculated;
+    if case.Gen.config.Finepar.Compiler.cores > 1 then incr multi_core;
+    if case.Gen.placement <> Gen.Identity then incr smt_cases;
+    let outcome = Oracle.check ?compile case in
+    (match outcome with
+    | Oracle.Pass stats ->
+      incr passed;
+      total_partitions := !total_partitions + stats.Oracle.n_partitions;
+      total_cycles := !total_cycles + stats.Oracle.cycles
+    | Oracle.Fail failure ->
+      let shrunk, shrunk_failure = Shrink.shrink ?compile case failure in
+      let repro_path =
+        Option.map
+          (fun dir ->
+            Corpus.save dir ~oracle:shrunk_failure.Oracle.oracle
+              ~seed:case_seed ~failure:shrunk_failure shrunk)
+          out_dir
+      in
+      failures :=
+        { case_seed; failure; shrunk; shrunk_failure; repro_path } :: !failures);
+    on_case case_seed outcome;
+    incr i
+  done;
+  {
+    root_seed = seed;
+    cases_run = !i;
+    passed = !passed;
+    failed = List.length !failures;
+    elapsed = Sys.time () -. started;
+    kernels_with_ifs = !kernels_with_ifs;
+    kernels_with_indirect = !kernels_with_indirect;
+    kernels_with_int_ops = !kernels_with_int_ops;
+    speculated = !speculated;
+    multi_core = !multi_core;
+    smt_cases = !smt_cases;
+    total_partitions = !total_partitions;
+    total_cycles = !total_cycles;
+    failures = List.rev !failures;
+  }
+
+let json_of_failure (f : failure_report) =
+  Json.Obj
+    [
+      ("seed", Json.Int f.case_seed);
+      ("oracle", Json.String f.failure.Oracle.oracle);
+      ("message", Json.String f.failure.Oracle.message);
+      ("shrunk_statements", Json.Int (Shrink.stmt_count f.shrunk.Gen.kernel));
+      ("shrunk_oracle", Json.String f.shrunk_failure.Oracle.oracle);
+      ( "repro",
+        match f.repro_path with
+        | None -> Json.Null
+        | Some p -> Json.String p );
+    ]
+
+let json_of_summary (s : summary) =
+  Json.Obj
+    [
+      ("root_seed", Json.Int s.root_seed);
+      ("cases_run", Json.Int s.cases_run);
+      ("passed", Json.Int s.passed);
+      ("failed", Json.Int s.failed);
+      ("elapsed_seconds", Json.Float s.elapsed);
+      ( "coverage",
+        Json.Obj
+          [
+            ("kernels_with_ifs", Json.Int s.kernels_with_ifs);
+            ("kernels_with_indirect", Json.Int s.kernels_with_indirect);
+            ("kernels_with_int_ops", Json.Int s.kernels_with_int_ops);
+            ("speculated_configs", Json.Int s.speculated);
+            ("multi_core_configs", Json.Int s.multi_core);
+            ("smt_placements", Json.Int s.smt_cases);
+            ("total_partitions", Json.Int s.total_partitions);
+            ("total_cycles", Json.Int s.total_cycles);
+          ] );
+      ("failures", Json.List (List.map json_of_failure s.failures));
+    ]
+
+let summary_to_json s = Json.to_string (json_of_summary s)

@@ -1,0 +1,44 @@
+(** The fuzzing campaign driver. *)
+
+type failure_report = {
+  case_seed : int;  (** regenerate with {!Gen.case_of_seed} *)
+  failure : Oracle.failure;
+  shrunk : Gen.case;
+  shrunk_failure : Oracle.failure;
+  repro_path : string option;
+}
+
+type summary = {
+  root_seed : int;
+  cases_run : int;
+  passed : int;
+  failed : int;
+  elapsed : float;
+  kernels_with_ifs : int;
+  kernels_with_indirect : int;
+  kernels_with_int_ops : int;
+  speculated : int;
+  multi_core : int;
+  smt_cases : int;
+  total_partitions : int;
+  total_cycles : int;
+  failures : failure_report list;
+}
+
+val derive_seed : root:int -> int -> int
+(** The per-case seed of case [i] in a campaign rooted at [root]. *)
+
+val run :
+  ?compile:Oracle.compile_fn ->
+  ?out_dir:string ->
+  ?seconds:float ->
+  ?on_case:(int -> Oracle.outcome -> unit) ->
+  cases:int ->
+  seed:int ->
+  unit ->
+  summary
+(** Generate and check up to [cases] cases (bounded also by [seconds] of
+    CPU budget), shrinking failures and saving reproducers under
+    [out_dir] when given. *)
+
+val summary_to_json : summary -> string

@@ -1,0 +1,108 @@
+(** Deliberate miscompiles, for testing the fuzzing harness itself.
+
+    [miscompile rule] is a {!Oracle.compile_fn} that compiles a mutated
+    copy of the kernel while keeping the original as the reference
+    ([compiled.source]), so the bit-exact oracle sees a genuine
+    compiler-output/reference divergence — the mutation smoke test: the
+    harness must catch it and shrink it. *)
+
+open Finepar_ir
+
+type rule =
+  | Swap_add_sub  (** first floating/integer [a + b] becomes [a - b] *)
+  | Perturb_const  (** first numeric literal is nudged *)
+  | Negate_condition  (** first conditional's branches are swapped *)
+
+let rule_name = function
+  | Swap_add_sub -> "swap-add-sub"
+  | Perturb_const -> "perturb-const"
+  | Negate_condition -> "negate-condition"
+
+(** Apply [f] to the first subexpression where it yields a change. *)
+let rec rewrite_first_expr f e =
+  match f e with
+  | Some e' -> Some e'
+  | None -> (
+    match e with
+    | Expr.Const _ | Expr.Var _ -> None
+    | Expr.Load (a, idx) ->
+      Option.map (fun idx' -> Expr.Load (a, idx')) (rewrite_first_expr f idx)
+    | Expr.Unop (op, a) ->
+      Option.map (fun a' -> Expr.Unop (op, a')) (rewrite_first_expr f a)
+    | Expr.Binop (op, a, b) -> (
+      match rewrite_first_expr f a with
+      | Some a' -> Some (Expr.Binop (op, a', b))
+      | None ->
+        Option.map (fun b' -> Expr.Binop (op, a, b')) (rewrite_first_expr f b))
+    | Expr.Select (c, t, fa) -> (
+      match rewrite_first_expr f c with
+      | Some c' -> Some (Expr.Select (c', t, fa))
+      | None -> (
+        match rewrite_first_expr f t with
+        | Some t' -> Some (Expr.Select (c, t', fa))
+        | None ->
+          Option.map (fun fa' -> Expr.Select (c, t, fa'))
+            (rewrite_first_expr f fa))))
+
+let rec rewrite_first_stmt fe fs s =
+  match fs s with
+  | Some s' -> Some s'
+  | None -> (
+    match s with
+    | Stmt.Assign (v, e) ->
+      Option.map (fun e' -> Stmt.Assign (v, e')) (rewrite_first_expr fe e)
+    | Stmt.Store (a, i, e) -> (
+      match rewrite_first_expr fe i with
+      | Some i' -> Some (Stmt.Store (a, i', e))
+      | None -> Option.map (fun e' -> Stmt.Store (a, i, e')) (rewrite_first_expr fe e))
+    | Stmt.If (c, t, f) -> (
+      match rewrite_first_expr fe c with
+      | Some c' -> Some (Stmt.If (c', t, f))
+      | None -> (
+        match rewrite_first_block fe fs t with
+        | Some t' -> Some (Stmt.If (c, t', f))
+        | None ->
+          Option.map (fun f' -> Stmt.If (c, t, f')) (rewrite_first_block fe fs f))))
+
+and rewrite_first_block fe fs = function
+  | [] -> None
+  | s :: rest -> (
+    match rewrite_first_stmt fe fs s with
+    | Some s' -> Some (s' :: rest)
+    | None -> Option.map (fun rest' -> s :: rest') (rewrite_first_block fe fs rest))
+
+(** The mutated kernel, or [None] when the rule finds no site.  The
+    mutated kernel is re-validated: mutations preserve types. *)
+let apply rule (k : Kernel.t) =
+  let nothing _ = None in
+  let fe, fs =
+    match rule with
+    | Swap_add_sub ->
+      ( (function
+         | Expr.Binop (Types.Add, a, b) -> Some (Expr.Binop (Types.Sub, a, b))
+         | _ -> None),
+        nothing )
+    | Perturb_const ->
+      ( (function
+         | Expr.Const (Types.VFloat f) -> Some (Expr.Const (Types.VFloat (f +. 1.0)))
+         | Expr.Const (Types.VInt i) -> Some (Expr.Const (Types.VInt (i + 1)))
+         | _ -> None),
+        nothing )
+    | Negate_condition ->
+      ( nothing,
+        function
+        | Stmt.If (c, t, f) when t <> f -> Some (Stmt.If (c, f, t))
+        | _ -> None )
+  in
+  Option.map
+    (fun body' -> Kernel.validate { k with Kernel.body = body' })
+    (rewrite_first_block fe fs k.Kernel.body)
+
+(** A compile function that miscompiles: the generated code comes from
+    the mutated kernel, the reference stays the original.  When the rule
+    has no site the compilation is honest. *)
+let miscompile rule : Oracle.compile_fn =
+ fun config k ->
+  match apply rule k with
+  | None -> Finepar.Compiler.compile config k
+  | Some k' -> { (Finepar.Compiler.compile config k') with Finepar.Compiler.source = k }

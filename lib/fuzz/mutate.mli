@@ -1,0 +1,14 @@
+(** Deliberate miscompiles for testing the fuzzing harness (mutation
+    smoke tests). *)
+
+type rule = Swap_add_sub | Perturb_const | Negate_condition
+
+val rule_name : rule -> string
+
+val apply : rule -> Finepar_ir.Kernel.t -> Finepar_ir.Kernel.t option
+(** The mutated (still well-typed) kernel, or [None] if the rule finds
+    no applicable site. *)
+
+val miscompile : rule -> Oracle.compile_fn
+(** Compiles the mutated kernel but keeps the original as the bit-exact
+    reference; honest when the rule finds no site. *)

@@ -1,0 +1,144 @@
+(** The differential oracle set.
+
+    Every fuzzed case is checked against four independent oracles:
+
+    - {b bit-exact}: the simulated outputs equal the reference
+      evaluator's, bit for bit ({!Finepar.Runner} raises [Mismatch]);
+    - {b telemetry invariants}: per-core cycle accounting sums to the
+      run's cycles, fiber attribution plus wait cycles sums to
+      [cycles * threads], and queue occupancy respects capacity;
+    - {b determinism}: a second run of the same compiled program on the
+      same workload reproduces the cycle count and outputs;
+    - {b cross-core agreement}: the same kernel compiled for one core
+      produces the same observable results.
+
+    [check] never raises: compiler or simulator exceptions become
+    failures of the corresponding oracle. *)
+
+module Sim = Finepar_machine.Sim
+module Program = Finepar_machine.Program
+open Finepar_ir
+
+type stats = {
+  cycles : int;
+  n_partitions : int;
+  queues_used : int;
+  instrs : int;
+  speculated_ifs : int;
+}
+
+type failure = {
+  oracle : string;  (** which oracle rejected the case *)
+  message : string;
+}
+
+type outcome = Pass of stats | Fail of failure
+
+let fail oracle fmt = Format.kasprintf (fun message -> Fail { oracle; message }) fmt
+
+type compile_fn = Finepar.Compiler.config -> Kernel.t -> Finepar.Compiler.compiled
+
+(** Telemetry invariants on a finished simulation; [None] means all
+    hold. *)
+let telemetry_failure (sim : Sim.t) =
+  let cycles = sim.Sim.cycles in
+  let n_threads = Array.length sim.Sim.stats in
+  let bad = ref None in
+  let record fmt = Format.kasprintf (fun m -> if !bad = None then bad := Some m) fmt in
+  Array.iteri
+    (fun i s ->
+      let acc = Sim.accounted_cycles s in
+      if acc <> cycles then
+        record "core %d: %d cycles accounted, run took %d" i acc cycles)
+    sim.Sim.stats;
+  let attributed =
+    List.fold_left
+      (fun acc (_, issue, stall) -> acc + issue + stall)
+      0 (Sim.fiber_counters sim)
+  in
+  let total = cycles * n_threads in
+  if attributed + Sim.wait_cycles sim <> total then
+    record "fiber attribution %d + wait %d <> %d cycles x %d threads"
+      attributed (Sim.wait_cycles sim) cycles n_threads;
+  Array.iteri
+    (fun i (q : Sim.queue_state) ->
+      if q.Sim.max_occupancy < 0 || q.Sim.max_occupancy > sim.Sim.config.Finepar_machine.Config.queue_len
+      then
+        record "queue %d: max occupancy %d outside [0, %d]" i q.Sim.max_occupancy
+          sim.Sim.config.Finepar_machine.Config.queue_len;
+      if Finepar_telemetry.Histogram.bucket_total q.Sim.occupancy <> q.Sim.transfers
+      then
+        record "queue %d: occupancy histogram holds %d samples, %d transfers" i
+          (Finepar_telemetry.Histogram.bucket_total q.Sim.occupancy)
+          q.Sim.transfers)
+    sim.Sim.queues;
+  !bad
+
+let check ?(compile : compile_fn = Finepar.Compiler.compile) (case : Gen.case) =
+  let workload =
+    Finepar_kernels.Workload.default ~seed:case.Gen.workload_seed case.Gen.kernel
+  in
+  match compile case.Gen.config case.Gen.kernel with
+  | exception Kernel.Invalid m -> fail "well-formed" "kernel rejected: %s" m
+  | exception Finepar_analysis.Deps.Unsupported m ->
+    fail "well-formed" "dependence analysis rejected: %s" m
+  | exception e -> fail "compiler-crash" "%s" (Printexc.to_string e)
+  | c -> (
+    let n_threads =
+      Array.length c.Finepar.Compiler.code.Finepar_codegen.Lower.program.Program.cores
+    in
+    let core_map = Gen.materialize case.Gen.placement n_threads in
+    match Finepar.Runner.run_with_sim ~check:true ~workload ~core_map c with
+    | exception Finepar.Runner.Mismatch m -> fail "bit-exact" "%s" m
+    | exception Sim.Stuck m -> fail "progress" "simulator stuck: %s" m
+    | exception Eval.Runtime_error m -> fail "well-formed" "reference evaluator: %s" m
+    | exception e -> fail "simulator-crash" "%s" (Printexc.to_string e)
+    | run1, sim -> (
+      match telemetry_failure sim with
+      | Some m -> fail "telemetry" "%s" m
+      | None -> (
+        (* Determinism: same compiled program, same workload, fresh
+           simulator state. *)
+        match Finepar.Runner.run ~check:false ~workload ~core_map c with
+        | exception e ->
+          fail "determinism" "second run raised %s" (Printexc.to_string e)
+        | run2 ->
+          if run1.Finepar.Runner.cycles <> run2.Finepar.Runner.cycles then
+            fail "determinism" "cycle counts differ across runs: %d vs %d"
+              run1.Finepar.Runner.cycles run2.Finepar.Runner.cycles
+          else if
+            not (Eval.result_equal run1.Finepar.Runner.result run2.Finepar.Runner.result)
+          then fail "determinism" "results differ across identical runs"
+          else
+            (* Cross-core agreement: one-core compilation of the same
+               kernel must observe the same live-outs and arrays. *)
+            let config1 = { case.Gen.config with Finepar.Compiler.cores = 1 } in
+            (match compile config1 case.Gen.kernel with
+            | exception e ->
+              fail "cross-core" "1-core compile raised %s" (Printexc.to_string e)
+            | c1 -> (
+              match Finepar.Runner.run ~check:true ~workload c1 with
+              | exception e ->
+                fail "cross-core" "1-core run raised %s" (Printexc.to_string e)
+              | run_1core ->
+                if
+                  not
+                    (Eval.result_equal run1.Finepar.Runner.result
+                       run_1core.Finepar.Runner.result)
+                then
+                  fail "cross-core"
+                    "%d-partition and 1-core results disagree"
+                    c.Finepar.Compiler.stats.Finepar.Compiler.n_partitions
+                else
+                  Pass
+                    {
+                      cycles = run1.Finepar.Runner.cycles;
+                      n_partitions =
+                        c.Finepar.Compiler.stats.Finepar.Compiler.n_partitions;
+                      queues_used = run1.Finepar.Runner.queues_used;
+                      instrs = run1.Finepar.Runner.instrs;
+                      speculated_ifs =
+                        c.Finepar.Compiler.stats.Finepar.Compiler.speculated_ifs;
+                    })))))
+
+let pp_failure ppf f = Fmt.pf ppf "[%s] %s" f.oracle f.message

@@ -1,0 +1,25 @@
+(** The differential oracle set: bit-exactness against the reference
+    evaluator, telemetry invariants, run-to-run determinism, and
+    cross-core-count agreement of observable results. *)
+
+type stats = {
+  cycles : int;
+  n_partitions : int;
+  queues_used : int;
+  instrs : int;
+  speculated_ifs : int;
+}
+
+type failure = { oracle : string; message : string }
+
+type outcome = Pass of stats | Fail of failure
+
+type compile_fn =
+  Finepar.Compiler.config -> Finepar_ir.Kernel.t -> Finepar.Compiler.compiled
+
+val check : ?compile:compile_fn -> Gen.case -> outcome
+(** Run the full oracle set on one case.  Never raises; [compile]
+    defaults to {!Finepar.Compiler.compile} and exists so tests can
+    inject deliberate miscompiles. *)
+
+val pp_failure : Format.formatter -> failure -> unit

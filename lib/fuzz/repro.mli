@@ -1,0 +1,16 @@
+(** Reproducer files: serializing a (kernel, configuration) case as an
+    s-expression that round-trips bit-exactly. *)
+
+exception Parse_error of string
+
+val to_string : ?failure:Oracle.failure -> Gen.case -> string
+(** The reproducer text; [failure] adds a comment header recording which
+    oracle failed. *)
+
+val of_string : string -> Gen.case
+(** Parses (and re-validates) a reproducer.  Raises {!Parse_error} on
+    malformed input, {!Finepar_ir.Kernel.Invalid} on an ill-formed
+    kernel. *)
+
+val save : string -> ?failure:Oracle.failure -> Gen.case -> unit
+val load : string -> Gen.case

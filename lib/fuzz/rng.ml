@@ -1,0 +1,62 @@
+(** Deterministic splitmix64 random source for the fuzzer.
+
+    Self-contained (no dependence on [Stdlib.Random]) so that a fuzz run
+    is reproducible from its integer seed across OCaml versions — the
+    nightly job prints the seed, and `finepar fuzz --seed` replays it. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int (0x51ED2701 + (seed * 0x9E3779B9)) }
+
+let next_int64 r =
+  r.state <- Int64.add r.state 0x9E3779B97F4A7C15L;
+  let z = r.state in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** Uniform int in [0, bound); [bound] must be positive. *)
+let int_below r bound =
+  if bound <= 0 then invalid_arg "Rng.int_below: bound must be positive";
+  let u = Int64.to_int (Int64.shift_right_logical (next_int64 r) 2) in
+  u mod bound
+
+(** Uniform int in [lo, hi] inclusive. *)
+let int_in r lo hi = lo + int_below r (hi - lo + 1)
+
+(** Uniform float in [lo, hi). *)
+let float_in r lo hi =
+  let u =
+    Int64.to_float (Int64.shift_right_logical (next_int64 r) 11)
+    /. 9007199254740992.0
+  in
+  lo +. (u *. (hi -. lo))
+
+let bool r = int_below r 2 = 1
+
+(** True with probability [p]. *)
+let chance r p = float_in r 0.0 1.0 < p
+
+(** Uniform choice from a non-empty list (repeat elements to weight). *)
+let choose r xs =
+  match xs with
+  | [] -> invalid_arg "Rng.choose: empty list"
+  | _ -> List.nth xs (int_below r (List.length xs))
+
+(** Weighted choice from non-empty [(weight, value)] pairs. *)
+let weighted r xs =
+  let total = List.fold_left (fun acc (w, _) -> acc + w) 0 xs in
+  if total <= 0 then invalid_arg "Rng.weighted: weights must sum positive";
+  let n = int_below r total in
+  let rec pick n = function
+    | [] -> invalid_arg "Rng.weighted: empty list"
+    | (w, x) :: rest -> if n < w then x else pick (n - w) rest
+  in
+  pick n xs
+
+(** An independent child generator, for decorrelated sub-streams. *)
+let split r = { state = next_int64 r }

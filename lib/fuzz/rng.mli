@@ -1,0 +1,14 @@
+(** Deterministic splitmix64 random source for the fuzzer. *)
+
+type t
+
+val create : int -> t
+val next_int64 : t -> int64
+val int_below : t -> int -> int
+val int_in : t -> int -> int -> int
+val float_in : t -> float -> float -> float
+val bool : t -> bool
+val chance : t -> float -> bool
+val choose : t -> 'a list -> 'a
+val weighted : t -> (int * 'a) list -> 'a
+val split : t -> t

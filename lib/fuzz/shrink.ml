@@ -1,0 +1,442 @@
+(** Greedy failure-preserving minimization of a (kernel, config) case.
+
+    The shrinker repeatedly tries one-step reductions — deleting
+    statements, dissolving conditionals, replacing subexpressions by
+    same-typed children or literals, shrinking trip counts, array
+    lengths and declarations, and moving configuration fields back to
+    their defaults — keeping a candidate only when the oracle still
+    fails {e with the same oracle} (so a bit-exact divergence cannot
+    drift into, say, an out-of-bounds artifact of the shrinking itself).
+    Each accepted step strictly decreases a size measure, so the loop
+    terminates at a local minimum. *)
+
+open Finepar_ir
+
+(* ------------------------------------------------------------------ *)
+(* Size measures.                                                      *)
+
+let rec expr_size e =
+  1 + List.fold_left (fun acc c -> acc + expr_size c) 0 (Expr.children e)
+
+let rec stmt_size = function
+  | Stmt.Assign (_, e) -> 1 + expr_size e
+  | Stmt.Store (_, i, e) -> 1 + expr_size i + expr_size e
+  | Stmt.If (c, t, f) ->
+    1 + expr_size c + block_size t + block_size f
+
+and block_size b = List.fold_left (fun acc s -> acc + stmt_size s) 0 b
+
+(** Number of statements, counting into conditional branches — the
+    measure reproducer-size guarantees are stated in. *)
+let stmt_count (k : Kernel.t) =
+  let n = ref 0 in
+  Stmt.iter_block (fun _ -> incr n) k.Kernel.body;
+  !n
+
+let kernel_cost (k : Kernel.t) =
+  (10_000 * stmt_count k)
+  + (10 * block_size k.Kernel.body)
+  + Kernel.trip_count k
+  + List.fold_left
+      (fun acc (d : Kernel.array_decl) -> acc + 1 + d.Kernel.a_len)
+      0 k.Kernel.arrays
+  + List.length k.Kernel.scalars
+  + List.length k.Kernel.live_out
+
+(** How far a configuration is from the default: the number of fields
+    the shrinker could still reset. *)
+let config_distance (case : Gen.case) =
+  let c = case.Gen.config in
+  let d = Finepar.Compiler.default_config ~cores:c.Finepar.Compiler.cores () in
+  let m = c.Finepar.Compiler.machine and dm = Finepar_machine.Config.default in
+  let diff a b = if a = b then 0 else 1 in
+  diff c.Finepar.Compiler.speculation d.Finepar.Compiler.speculation
+  + diff c.Finepar.Compiler.throughput d.Finepar.Compiler.throughput
+  + diff c.Finepar.Compiler.algorithm d.Finepar.Compiler.algorithm
+  + diff c.Finepar.Compiler.max_queue_pairs d.Finepar.Compiler.max_queue_pairs
+  + diff c.Finepar.Compiler.max_height d.Finepar.Compiler.max_height
+  + (c.Finepar.Compiler.cores - 1)
+  + diff m.Finepar_machine.Config.queue_len dm.Finepar_machine.Config.queue_len
+  + diff m.Finepar_machine.Config.transfer_latency dm.Finepar_machine.Config.transfer_latency
+  + diff m.Finepar_machine.Config.l1_bytes dm.Finepar_machine.Config.l1_bytes
+  + diff m.Finepar_machine.Config.l2_bytes dm.Finepar_machine.Config.l2_bytes
+  + diff m.Finepar_machine.Config.l1_hit dm.Finepar_machine.Config.l1_hit
+  + diff m.Finepar_machine.Config.l2_hit dm.Finepar_machine.Config.l2_hit
+  + diff m.Finepar_machine.Config.mem_latency dm.Finepar_machine.Config.mem_latency
+  + diff m.Finepar_machine.Config.branch_taken_penalty dm.Finepar_machine.Config.branch_taken_penalty
+  + diff m.Finepar_machine.Config.deq_latency dm.Finepar_machine.Config.deq_latency
+  + diff case.Gen.placement Gen.Identity
+  + diff case.Gen.workload_seed 0
+
+let case_cost case = (100 * kernel_cost case.Gen.kernel) + config_distance case
+
+(* ------------------------------------------------------------------ *)
+(* Rewriting machinery.                                                *)
+
+(** Every subexpression paired with a function rebuilding the whole
+    expression around a replacement. *)
+let rec expr_contexts (e : Expr.t) : (Expr.t * (Expr.t -> Expr.t)) list =
+  (e, Fun.id)
+  ::
+  (match e with
+  | Expr.Const _ | Expr.Var _ -> []
+  | Expr.Load (a, idx) ->
+    List.map
+      (fun (s, rb) -> (s, fun x -> Expr.Load (a, rb x)))
+      (expr_contexts idx)
+  | Expr.Unop (op, a) ->
+    List.map (fun (s, rb) -> (s, fun x -> Expr.Unop (op, rb x))) (expr_contexts a)
+  | Expr.Binop (op, a, b) ->
+    List.map (fun (s, rb) -> (s, fun x -> Expr.Binop (op, rb x, b))) (expr_contexts a)
+    @ List.map
+        (fun (s, rb) -> (s, fun x -> Expr.Binop (op, a, rb x)))
+        (expr_contexts b)
+  | Expr.Select (c, t, f) ->
+    List.map (fun (s, rb) -> (s, fun x -> Expr.Select (rb x, t, f))) (expr_contexts c)
+    @ List.map
+        (fun (s, rb) -> (s, fun x -> Expr.Select (c, rb x, f)))
+        (expr_contexts t)
+    @ List.map
+        (fun (s, rb) -> (s, fun x -> Expr.Select (c, t, rb x)))
+        (expr_contexts f))
+
+(** Every statement (including nested ones) paired with a function
+    rebuilding the body with that statement replaced by a list —
+    [[]] deletes, [[s']] substitutes, [t @ f] splices a dissolved
+    conditional. *)
+let rec block_rewrites (stmts : Stmt.t list) :
+    (Stmt.t * (Stmt.t list -> Stmt.t list)) list =
+  List.concat
+    (List.mapi
+       (fun i s ->
+         let rebuild repl =
+           List.concat (List.mapi (fun j s0 -> if i = j then repl else [ s0 ]) stmts)
+         in
+         (s, rebuild)
+         ::
+         (match s with
+         | Stmt.Assign _ | Stmt.Store _ -> []
+         | Stmt.If (c, t, f) ->
+           List.map
+             (fun (s', rb) ->
+               (s', fun repl -> rebuild [ Stmt.If (c, rb repl, f) ]))
+             (block_rewrites t)
+           @ List.map
+               (fun (s', rb) ->
+                 (s', fun repl -> rebuild [ Stmt.If (c, t, rb repl) ]))
+               (block_rewrites f)))
+       stmts)
+
+(** A type environment covering declared scalars, the induction variable
+    and body-defined temporaries (valid kernels define before use). *)
+let full_tenv (k : Kernel.t) : Expr.tenv =
+  let temp_ty : (string, Types.ty) Hashtbl.t = Hashtbl.create 16 in
+  let base = Kernel.tenv k in
+  let env =
+    {
+      base with
+      Expr.var_ty =
+        (fun v ->
+          if String.equal v k.Kernel.index then Types.I64
+          else
+            match Kernel.find_scalar k v with
+            | Some s -> s.Kernel.s_ty
+            | None -> (
+              match Hashtbl.find_opt temp_ty v with
+              | Some t -> t
+              | None -> raise (Types.Type_error ("undefined " ^ v))));
+    }
+  in
+  Stmt.iter_block
+    (fun s ->
+      match s with
+      | Stmt.Assign (v, e) -> (
+        if Kernel.find_scalar k v = None then
+          match Expr.infer env e with
+          | t -> Hashtbl.replace temp_ty v t
+          | exception Types.Type_error _ -> ())
+      | Stmt.Store _ | Stmt.If _ -> ())
+    k.Kernel.body;
+  env
+
+(* ------------------------------------------------------------------ *)
+(* Candidate enumeration.                                              *)
+
+let revalidate k = try Some (Kernel.validate k) with Kernel.Invalid _ -> None
+
+let with_body (k : Kernel.t) body = revalidate { k with Kernel.body = body }
+
+let is_leaf = function Expr.Const _ | Expr.Var _ -> true | _ -> false
+
+(** Replacements for one non-leaf subexpression: same-typed immediate
+    children, then literal constants. *)
+let subexpr_replacements env sub =
+  match Expr.infer env sub with
+  | exception Types.Type_error _ -> []
+  | ty ->
+    let same_ty_children =
+      List.filter
+        (fun c ->
+          match Expr.infer env c with
+          | tc -> tc = ty
+          | exception Types.Type_error _ -> false)
+        (Expr.children sub)
+    in
+    same_ty_children
+    @ [
+        Expr.Const (Types.zero_of_ty ty);
+        Expr.Const
+          (match ty with Types.I64 -> Types.VInt 1 | Types.F64 -> Types.VFloat 1.0);
+      ]
+
+let kernel_candidates (k : Kernel.t) : Kernel.t list =
+  let rewrites = block_rewrites k.Kernel.body in
+  (* 1. Delete a statement. *)
+  let deletions = List.filter_map (fun (_, rb) -> with_body k (rb [])) rewrites in
+  (* 2. Dissolve a conditional into its branches. *)
+  let dissolutions =
+    List.concat_map
+      (fun (s, rb) ->
+        match s with
+        | Stmt.If (_, t, f) ->
+          List.filter_map (fun repl -> with_body k (rb repl)) [ t @ f; t; f ]
+        | Stmt.Assign _ | Stmt.Store _ -> [])
+      rewrites
+  in
+  (* 3. Shrink the iteration space. *)
+  let lo = k.Kernel.lo and hi = k.Kernel.hi in
+  let trips =
+    List.filter_map
+      (fun hi' ->
+        if hi' < hi && hi' >= lo then revalidate { k with Kernel.hi = hi' } else None)
+      [ lo; lo + 1; lo + ((hi - lo) / 2); hi - 1 ]
+  in
+  (* 4. Simplify one subexpression. *)
+  let env = full_tenv k in
+  let simplifications =
+    List.concat_map
+      (fun (s, rb) ->
+        let stmt_variants =
+          match s with
+          | Stmt.Assign (v, e) ->
+            List.concat_map
+              (fun (sub, rbe) ->
+                if is_leaf sub then []
+                else
+                  List.map
+                    (fun repl -> Stmt.Assign (v, rbe repl))
+                    (subexpr_replacements env sub))
+              (expr_contexts e)
+          | Stmt.Store (a, i, e) ->
+            List.concat_map
+              (fun (sub, rbe) ->
+                if is_leaf sub then []
+                else
+                  List.map
+                    (fun repl -> Stmt.Store (a, rbe repl, e))
+                    (subexpr_replacements env sub))
+              (expr_contexts i)
+            @ List.concat_map
+                (fun (sub, rbe) ->
+                  if is_leaf sub then []
+                  else
+                    List.map
+                      (fun repl -> Stmt.Store (a, i, rbe repl))
+                      (subexpr_replacements env sub))
+                (expr_contexts e)
+          | Stmt.If (c, t, f) ->
+            List.concat_map
+              (fun (sub, rbe) ->
+                if is_leaf sub then []
+                else
+                  List.map
+                    (fun repl -> Stmt.If (rbe repl, t, f))
+                    (subexpr_replacements env sub))
+              (expr_contexts c)
+        in
+        List.filter_map (fun s' -> with_body k (rb [ s' ])) stmt_variants)
+      rewrites
+  in
+  (* 5. Drop unreferenced declarations, shrink array lengths, drop
+        live-outs. *)
+  let arrays_used =
+    let acc = ref Stmt.String_set.empty in
+    Stmt.iter_block
+      (fun s ->
+        (match s with
+        | Stmt.Store (a, _, _) -> acc := Stmt.String_set.add a !acc
+        | Stmt.Assign _ | Stmt.If _ -> ());
+        List.iter
+          (fun e -> acc := Stmt.String_set.union (Expr.arrays_read e) !acc)
+          (Stmt.exprs s))
+      k.Kernel.body;
+    !acc
+  in
+  let scalars_used =
+    Stmt.String_set.union (Stmt.vars_read k.Kernel.body) (Stmt.vars_written k.Kernel.body)
+  in
+  let decl_drops =
+    List.filter_map
+      (fun (d : Kernel.array_decl) ->
+        if Stmt.String_set.mem d.Kernel.a_name arrays_used then None
+        else
+          revalidate
+            {
+              k with
+              Kernel.arrays =
+                List.filter
+                  (fun (d' : Kernel.array_decl) -> d'.Kernel.a_name <> d.Kernel.a_name)
+                  k.Kernel.arrays;
+            })
+      k.Kernel.arrays
+    @ List.filter_map
+        (fun (d : Kernel.scalar_decl) ->
+          if
+            Stmt.String_set.mem d.Kernel.s_name scalars_used
+            || List.mem d.Kernel.s_name k.Kernel.live_out
+          then None
+          else
+            revalidate
+              {
+                k with
+                Kernel.scalars =
+                  List.filter
+                    (fun (d' : Kernel.scalar_decl) ->
+                      d'.Kernel.s_name <> d.Kernel.s_name)
+                    k.Kernel.scalars;
+              })
+        k.Kernel.scalars
+  in
+  let len_floor = max 4 k.Kernel.hi in
+  let len_shrinks =
+    List.filter_map
+      (fun (d : Kernel.array_decl) ->
+        let len' = max len_floor (d.Kernel.a_len / 2) in
+        if len' >= d.Kernel.a_len then None
+        else
+          revalidate
+            {
+              k with
+              Kernel.arrays =
+                List.map
+                  (fun (d' : Kernel.array_decl) ->
+                    if d'.Kernel.a_name = d.Kernel.a_name then
+                      { d' with Kernel.a_len = len' }
+                    else d')
+                  k.Kernel.arrays;
+            })
+      k.Kernel.arrays
+  in
+  let live_out_drops =
+    List.filter_map
+      (fun dropped ->
+        revalidate
+          {
+            k with
+            Kernel.live_out = List.filter (fun v -> v <> dropped) k.Kernel.live_out;
+          })
+      k.Kernel.live_out
+  in
+  deletions @ dissolutions @ trips @ decl_drops @ live_out_drops @ len_shrinks
+  @ simplifications
+
+let config_candidates (case : Gen.case) : Gen.case list =
+  let c = case.Gen.config in
+  let dm = Finepar_machine.Config.default in
+  let with_config config = { case with Gen.config } in
+  let with_machine machine =
+    with_config { c with Finepar.Compiler.machine }
+  in
+  let m = c.Finepar.Compiler.machine in
+  List.concat
+    [
+      (if c.Finepar.Compiler.speculation then
+         [ with_config { c with Finepar.Compiler.speculation = false } ]
+       else []);
+      (if c.Finepar.Compiler.throughput then
+         [ with_config { c with Finepar.Compiler.throughput = false } ]
+       else []);
+      (if c.Finepar.Compiler.algorithm <> `Greedy then
+         [ with_config { c with Finepar.Compiler.algorithm = `Greedy } ]
+       else []);
+      (if c.Finepar.Compiler.max_queue_pairs <> None then
+         [ with_config { c with Finepar.Compiler.max_queue_pairs = None } ]
+       else []);
+      (if c.Finepar.Compiler.max_height <> Region.default_max_height then
+         [ with_config { c with Finepar.Compiler.max_height = Region.default_max_height } ]
+       else []);
+      List.filter_map
+        (fun cores' ->
+          if cores' >= 1 && cores' < c.Finepar.Compiler.cores then
+            Some (with_config { c with Finepar.Compiler.cores = cores' })
+          else None)
+        [ 1; c.Finepar.Compiler.cores / 2; c.Finepar.Compiler.cores - 1 ];
+      (if m.Finepar_machine.Config.queue_len <> dm.Finepar_machine.Config.queue_len
+       then [ with_machine { m with Finepar_machine.Config.queue_len = dm.Finepar_machine.Config.queue_len } ]
+       else []);
+      (if m.Finepar_machine.Config.transfer_latency <> dm.Finepar_machine.Config.transfer_latency
+       then [ with_machine { m with Finepar_machine.Config.transfer_latency = dm.Finepar_machine.Config.transfer_latency } ]
+       else []);
+      (if m.Finepar_machine.Config.l1_bytes <> dm.Finepar_machine.Config.l1_bytes
+       then [ with_machine { m with Finepar_machine.Config.l1_bytes = dm.Finepar_machine.Config.l1_bytes } ]
+       else []);
+      (if m.Finepar_machine.Config.l2_bytes <> dm.Finepar_machine.Config.l2_bytes
+       then [ with_machine { m with Finepar_machine.Config.l2_bytes = dm.Finepar_machine.Config.l2_bytes } ]
+       else []);
+      (if m.Finepar_machine.Config.l1_hit <> dm.Finepar_machine.Config.l1_hit
+       then [ with_machine { m with Finepar_machine.Config.l1_hit = dm.Finepar_machine.Config.l1_hit } ]
+       else []);
+      (if m.Finepar_machine.Config.l2_hit <> dm.Finepar_machine.Config.l2_hit
+       then [ with_machine { m with Finepar_machine.Config.l2_hit = dm.Finepar_machine.Config.l2_hit } ]
+       else []);
+      (if m.Finepar_machine.Config.mem_latency <> dm.Finepar_machine.Config.mem_latency
+       then [ with_machine { m with Finepar_machine.Config.mem_latency = dm.Finepar_machine.Config.mem_latency } ]
+       else []);
+      (if m.Finepar_machine.Config.branch_taken_penalty <> dm.Finepar_machine.Config.branch_taken_penalty
+       then [ with_machine { m with Finepar_machine.Config.branch_taken_penalty = dm.Finepar_machine.Config.branch_taken_penalty } ]
+       else []);
+      (if m.Finepar_machine.Config.deq_latency <> dm.Finepar_machine.Config.deq_latency
+       then [ with_machine { m with Finepar_machine.Config.deq_latency = dm.Finepar_machine.Config.deq_latency } ]
+       else []);
+      (if case.Gen.placement <> Gen.Identity then
+         [ { case with Gen.placement = Gen.Identity } ]
+       else []);
+      (if case.Gen.workload_seed <> 0 then [ { case with Gen.workload_seed = 0 } ]
+       else []);
+    ]
+
+let case_candidates (case : Gen.case) =
+  List.map (fun kernel -> { case with Gen.kernel }) (kernel_candidates case.Gen.kernel)
+  @ config_candidates case
+
+(* ------------------------------------------------------------------ *)
+(* The greedy loop.                                                    *)
+
+let max_steps = 10_000
+
+(** Minimize a failing case; [failure] is the outcome the case is known
+    to produce.  Returns the smallest case found together with its
+    (same-oracle) failure. *)
+let shrink ?compile (case : Gen.case) (failure : Oracle.failure) =
+  let still_fails candidate =
+    match Oracle.check ?compile candidate with
+    | Oracle.Fail f when String.equal f.Oracle.oracle failure.Oracle.oracle -> Some f
+    | Oracle.Pass _ | Oracle.Fail _ -> None
+  in
+  let rec loop case failure steps =
+    if steps >= max_steps then (case, failure)
+    else
+      let cost = case_cost case in
+      let better =
+        List.find_map
+          (fun candidate ->
+            if case_cost candidate >= cost then None
+            else
+              Option.map (fun f -> (candidate, f)) (still_fails candidate))
+          (case_candidates case)
+      in
+      match better with
+      | Some (case', failure') -> loop case' failure' (steps + 1)
+      | None -> (case, failure)
+  in
+  loop case failure 0

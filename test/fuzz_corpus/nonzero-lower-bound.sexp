@@ -1,0 +1,62 @@
+(case
+ (kernel
+  (name fuzz)
+  (index i)
+  (lo 3)
+  (hi 4)
+  (arrays (a f64 14) (b f64 4) (out f64 4))
+  (scalars
+   (p f64 (f 0x1.0acd582c8a2ap-4))
+   (q f64 (f 0x1.996103cc31514p+0))
+   (k i64 (i 0))
+   (facc f64 (f 0x1.0f0ba90ef49cp-4))
+   (gacc f64 (f 0x1p+0))
+   (iacc i64 (i 4)))
+  (body
+   (store out (var i) (const (f -0x1.12a564816c65p+0)))
+   (store
+    out
+    (var i)
+    (binop add (var q) (binop mul (var facc) (load a (const (i 3))))))
+   (store
+    out
+    (var i)
+    (binop
+     add
+     (binop div (load b (var i)) (load a (var i)))
+     (select
+      (binop le (var k) (var iacc))
+      (load b (const (i 0)))
+      (load b (var i)))))
+   (store
+    out
+    (var i)
+    (binop
+     div
+     (binop sub (load b (var i)) (var facc))
+     (binop
+      add
+      (unop abs (binop add (load a (var i)) (load b (var i))))
+      (const (f 0x1p+0))))))
+  (live_out q facc gacc iacc))
+ (config
+  (cores 4)
+  (max_height 5)
+  (algorithm multi_pair)
+  (throughput false)
+  (max_queue_pairs none)
+  (speculation false)
+  (machine
+   (queue_len 20)
+   (transfer_latency 20)
+   (l1_bytes 512)
+   (l1_line 64)
+   (l2_bytes 4194304)
+   (l1_hit 6)
+   (l2_hit 12)
+   (mem_latency 80)
+   (branch_taken_penalty 1)
+   (deq_latency 1)
+   (max_cycles 200000000)))
+ (placement identity)
+ (workload_seed 515))

@@ -1,0 +1,63 @@
+(case
+ (kernel
+  (name fuzz)
+  (index i)
+  (lo 0)
+  (hi 0)
+  (arrays (a f64 12) (b f64 17) (idx i64 18) (out f64 16) (out2 f64 5))
+  (scalars
+   (p f64 (f -0x1.51ff1b6afa8bcp-2))
+   (q f64 (f 0x1.051d326c48b82p+0))
+   (k i64 (i 7))
+   (facc f64 (f 0x1.972fdfa7d9fb8p-2)))
+  (body
+   (store
+    out2
+    (var i)
+    (binop
+     max
+     (const (f 0x1.beef7f851d326p+0))
+     (binop mul (load b (const (i 2))) (var q))))
+   (store
+    out
+    (load idx (var i))
+    (binop
+     div
+     (unop exp (binop min (var facc) (const (f 0x1p+2))))
+     (binop add (unop abs (load b (const (i 1)))) (const (f 0x1p+0)))))
+   (assign
+    x1
+    (binop
+     min
+     (unop sqrt (unop abs (var p)))
+     (unop exp (binop min (load b (load idx (var i))) (const (f 0x1p+2))))))
+   (assign x2 (unop to_float (var k)))
+   (assign
+    x3
+    (binop
+     sub
+     (binop shl (var k) (const (i 4)))
+     (binop ne (const (f 0x1.6db4f0bb19c78p+0)) (var q))))
+   (store out (var i) (unop to_float (binop mul (const (i 0)) (var i)))))
+  (live_out p facc))
+ (config
+  (cores 4)
+  (max_height 5)
+  (algorithm greedy)
+  (throughput true)
+  (max_queue_pairs none)
+  (speculation false)
+  (machine
+   (queue_len 3)
+   (transfer_latency 50)
+   (l1_bytes 512)
+   (l1_line 64)
+   (l2_bytes 4194304)
+   (l1_hit 2)
+   (l2_hit 12)
+   (mem_latency 80)
+   (branch_taken_penalty 1)
+   (deq_latency 2)
+   (max_cycles 200000000)))
+ (placement identity)
+ (workload_seed 625))

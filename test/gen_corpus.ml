@@ -1,0 +1,89 @@
+(* Regenerates the seed corpus under test/fuzz_corpus/.
+
+   Each entry is the first generated case (scanning seeds from 0) that
+   exhibits one feature combination the fixed test kernels do not cover;
+   the scan is deterministic, so re-running this tool reproduces the
+   checked-in files exactly:
+
+     dune exec test/gen_corpus.exe -- test/fuzz_corpus
+
+   Entries must PASS the oracle set: the corpus is a regression net (a
+   replay failing later means a change broke a case that used to work),
+   not a collection of open bugs. *)
+
+module F = Finepar_fuzz
+
+let profiles :
+    (string * (F.Gen.case -> bool)) list =
+  let machine (c : F.Gen.case) = c.F.Gen.config.Finepar.Compiler.machine in
+  let has_indirect (c : F.Gen.case) =
+    let found = ref false in
+    Finepar_ir.Stmt.iter_block
+      (fun s ->
+        List.iter
+          (Finepar_ir.Expr.iter (function
+            | Finepar_ir.Expr.Load (_, Finepar_ir.Expr.Load _) -> found := true
+            | _ -> ()))
+          (Finepar_ir.Stmt.exprs s))
+      c.F.Gen.kernel.Finepar_ir.Kernel.body;
+    !found
+  in
+  let has_if (c : F.Gen.case) =
+    List.exists
+      (function Finepar_ir.Stmt.If _ -> true | _ -> false)
+      c.F.Gen.kernel.Finepar_ir.Kernel.body
+  in
+  [
+    ( "zero-trip",
+      fun c -> Finepar_ir.Kernel.trip_count c.F.Gen.kernel = 0 );
+    ( "spec-narrow-queue",
+      fun c ->
+        c.F.Gen.config.Finepar.Compiler.speculation
+        && (machine c).Finepar_machine.Config.queue_len <= 3
+        && has_if c );
+    ( "smt-single-core",
+      fun c -> c.F.Gen.placement = F.Gen.Single_core );
+    ( "smt-mod2-multipair",
+      fun c ->
+        c.F.Gen.placement = F.Gen.Mod2
+        && c.F.Gen.config.Finepar.Compiler.algorithm = `Multi_pair );
+    ( "indirect-tiny-cache",
+      fun c ->
+        has_indirect c && (machine c).Finepar_machine.Config.l1_bytes <= 512 );
+    ( "queue-pair-budget",
+      fun c ->
+        c.F.Gen.config.Finepar.Compiler.cores = 4
+        && c.F.Gen.config.Finepar.Compiler.max_queue_pairs <> None );
+    ( "high-latency",
+      fun c -> (machine c).Finepar_machine.Config.transfer_latency >= 50 );
+    ( "nonzero-lower-bound",
+      fun c ->
+        c.F.Gen.kernel.Finepar_ir.Kernel.lo > 0
+        && Finepar_ir.Kernel.trip_count c.F.Gen.kernel > 0 );
+  ]
+
+let () =
+  let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "fuzz_corpus" in
+  (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+  List.iter
+    (fun (name, pred) ->
+      let rec scan seed =
+        if seed > 20_000 then
+          failwith (Printf.sprintf "no seed under 20000 matches %s" name)
+        else
+          let case = F.Gen.case_of_seed seed in
+          if pred case then begin
+            (match F.Oracle.check case with
+            | F.Oracle.Pass _ -> ()
+            | F.Oracle.Fail f ->
+              failwith
+                (Format.asprintf "seed %d (%s) fails the oracle: %a" seed name
+                   F.Oracle.pp_failure f));
+            let path = Filename.concat dir (Printf.sprintf "%s.sexp" name) in
+            F.Repro.save path case;
+            Printf.printf "%-24s seed %-6d -> %s\n" name seed path
+          end
+          else scan (seed + 1)
+      in
+      scan 0)
+    profiles

@@ -223,81 +223,13 @@ let test_latency_degrades () =
 (* ------------------------------------------------------------------ *)
 (* qcheck: random kernels run bit-exact on every core count.           *)
 
+(* Kernels come from the richer lib/fuzz generator (int and float
+   arithmetic, nested conditionals, recurrences, indirect addressing,
+   variable trip counts); QCheck supplies and shrinks only the seed. *)
 let gen_kernel =
-  let open QCheck.Gen in
-  let fvars = [ "u"; "w"; "x"; "y" ] in
-  let gen_leaf pool =
-    oneof
-      ([
-         map (fun x -> Builder.f x) (float_bound_inclusive 3.0);
-         return (ld "a" (v "i"));
-         return (ld "b" (v "i"));
-         return (v "inv");
-       ]
-      @ List.map (fun x -> return (v x)) pool)
-  in
-  let rec gen_expr pool depth =
-    if depth = 0 then gen_leaf pool
-    else
-      frequency
-        [
-          (1, gen_leaf pool);
-          ( 4,
-            oneof
-              [
-                map2 (fun a b -> a +: b) (gen_expr pool (depth - 1))
-                  (gen_expr pool (depth - 1));
-                map2 (fun a b -> a *: b) (gen_expr pool (depth - 1))
-                  (gen_expr pool (depth - 1));
-                map2 (fun a b -> a -: b) (gen_expr pool (depth - 1))
-                  (gen_expr pool (depth - 1));
-                map2 (fun a b -> a /: (abs_ b +: f 1.0))
-                  (gen_expr pool (depth - 1))
-                  (gen_expr pool (depth - 1));
-                map (fun a -> sqrt_ (abs_ a)) (gen_expr pool (depth - 1));
-              ] );
-        ]
-  in
-  (* A body is a sequence of defs over a growing variable pool, an
-     optional value-selection conditional, an optional accumulation, and
-     one or two stores. *)
-  let* n_defs = int_range 2 4 in
-  let rec defs pool i acc =
-    if i = n_defs then return (List.rev acc, pool)
-    else
-      let var = List.nth fvars i in
-      let* e = gen_expr pool 3 in
-      defs (var :: pool) (i + 1) (set var e :: acc)
-  in
-  let* def_stmts, pool = defs [] 0 [] in
-  let* with_cond = bool in
-  let* cond_stmts =
-    if with_cond then
-      let* thr = float_bound_inclusive 2.0 in
-      let* e1 = gen_expr pool 2 in
-      let* e2 = gen_expr pool 2 in
-      return
-        [
-          set "cnd" (List.nth (List.map v pool) 0 >: Builder.f thr);
-          if_ (v "cnd") [ set "z" e1 ] [ set "z" e2 ];
-        ]
-    else return [ set "z" (v (List.hd pool)) ]
-  in
-  let pool = "z" :: pool in
-  let* with_acc = bool in
-  let acc_stmts =
-    if with_acc then [ set "acc" (v "acc" +: v (List.hd pool)) ] else []
-  in
-  let* store_e = gen_expr pool 2 in
-  let body =
-    def_stmts @ cond_stmts @ acc_stmts @ [ store "out" (v "i") store_e ]
-  in
-  return
-    (kernel ~name:"rand" ~index:"i" ~lo:0 ~hi:12
-       ~arrays:[ farr "a" 12; farr "b" 12; farr "out" 12 ]
-       ~scalars:[ fscalar "acc"; fscalar ~init:0.75 "inv" ]
-       ~live_out:(if with_acc then [ "acc" ] else [])
-       body)
+  QCheck.Gen.map
+    (fun seed -> Finepar_fuzz.Gen.gen_kernel (Finepar_fuzz.Rng.create seed))
+    (QCheck.Gen.int_bound 1_000_000)
 
 let arbitrary_kernel =
   QCheck.make gen_kernel ~print:(Fmt.to_to_string Kernel.pp)
