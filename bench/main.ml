@@ -9,14 +9,25 @@
      ablation_queue characterization wallclock
 
    --json=FILE additionally writes the measured numbers of the sections
-   that ran as machine-readable JSON (for tracking runs over time). *)
+   that ran as machine-readable JSON (for tracking runs over time; the
+   CI bench gate diffs it against bench/baseline.json).
+
+   -j N (or --jobs=N, or the FINEPAR_DOMAINS environment variable) sets
+   the domain-pool width used for the per-kernel fan-outs inside each
+   section; results are merged by task index, so the output is
+   byte-identical at every -j.  -j 1 is fully sequential. *)
 
 open Finepar
 module J = Finepar_telemetry.Json
+module Pool = Finepar_exec.Pool
 
-(* Machine-readable copies of the printed numbers, keyed by section. *)
-let collected : (string * J.t) list ref = ref []
-let collect name v = collected := (name, v) :: !collected
+(* Everything a section needs: the domain pool for its kernel fan-outs
+   and the accumulator for machine-readable copies of the printed
+   numbers.  Passing it explicitly (rather than a global ref) keeps the
+   accumulation task-local and in section order. *)
+type ctx = { pool : Pool.t option; mutable collected : (string * J.t) list }
+
+let collect ctx name v = ctx.collected <- (name, v) :: ctx.collected
 
 let rule () = print_endline (String.make 78 '-')
 
@@ -25,7 +36,7 @@ let section name title =
   Fmt.pr "== %s: %s@." name title;
   rule ()
 
-let table1 () =
+let table1 _ctx =
   section "table1" "kernel inventory (paper Table I)";
   Fmt.pr "%-10s %-52s %6s %5s %5s@." "kernel" "location in benchmark" "%time"
     "ops" "trip";
@@ -36,10 +47,10 @@ let table1 () =
         r.Experiments.t1_measured_ops r.Experiments.t1_trip)
     (Experiments.table1 ())
 
-let fig12 () =
+let fig12 ctx =
   section "fig12" "speedup of fine-grained parallel code (paper Fig. 12)";
   Fmt.pr "%-10s %8s %8s@." "kernel" "2-core" "4-core";
-  let rows = Experiments.fig12 () in
+  let rows = Experiments.fig12 ?pool:ctx.pool () in
   List.iter
     (fun (r : Experiments.fig12_row) ->
       Fmt.pr "%-10s %8.2f %8.2f@." r.Experiments.f12_name r.Experiments.s2
@@ -47,7 +58,7 @@ let fig12 () =
     rows;
   let a2, a4 = Experiments.fig12_averages rows in
   Fmt.pr "%-10s %8.2f %8.2f   (paper: 1.32 / 2.05)@." "average" a2 a4;
-  collect "fig12"
+  collect ctx "fig12"
     (J.Obj
        [
          ( "kernels",
@@ -66,18 +77,18 @@ let fig12 () =
        ]);
   rows
 
-let table2 rows =
+let table2 ctx rows =
   section "table2" "expected whole-application speedups (paper Table II)";
   Fmt.pr "%-10s %8s %8s %10s %10s@." "app" "2-core" "4-core" "paper-2c"
     "paper-4c";
-  let t2 = Experiments.table2 ~fig12_rows:rows () in
+  let t2 = Experiments.table2 ?pool:ctx.pool ~fig12_rows:rows () in
   List.iter
     (fun (r : Experiments.table2_row) ->
       Fmt.pr "%-10s %8.2f %8.2f %10.2f %10.2f@." r.Experiments.t2_app
         r.Experiments.t2_s2 r.Experiments.t2_s4 r.Experiments.t2_paper_s2
         r.Experiments.t2_paper_s4)
     t2;
-  collect "table2"
+  collect ctx "table2"
     (J.List
        (List.map
           (fun (r : Experiments.table2_row) ->
@@ -89,13 +100,13 @@ let table2 rows =
               ])
           t2))
 
-let table3 () =
+let table3 ctx =
   section "table3" "per-kernel characteristics at 4 cores (paper Table III)";
   Fmt.pr "%-10s | %-36s | %s@." "" "measured" "paper";
   Fmt.pr "%-10s | %5s %5s %7s %4s %3s %5s | %5s %5s %7s %4s %3s %5s@." "kernel"
     "fib" "deps" "balance" "com" "qs" "spdup" "fib" "deps" "balance" "com"
     "qs" "spdup";
-  let t3 = Experiments.table3 () in
+  let t3 = Experiments.table3 ?pool:ctx.pool () in
   List.iter
     (fun (r : Experiments.table3_row) ->
       let p = r.Experiments.paper in
@@ -109,7 +120,7 @@ let table3 () =
         p.Finepar_kernels.Registry.p_queues
         p.Finepar_kernels.Registry.p_speedup4)
     t3;
-  collect "table3"
+  collect ctx "table3"
     (J.List
        (List.map
           (fun (r : Experiments.table3_row) ->
@@ -125,7 +136,7 @@ let table3 () =
               ])
           t3))
 
-let fig11 () =
+let fig11 _ctx =
   section "fig11" "queue transfer-latency semantics (paper Fig. 11)";
   let latency, pairs = Experiments.fig11_demo () in
   List.iteri
@@ -139,9 +150,9 @@ let fig11 () =
     pairs;
   Fmt.pr "(transfer latency: %d cycles)@." latency
 
-let fig13 () =
+let fig13 ctx =
   section "fig13" "degradation with queue transfer latency (paper Fig. 13)";
-  let points = Experiments.fig13 () in
+  let points = Experiments.fig13 ?pool:ctx.pool () in
   Fmt.pr "%-10s" "kernel";
   List.iter
     (fun (p : Experiments.fig13_point) ->
@@ -168,7 +179,7 @@ let fig13 () =
       Fmt.pr " %7d" p.Experiments.no_speedup)
     points;
   Fmt.pr "@.";
-  collect "fig13"
+  collect ctx "fig13"
     (J.List
        (List.map
           (fun (p : Experiments.fig13_point) ->
@@ -180,12 +191,12 @@ let fig13 () =
               ])
           points))
 
-let fig14 () =
+let fig14 ctx =
   section "fig14"
     "control-flow speculation (paper Fig. 14; directives keep the better \
      version, Section III-I)";
   Fmt.pr "%-10s %8s %10s %8s %5s@." "kernel" "base" "speculate" "chosen" "ifs";
-  let rows = Experiments.fig14 () in
+  let rows = Experiments.fig14 ?pool:ctx.pool () in
   List.iter
     (fun (r : Experiments.fig14_row) ->
       Fmt.pr "%-10s %8.2f %10.2f %8.2f %5d%s@." r.Experiments.f14_name
@@ -210,7 +221,7 @@ let fig14 () =
     ""
     (avg (fun r -> r.Experiments.chosen))
     improved;
-  collect "fig14"
+  collect ctx "fig14"
     (J.Obj
        [
          ( "kernels",
@@ -264,46 +275,46 @@ let ablation name title rows ~paper_note =
     (avg (fun r -> r.Experiments.ab_variant))
     up down paper_note
 
-let ablation_throughput () =
+let ablation_throughput ctx =
   ablation "ablation_throughput"
     "throughput heuristic: unidirectional partitions only (Section III-B)"
-    (Experiments.throughput_ablation ())
+    (Experiments.throughput_ablation ?pool:ctx.pool ())
     ~paper_note:"(paper: 3 improved, 6 degraded, ~11% average slowdown)"
 
-let ablation_multipair () =
+let ablation_multipair ctx =
   ablation "ablation_multipair"
     "multi-pair merge variant (faster compilation, Section III-B)"
-    (Experiments.multipair_ablation ())
+    (Experiments.multipair_ablation ?pool:ctx.pool ())
     ~paper_note:"(paper: used for compile time; quality comparable)"
 
-let ablation_overhead () =
+let ablation_overhead ctx =
   section "ablation_overhead"
     "spawn/barrier overhead amortization vs trip count (Section III-G)";
   Fmt.pr "%-10s %12s@." "trips" "cycles/iter";
   List.iter
     (fun (trip, per_iter, _overhead) -> Fmt.pr "%-10d %12.1f@." trip per_iter)
-    (Experiments.overhead_study ());
+    (Experiments.overhead_study ?pool:ctx.pool ());
   Fmt.pr
     "(spawn + live-in transfer + barrier costs amortize away as the loop \
      runs more iterations; cold caches contribute at small trip counts \
      too)@."
 
-let ablation_queue () =
+let ablation_queue ctx =
   section "ablation_queue"
     "queue capacity vs transfer latency (decoupling explains latency \
      tolerance)";
   Fmt.pr "%-10s %-10s %8s@." "queue_len" "latency" "avg spdup";
   List.iter
     (fun (q, l, s) -> Fmt.pr "%-10d %-10d %8.2f@." q l s)
-    (Experiments.queue_capacity_ablation ())
+    (Experiments.queue_capacity_ablation ?pool:ctx.pool ())
 
-let extension_smt () =
+let extension_smt ctx =
   section "extension_smt"
     "SMT: the 4-thread code on 1, 2 and 4 physical cores (Section II \
      future work)";
   Fmt.pr "%-10s %10s %10s %10s@." "kernel" "4thr/1core" "2+2/2cores"
     "1thr/core";
-  let rows = Experiments.smt_study () in
+  let rows = Experiments.smt_study ?pool:ctx.pool () in
   List.iter
     (fun (r : Experiments.smt_row) ->
       Fmt.pr "%-10s %10.2f %10.2f %10.2f@." r.Experiments.smt_name
@@ -319,19 +330,19 @@ let extension_smt () =
     "(threads sharing a core still hide each other's latencies through \
      the single issue slot)@."
 
-let extension_queue_limit () =
+let extension_queue_limit ctx =
   section "extension_queue_limit"
     "constrained queue count (Section II: limited hardware queues)";
   Fmt.pr "%-12s %10s@." "queue pairs" "avg spdup";
   List.iter
     (fun (limit, s) -> Fmt.pr "%-12d %10.2f@." limit s)
-    (Experiments.queue_limit_study ());
+    (Experiments.queue_limit_study ?pool:ctx.pool ());
   Fmt.pr "(12 directed pairs suffice for 4 cores; tighter limits force \
           partitions to merge)@."
 
-let extension_cores () =
+let extension_cores ctx =
   section "extension_cores" "scaling to 8 cores (Section II grouping)";
-  let rows = Experiments.cores_sweep () in
+  let rows = Experiments.cores_sweep ?pool:ctx.pool () in
   Fmt.pr "%-10s %8s %8s %8s@." "kernel" "2-core" "4-core" "8-core";
   List.iter
     (fun (name, per_core) ->
@@ -344,7 +355,7 @@ let extension_cores () =
   in
   Fmt.pr "%-10s %8.2f %8.2f %8.2f@." "average" (avg 0) (avg 1) (avg 2)
 
-let extension_simd () =
+let extension_simd _ctx =
   section "extension_simd"
     "static 4-way SIMD estimates (Section IV aside: irs-1 1.17, umt2k-4 \
      1.90 on real hardware; lammps/sphot unsuitable)";
@@ -357,7 +368,7 @@ let extension_simd () =
         r.Finepar_characterize.Simd.simd_speedup)
     (Experiments.simd_estimates ())
 
-let characterization () =
+let characterization _ctx =
   section "characterization" "hot-loop characterization funnel (Section IV)";
   Fmt.pr "%a@." Finepar_characterize.Classify.pp_funnel
     (Experiments.characterization ());
@@ -368,7 +379,7 @@ let characterization () =
 (* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock benchmarks of the toolchain itself.             *)
 
-let wallclock () =
+let wallclock ctx =
   section "wallclock" "toolchain wall-clock benchmarks (Bechamel)";
   let open Bechamel in
   let open Toolkit in
@@ -416,7 +427,7 @@ let wallclock () =
   List.iter
     (fun (name, est) -> Fmt.pr "%-55s %14.1f ns/run@." name est)
     rows;
-  collect "wallclock"
+  collect ctx "wallclock"
     (J.List
        (List.map
           (fun (name, est) ->
@@ -425,57 +436,73 @@ let wallclock () =
 
 let all_sections =
   [
-    ("table1", fun () -> table1 ());
+    ("table1", table1);
     ( "fig12",
-      fun () ->
-        let rows = fig12 () in
-        table2 rows );
-    ("table3", fun () -> table3 ());
-    ("fig11", fun () -> fig11 ());
-    ("fig13", fun () -> fig13 ());
-    ("fig14", fun () -> fig14 ());
-    ("ablation_throughput", fun () -> ablation_throughput ());
-    ("ablation_multipair", fun () -> ablation_multipair ());
-    ("ablation_overhead", fun () -> ablation_overhead ());
-    ("ablation_queue", fun () -> ablation_queue ());
-    ("extension_smt", fun () -> extension_smt ());
-    ("extension_queue_limit", fun () -> extension_queue_limit ());
-    ("extension_cores", fun () -> extension_cores ());
-    ("extension_simd", fun () -> extension_simd ());
-    ("characterization", fun () -> characterization ());
-    ("wallclock", fun () -> wallclock ());
+      fun ctx ->
+        let rows = fig12 ctx in
+        table2 ctx rows );
+    ("table3", table3);
+    ("fig11", fig11);
+    ("fig13", fig13);
+    ("fig14", fig14);
+    ("ablation_throughput", ablation_throughput);
+    ("ablation_multipair", ablation_multipair);
+    ("ablation_overhead", ablation_overhead);
+    ("ablation_queue", ablation_queue);
+    ("extension_smt", extension_smt);
+    ("extension_queue_limit", extension_queue_limit);
+    ("extension_cores", extension_cores);
+    ("extension_simd", extension_simd);
+    ("characterization", characterization);
+    ("wallclock", wallclock);
   ]
 
-let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  let json_prefix = "--json=" in
-  let json_out, wanted =
-    List.partition_map
-      (fun a ->
-        if String.starts_with ~prefix:json_prefix a then
-          Left
-            (String.sub a (String.length json_prefix)
-               (String.length a - String.length json_prefix))
-        else Right a)
-      args
+(* -j N, -jN or --jobs=N; anything else is a section-name prefix or a
+   --json=FILE output request. *)
+let parse_args args =
+  let json_out = ref None and jobs = ref None and wanted = ref [] in
+  let rec go = function
+    | [] -> ()
+    | "-j" :: n :: rest ->
+      jobs := int_of_string_opt n;
+      go rest
+    | a :: rest ->
+      (if String.starts_with ~prefix:"--json=" a then
+         json_out :=
+           Some (String.sub a 7 (String.length a - 7))
+       else if String.starts_with ~prefix:"--jobs=" a then
+         jobs := int_of_string_opt (String.sub a 7 (String.length a - 7))
+       else if String.starts_with ~prefix:"-j" a && String.length a > 2 then
+         jobs := int_of_string_opt (String.sub a 2 (String.length a - 2))
+       else wanted := a :: !wanted);
+      go rest
   in
+  go args;
+  (!json_out, !jobs, List.rev !wanted)
+
+let () =
+  let json_out, jobs, wanted = parse_args (List.tl (Array.to_list Sys.argv)) in
+  let pool = Pool.create ?domains:jobs () in
+  Fmt.epr "using %d domain(s); output is -j invariant@." (Pool.domains pool);
+  let ctx = { pool = Some pool; collected = [] } in
   let matches name w =
     String.length w > 0 && String.length name >= String.length w
     && String.sub name 0 (String.length w) = w
   in
   List.iter
     (fun (name, f) ->
-      if wanted = [] || List.exists (matches name) wanted then f ())
+      if wanted = [] || List.exists (matches name) wanted then f ctx)
     all_sections;
   (match json_out with
-  | [] -> ()
-  | file :: _ ->
+  | None -> ()
+  | Some file ->
     let oc = open_out file in
     Fun.protect
       ~finally:(fun () -> close_out oc)
       (fun () ->
-        J.to_channel oc (J.Obj [ ("sections", J.Obj (List.rev !collected)) ]);
+        J.to_channel oc
+          (J.Obj [ ("sections", J.Obj (List.rev ctx.collected)) ]);
         output_char oc '\n');
-    Fmt.pr "metrics written to %s@." file);
+    Fmt.epr "metrics written to %s@." file);
   rule ();
   print_endline "done."

@@ -1,0 +1,55 @@
+#!/usr/bin/env sh
+# Refresh bench/baseline.json (the CI bench-gate reference).
+#
+# Records:
+#   - every bench section (including bechamel wallclock) at -j1, as the
+#     exact-match / tolerance reference;
+#   - the wall-clock of the deterministic sections at -j1 and -j4, as
+#     the harness-speedup reference (meaningful only on >= 4 cores).
+#
+# Run from the repository root:  sh bench/record_baseline.sh
+set -eu
+
+DET_SECTIONS="table fig ablation extension characterization"
+MIN_SPEEDUP="${MIN_SPEEDUP:-2.0}"
+
+dune build bench/main.exe
+
+now_ns() { date +%s%N; }
+
+t0=$(now_ns)
+dune exec --no-build bench/main.exe -- $DET_SECTIONS -j1 \
+  --json=/dev/null >/dev/null
+t1=$(now_ns)
+SEQ=$(python3 -c "print(($t1-$t0)/1e9)")
+
+t0=$(now_ns)
+dune exec --no-build bench/main.exe -- $DET_SECTIONS -j4 \
+  --json=/dev/null >/dev/null
+t1=$(now_ns)
+PAR=$(python3 -c "print(($t1-$t0)/1e9)")
+
+dune exec --no-build bench/main.exe -- -j1 --json=bench/baseline.json \
+  >/dev/null
+
+SEQ="$SEQ" PAR="$PAR" MIN_SPEEDUP="$MIN_SPEEDUP" python3 - <<'EOF'
+import json, os
+d = json.load(open('bench/baseline.json'))
+seq, par = float(os.environ['SEQ']), float(os.environ['PAR'])
+d['meta'] = {
+    'recorded_cores': os.cpu_count(),
+    'jobs': 4,
+    'seq_seconds': round(seq, 2),
+    'par_seconds': round(par, 2),
+    'recorded_speedup': round(seq / par, 3),
+    'min_speedup': float(os.environ['MIN_SPEEDUP']),
+    'note': ('sections = bench --json at -j1 (deterministic; exact gate). '
+             'seq/par_seconds = deterministic sections at -j1/-j4 on the '
+             'recording host; refresh with bench/record_baseline.sh when '
+             'paper-accuracy numbers legitimately change.'),
+}
+json.dump(d, open('bench/baseline.json', 'w'), indent=1)
+open('bench/baseline.json', 'a').write('\n')
+EOF
+
+echo "recorded: seq=${SEQ}s par=${PAR}s -> bench/baseline.json"

@@ -5,6 +5,13 @@
 open Finepar_ir
 open Finepar_machine
 open Finepar_kernels
+module Pool = Finepar_exec.Pool
+
+(* Every driver below fans out over independent (kernel, config)
+   simulations; [pmap] distributes them over the optional domain pool.
+   Results are merged by task index (see {!Finepar_exec.Pool.map}), so a
+   run with a pool is byte-identical to a sequential one. *)
+let pmap pool f xs = Pool.map_opt pool ~f xs
 
 type kernel_run = {
   name : string;
@@ -59,8 +66,8 @@ let table1 () =
 (** Fig. 12: per-kernel speedups on 2 and 4 cores. *)
 type fig12_row = { f12_name : string; f12_app : string; s2 : float; s4 : float }
 
-let fig12 ?machine () =
-  List.map
+let fig12 ?pool ?machine () =
+  pmap pool
     (fun (e : Registry.entry) ->
       let r2, _ = run_entry ?machine ~cores:2 e in
       let r4, _ = run_entry ?machine ~cores:4 e in
@@ -88,8 +95,8 @@ type table2_row = {
   t2_paper_s4 : float;
 }
 
-let table2 ?(fig12_rows = []) () =
-  let rows = if fig12_rows = [] then fig12 () else fig12_rows in
+let table2 ?pool ?(fig12_rows = []) () =
+  let rows = if fig12_rows = [] then fig12 ?pool () else fig12_rows in
   let app_speedup app pick =
     let entries = Registry.by_app app in
     let covered =
@@ -155,8 +162,8 @@ type table3_row = {
   paper : Registry.paper_row;
 }
 
-let table3 ?machine () =
-  List.map
+let table3 ?pool ?machine () =
+  pmap pool
     (fun (e : Registry.entry) ->
       let r4, _ = run_entry ?machine ~cores:4 e in
       let c =
@@ -187,18 +194,30 @@ type fig13_point = {
   no_speedup : int;  (** kernels at or below 1.0x *)
 }
 
-let fig13 ?(latencies = [ 5; 20; 50; 100 ]) ?(queue_len = 20) () =
+let fig13 ?pool ?(latencies = [ 5; 20; 50; 100 ]) ?(queue_len = 20) () =
+  (* Flatten the latency × kernel grid into one task list so the pool
+     balances across all of it, then regroup per latency. *)
+  let tasks =
+    List.concat_map
+      (fun latency -> List.map (fun e -> (latency, e)) Registry.all)
+      latencies
+  in
+  let runs =
+    pmap pool
+      (fun (latency, e) ->
+        let machine =
+          { Config.default with Config.transfer_latency = latency; queue_len }
+        in
+        let r, _ = run_entry ~machine ~cores:4 e in
+        (latency, (r.name, r.speedup)))
+      tasks
+  in
   List.map
     (fun latency ->
-      let machine =
-        { Config.default with Config.transfer_latency = latency; queue_len }
-      in
       let per_kernel =
-        List.map
-          (fun e ->
-            let r, _ = run_entry ~machine ~cores:4 e in
-            (r.name, r.speedup))
-          Registry.all
+        List.filter_map
+          (fun (l, kv) -> if l = latency then Some kv else None)
+          runs
       in
       let speeds = List.map snd per_kernel in
       {
@@ -223,8 +242,8 @@ type fig14_row = {
   converted_ifs : int;
 }
 
-let fig14 ?machine () =
-  List.map
+let fig14 ?pool ?machine () =
+  pmap pool
     (fun (e : Registry.entry) ->
       let base, _ = run_entry ?machine ~cores:4 e in
       let config =
@@ -248,8 +267,8 @@ let fig14 ?machine () =
     3 kernels improving, 6 degrading, ~11% average slowdown. *)
 type ablation_row = { ab_name : string; ab_base : float; ab_variant : float }
 
-let throughput_ablation ?machine () =
-  List.map
+let throughput_ablation ?pool ?machine () =
+  pmap pool
     (fun (e : Registry.entry) ->
       let base, _ = run_entry ?machine ~cores:4 e in
       let config =
@@ -261,8 +280,8 @@ let throughput_ablation ?machine () =
 
 (** Section III-B: the multi-pair merge variant ("allows faster
     compilation") — quality comparison against single-pair greedy. *)
-let multipair_ablation ?machine () =
-  List.map
+let multipair_ablation ?pool ?machine () =
+  pmap pool
     (fun (e : Registry.entry) ->
       let base, _ = run_entry ?machine ~cores:4 e in
       let config =
@@ -280,8 +299,8 @@ let multipair_ablation ?machine () =
 (** Section III-G: start-up overhead amortization.  The paper argues the
     spawn/barrier overhead is negligible because the loops run many
     iterations; we measure 4-core speedup as the trip count shrinks. *)
-let overhead_study ?machine ?(trips = [ 1; 2; 4; 8; 16; 32; 64; 128; 256 ]) ()
-    =
+let overhead_study ?pool ?machine
+    ?(trips = [ 1; 2; 4; 8; 16; 32; 64; 128; 256 ]) () =
   let e = Option.get (Registry.find "lammps-1") in
   (* Steady-state cost per iteration, from a long run. *)
   let run_par trip =
@@ -294,9 +313,13 @@ let overhead_study ?machine ?(trips = [ 1; 2; 4; 8; 16; 32; 64; 128; 256 ]) ()
     let c = Compiler.compile config k in
     (Runner.run ~workload:e.Registry.workload c).Runner.cycles
   in
-  let c_big = run_par 256 and c_small = run_par 128 in
+  let c_big, c_small =
+    match pmap pool run_par [ 256; 128 ] with
+    | [ a; b ] -> (a, b)
+    | _ -> assert false
+  in
   let steady = float_of_int (c_big - c_small) /. 128.0 in
-  List.map
+  pmap pool
     (fun trip ->
       let cycles = run_par trip in
       let per_iter = float_of_int cycles /. float_of_int trip in
@@ -306,25 +329,37 @@ let overhead_study ?machine ?(trips = [ 1; 2; 4; 8; 16; 32; 64; 128; 256 ]) ()
 
 (** Queue-capacity ablation: how queue length interacts with transfer
     latency (explains why decoupled pipelines tolerate latency). *)
-let queue_capacity_ablation ?(queue_lens = [ 2; 4; 20 ])
+let queue_capacity_ablation ?pool ?(queue_lens = [ 2; 4; 20 ])
     ?(latencies = [ 5; 50 ]) () =
-  List.concat_map
-    (fun queue_len ->
-      List.map
-        (fun latency ->
-          let machine =
-            { Config.default with Config.queue_len; transfer_latency = latency }
-          in
-          let speeds =
-            List.map
-              (fun e ->
-                let r, _ = run_entry ~machine ~cores:4 e in
-                r.speedup)
-              Registry.all
-          in
-          (queue_len, latency, mean speeds))
-        latencies)
-    queue_lens
+  let configs =
+    List.concat_map
+      (fun queue_len -> List.map (fun l -> (queue_len, l)) latencies)
+      queue_lens
+  in
+  let tasks =
+    List.concat_map
+      (fun cfg -> List.map (fun e -> (cfg, e)) Registry.all)
+      configs
+  in
+  let runs =
+    pmap pool
+      (fun ((queue_len, latency), e) ->
+        let machine =
+          { Config.default with Config.queue_len; transfer_latency = latency }
+        in
+        let r, _ = run_entry ~machine ~cores:4 e in
+        ((queue_len, latency), r.speedup))
+      tasks
+  in
+  List.map
+    (fun (queue_len, latency) ->
+      let speeds =
+        List.filter_map
+          (fun (cfg, s) -> if cfg = (queue_len, latency) then Some s else None)
+          runs
+      in
+      (queue_len, latency, mean speeds))
+    configs
 
 (* ------------------------------------------------------------------ *)
 
@@ -414,9 +449,9 @@ type smt_row = {
   smt_4cores : float;  (** the paper's configuration *)
 }
 
-let smt_study ?machine () =
+let smt_study ?pool ?machine () =
   let machine = Option.value ~default:Config.default machine in
-  List.map
+  pmap pool
     (fun (e : Registry.entry) ->
       let k = e.Registry.kernel and workload = e.Registry.workload in
       let seq = Compiler.compile_sequential ~machine k in
@@ -441,42 +476,61 @@ let smt_study ?machine () =
 
 (** Queue-count constraint (Section II): mean 4-core speedup as the
     number of usable point-to-point queue pairs shrinks. *)
-let queue_limit_study ?machine ?(limits = [ 12; 6; 4; 2 ]) () =
+let queue_limit_study ?pool ?machine ?(limits = [ 12; 6; 4; 2 ]) () =
+  let tasks =
+    List.concat_map
+      (fun limit -> List.map (fun e -> (limit, e)) Registry.all)
+      limits
+  in
+  let runs =
+    pmap pool
+      (fun (limit, (e : Registry.entry)) ->
+        let config =
+          {
+            (Compiler.default_config ~cores:4 ()) with
+            Compiler.max_queue_pairs = Some limit;
+          }
+        in
+        let _, _, s =
+          Runner.speedup ?machine ~config ~workload:e.Registry.workload
+            ~cores:4 e.Registry.kernel
+        in
+        (limit, s))
+      tasks
+  in
   List.map
     (fun limit ->
       let speeds =
-        List.map
-          (fun (e : Registry.entry) ->
-            let config =
-              {
-                (Compiler.default_config ~cores:4 ()) with
-                Compiler.max_queue_pairs = Some limit;
-              }
-            in
-            let _, _, s =
-              Runner.speedup ?machine ~config ~workload:e.Registry.workload
-                ~cores:4 e.Registry.kernel
-            in
-            s)
-          Registry.all
+        List.filter_map (fun (l, s) -> if l = limit then Some s else None) runs
       in
       (limit, mean speeds))
     limits
 
 (** Scaling beyond 4 cores (Section II's grouping discussion): per-kernel
     speedups at 2, 4 and 8 cores. *)
-let cores_sweep ?machine ?(cores = [ 2; 4; 8 ]) () =
+let cores_sweep ?pool ?machine ?(cores = [ 2; 4; 8 ]) () =
+  let tasks =
+    List.concat_map
+      (fun (e : Registry.entry) -> List.map (fun c -> (e, c)) cores)
+      Registry.all
+  in
+  let runs =
+    pmap pool
+      (fun ((e : Registry.entry), c) ->
+        let _, _, s =
+          Runner.speedup ?machine ~workload:e.Registry.workload ~cores:c
+            e.Registry.kernel
+        in
+        (e.Registry.kernel.Kernel.name, (c, s)))
+      tasks
+  in
   List.map
     (fun (e : Registry.entry) ->
-      ( e.Registry.kernel.Kernel.name,
-        List.map
-          (fun c ->
-            let _, _, s =
-              Runner.speedup ?machine ~workload:e.Registry.workload ~cores:c
-                e.Registry.kernel
-            in
-            (c, s))
-          cores ))
+      let name = e.Registry.kernel.Kernel.name in
+      ( name,
+        List.filter_map
+          (fun (n, cs) -> if String.equal n name then Some cs else None)
+          runs ))
     Registry.all
 
 (** The Section IV SIMD aside: static 4-way SIMD speedup estimates per

@@ -1,0 +1,147 @@
+exception Nested_map
+
+type t = {
+  n_domains : int;
+  busy : bool Atomic.t;
+      (* set while a parallel [map] is running; nested calls on the same
+         pool would spawn domains from inside domains, so they are
+         rejected instead (see the .mli) *)
+}
+
+let env_domains () =
+  match Sys.getenv_opt "FINEPAR_DOMAINS" with
+  | None -> None
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> Some n
+    | Some _ | None -> None)
+
+let default_domains () =
+  match env_domains () with
+  | Some n -> n
+  | None -> max 1 (Domain.recommended_domain_count () - 1)
+
+let create ?domains () =
+  let n_domains =
+    match domains with Some d -> max 1 d | None -> default_domains ()
+  in
+  { n_domains; busy = Atomic.make false }
+
+let domains t = t.n_domains
+
+(* ------------------------------------------------------------------ *)
+(* The work-stealing scheduler.  Task indices are dealt out in
+   contiguous blocks, one per worker; a worker consumes its own block
+   from the low end and, once empty, steals from the high end of the
+   fullest other block.  Each deque is a [lo, hi) window over the task
+   index range, guarded by its own mutex — tasks here are coarse
+   (a kernel compile + simulation, a fuzz case), so contention on these
+   tiny critical sections is irrelevant. *)
+
+type deque = { lock : Mutex.t; mutable lo : int; mutable hi : int }
+
+let pop_own d =
+  Mutex.protect d.lock (fun () ->
+      if d.lo < d.hi then (
+        let i = d.lo in
+        d.lo <- i + 1;
+        Some i)
+      else None)
+
+let steal d =
+  Mutex.protect d.lock (fun () ->
+      if d.lo < d.hi then (
+        let i = d.hi - 1 in
+        d.hi <- i;
+        Some i)
+      else None)
+
+let parallel_run ~workers ~n task =
+  let chunk = (n + workers - 1) / workers in
+  let deques =
+    Array.init workers (fun w ->
+        {
+          lock = Mutex.create ();
+          lo = min n (w * chunk);
+          hi = min n ((w + 1) * chunk);
+        })
+  in
+  (* Own deque first, then the others in round-robin order.  No task
+     spawns further tasks, so a full scan finding every deque empty
+     means the run is over. *)
+  let rec next w tries =
+    if tries >= workers then None
+    else
+      let v = w + tries in
+      let victim = if v >= workers then v - workers else v in
+      match
+        if tries = 0 then pop_own deques.(victim) else steal deques.(victim)
+      with
+      | Some i -> Some i
+      | None -> next w (tries + 1)
+  in
+  let rec worker w =
+    match next w 0 with
+    | Some i ->
+      task i;
+      worker w
+    | None -> ()
+  in
+  let helpers =
+    Array.init (workers - 1) (fun k -> Domain.spawn (fun () -> worker (k + 1)))
+  in
+  let main_exn =
+    (* [task] never raises (exceptions are captured into the result
+       slot), but guard anyway so helper domains are always joined. *)
+    match worker 0 with () -> None | exception e -> Some e
+  in
+  Array.iter Domain.join helpers;
+  match main_exn with None -> () | Some e -> raise e
+
+let map pool ~f xs =
+  let arr = Array.of_list xs in
+  let n = Array.length arr in
+  let results = Array.make n None in
+  let task i =
+    results.(i) <-
+      Some
+        (match f arr.(i) with
+        | v -> Ok v
+        | exception e -> Error (e, Printexc.get_raw_backtrace ()))
+  in
+  let workers = min pool.n_domains n in
+  (if workers <= 1 then begin
+     (* Sequential degradation (one domain, or 0/1 tasks).  A busy
+        multi-domain pool still rejects, so nesting behaviour does not
+        depend on the length of the inner list. *)
+     if pool.n_domains > 1 && Atomic.get pool.busy then raise Nested_map;
+     for i = 0 to n - 1 do
+       task i
+     done
+   end
+   else begin
+     if not (Atomic.compare_and_set pool.busy false true) then
+       raise Nested_map;
+     Fun.protect
+       ~finally:(fun () -> Atomic.set pool.busy false)
+       (fun () -> parallel_run ~workers ~n task)
+   end);
+  (* Merge by task index: re-raise the lowest-indexed failure (so the
+     observed exception is independent of scheduling), else return the
+     values in input order. *)
+  Array.iter
+    (function
+      | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+      | Some (Ok _) -> ()
+      | None -> assert false)
+    results;
+  Array.to_list
+    (Array.map
+       (function Some (Ok v) -> v | Some (Error _) | None -> assert false)
+       results)
+
+let map_reduce pool ~map:m ~fold ~init xs =
+  List.fold_left fold init (map pool ~f:m xs)
+
+let map_opt pool ~f xs =
+  match pool with None -> List.map f xs | Some p -> map p ~f xs

@@ -1,0 +1,60 @@
+(** A work-stealing domain pool for the embarrassingly parallel fan-outs
+    of the harness: per-kernel experiment rows, bench sections and fuzz
+    campaign cases.
+
+    Results are merged by task index, never by completion order, so a
+    parallel {!map} returns exactly what [List.map] returns — callers can
+    (and the CI does) diff sequential and parallel outputs byte for byte.
+
+    The parallelism degree comes from, in priority order: the [?domains]
+    argument, the [FINEPAR_DOMAINS] environment variable, and
+    [Domain.recommended_domain_count () - 1] (leaving one core for the
+    coordinating domain).  At one domain every operation degrades to plain
+    sequential execution with identical semantics. *)
+
+exception Nested_map
+(** Raised when a task running inside {!map} calls {!map} on the same
+    pool.  Domains must not be nested (OCaml domains are heavyweight);
+    parallelize at one level of the fan-out and keep the inner levels
+    sequential. *)
+
+type t
+
+val default_domains : unit -> int
+(** [FINEPAR_DOMAINS] if set to a positive integer, else
+    [max 1 (Domain.recommended_domain_count () - 1)]. *)
+
+val create : ?domains:int -> unit -> t
+(** A pool that runs [domains] tasks concurrently (clamped to at least
+    1; default {!default_domains}).  Worker domains are spawned per
+    top-level {!map} call and joined before it returns, so a pool value
+    holds no OS resources and never needs a shutdown. *)
+
+val domains : t -> int
+
+val map : t -> f:('a -> 'b) -> 'a list -> 'b list
+(** [map pool ~f xs] applies [f] to every element of [xs], distributing
+    elements over the pool's domains with per-domain work queues and
+    work stealing.  Semantics match [List.map f xs]:
+
+    - the result list is in input order (merged by task index);
+    - every task runs even when another task raises;
+    - if any tasks raised, the exception of the {e lowest-indexed}
+      failing task is re-raised (with its backtrace) after all tasks
+      finished, so the raised exception does not depend on scheduling.
+
+    [f] must be safe to run from multiple domains: no unsynchronized
+    shared mutable state.  Calling [map] on a pool from inside one of
+    its own tasks raises {!Nested_map} (see above). *)
+
+val map_reduce :
+  t -> map:('a -> 'b) -> fold:('acc -> 'b -> 'acc) -> init:'acc -> 'a list -> 'acc
+(** [map_reduce pool ~map ~fold ~init xs] is
+    [List.fold_left fold init (List.map map xs)] with the map phase
+    parallel.  The fold runs on the calling domain in input order, so it
+    needs no associativity and the result is deterministic. *)
+
+val map_opt : t option -> f:('a -> 'b) -> 'a list -> 'b list
+(** [map_opt (Some pool) ~f xs = map pool ~f xs];
+    [map_opt None ~f xs = List.map f xs].  Convenience for the [?pool]
+    optional arguments threaded through the experiment drivers. *)

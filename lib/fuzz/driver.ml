@@ -57,13 +57,56 @@ let case_features (case : Gen.case) =
     case.Gen.kernel.Finepar_ir.Kernel.body;
   (!has_if, !has_indirect, !has_int)
 
+(* The per-case work — generation, feature extraction, oracle checking
+   and shrinking — is pure given the derived seed, so a campaign fans
+   cases out over an optional domain pool.  Everything mutable (the
+   coverage tallies, the failure list, corpus writes, the progress hook)
+   happens in [absorb], which only ever runs on the calling domain, in
+   case-index order: a parallel campaign over a fixed case count is
+   byte-identical to a sequential one. *)
+type case_result = {
+  cr_seed : int;
+  cr_has_if : bool;
+  cr_has_indirect : bool;
+  cr_has_int : bool;
+  cr_speculated : bool;
+  cr_multi_core : bool;
+  cr_smt : bool;
+  cr_outcome : Oracle.outcome;
+  cr_shrunk : (Gen.case * Oracle.failure) option;  (** on [Fail] *)
+}
+
+let run_case ?compile case_seed =
+  let case = Gen.case_of_seed case_seed in
+  let has_if, has_indirect, has_int = case_features case in
+  let outcome = Oracle.check ?compile case in
+  let shrunk =
+    match outcome with
+    | Oracle.Pass _ -> None
+    | Oracle.Fail failure -> Some (Shrink.shrink ?compile case failure)
+  in
+  {
+    cr_seed = case_seed;
+    cr_has_if = has_if;
+    cr_has_indirect = has_indirect;
+    cr_has_int = has_int;
+    cr_speculated = case.Gen.config.Finepar.Compiler.speculation;
+    cr_multi_core = case.Gen.config.Finepar.Compiler.cores > 1;
+    cr_smt = case.Gen.placement <> Gen.Identity;
+    cr_outcome = outcome;
+    cr_shrunk = shrunk;
+  }
+
 (** Run a campaign.  Stops at [cases] generated cases or once [seconds]
-    of wall-clock budget is spent, whichever comes first.  Failures are
-    shrunk; when [out_dir] is given, each shrunk reproducer is saved
-    there.  [on_case] is a progress hook. *)
-let run ?compile ?out_dir ?(seconds = infinity) ?(on_case = fun _ _ -> ())
-    ~cases ~seed () =
-  let started = Sys.time () in
+    of wall-clock budget is spent, whichever comes first (with a pool
+    the budget is checked between batches, so a batch in flight is
+    finished, not abandoned).  Failures are shrunk; when [out_dir] is
+    given, each shrunk reproducer is saved there.  [on_case] is a
+    progress hook, always called in case order on the calling domain. *)
+let run ?compile ?out_dir ?pool ?(seconds = infinity)
+    ?(on_case = fun _ _ -> ()) ~cases ~seed () =
+  let started = Unix.gettimeofday () in
+  let elapsed () = Unix.gettimeofday () -. started in
   let passed = ref 0 and failures = ref [] in
   let kernels_with_ifs = ref 0
   and kernels_with_indirect = ref 0
@@ -73,43 +116,50 @@ let run ?compile ?out_dir ?(seconds = infinity) ?(on_case = fun _ _ -> ())
   and smt_cases = ref 0
   and total_partitions = ref 0
   and total_cycles = ref 0 in
-  let i = ref 0 in
-  while !i < cases && Sys.time () -. started < seconds do
-    let case_seed = derive_seed ~root:seed !i in
-    let case = Gen.case_of_seed case_seed in
-    let has_if, has_indirect, has_int = case_features case in
-    if has_if then incr kernels_with_ifs;
-    if has_indirect then incr kernels_with_indirect;
-    if has_int then incr kernels_with_int_ops;
-    if case.Gen.config.Finepar.Compiler.speculation then incr speculated;
-    if case.Gen.config.Finepar.Compiler.cores > 1 then incr multi_core;
-    if case.Gen.placement <> Gen.Identity then incr smt_cases;
-    let outcome = Oracle.check ?compile case in
-    (match outcome with
-    | Oracle.Pass stats ->
+  let absorb r =
+    if r.cr_has_if then incr kernels_with_ifs;
+    if r.cr_has_indirect then incr kernels_with_indirect;
+    if r.cr_has_int then incr kernels_with_int_ops;
+    if r.cr_speculated then incr speculated;
+    if r.cr_multi_core then incr multi_core;
+    if r.cr_smt then incr smt_cases;
+    (match (r.cr_outcome, r.cr_shrunk) with
+    | Oracle.Pass stats, _ ->
       incr passed;
       total_partitions := !total_partitions + stats.Oracle.n_partitions;
       total_cycles := !total_cycles + stats.Oracle.cycles
-    | Oracle.Fail failure ->
-      let shrunk, shrunk_failure = Shrink.shrink ?compile case failure in
+    | Oracle.Fail failure, Some (shrunk, shrunk_failure) ->
       let repro_path =
         Option.map
           (fun dir ->
             Corpus.save dir ~oracle:shrunk_failure.Oracle.oracle
-              ~seed:case_seed ~failure:shrunk_failure shrunk)
+              ~seed:r.cr_seed ~failure:shrunk_failure shrunk)
           out_dir
       in
       failures :=
-        { case_seed; failure; shrunk; shrunk_failure; repro_path } :: !failures);
-    on_case case_seed outcome;
-    incr i
+        { case_seed = r.cr_seed; failure; shrunk; shrunk_failure; repro_path }
+        :: !failures
+    | Oracle.Fail _, None -> assert false);
+    on_case r.cr_seed r.cr_outcome
+  in
+  let workers =
+    match pool with None -> 1 | Some p -> Finepar_exec.Pool.domains p
+  in
+  let batch = if workers <= 1 then 1 else workers * 4 in
+  let i = ref 0 in
+  while !i < cases && elapsed () < seconds do
+    let n = min batch (cases - !i) in
+    let seeds = List.init n (fun k -> derive_seed ~root:seed (!i + k)) in
+    List.iter absorb
+      (Finepar_exec.Pool.map_opt pool ~f:(run_case ?compile) seeds);
+    i := !i + n
   done;
   {
     root_seed = seed;
     cases_run = !i;
     passed = !passed;
     failed = List.length !failures;
-    elapsed = Sys.time () -. started;
+    elapsed = elapsed ();
     kernels_with_ifs = !kernels_with_ifs;
     kernels_with_indirect = !kernels_with_indirect;
     kernels_with_int_ops = !kernels_with_int_ops;
@@ -135,6 +185,10 @@ let json_of_failure (f : failure_report) =
         | Some p -> Json.String p );
     ]
 
+(* Deliberately excludes [elapsed]: the summary JSON is a pure function
+   of the root seed and case count, so sequential and parallel campaigns
+   (and CI reruns) can be diffed byte for byte.  Wall-clock numbers
+   belong in the harness's text output. *)
 let json_of_summary (s : summary) =
   Json.Obj
     [
@@ -142,7 +196,6 @@ let json_of_summary (s : summary) =
       ("cases_run", Json.Int s.cases_run);
       ("passed", Json.Int s.passed);
       ("failed", Json.Int s.failed);
-      ("elapsed_seconds", Json.Float s.elapsed);
       ( "coverage",
         Json.Obj
           [

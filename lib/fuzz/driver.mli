@@ -31,6 +31,7 @@ val derive_seed : root:int -> int -> int
 val run :
   ?compile:Oracle.compile_fn ->
   ?out_dir:string ->
+  ?pool:Finepar_exec.Pool.t ->
   ?seconds:float ->
   ?on_case:(int -> Oracle.outcome -> unit) ->
   cases:int ->
@@ -38,7 +39,16 @@ val run :
   unit ->
   summary
 (** Generate and check up to [cases] cases (bounded also by [seconds] of
-    CPU budget), shrinking failures and saving reproducers under
-    [out_dir] when given. *)
+    wall-clock budget), shrinking failures and saving reproducers under
+    [out_dir] when given.
+
+    With a [pool], cases are checked in parallel batches; per-case seed
+    derivation keeps every case independent, and tallies, failures,
+    corpus writes and [on_case] calls are merged on the calling domain
+    in case-index order, so for a fixed [cases] count the summary (and
+    its JSON) is identical to a sequential run's.  Under a [seconds]
+    budget the number of cases that fit may differ. *)
 
 val summary_to_json : summary -> string
+(** Machine-readable summary.  Excludes the wall-clock [elapsed] field
+    so the JSON is a pure function of [seed] and the case count. *)

@@ -1,10 +1,11 @@
-(** A minimal JSON document type and serializer.
+(** A minimal JSON document type, serializer and parser.
 
     The telemetry exporters (metrics snapshots, Chrome traces, bench
-    metrics) only ever need to *emit* JSON, so there is no parser and no
-    external dependency.  Serialization is strict: strings are escaped per
-    RFC 8259 and non-finite floats are emitted as [null] (JSON has no
-    representation for them). *)
+    metrics) emit JSON; the bench regression gate ([test/check_bench.ml])
+    reads its checked-in baseline back, so there is also a small strict
+    RFC 8259 parser — still no external dependency.  Serialization is
+    strict: strings are escaped per RFC 8259 and non-finite floats are
+    emitted as [null] (JSON has no representation for them). *)
 
 type t =
   | Null
@@ -74,3 +75,187 @@ let to_channel oc j =
   let buf = Buffer.create 65536 in
   write buf j;
   Buffer.output_buffer oc buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing.  Recursive descent over the string; a numeric literal
+   becomes [Int] when it is written as a plain integer (no fraction or
+   exponent) and fits, [Float] otherwise, matching what the serializer
+   produces for each. *)
+
+exception Parse_error of int * string
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let error msg = raise (Parse_error (!pos, msg)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n
+      && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> error (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word v =
+    if !pos + String.length word <= n
+       && String.sub s !pos (String.length word) = word
+    then (
+      pos := !pos + String.length word;
+      v)
+    else error (Printf.sprintf "expected %s" word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      if !pos >= n then error "unterminated string"
+      else
+        match s.[!pos] with
+        | '"' -> advance ()
+        | '\\' ->
+          advance ();
+          (if !pos >= n then error "unterminated escape"
+           else
+             match s.[!pos] with
+             | '"' -> Buffer.add_char buf '"'; advance ()
+             | '\\' -> Buffer.add_char buf '\\'; advance ()
+             | '/' -> Buffer.add_char buf '/'; advance ()
+             | 'b' -> Buffer.add_char buf '\b'; advance ()
+             | 'f' -> Buffer.add_char buf '\012'; advance ()
+             | 'n' -> Buffer.add_char buf '\n'; advance ()
+             | 'r' -> Buffer.add_char buf '\r'; advance ()
+             | 't' -> Buffer.add_char buf '\t'; advance ()
+             | 'u' ->
+               advance ();
+               if !pos + 4 > n then error "truncated \\u escape";
+               let code =
+                 match int_of_string_opt ("0x" ^ String.sub s !pos 4) with
+                 | Some c -> c
+                 | None -> error "bad \\u escape"
+               in
+               pos := !pos + 4;
+               Buffer.add_utf_8_uchar buf
+                 (if Uchar.is_valid code then Uchar.of_int code
+                  else Uchar.rep)
+             | c -> error (Printf.sprintf "bad escape '\\%c'" c));
+          loop ()
+        | c ->
+          Buffer.add_char buf c;
+          advance ();
+          loop ()
+    in
+    loop ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_float = ref false in
+    if peek () = Some '-' then advance ();
+    let digits () =
+      let d0 = !pos in
+      while !pos < n && match s.[!pos] with '0' .. '9' -> true | _ -> false do
+        advance ()
+      done;
+      if !pos = d0 then error "expected digit"
+    in
+    let int_start = !pos in
+    digits ();
+    (* RFC 8259: no leading zeros ("01" is two tokens, i.e. invalid). *)
+    if !pos - int_start > 1 && s.[int_start] = '0' then
+      error "leading zero in number";
+    if peek () = Some '.' then (
+      is_float := true;
+      advance ();
+      digits ());
+    (match peek () with
+    | Some ('e' | 'E') ->
+      is_float := true;
+      advance ();
+      (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+      digits ()
+    | _ -> ());
+    let text = String.sub s start (!pos - start) in
+    if !is_float then Float (float_of_string text)
+    else
+      match int_of_string_opt text with
+      | Some i -> Int i
+      | None -> Float (float_of_string text)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> error "unexpected end of input"
+    | Some 'n' -> literal "null" Null
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some '"' -> String (parse_string ())
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then (
+        advance ();
+        List [])
+      else
+        let rec items acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            items (v :: acc)
+          | Some ']' ->
+            advance ();
+            List.rev (v :: acc)
+          | _ -> error "expected ',' or ']'"
+        in
+        List (items [])
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then (
+        advance ();
+        Obj [])
+      else
+        let member () =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          (k, v)
+        in
+        let rec members acc =
+          let kv = member () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members (kv :: acc)
+          | Some '}' ->
+            advance ();
+            List.rev (kv :: acc)
+          | _ -> error "expected ',' or '}'"
+        in
+        Obj (members [])
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> error (Printf.sprintf "unexpected '%c'" c)
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then error "trailing content";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error (p, msg) ->
+    Error (Printf.sprintf "at offset %d: %s" p msg)
+
+let of_channel ic =
+  of_string (In_channel.input_all ic)

@@ -1,4 +1,4 @@
-(** A minimal JSON document type and serializer (emit-only). *)
+(** A minimal JSON document type, serializer and strict parser. *)
 
 type t =
   | Null
@@ -14,3 +14,11 @@ type t =
 val to_string : t -> string
 
 val to_channel : out_channel -> t -> unit
+
+val of_string : string -> (t, string) result
+(** Strict RFC 8259 parsing of one document.  Plain integer literals
+    become [Int]; literals with a fraction or exponent become [Float].
+    The error string includes the byte offset. *)
+
+val of_channel : in_channel -> (t, string) result
+(** {!of_string} over the channel's remaining contents. *)

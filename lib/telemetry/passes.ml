@@ -2,17 +2,20 @@
 
     The compiler wraps each pass in {!time}; the recorder keeps (name,
     seconds) in execution order for the telemetry report and the Chrome
-    trace's compiler lane.  Uses [Sys.time] (processor time) so no extra
-    dependency is needed; pass durations here are milliseconds-scale, well
-    within its resolution for comparative use. *)
+    trace's compiler lane.  Uses [Unix.gettimeofday] — a recorder is
+    only ever used from one domain, but [Sys.time] measures
+    processor time summed over the whole process, which concurrent
+    domains (the {!Finepar_exec.Pool} fan-outs) would inflate. *)
 
 type t = { mutable entries : (string * float) list (** reversed *) }
 
 let create () = { entries = [] }
 
 let time t name f =
-  let t0 = Sys.time () in
-  let finally () = t.entries <- (name, Sys.time () -. t0) :: t.entries in
+  let t0 = Unix.gettimeofday () in
+  let finally () =
+    t.entries <- (name, Unix.gettimeofday () -. t0) :: t.entries
+  in
   Fun.protect ~finally f
 
 (** (pass, seconds) in execution order. *)

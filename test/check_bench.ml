@@ -1,0 +1,235 @@
+(* The CI bench regression gate.
+
+   usage:
+     check_bench.exe BASELINE.json CURRENT.json
+       [--wallclock-tolerance FRAC]   tolerance for wall-clock gates
+                                      (default 0.10, i.e. >10% fails)
+       [--current-seconds S]          this run's bench wall-clock; gated
+                                      against meta.par_seconds in the
+                                      baseline when both are present
+       [--speedup S]                  this runner's measured -j speedup
+                                      (sequential seconds / parallel
+                                      seconds); gated against
+                                      meta.min_speedup when present
+       [--markdown FILE]              append a job-summary table
+
+   Both files are bench --json outputs ({"sections": {...}}); the
+   baseline may carry an extra "meta" object (see bench/baseline.json).
+   Section numbers are paper-accuracy results of a deterministic
+   simulation, so they must match the baseline exactly — any drift means
+   a semantic change to the compiler or simulator and fails the gate.
+   Wall-clock numbers (the bechamel "wallclock" section, and the
+   --current-seconds / --speedup gates) are machine-dependent and get
+   the tolerance instead. *)
+
+module J = Finepar_telemetry.Json
+
+let failures : string list ref = ref []
+let notes : string list ref = ref []
+let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt
+let note fmt = Printf.ksprintf (fun s -> notes := s :: !notes) fmt
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      match J.of_channel ic with
+      | Ok v -> v
+      | Error e ->
+        Printf.eprintf "check_bench: %s: %s\n" path e;
+        exit 2)
+
+let obj_assoc = function J.Obj kvs -> kvs | _ -> []
+let find key j = List.assoc_opt key (obj_assoc j)
+
+let num = function
+  | J.Int i -> Some (float_of_int i)
+  | J.Float f -> Some f
+  | _ -> None
+
+let num_eq a b =
+  (* Exact up to float noise: these are deterministic simulation results,
+     so 1e-9 relative covers only representation round-trips. *)
+  a = b || Float.abs (a -. b) <= 1e-9 *. Float.max (Float.abs a) (Float.abs b)
+
+(* Exact structural comparison of one paper-accuracy section. *)
+let rec compare_exact path (base : J.t) (cur : J.t) =
+  match (base, cur) with
+  | (J.Int _ | J.Float _), (J.Int _ | J.Float _) ->
+    let a = Option.get (num base) and b = Option.get (num cur) in
+    if not (num_eq a b) then fail "%s: baseline %.17g, current %.17g" path a b
+  | J.String a, J.String b ->
+    if not (String.equal a b) then fail "%s: baseline %S, current %S" path a b
+  | J.Bool a, J.Bool b -> if a <> b then fail "%s: bool changed" path
+  | J.Null, J.Null -> ()
+  | J.List xs, J.List ys ->
+    if List.length xs <> List.length ys then
+      fail "%s: baseline has %d entries, current %d" path (List.length xs)
+        (List.length ys)
+    else
+      List.iteri
+        (fun i (x, y) -> compare_exact (Printf.sprintf "%s[%d]" path i) x y)
+        (List.combine xs ys)
+  | J.Obj xs, J.Obj ys ->
+    List.iter
+      (fun (k, x) ->
+        match List.assoc_opt k ys with
+        | None -> fail "%s.%s: missing from current run" path k
+        | Some y -> compare_exact (path ^ "." ^ k) x y)
+      xs;
+    List.iter
+      (fun (k, _) ->
+        if not (List.mem_assoc k xs) then
+          fail "%s.%s: not in baseline (refresh bench/baseline.json)" path k)
+      ys
+  | _ -> fail "%s: type changed" path
+
+(* The bechamel section: entries matched by name, ns/run gated with the
+   tolerance (regressions fail, improvements are reported). *)
+let compare_wallclock ~tolerance base cur =
+  let entries j =
+    match j with
+    | J.List rows ->
+      List.filter_map
+        (fun row ->
+          match (find "name" row, find "ns_per_run" row) with
+          | Some (J.String n), Some v -> Option.map (fun f -> (n, f)) (num v)
+          | _ -> None)
+        rows
+    | _ -> []
+  in
+  let cur_entries = entries cur in
+  List.iter
+    (fun (name, b) ->
+      match List.assoc_opt name cur_entries with
+      | None -> fail "wallclock: %S missing from current run" name
+      | Some c ->
+        if c > b *. (1. +. tolerance) then
+          fail "wallclock: %S regressed %.0f -> %.0f ns/run (+%.0f%% > %.0f%%)"
+            name b c
+            ((c /. b -. 1.) *. 100.)
+            (tolerance *. 100.)
+        else
+          note "wallclock: %S %.0f -> %.0f ns/run (%+.0f%%)" name b c
+            ((c /. b -. 1.) *. 100.))
+    (entries base)
+
+let markdown ~out ~cur ~speedup =
+  let oc = open_out out in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let p fmt = Printf.fprintf oc fmt in
+      p "## Bench gate\n\n";
+      (match speedup with
+      | Some s -> p "Harness wall-clock speedup on this runner: **%.2fx**\n\n" s
+      | None -> ());
+      (match Option.bind (find "sections" cur) (find "fig12") with
+      | Some fig12 ->
+        p "| kernel | 2-core | 4-core |\n|---|---|---|\n";
+        (match find "kernels" fig12 with
+        | Some (J.List rows) ->
+          List.iter
+            (fun row ->
+              match
+                ( find "kernel" row,
+                  Option.bind (find "speedup_2core" row) num,
+                  Option.bind (find "speedup_4core" row) num )
+              with
+              | Some (J.String k), Some s2, Some s4 ->
+                p "| %s | %.2f | %.2f |\n" k s2 s4
+              | _ -> ())
+            rows
+        | _ -> ());
+        (match
+           ( Option.bind (find "average_2core" fig12) num,
+             Option.bind (find "average_4core" fig12) num )
+         with
+        | Some a2, Some a4 ->
+          p "| **average** | **%.2f** | **%.2f** |\n" a2 a4
+        | _ -> ());
+        p "\n(paper: 1.32 / 2.05 average)\n"
+      | None -> ());
+      if !failures = [] then p "\nAll paper-accuracy numbers match the baseline.\n"
+      else begin
+        p "\n### Failures\n\n";
+        List.iter (fun f -> p "- `%s`\n" f) (List.rev !failures)
+      end)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let rec parse files tol cur_s speedup min_speedup md = function
+    | [] -> (List.rev files, tol, cur_s, speedup, min_speedup, md)
+    | "--wallclock-tolerance" :: v :: rest ->
+      parse files (float_of_string v) cur_s speedup min_speedup md rest
+    | "--current-seconds" :: v :: rest ->
+      parse files tol (Some (float_of_string v)) speedup min_speedup md rest
+    | "--speedup" :: v :: rest ->
+      parse files tol cur_s (Some (float_of_string v)) min_speedup md rest
+    | "--min-speedup" :: v :: rest ->
+      parse files tol cur_s speedup (Some (float_of_string v)) md rest
+    | "--markdown" :: v :: rest ->
+      parse files tol cur_s speedup min_speedup (Some v) rest
+    | a :: rest -> parse (a :: files) tol cur_s speedup min_speedup md rest
+  in
+  let files, tolerance, cur_seconds, speedup, min_speedup_arg, md =
+    parse [] 0.10 None None None None (List.tl args)
+  in
+  let base_path, cur_path =
+    match files with
+    | [ b; c ] -> (b, c)
+    | _ ->
+      prerr_endline "usage: check_bench BASELINE.json CURRENT.json [options]";
+      exit 2
+  in
+  let base = load base_path and cur = load cur_path in
+  let base_sections = Option.value ~default:(J.Obj []) (find "sections" base)
+  and cur_sections = Option.value ~default:(J.Obj []) (find "sections" cur) in
+  List.iter
+    (fun (name, b) ->
+      match find name cur_sections with
+      | None -> fail "section %S missing from current run" name
+      | Some c ->
+        if String.equal name "wallclock" then
+          compare_wallclock ~tolerance b c
+        else compare_exact name b c)
+    (obj_assoc base_sections);
+  List.iter
+    (fun (name, _) ->
+      if find name base_sections = None then
+        note "section %S not in baseline (refresh bench/baseline.json)" name)
+    (obj_assoc cur_sections);
+  let meta = Option.value ~default:(J.Obj []) (find "meta" base) in
+  (match (cur_seconds, Option.bind (find "par_seconds" meta) num) with
+  | Some cur_s, Some base_s ->
+    if cur_s > base_s *. (1. +. tolerance) then
+      fail "bench wall-clock regressed %.1fs -> %.1fs (+%.0f%% > %.0f%%)"
+        base_s cur_s
+        ((cur_s /. base_s -. 1.) *. 100.)
+        (tolerance *. 100.)
+    else note "bench wall-clock %.1fs (baseline %.1fs)" cur_s base_s
+  | Some cur_s, None -> note "bench wall-clock %.1fs (no baseline seconds)" cur_s
+  | None, _ -> ());
+  let min_speedup =
+    match min_speedup_arg with
+    | Some m -> Some m
+    | None -> Option.bind (find "min_speedup" meta) num
+  in
+  (match (speedup, min_speedup) with
+  | Some s, Some m ->
+    if s < m then
+      fail "parallel harness speedup %.2fx below the %.2fx gate" s m
+    else note "parallel harness speedup %.2fx (gate: >= %.2fx)" s m
+  | Some s, None -> note "parallel harness speedup %.2fx (no gate)" s
+  | None, _ -> ());
+  (match md with
+  | Some out -> markdown ~out ~cur ~speedup
+  | None -> ());
+  List.iter (fun n -> Printf.printf "note: %s\n" n) (List.rev !notes);
+  if !failures = [] then print_endline "check_bench: OK"
+  else begin
+    List.iter (fun f -> Printf.printf "FAIL: %s\n" f) (List.rev !failures);
+    Printf.printf "check_bench: %d failure(s)\n" (List.length !failures);
+    exit 1
+  end

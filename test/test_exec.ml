@@ -1,0 +1,191 @@
+(* Tests for the domain-parallel execution engine (lib/exec) and its
+   determinism contract: results merged in task-index order, exceptions
+   captured per task with the lowest-indexed one re-raised, nested maps
+   rejected, and -j 1 observationally identical to -j N for the
+   subsystems wired onto the pool (fuzz campaigns, experiments). *)
+
+module Pool = Finepar_exec.Pool
+module Json = Finepar_telemetry.Json
+
+exception Boom of int
+
+(* Uneven per-task work so parallel completion order differs from
+   submission order; any merge-by-completion bug shows up as a
+   misordered result list. *)
+let spin i =
+  let n = 1_000 * (1 + (i * 7919 mod 13)) in
+  let acc = ref 0 in
+  for k = 1 to n do
+    acc := (!acc + k) mod 1_000_003
+  done;
+  (i, !acc)
+
+let test_map_ordering () =
+  let xs = List.init 400 Fun.id in
+  let expected = List.map spin xs in
+  List.iter
+    (fun domains ->
+      let pool = Pool.create ~domains () in
+      Alcotest.(check bool)
+        (Printf.sprintf "map at %d domain(s) = sequential" domains)
+        true
+        (List.equal ( = ) expected (Pool.map pool ~f:spin xs)))
+    [ 1; 2; 3; 4; 8 ]
+
+let test_map_reduce () =
+  let xs = List.init 500 (fun i -> i + 1) in
+  let seq = List.fold_left ( + ) 0 (List.map (fun x -> x * x) xs) in
+  let pool = Pool.create ~domains:4 () in
+  let par =
+    Pool.map_reduce pool ~map:(fun x -> x * x) ~fold:( + ) ~init:0 xs
+  in
+  Alcotest.(check int) "map_reduce sum of squares" seq par;
+  (* fold runs on the calling domain in index order, so non-commutative
+     folds are safe. *)
+  let concat =
+    Pool.map_reduce pool ~map:string_of_int
+      ~fold:(fun acc s -> acc ^ "," ^ s)
+      ~init:"" (List.init 50 Fun.id)
+  in
+  let expected =
+    List.fold_left
+      (fun acc s -> acc ^ "," ^ s)
+      ""
+      (List.map string_of_int (List.init 50 Fun.id))
+  in
+  Alcotest.(check string) "map_reduce ordered fold" expected concat
+
+let test_exception_lowest_index () =
+  let pool = Pool.create ~domains:4 () in
+  let ran = Atomic.make 0 in
+  let f i =
+    Atomic.incr ran;
+    if i = 17 || i = 3 || i = 90 then raise (Boom i) else i
+  in
+  (match Pool.map pool ~f (List.init 100 Fun.id) with
+  | _ -> Alcotest.fail "expected Boom"
+  | exception Boom i ->
+    Alcotest.(check int) "lowest-indexed exception wins" 3 i);
+  (* Every task still ran: a failure must not cancel sibling tasks,
+     otherwise -j would change which side effects happen. *)
+  Alcotest.(check int) "all tasks ran despite failures" 100 (Atomic.get ran);
+  (* Same contract on the sequential path. *)
+  let pool1 = Pool.create ~domains:1 () in
+  let ran1 = ref 0 in
+  let f1 i =
+    incr ran1;
+    if i >= 5 then raise (Boom i) else i
+  in
+  (match Pool.map pool1 ~f:f1 (List.init 20 Fun.id) with
+  | _ -> Alcotest.fail "expected Boom"
+  | exception Boom i -> Alcotest.(check int) "sequential: first raiser" 5 i);
+  Alcotest.(check int) "sequential: all tasks ran" 20 !ran1
+
+let test_nested_map_rejected () =
+  let pool = Pool.create ~domains:4 () in
+  let nested _ = Pool.map pool ~f:Fun.id [ 1; 2; 3 ] in
+  (match Pool.map pool ~f:nested (List.init 8 Fun.id) with
+  | _ -> Alcotest.fail "expected Nested_map"
+  | exception Pool.Nested_map -> ());
+  (* A different pool used inside tasks of a busy pool is also a nested
+     parallel region and is rejected the same way. *)
+  let other = Pool.create ~domains:2 () in
+  let nested_other _ = Pool.map other ~f:Fun.id [ 1 ] in
+  (match Pool.map pool ~f:nested_other [ 0; 1 ] with
+  | _ -> ()
+  | exception Pool.Nested_map -> ());
+  (* After rejection the pool is released and usable again. *)
+  Alcotest.(check (list int))
+    "pool usable after Nested_map" [ 0; 1; 2 ]
+    (Pool.map pool ~f:Fun.id [ 0; 1; 2 ])
+
+let test_default_domains_env () =
+  let prev = Sys.getenv_opt "FINEPAR_DOMAINS" in
+  Unix.putenv "FINEPAR_DOMAINS" "3";
+  Alcotest.(check int) "FINEPAR_DOMAINS wins" 3 (Pool.default_domains ());
+  Unix.putenv "FINEPAR_DOMAINS" "0";
+  Alcotest.(check bool)
+    "nonsense value falls back to >= 1" true
+    (Pool.default_domains () >= 1);
+  Unix.putenv "FINEPAR_DOMAINS" (Option.value ~default:"" prev);
+  Alcotest.(check bool)
+    "default is at least one domain" true
+    (Pool.default_domains () >= 1)
+
+(* The end-to-end determinism contract on a real fan-out site: a fuzz
+   campaign on a fixed seed produces the same summary (and JSON) at
+   -j 1 and -j 4. *)
+let test_fuzz_j1_equivalence () =
+  let run domains =
+    let pool = Pool.create ~domains () in
+    Finepar_fuzz.Driver.run ~pool ~cases:60 ~seed:7 ()
+  in
+  let s1 = run 1 and s4 = run 4 in
+  Alcotest.(check string)
+    "fuzz summary JSON identical at -j1 and -j4"
+    (Finepar_fuzz.Driver.summary_to_json s1)
+    (Finepar_fuzz.Driver.summary_to_json s4);
+  Alcotest.(check int) "cases_run" s1.cases_run s4.cases_run;
+  Alcotest.(check int) "passed" s1.passed s4.passed
+
+(* Same contract on the experiments layer: per-kernel rows computed in
+   parallel must regroup to exactly the sequential result. *)
+let test_experiments_j1_equivalence () =
+  let pool = Pool.create ~domains:4 () in
+  let seq = Finepar.Experiments.fig12 () in
+  let par = Finepar.Experiments.fig12 ~pool () in
+  Alcotest.(check bool) "fig12 rows identical under the pool" true (seq = par)
+
+(* The strict JSON parser backing the bench gate. *)
+let test_json_roundtrip () =
+  let doc =
+    Json.Obj
+      [
+        ("s", Json.String "a\"b\\c\ne\xc3\xa9");
+        ("i", Json.Int (-42));
+        ("f", Json.Float 1.5);
+        ("l", Json.List [ Json.Bool true; Json.Null; Json.Int 0 ]);
+        ("o", Json.Obj [ ("nested", Json.Float 2.5e-3) ]);
+      ]
+  in
+  (match Json.of_string (Json.to_string doc) with
+  | Ok parsed ->
+    Alcotest.(check string)
+      "round-trip" (Json.to_string doc) (Json.to_string parsed)
+  | Error e -> Alcotest.fail e);
+  (match Json.of_string "3" with
+  | Ok (Json.Int 3) -> ()
+  | _ -> Alcotest.fail "plain integer literal parses as Int");
+  (match Json.of_string "3.0" with
+  | Ok (Json.Float _) -> ()
+  | _ -> Alcotest.fail "fractional literal parses as Float");
+  List.iter
+    (fun bad ->
+      match Json.of_string bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail (Printf.sprintf "accepted invalid %S" bad))
+    [ "{"; "[1,]"; "{\"a\":1} x"; "nul"; "\"unterminated"; "01"; "+1"; "" ]
+
+let () =
+  Alcotest.run "exec"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map ordering" `Quick test_map_ordering;
+          Alcotest.test_case "map_reduce" `Quick test_map_reduce;
+          Alcotest.test_case "exception propagation" `Quick
+            test_exception_lowest_index;
+          Alcotest.test_case "nested map rejected" `Quick
+            test_nested_map_rejected;
+          Alcotest.test_case "FINEPAR_DOMAINS default" `Quick
+            test_default_domains_env;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "fuzz -j1 = -j4" `Quick test_fuzz_j1_equivalence;
+          Alcotest.test_case "experiments -j1 = -j4" `Quick
+            test_experiments_j1_equivalence;
+        ] );
+      ( "json",
+        [ Alcotest.test_case "parser round-trip" `Quick test_json_roundtrip ] );
+    ]
