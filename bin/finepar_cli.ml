@@ -3,6 +3,7 @@
    Subcommands:
      list       kernels and their Section IV classification
      run        compile one kernel and simulate it
+     verify     static queue-protocol verification (kernels, corpus, smoke)
      show       dump compiler stages for one kernel
      trace      simulate and export a Chrome trace_event timeline
      report     per-core / per-queue / per-fiber cycle attribution
@@ -468,6 +469,194 @@ let fuzz_cmd =
       const run $ cases_arg $ seconds_arg $ seed_arg $ out_dir_arg
       $ summary_arg $ replay_arg $ jobs_arg)
 
+let verify_cmd =
+  let module Verify = Finepar_verify.Verify in
+  let module Mutate = Finepar_fuzz.Mutate in
+  let kernel_opt_arg =
+    let doc = "Verify this kernel (see `finepar list`)." in
+    Arg.(value & opt (some string) None & info [ "k"; "kernel" ] ~doc)
+  in
+  let all_arg =
+    let doc = "Verify every registry kernel at 1, 2 and 4 cores." in
+    Arg.(value & flag & info [ "all" ] ~doc)
+  in
+  let corpus_arg =
+    let doc =
+      "Compile and verify every fuzz reproducer in this corpus \
+       directory, each under its own recorded configuration."
+    in
+    Arg.(value & opt (some string) None & info [ "corpus" ] ~doc)
+  in
+  let smoke_arg =
+    let doc =
+      "Mutation smoke test: apply each comm-corruption rule to every \
+       registry kernel and require the verifier to reject every \
+       corrupted program statically."
+    in
+    Arg.(value & flag & info [ "mutation-smoke" ] ~doc)
+  in
+  let failed = ref 0 in
+  let report_ok what (r : Verify.result) =
+    Fmt.pr "OK   %-28s %d queues, %d comm ops@." what r.Verify.queues_checked
+      r.Verify.ops_checked
+  in
+  let report_fail what violations =
+    incr failed;
+    Fmt.pr "FAIL %s@." what;
+    List.iter (fun v -> Fmt.pr "     %a@." Verify.pp_violation v) violations
+  in
+  (* Compile (which runs the verifier as a pass) and re-run the verifier
+     standalone for its statistics. *)
+  let verify_kernel what config (k : Finepar_ir.Kernel.t) =
+    match Compiler.compile config k with
+    | c ->
+      let r =
+        Verify.run ~plan:c.Compiler.comm
+          ~queue_len:config.Compiler.machine.Finepar_machine.Config.queue_len
+          c.Compiler.code.Finepar_codegen.Lower.program
+      in
+      if Verify.ok r then report_ok what r
+      else report_fail what r.Verify.violations
+    | exception Verify.Rejected (_, violations) -> report_fail what violations
+  in
+  let verify_registry ~latency ~queue_len ~speculation ~throughput name =
+    let e = find_entry name in
+    List.iter
+      (fun cores ->
+        let config =
+          {
+            (Compiler.default_config ~cores ()) with
+            Compiler.speculation;
+            throughput;
+            machine = machine_of ~latency ~queue_len;
+          }
+        in
+        verify_kernel
+          (Fmt.str "%s cores=%d" name cores)
+          config e.Registry.kernel)
+      [ 1; 2; 4 ]
+  in
+  let verify_corpus dir =
+    let files = Finepar_fuzz.Corpus.files dir in
+    if files = [] then begin
+      incr failed;
+      Fmt.pr "FAIL corpus %s: no reproducers found@." dir
+    end;
+    List.iter
+      (fun path ->
+        match Finepar_fuzz.Corpus.load_file path with
+        | entry ->
+          let case = entry.Finepar_fuzz.Corpus.case in
+          verify_kernel path case.Finepar_fuzz.Gen.config
+            case.Finepar_fuzz.Gen.kernel
+        | exception e ->
+          incr failed;
+          Fmt.pr "FAIL %s: unreadable reproducer: %s@." path
+            (Printexc.to_string e))
+      files
+  in
+  let mutation_smoke ~latency ~queue_len () =
+    (* Single-core compiles have no queues, so probe at 2 and 4 cores.
+       Every rule must find at least one applicable site, and the
+       verifier must reject every corrupted program. *)
+    List.iter
+      (fun rule ->
+        let name = Mutate.comm_rule_name rule in
+        let applied = ref 0 and caught = ref 0 in
+        List.iter
+          (fun (e : Registry.entry) ->
+            List.iter
+              (fun cores ->
+                let config =
+                  {
+                    (Compiler.default_config ~cores ()) with
+                    Compiler.machine = machine_of ~latency ~queue_len;
+                  }
+                in
+                let c = Compiler.compile config e.Registry.kernel in
+                match Mutate.corrupt rule c with
+                | None -> ()
+                | Some c' ->
+                  incr applied;
+                  let r =
+                    Verify.run ~plan:c'.Compiler.comm ~queue_len
+                      c'.Compiler.code.Finepar_codegen.Lower.program
+                  in
+                  if not (Verify.ok r) then incr caught
+                  else begin
+                    incr failed;
+                    Fmt.pr "FAIL smoke %s: %s cores=%d corrupted but accepted@."
+                      name e.Registry.kernel.Finepar_ir.Kernel.name cores
+                  end)
+              [ 2; 4 ])
+          Registry.all;
+        if !applied = 0 then begin
+          incr failed;
+          Fmt.pr "FAIL smoke %s: rule never found an applicable site@." name
+        end
+        else
+          Fmt.pr "%s %-28s caught %d/%d corruptions@."
+            (if !caught = !applied then "OK  " else "FAIL")
+            (Fmt.str "smoke %s" name) !caught !applied)
+      [ Mutate.Drop_dequeue; Mutate.Swap_endpoints; Mutate.Reorder_enqueue ]
+  in
+  let run kernel all corpus smoke cores latency queue_len speculation
+      throughput =
+    failed := 0;
+    let selected = ref false in
+    (match kernel with
+    | Some name ->
+      selected := true;
+      let e = find_entry name in
+      let config =
+        {
+          (Compiler.default_config ~cores ()) with
+          Compiler.speculation;
+          throughput;
+          machine = machine_of ~latency ~queue_len;
+        }
+      in
+      verify_kernel (Fmt.str "%s cores=%d" name cores) config e.Registry.kernel
+    | None -> ());
+    if all then begin
+      selected := true;
+      List.iter
+        (fun (e : Registry.entry) ->
+          verify_registry ~latency ~queue_len ~speculation ~throughput
+            e.Registry.kernel.Finepar_ir.Kernel.name)
+        Registry.all
+    end;
+    (match corpus with
+    | Some dir ->
+      selected := true;
+      verify_corpus dir
+    | None -> ());
+    if smoke then begin
+      selected := true;
+      mutation_smoke ~latency ~queue_len ()
+    end;
+    if not !selected then begin
+      Fmt.epr "nothing to verify: pass -k, --all, --corpus or --mutation-smoke@.";
+      exit 2
+    end;
+    if !failed > 0 then begin
+      Fmt.pr "@.verify: %d failure(s)@." !failed;
+      exit 1
+    end
+    else Fmt.pr "@.verify: all checks passed@."
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Static queue-protocol verification: per-queue balance and \
+          typing, endpoint agreement, capacity-bounded deadlock \
+          freedom, and plan conformance — over kernels, a fuzz corpus, \
+          or deliberately corrupted programs (--mutation-smoke)")
+    Term.(
+      const run $ kernel_opt_arg $ all_arg $ corpus_arg $ smoke_arg
+      $ cores_arg $ latency_arg $ queue_len_arg $ speculation_arg
+      $ throughput_arg)
+
 let classify_cmd =
   let run () =
     List.iter
@@ -492,6 +681,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            list_cmd; run_cmd; show_cmd; trace_cmd; report_cmd; sweep_cmd;
-            autotune_cmd; classify_cmd; fuzz_cmd;
+            list_cmd; run_cmd; verify_cmd; show_cmd; trace_cmd; report_cmd;
+            sweep_cmd; autotune_cmd; classify_cmd; fuzz_cmd;
           ]))

@@ -16,6 +16,7 @@ open Finepar_partition
 open Finepar_transform
 open Finepar_codegen
 open Finepar_machine
+module Verify = Finepar_verify.Verify
 
 type config = {
   cores : int;
@@ -65,6 +66,7 @@ type compiled = {
   deps : Deps.t;
   cluster_of : int array;
   order : int list;
+  comm : Comm.t;  (** the transfer plan the verifier checks against *)
   code : Lower.t;
   stats : stats;
   pass_times : (string * float) list;
@@ -115,6 +117,15 @@ let compile (config : config) (kernel : Kernel.t) =
           ~cluster_of:merge.Merge.cluster_of ~n_clusters:merge.Merge.n_clusters
           ~order ~comm ~line_size:config.machine.Config.l1_line ())
   in
+  (* Static queue-protocol verification: reject miscompiled comm before
+     a single cycle is simulated. *)
+  let verification =
+    timed "verify" (fun () ->
+        Verify.run ~plan:comm
+          ~queue_len:config.machine.Config.queue_len code.Lower.program)
+  in
+  if not (Verify.ok verification) then
+    raise (Verify.Rejected (kernel.Kernel.name, verification.Verify.violations));
   List.iter (fun w -> Logs.warn (fun m -> m "%s: %s" kernel.Kernel.name w))
     comm.Comm.warnings;
   {
@@ -125,6 +136,7 @@ let compile (config : config) (kernel : Kernel.t) =
     deps;
     cluster_of = merge.Merge.cluster_of;
     order;
+    comm;
     code;
     stats =
       {

@@ -56,6 +56,8 @@ type compiled = {
   deps : Finepar_analysis.Deps.t;
   cluster_of : int array;  (** fiber id -> partition (core) *)
   order : int list;  (** the global fiber schedule *)
+  comm : Finepar_transform.Comm.t;
+      (** the transfer plan the static verifier checks against *)
   code : Finepar_codegen.Lower.t;  (** machine program + metadata *)
   stats : stats;
   pass_times : (string * float) list;
@@ -64,9 +66,14 @@ type compiled = {
 
 val pp_stats : Format.formatter -> stats -> unit
 
-(** Run the whole pipeline.  Raises {!Finepar_ir.Kernel.Invalid},
+(** Run the whole pipeline, ending with the static queue-protocol
+    verifier (pass "verify") over the lowered program and the comm plan.
+    Raises {!Finepar_ir.Kernel.Invalid},
     {!Finepar_analysis.Deps.Unsupported} or
-    {!Finepar_codegen.Lower.Codegen_error} on malformed input. *)
+    {!Finepar_codegen.Lower.Codegen_error} on malformed input, and
+    {!Finepar_verify.Verify.Rejected} when the generated code violates
+    the queue protocol (a compiler bug, surfaced as a structured error
+    with the offending queue/core/pc). *)
 val compile : config -> Finepar_ir.Kernel.t -> compiled
 
 (** Compile for sequential execution on one core — the baseline of every

@@ -106,3 +106,173 @@ let miscompile rule : Oracle.compile_fn =
   match apply rule k with
   | None -> Finepar.Compiler.compile config k
   | Some k' -> { (Finepar.Compiler.compile config k') with Finepar.Compiler.source = k }
+
+(* ------------------------------------------------------------------ *)
+(* Comm-corrupting rules: machine-code-level miscompiles of the queue
+   protocol itself.  Unlike the kernel-level rules above these mutate
+   the lowered program after an honest compile, which is exactly the
+   class of bug the static verifier exists to catch — each rule must be
+   rejected statically, before simulation. *)
+
+module Program = Finepar_machine.Program
+module Isa = Finepar_machine.Isa
+
+type comm_rule =
+  | Drop_dequeue  (** deepest-nested dequeue becomes a zero constant *)
+  | Swap_endpoints  (** busiest queue's src/dst cores are exchanged *)
+  | Reorder_enqueue
+      (** two same-loop enqueues to different queues are swapped *)
+
+let comm_rule_name = function
+  | Drop_dequeue -> "drop-dequeue"
+  | Swap_endpoints -> "swap-endpoints"
+  | Reorder_enqueue -> "reorder-enqueue"
+
+(* Backward-branch intervals [target, branch] — each is one loop body. *)
+let loop_spans (cp : Program.core_program) =
+  let spans = ref [] in
+  Array.iteri
+    (fun pc instr ->
+      match instr with
+      | Isa.Bz (_, l) | Isa.Bnz (_, l) | Isa.Jmp l ->
+        let t = cp.Program.label_pos.(l) in
+        if t <= pc then spans := (t, pc) :: !spans
+      | _ -> ())
+    cp.Program.code;
+  !spans
+
+let nesting spans pc =
+  List.length (List.filter (fun (t, b) -> t <= pc && pc <= b) spans)
+
+let with_program (c : Finepar.Compiler.compiled) program =
+  {
+    c with
+    Finepar.Compiler.code =
+      { c.Finepar.Compiler.code with Finepar_codegen.Lower.program };
+  }
+
+(** Apply a comm-corruption rule to a compiled kernel; [None] when the
+    program has no applicable site (e.g. a single-core compile has no
+    queues).  The returned program shares nothing mutable with the
+    input. *)
+let corrupt rule (c : Finepar.Compiler.compiled) =
+  let program = c.Finepar.Compiler.code.Finepar_codegen.Lower.program in
+  let fresh_cores () =
+    Array.map
+      (fun (cp : Program.core_program) ->
+        { cp with Program.code = Array.copy cp.Program.code })
+      program.Program.cores
+  in
+  match rule with
+  | Drop_dequeue ->
+    (* The deepest-nested dequeue: inside the kernel loop when one
+       exists there, otherwise any dequeue. *)
+    let best = ref None in
+    Array.iteri
+      (fun core (cp : Program.core_program) ->
+        let spans = loop_spans cp in
+        Array.iteri
+          (fun pc instr ->
+            match instr with
+            | Isa.Deq (d, q) ->
+              let depth = nesting spans pc in
+              (match !best with
+              | Some (bd, _, _, _, _) when bd >= depth -> ()
+              | _ -> best := Some (depth, core, pc, d, q))
+            | _ -> ())
+          cp.Program.code)
+      program.Program.cores;
+    (match !best with
+    | None -> None
+    | Some (_, core, pc, d, q) ->
+      let zero =
+        match program.Program.queues.(q).Isa.cls with
+        | Isa.Qint -> Finepar_ir.Types.VInt 0
+        | Isa.Qfloat -> Finepar_ir.Types.VFloat 0.0
+      in
+      let cores = fresh_cores () in
+      cores.(core).Program.code.(pc) <- Isa.Li (d, zero);
+      Some (with_program c { program with Program.cores = cores }))
+  | Swap_endpoints ->
+    let nq = Array.length program.Program.queues in
+    if nq = 0 then None
+    else begin
+      (* Swap the busiest queue so the corruption is never vacuous. *)
+      let count = Array.make nq 0 in
+      Array.iter
+        (fun (cp : Program.core_program) ->
+          Array.iter
+            (fun instr ->
+              match instr with
+              | Isa.Enq (q, _) | Isa.Deq (_, q) ->
+                if q >= 0 && q < nq then count.(q) <- count.(q) + 1
+              | _ -> ())
+            cp.Program.code)
+        program.Program.cores;
+      let q = ref 0 in
+      Array.iteri (fun i c -> if c > count.(!q) then q := i) count;
+      if count.(!q) = 0 then None
+      else begin
+        let queues = Array.copy program.Program.queues in
+        let spec = queues.(!q) in
+        queues.(!q) <-
+          { spec with Isa.src = spec.Isa.dst; Isa.dst = spec.Isa.src };
+        Some (with_program c { program with Program.queues = queues })
+      end
+    end
+  | Reorder_enqueue ->
+    (* Two enqueues to different queues inside the same (innermost
+       possible) loop body: swapping them breaks the plan's in-loop
+       FIFO interleaving without changing any per-queue count. *)
+    let found = ref None in
+    Array.iteri
+      (fun core (cp : Program.core_program) ->
+        if !found = None then begin
+          let spans =
+            List.sort
+              (fun (t1, b1) (t2, b2) -> compare (b1 - t1) (b2 - t2))
+              (loop_spans cp)
+          in
+          List.iter
+            (fun (t, b) ->
+              if !found = None then begin
+                let enqs = ref [] in
+                for pc = t to b do
+                  match cp.Program.code.(pc) with
+                  | Isa.Enq (q, _) ->
+                    enqs := (pc, q, cp.Program.fiber_of.(pc)) :: !enqs
+                  | _ -> ()
+                done;
+                let enqs = List.rev !enqs in
+                (* Different queues AND different source fibers: equal
+                   fibers mean equal plan anchors, whose relative order
+                   is a sort tie the verifier legitimately accepts. *)
+                List.iter
+                  (fun (pc1, q1, f1) ->
+                    List.iter
+                      (fun (pc2, q2, f2) ->
+                        if !found = None && pc1 < pc2 && q1 <> q2 && f1 <> f2
+                        then found := Some (core, pc1, pc2))
+                      enqs)
+                  enqs
+              end)
+            spans
+        end)
+      program.Program.cores;
+    (match !found with
+    | None -> None
+    | Some (core, pc1, pc2) ->
+      let cores = fresh_cores () in
+      let code = cores.(core).Program.code in
+      let tmp = code.(pc1) in
+      code.(pc1) <- code.(pc2);
+      code.(pc2) <- tmp;
+      Some (with_program c { program with Program.cores = cores }))
+
+(** A compile function that corrupts the lowered comm protocol after an
+    honest compile; honest when the rule finds no site.  The "verifier"
+    oracle must reject every corrupted program statically. *)
+let comm_miscompile rule : Oracle.compile_fn =
+ fun config k ->
+  let c = Finepar.Compiler.compile config k in
+  match corrupt rule c with Some c' -> c' | None -> c

@@ -12,3 +12,28 @@ val apply : rule -> Finepar_ir.Kernel.t -> Finepar_ir.Kernel.t option
 val miscompile : rule -> Oracle.compile_fn
 (** Compiles the mutated kernel but keeps the original as the bit-exact
     reference; honest when the rule finds no site. *)
+
+(** Machine-code-level corruptions of the queue protocol, applied to
+    the lowered program after an honest compile.  Each is a bug class
+    the static verifier ({!Finepar_verify.Verify}) must reject before
+    simulation: a dropped dequeue (balance), swapped queue endpoints
+    (endpoints), and a reordered enqueue pair (FIFO/plan conformance). *)
+type comm_rule =
+  | Drop_dequeue  (** deepest-nested dequeue becomes a zero constant *)
+  | Swap_endpoints  (** busiest queue's src/dst cores are exchanged *)
+  | Reorder_enqueue
+      (** two same-loop, different-fiber enqueues to different queues
+          are swapped *)
+
+val comm_rule_name : comm_rule -> string
+
+val corrupt :
+  comm_rule -> Finepar.Compiler.compiled -> Finepar.Compiler.compiled option
+(** The corrupted compilation, or [None] when the program has no
+    applicable site (e.g. single-core programs have no queues).  The
+    corrupted program shares no mutable state with the input. *)
+
+val comm_miscompile : comm_rule -> Oracle.compile_fn
+(** Honest compile followed by {!corrupt}; honest when the rule finds
+    no site.  The oracle's "verifier" check must fail on every
+    corrupted program — statically, before any simulation. *)

@@ -1,7 +1,10 @@
 (** The differential oracle set.
 
-    Every fuzzed case is checked against four independent oracles:
+    Every fuzzed case is checked against five independent oracles:
 
+    - {b verifier accepts}: the static queue-protocol verifier
+      ({!Finepar_verify.Verify}) accepts the generated code against the
+      comm plan;
     - {b bit-exact}: the simulated outputs equal the reference
       evaluator's, bit for bit ({!Finepar.Runner} raises [Mismatch]);
     - {b telemetry invariants}: per-core cycle accounting sums to the
@@ -13,10 +16,14 @@
       produces the same observable results.
 
     [check] never raises: compiler or simulator exceptions become
-    failures of the corresponding oracle. *)
+    failures of the corresponding oracle.  A stuck simulator is
+    classified by its structured reason: "deadlock" (no core can make
+    progress), "max-cycles" (budget exhausted), or "progress" (a
+    faulting execution). *)
 
 module Sim = Finepar_machine.Sim
 module Program = Finepar_machine.Program
+module Verify = Finepar_verify.Verify
 open Finepar_ir
 
 type stats = {
@@ -82,15 +89,45 @@ let check ?(compile : compile_fn = Finepar.Compiler.compile) (case : Gen.case) =
   | exception Kernel.Invalid m -> fail "well-formed" "kernel rejected: %s" m
   | exception Finepar_analysis.Deps.Unsupported m ->
     fail "well-formed" "dependence analysis rejected: %s" m
+  | exception Verify.Rejected (k, vs) ->
+    fail "verifier" "%s rejected: %a" k
+      (Fmt.list ~sep:(Fmt.any "; ") Verify.pp_violation)
+      vs
   | exception e -> fail "compiler-crash" "%s" (Printexc.to_string e)
   | c -> (
-    let n_threads =
-      Array.length c.Finepar.Compiler.code.Finepar_codegen.Lower.program.Program.cores
+    let program =
+      c.Finepar.Compiler.code.Finepar_codegen.Lower.program
     in
+    (* Verifier-accepts: the static queue-protocol verifier must accept
+       the generated code before it runs.  [Compiler.compile] already
+       enforces this, so the explicit re-check here exists to catch
+       injected miscompiles (a [compile_fn] that corrupts the program
+       after the pipeline's own verify pass). *)
+    let verdict =
+      Verify.run ~plan:c.Finepar.Compiler.comm
+        ~queue_len:
+          case.Gen.config.Finepar.Compiler.machine
+            .Finepar_machine.Config.queue_len
+        program
+    in
+    if not (Verify.ok verdict) then
+      fail "verifier" "%d violation(s): %a"
+        (List.length verdict.Verify.violations)
+        (Fmt.list ~sep:(Fmt.any "; ") Verify.pp_violation)
+        verdict.Verify.violations
+    else
+    let n_threads = Array.length program.Program.cores in
     let core_map = Gen.materialize case.Gen.placement n_threads in
     match Finepar.Runner.run_with_sim ~check:true ~workload ~core_map c with
     | exception Finepar.Runner.Mismatch m -> fail "bit-exact" "%s" m
-    | exception Sim.Stuck m -> fail "progress" "simulator stuck: %s" m
+    | exception Sim.Stuck st -> (
+      (* Classify how the simulator got stuck: a deadlock, exhausting
+         the cycle budget, and a faulting execution are distinct bugs
+         and shrink along different paths. *)
+      match st.Sim.st_reason with
+      | Sim.Deadlock _ -> fail "deadlock" "%s" (Sim.stuck_message st)
+      | Sim.Max_cycles _ -> fail "max-cycles" "%s" (Sim.stuck_message st)
+      | Sim.Fault _ -> fail "progress" "%s" (Sim.stuck_message st))
     | exception Eval.Runtime_error m -> fail "well-formed" "reference evaluator: %s" m
     | exception e -> fail "simulator-crash" "%s" (Printexc.to_string e)
     | run1, sim -> (

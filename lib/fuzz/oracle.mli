@@ -1,6 +1,12 @@
-(** The differential oracle set: bit-exactness against the reference
-    evaluator, telemetry invariants, run-to-run determinism, and
-    cross-core-count agreement of observable results. *)
+(** The differential oracle set: static-verifier acceptance,
+    bit-exactness against the reference evaluator, telemetry
+    invariants, run-to-run determinism, and cross-core-count agreement
+    of observable results.
+
+    Failure oracle names: "well-formed", "verifier", "compiler-crash",
+    "bit-exact", "deadlock" (simulator deadlock), "max-cycles" (cycle
+    budget exhausted), "progress" (faulting execution),
+    "simulator-crash", "telemetry", "determinism", "cross-core". *)
 
 type stats = {
   cycles : int;

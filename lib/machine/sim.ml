@@ -13,7 +13,48 @@
 
 open Finepar_ir
 
-exception Stuck of string
+(** What a non-halted core is waiting on when the simulator gives up. *)
+type wait =
+  | Wait_queue_full of int  (** blocked enqueue: queue id *)
+  | Wait_queue_empty of int
+      (** blocked dequeue (empty, or head not yet visible): queue id *)
+  | Wait_operand  (** a source register's result is still in flight *)
+  | Wait_issue  (** not blocked per se (branch penalty, SMT arbitration) *)
+
+type blocked_core = {
+  bc_core : int;
+  bc_pc : int;
+  bc_instr : Isa.instr;
+  bc_wait : wait;
+}
+
+type queue_occupancy = {
+  qo_id : int;
+  qo_spec : Isa.queue_spec;
+  qo_occupancy : int;
+  qo_capacity : int;
+}
+
+type stuck_reason =
+  | Deadlock of { window : int }
+      (** no core issued for [window] consecutive cycles *)
+  | Max_cycles of { limit : int }  (** the configured cycle budget ran out *)
+  | Fault of string
+      (** a malformed execution: out-of-bounds access, type misuse of a
+          register, running off the end of a core's code *)
+
+(** Structured diagnosis raised with {!Stuck}: the reason, the cycle the
+    simulator gave up at, every non-halted core with the instruction it
+    is blocked on, and every queue's occupancy — enough to render the
+    dynamic wait-for cycle of a deadlock. *)
+type stuck = {
+  st_reason : stuck_reason;
+  st_cycle : int;
+  st_blocked : blocked_core list;
+  st_queues : queue_occupancy list;
+}
+
+exception Stuck of stuck
 
 module Telemetry = Finepar_telemetry
 
@@ -206,19 +247,85 @@ let store_effects t core arr idx =
   (* Invalidate other private L1 copies so a later consumer pays a miss. *)
   Array.iteri (fun k l1 -> if k <> phys then Cache.invalidate l1 addr) t.l1
 
+(** Occupancy of every queue right now. *)
+let occupancies t =
+  Array.to_list
+    (Array.mapi
+       (fun i (q : queue_state) ->
+         {
+           qo_id = i;
+           qo_spec = q.spec;
+           qo_occupancy = Queue.length q.items;
+           qo_capacity = t.config.Config.queue_len;
+         })
+       t.queues)
+
+(* Classify what [core] is waiting on at cycle [cy], mirroring the issue
+   conditions in [step_core] without side effects. *)
+let wait_of t core cy =
+  let prog = t.program.Program.cores.(core) in
+  let pc = t.pc.(core) in
+  if pc >= Array.length prog.Program.code then Wait_issue
+  else
+    let instr = prog.Program.code.(pc) in
+    let ready = t.reg_ready.(core) in
+    if not (List.for_all (fun r -> ready.(r) <= cy) (Isa.srcs instr)) then
+      Wait_operand
+    else
+      match instr with
+      | Isa.Enq (q, _)
+        when Queue.length t.queues.(q).items >= t.config.Config.queue_len ->
+        Wait_queue_full q
+      | Isa.Deq (_, q) -> (
+        match Queue.peek_opt t.queues.(q).items with
+        | Some (_, visible_at) when visible_at <= cy -> Wait_issue
+        | Some _ | None -> Wait_queue_empty q)
+      | _ -> Wait_issue
+
+(** Every non-halted core with the instruction it is blocked on. *)
+let blocked_of t cy =
+  let out = ref [] in
+  Array.iteri
+    (fun core halted ->
+      if not halted then begin
+        let prog = t.program.Program.cores.(core) in
+        let pc = t.pc.(core) in
+        if pc < Array.length prog.Program.code then
+          out :=
+            {
+              bc_core = core;
+              bc_pc = pc;
+              bc_instr = prog.Program.code.(pc);
+              bc_wait = wait_of t core cy;
+            }
+            :: !out
+      end)
+    t.halted;
+  List.rev !out
+
+(* Snapshot the machine state into a structured {!stuck} payload; uses
+   [t.cycles], which [run] keeps current while executing. *)
+let snapshot t reason =
+  {
+    st_reason = reason;
+    st_cycle = t.cycles;
+    st_blocked = blocked_of t t.cycles;
+    st_queues = occupancies t;
+  }
+
+let fault t fmt =
+  Format.kasprintf (fun m -> raise (Stuck (snapshot t (Fault m)))) fmt
+
 let check_idx t arr idx =
   let len = t.program.Program.arrays.(arr).Program.arr_len in
   if idx < 0 || idx >= len then
-    raise
-      (Stuck
-         (Printf.sprintf "array %s index %d out of bounds [0, %d)"
-            t.program.Program.arrays.(arr).Program.arr_name idx len))
+    fault t "array %s index %d out of bounds [0, %d)"
+      t.program.Program.arrays.(arr).Program.arr_name idx len
 
 let int_of_reg t core r =
   match t.regs.(core).(r) with
   | Types.VInt i -> i
-  | Types.VFloat _ ->
-    raise (Stuck (Printf.sprintf "core %d: r%d used as integer holds f64" core r))
+  | Types.VFloat _ -> fault t "core %d: r%d used as integer holds f64" core r
 
 let record_event t ev = if t.tracing then Telemetry.Ring.push t.trace ev
 
@@ -273,7 +380,7 @@ let step_core t core cy =
   let prog = t.program.Program.cores.(core) in
   let pc = t.pc.(core) in
   if pc >= Array.length prog.Program.code then
-    raise (Stuck (Printf.sprintf "core %d ran off the end of its code" core));
+    fault t "core %d ran off the end of its code" core;
   let instr = prog.Program.code.(pc) in
   let regs = t.regs.(core) and ready = t.reg_ready.(core) in
   let operands_ready =
@@ -371,23 +478,110 @@ let step_core t core cy =
 
 let all_halted t = Array.for_all Fun.id t.halted
 
-let describe_blockage t =
+let pp_wait ppf = function
+  | Wait_queue_full q -> Fmt.pf ppf "queue %d full" q
+  | Wait_queue_empty q -> Fmt.pf ppf "queue %d empty" q
+  | Wait_operand -> Fmt.string ppf "operand in flight"
+  | Wait_issue -> Fmt.string ppf "issue pending"
+
+let qclass_name = function Isa.Qint -> "int" | Isa.Qfloat -> "float"
+
+let pp_blocked_core ppf b =
+  Fmt.pf ppf "core %d blocked at pc %d: %a [%a]" b.bc_core b.bc_pc
+    Isa.pp_instr b.bc_instr pp_wait b.bc_wait
+
+let pp_queue_occupancy ppf q =
+  Fmt.pf ppf "q%d %d->%d %s %d/%d" q.qo_id q.qo_spec.Isa.src q.qo_spec.Isa.dst
+    (qclass_name q.qo_spec.Isa.cls)
+    q.qo_occupancy q.qo_capacity
+
+(** The dynamic wait-for cycle among blocked cores, if one exists: a
+    core blocked on an empty queue waits for the queue's source core, a
+    core blocked on a full queue waits for its destination core.  The
+    result lists each cycle participant with its wait. *)
+let wait_for_cycle st =
+  let spec_of q =
+    List.find_opt (fun o -> o.qo_id = q) st.st_queues
+    |> Option.map (fun o -> o.qo_spec)
+  in
+  let succ b =
+    match b.bc_wait with
+    | Wait_queue_empty q -> Option.map (fun s -> s.Isa.src) (spec_of q)
+    | Wait_queue_full q -> Option.map (fun s -> s.Isa.dst) (spec_of q)
+    | Wait_operand | Wait_issue -> None
+  in
+  let blocked core =
+    List.find_opt (fun b -> b.bc_core = core) st.st_blocked
+  in
+  let rec walk path b =
+    if List.exists (fun p -> p.bc_core = b.bc_core) path then
+      (* Drop the lead-in: keep the cycle proper. *)
+      let rec cut = function
+        | p :: rest -> if p.bc_core = b.bc_core then p :: rest else cut rest
+        | [] -> []
+      in
+      Some (cut (List.rev path))
+    else
+      match succ b with
+      | None -> None
+      | Some next -> (
+        match blocked next with
+        | None -> None
+        | Some nb -> walk (b :: path) nb)
+  in
+  List.find_map (fun b -> walk [] b) st.st_blocked
+
+let blockage_text ~blocked ~queues =
   let b = Buffer.create 128 in
-  Array.iteri
-    (fun core halted ->
-      if not halted then begin
-        let pc = t.pc.(core) in
-        let instr = t.program.Program.cores.(core).Program.code.(pc) in
-        Buffer.add_string b
-          (Fmt.str "core %d blocked at pc %d: %a; " core pc Isa.pp_instr instr)
-      end)
-    t.halted;
+  List.iter
+    (fun bc -> Buffer.add_string b (Fmt.str "%a; " pp_blocked_core bc))
+    blocked;
+  if queues <> [] then
+    Buffer.add_string b
+      (Fmt.str "queues: %a"
+         (Fmt.list ~sep:(Fmt.any ", ") pp_queue_occupancy)
+         queues);
   Buffer.contents b
+
+let describe_blockage t =
+  blockage_text ~blocked:(blocked_of t t.cycles) ~queues:(occupancies t)
+
+(** Human-readable rendering of a {!stuck} payload: the reason, every
+    blocked core with its wait, per-queue occupancies, and — for
+    deadlocks — the wait-for cycle when one exists. *)
+let stuck_message st =
+  let reason =
+    match st.st_reason with
+    | Deadlock { window } ->
+      Printf.sprintf "deadlock (no progress for %d cycles)" window
+    | Max_cycles { limit } -> Printf.sprintf "exceeded max_cycles=%d" limit
+    | Fault m -> m
+  in
+  let body = blockage_text ~blocked:st.st_blocked ~queues:st.st_queues in
+  let cycle_part =
+    match st.st_reason with
+    | Deadlock _ -> (
+      match wait_for_cycle st with
+      | Some (first :: _ as cyc) ->
+        Fmt.str "; wait-for cycle: %a -> core %d"
+          (Fmt.list ~sep:(Fmt.any " -> ") (fun ppf b ->
+               Fmt.pf ppf "core %d (%a)" b.bc_core pp_wait b.bc_wait))
+          cyc first.bc_core
+      | Some [] | None -> "")
+    | Max_cycles _ | Fault _ -> ""
+  in
+  Printf.sprintf "%s at cycle %d: %s%s" reason st.st_cycle body cycle_part
+
+let () =
+  Printexc.register_printer (function
+    | Stuck st -> Some ("Finepar_machine.Sim.Stuck: " ^ stuck_message st)
+    | _ -> None)
 
 (** Run the program to completion; returns the cycle count of the last
     core to halt.  Raises {!Stuck} on deadlock (no core can make progress
     for [queue length * transfer latency + slack] consecutive cycles) or
-    when [max_cycles] is exceeded. *)
+    when [max_cycles] is reached (inclusive bound: a run executes at most
+    [max_cycles] cycles). *)
 let run t =
   let n = Array.length t.program.Program.cores in
   let cy = ref 0 in
@@ -402,11 +596,14 @@ let run t =
      every (core, cycle) lands in exactly one counter. *)
   let attempted = Array.make n false in
   while not (all_halted t) do
-    if !cy > t.config.Config.max_cycles then
+    (* Keep [t.cycles] current so fault/deadlock snapshots carry the
+       cycle they happened at; it is overwritten with the final count
+       when the run completes. *)
+    t.cycles <- !cy;
+    if !cy >= t.config.Config.max_cycles then
       raise
         (Stuck
-           (Printf.sprintf "exceeded max_cycles=%d: %s"
-              t.config.Config.max_cycles (describe_blockage t)));
+           (snapshot t (Max_cycles { limit = t.config.Config.max_cycles })));
     let progressed = ref false in
     Array.fill attempted 0 n false;
     (* Each physical core issues at most one instruction per cycle; its
@@ -447,7 +644,7 @@ let run t =
     done;
     if !progressed then last_progress := !cy;
     if !cy - !last_progress > deadlock_window then
-      raise (Stuck ("deadlock: " ^ describe_blockage t));
+      raise (Stuck (snapshot t (Deadlock { window = deadlock_window })));
     incr cy
   done;
   for core = 0 to n - 1 do

@@ -20,7 +20,45 @@
 
 module Telemetry = Finepar_telemetry
 
-exception Stuck of string
+(** What a non-halted core is waiting on when the simulator gives up. *)
+type wait =
+  | Wait_queue_full of int  (** blocked enqueue: queue id *)
+  | Wait_queue_empty of int
+      (** blocked dequeue (empty, or head not yet visible): queue id *)
+  | Wait_operand  (** a source register's result is still in flight *)
+  | Wait_issue  (** not blocked per se (branch penalty, SMT arbitration) *)
+
+type blocked_core = {
+  bc_core : int;
+  bc_pc : int;
+  bc_instr : Isa.instr;
+  bc_wait : wait;
+}
+
+type queue_occupancy = {
+  qo_id : int;
+  qo_spec : Isa.queue_spec;
+  qo_occupancy : int;
+  qo_capacity : int;
+}
+
+type stuck_reason =
+  | Deadlock of { window : int }
+      (** no core issued for [window] consecutive cycles *)
+  | Max_cycles of { limit : int }  (** the configured cycle budget ran out *)
+  | Fault of string
+      (** a malformed execution: out-of-bounds access, type misuse of a
+          register, running off the end of a core's code *)
+
+type stuck = {
+  st_reason : stuck_reason;
+  st_cycle : int;
+  st_blocked : blocked_core list;
+      (** every non-halted core with the instruction it is blocked on *)
+  st_queues : queue_occupancy list;  (** every queue's occupancy *)
+}
+
+exception Stuck of stuck
 
 type queue_state = {
   spec : Isa.queue_spec;
@@ -106,7 +144,31 @@ val int_of_reg : t -> int -> int -> int
 val record_event : t -> event -> unit
 val step_core : t -> int -> int -> bool
 val all_halted : t -> bool
+
+val occupancies : t -> queue_occupancy list
+(** Occupancy of every queue right now. *)
+
+val blocked_of : t -> int -> blocked_core list
+(** [blocked_of t cy]: every non-halted core with the instruction it is
+    blocked on at cycle [cy], waits classified as in [step_core]. *)
+
+val wait_for_cycle : stuck -> blocked_core list option
+(** The dynamic wait-for cycle among blocked cores, if one exists: a
+    core blocked on an empty queue waits for the queue's source core, a
+    core blocked on a full queue waits for its destination core. *)
+
 val describe_blockage : t -> string
+(** Blocked cores (with their waits) and per-queue occupancies as a
+    single readable line. *)
+
+val stuck_message : stuck -> string
+(** Human-readable rendering of a {!stuck} payload: reason, blocked
+    cores, queue occupancies, and the wait-for cycle for deadlocks. *)
+
+val pp_wait : Format.formatter -> wait -> unit
+val pp_blocked_core : Format.formatter -> blocked_core -> unit
+val pp_queue_occupancy : Format.formatter -> queue_occupancy -> unit
+
 val run : t -> int
 val array_contents : t -> String.t -> Finepar_ir.Types.value array
 val reg_value : t -> int -> int -> Finepar_ir.Types.value

@@ -2,10 +2,11 @@
 
     The compiler wraps each pass in {!time}; the recorder keeps (name,
     seconds) in execution order for the telemetry report and the Chrome
-    trace's compiler lane.  Uses [Unix.gettimeofday] — a recorder is
-    only ever used from one domain, but [Sys.time] measures
-    processor time summed over the whole process, which concurrent
-    domains (the {!Finepar_exec.Pool} fan-outs) would inflate. *)
+    trace's compiler lane.  Timing uses [Unix.gettimeofday]: per-pass
+    wall-clock seconds, meaningful even when several compilations run
+    concurrently on {!Finepar_exec.Pool} domains (a process-wide CPU
+    clock would attribute other domains' work to the pass being
+    timed). *)
 
 type t = { mutable entries : (string * float) list (** reversed *) }
 

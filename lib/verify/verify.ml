@@ -1,0 +1,987 @@
+(** Static queue-protocol verifier — see verify.mli for the contract.
+
+    The implementation works in four stages:
+
+    1. {b structural parse}: each core's code is parsed into a tree of
+       straight-line ops, forward-branch guard scopes ([Cond]), backward
+       branches ([Loop]), and loop-escaping forward branches ([Break]).
+       The code generator only emits reducible control flow, so anything
+       else is reported as a [Structure] violation.
+
+    2. {b summarization}: the tree is reduced to the communication
+       operations it can execute, each annotated with the polarity path
+       of its enclosing guards (paths reset at loop boundaries).  The
+       secondary-core driver loop — recognizable as
+       [Deq tok; branch-to-halt-if-zero; ...] — is rewritten into its
+       per-activation trace: one leading control-token dequeue, the body
+       once, one trailing control-token dequeue (the halt token), which
+       makes the driver comparable against the primary's run-once spawn
+       / collect / halt-token protocol.
+
+    3. {b per-queue alignment}: for every queue, the producer's enqueue
+       summary must be isomorphic to the consumer's dequeue summary —
+       same loop nesting, same guard polarities, same counts.  Polarity
+       paths abstract predicate identity (the two cores hold the
+       predicate in different registers), which is exactly the agreement
+       the comm pass guarantees: a transfer's enqueue and dequeue carry
+       the same predicate list.
+
+    4. {b whole-program checks}: register classes are inferred by a
+       forward dataflow over each core's CFG and checked at every
+       enqueue; the capacity-bounded wait-for graph is built over an
+       unrolling of [queue_len + 4] iterations and searched for cycles;
+       and, when the comm plan is available, the in-loop interleaving of
+       communication instructions is replayed against the plan's anchor
+       order and suffix-min dequeue hoisting. *)
+
+open Finepar_ir
+open Finepar_machine
+module Comm = Finepar_transform.Comm
+
+type check =
+  | Structure
+  | Endpoints
+  | Typing
+  | Balance
+  | Fifo
+  | Deadlock
+  | Protocol
+
+let check_name = function
+  | Structure -> "structure"
+  | Endpoints -> "endpoints"
+  | Typing -> "typing"
+  | Balance -> "balance"
+  | Fifo -> "fifo"
+  | Deadlock -> "deadlock"
+  | Protocol -> "protocol"
+
+type violation = {
+  v_check : check;
+  v_core : int option;
+  v_queue : int option;
+  v_pc : int option;
+  v_message : string;
+}
+
+let pp_violation ppf v =
+  let opt name ppf = function
+    | Some x -> Fmt.pf ppf " %s %d" name x
+    | None -> ()
+  in
+  Fmt.pf ppf "[%s]%a%a%a %s" (check_name v.v_check) (opt "queue") v.v_queue
+    (opt "core") v.v_core (opt "pc") v.v_pc v.v_message
+
+type result = {
+  violations : violation list;
+  queues_checked : int;
+  ops_checked : int;
+}
+
+let ok r = r.violations = []
+
+exception Rejected of string * violation list
+
+let () =
+  Printexc.register_printer (function
+    | Rejected (kernel, vs) ->
+      Some
+        (Fmt.str "Finepar_verify.Verify.Rejected(%s): %a" kernel
+           (Fmt.list ~sep:(Fmt.any "; ") pp_violation)
+           vs)
+    | _ -> None)
+
+let qclass_of_ty = function Types.I64 -> Isa.Qint | Types.F64 -> Isa.Qfloat
+let qclass_name = function Isa.Qint -> "int" | Isa.Qfloat -> "float"
+
+(* ------------------------------------------------------------------ *)
+(* Structural parse.                                                   *)
+
+type node =
+  | Op of int  (** pc *)
+  | Cond of { c_pc : int; taken_when : bool; body : node list }
+      (** forward guard: [body] executes when the branch register is
+          nonzero ([taken_when = true], a [Bz] skip) or zero *)
+  | Loop of { head : int; latch : int; body : node list }
+  | Break of { b_pc : int }  (** forward branch escaping the loop *)
+
+exception Unstructured of int * string
+
+let parse_core (cp : Program.core_program) =
+  let code = cp.Program.code in
+  let n = Array.length code in
+  let target l = cp.Program.label_pos.(l) in
+  (* Loop headers: target position -> outermost back-edge position. *)
+  let latch_of = Hashtbl.create 8 in
+  Array.iteri
+    (fun pc instr ->
+      match instr with
+      | Isa.Bz (_, l) | Isa.Bnz (_, l) | Isa.Jmp l ->
+        let t = target l in
+        if t <= pc then begin
+          let cur =
+            Option.value (Hashtbl.find_opt latch_of t) ~default:(-1)
+          in
+          if pc > cur then Hashtbl.replace latch_of t pc
+        end
+      | _ -> ())
+    code;
+  let rec region lo hi =
+    let items = ref [] in
+    let pc = ref lo in
+    while !pc < hi do
+      let here = !pc in
+      match Hashtbl.find_opt latch_of here with
+      | Some latch ->
+        if latch >= hi then
+          raise (Unstructured (here, "loop crosses a scope boundary"));
+        Hashtbl.remove latch_of here;
+        let body = region here latch in
+        items := Loop { head = here; latch; body } :: !items;
+        pc := latch + 1
+      | None -> (
+        let guard taken_when l =
+          let t = target l in
+          if t <= here then
+            raise (Unstructured (here, "irreducible backward branch"))
+          else if t <= hi then begin
+            let body = region (here + 1) t in
+            items := Cond { c_pc = here; taken_when; body } :: !items;
+            pc := t
+          end
+          else begin
+            items := Break { b_pc = here } :: !items;
+            incr pc
+          end
+        in
+        match code.(here) with
+        | Isa.Bz (_, l) -> guard true l
+        | Isa.Bnz (_, l) -> guard false l
+        | Isa.Jmp _ -> raise (Unstructured (here, "unsupported forward jump"))
+        | _ ->
+          items := Op here :: !items;
+          incr pc)
+    done;
+    List.rev !items
+  in
+  region 0 n
+
+(* ------------------------------------------------------------------ *)
+(* Summaries: communication ops with guard-polarity paths.             *)
+
+type qop = { o_pc : int; o_queue : int; o_enq : bool; o_path : bool list }
+
+type pitem =
+  | P_op of qop
+  | P_loop of { l_path : bool list; l_head : int; l_items : pitem list }
+
+(* The secondary driver: a loop whose body starts with a control-token
+   dequeue immediately followed by a break-if-zero on the token. *)
+let driver_pattern code body =
+  match body with
+  | Op pc0 :: Break { b_pc } :: rest -> (
+    match (code.(pc0), code.(b_pc)) with
+    | Isa.Deq (r, q), Isa.Bz (r', _) when r = r' -> Some (pc0, q, rest)
+    | _ -> None)
+  | _ -> None
+
+(* [summarize] flattens guard scopes into polarity paths (reset inside
+   loops) and rewrites driver loops into one activation trace bracketed
+   by the spawn and halt control-token dequeues.  Returns the items and
+   the recognized handshakes (control queue, token dequeue pc). *)
+let summarize code nodes =
+  let handshakes = ref [] in
+  let rec go path nodes =
+    List.concat_map
+      (fun nd ->
+        match nd with
+        | Op pc -> (
+          match code.(pc) with
+          | Isa.Enq (q, _) ->
+            [ P_op { o_pc = pc; o_queue = q; o_enq = true; o_path = path } ]
+          | Isa.Deq (_, q) ->
+            [ P_op { o_pc = pc; o_queue = q; o_enq = false; o_path = path } ]
+          | _ -> [])
+        | Break _ -> []
+        | Cond { taken_when; body; _ } -> go (path @ [ taken_when ]) body
+        | Loop { head; body; _ } -> (
+          match driver_pattern code body with
+          | Some (tok_pc, q, rest) ->
+            handshakes := (q, tok_pc) :: !handshakes;
+            let tok =
+              P_op { o_pc = tok_pc; o_queue = q; o_enq = false; o_path = path }
+            in
+            (tok :: go path rest) @ [ tok ]
+          | None ->
+            [ P_loop { l_path = path; l_head = head; l_items = go [] body } ]))
+      nodes
+  in
+  let items = go [] nodes in
+  (items, List.rev !handshakes)
+
+(* Ops of one queue and one direction, preserving loop structure. *)
+let rec filter_ops ~queue ~enq items =
+  List.filter_map
+    (function
+      | P_op o when o.o_queue = queue && o.o_enq = enq -> Some (P_op o)
+      | P_op _ -> None
+      | P_loop l -> (
+        match filter_ops ~queue ~enq l.l_items with
+        | [] -> None
+        | inner -> Some (P_loop { l with l_items = inner })))
+    items
+
+let path_str path =
+  if path = [] then "(none)"
+  else String.concat "" (List.map (fun b -> if b then "+" else "-") path)
+
+let rec count_ops items =
+  List.fold_left
+    (fun acc it ->
+      match it with
+      | P_op _ -> acc + 1
+      | P_loop l -> acc + count_ops l.l_items)
+    0 items
+
+let first_pc items =
+  match items with
+  | P_op o :: _ -> Some o.o_pc
+  | P_loop { l_head; _ } :: _ -> Some l_head
+  | [] -> None
+
+(* ------------------------------------------------------------------ *)
+(* Balance: producer enqueues vs consumer dequeues, per queue.         *)
+
+(* Structural isomorphism of the two summaries; returns the first
+   mismatch as a message with the offending side's position. *)
+let rec align_balance prod cons =
+  match (prod, cons) with
+  | [], [] -> None
+  | P_op p :: ps, P_op c :: cs ->
+    if p.o_path <> c.o_path then
+      Some
+        ( Some p.o_pc,
+          Fmt.str
+            "guard polarity mismatch: enqueue at producer pc %d runs under \
+             %s but the matching dequeue at consumer pc %d runs under %s"
+            p.o_pc (path_str p.o_path) c.o_pc (path_str c.o_path) )
+    else align_balance ps cs
+  | P_loop lp :: ps, P_loop lc :: cs ->
+    if lp.l_path <> lc.l_path then
+      Some
+        ( Some lp.l_head,
+          Fmt.str
+            "loop guard mismatch: producer loop at pc %d under %s, consumer \
+             loop at pc %d under %s"
+            lp.l_head (path_str lp.l_path) lc.l_head (path_str lc.l_path) )
+    else begin
+      match align_balance lp.l_items lc.l_items with
+      | Some _ as m -> m
+      | None -> align_balance ps cs
+    end
+  | P_op p :: _, P_loop lc :: _ ->
+    Some
+      ( Some p.o_pc,
+        Fmt.str
+          "producer enqueues once at pc %d where the consumer dequeues in a \
+           loop at pc %d"
+          p.o_pc lc.l_head )
+  | P_loop lp :: _, P_op c :: _ ->
+    Some
+      ( Some lp.l_head,
+        Fmt.str
+          "producer enqueues in a loop at pc %d where the consumer dequeues \
+           once at pc %d"
+          lp.l_head c.o_pc )
+  | (_ :: _ as rest), [] ->
+    Some
+      ( first_pc rest,
+        Fmt.str "producer has %d unmatched enqueue(s)" (count_ops rest) )
+  | [], (_ :: _ as rest) ->
+    Some
+      ( first_pc rest,
+        Fmt.str "consumer has %d unmatched dequeue(s)" (count_ops rest) )
+
+(* ------------------------------------------------------------------ *)
+(* Typing: register-class dataflow, checked at every enqueue.          *)
+
+type cls = Bot | Cint | Cfloat | Top
+
+let join a b =
+  match (a, b) with
+  | Bot, x | x, Bot -> x
+  | Cint, Cint -> Cint
+  | Cfloat, Cfloat -> Cfloat
+  | _ -> Top
+
+let cls_of_ty = function Types.I64 -> Cint | Types.F64 -> Cfloat
+let ty_of_cls = function Cint -> Some Types.I64 | Cfloat -> Some Types.F64 | Bot | Top -> None
+let cls_name = function Cint -> "int" | Cfloat -> "float" | Bot -> "undefined" | Top -> "unknown"
+
+let typing_check add (program : Program.t) =
+  let queues = program.Program.queues in
+  let nq = Array.length queues in
+  Array.iteri
+    (fun core (cp : Program.core_program) ->
+      let code = cp.Program.code in
+      let n = Array.length code in
+      if n > 0 && cp.Program.n_regs > 0 then begin
+        let nr = cp.Program.n_regs in
+        let states = Array.make n [||] in
+        let succs pc =
+          match code.(pc) with
+          | Isa.Bz (_, l) | Isa.Bnz (_, l) ->
+            [ pc + 1; cp.Program.label_pos.(l) ]
+          | Isa.Jmp l -> [ cp.Program.label_pos.(l) ]
+          | Isa.Halt -> []
+          | _ -> [ pc + 1 ]
+        in
+        let transfer st pc =
+          let st = Array.copy st in
+          let set d c = st.(d) <- c in
+          (match code.(pc) with
+          | Isa.Li (d, v) -> set d (cls_of_ty (Types.ty_of_value v))
+          | Isa.Mov (d, s) -> set d st.(s)
+          | Isa.Un (op, d, s) ->
+            set d
+              (match op with
+              | Types.To_int -> Cint
+              | Types.To_float -> Cfloat
+              | _ -> (
+                match ty_of_cls st.(s) with
+                | Some ty -> (
+                  try cls_of_ty (Types.unop_result_ty op ty)
+                  with Types.Type_error _ -> Top)
+                | None -> st.(s)))
+          | Isa.Bin (op, d, a, b) ->
+            set d
+              (if Types.is_comparison op then Cint
+               else
+                 match ty_of_cls (join st.(a) st.(b)) with
+                 | Some ty -> (
+                   try cls_of_ty (Types.binop_result_ty op ty)
+                   with Types.Type_error _ -> Top)
+                 | None -> Top)
+          | Isa.Sel (d, _, tr, fr) -> set d (join st.(tr) st.(fr))
+          | Isa.Load (d, arr, _) ->
+            set d (cls_of_ty program.Program.arrays.(arr).Program.arr_ty)
+          | Isa.Deq (d, q) ->
+            set d
+              (if q >= 0 && q < nq then
+                 match queues.(q).Isa.cls with
+                 | Isa.Qint -> Cint
+                 | Isa.Qfloat -> Cfloat
+               else Top)
+          | Isa.Store _ | Isa.Enq _ | Isa.Bz _ | Isa.Bnz _ | Isa.Jmp _
+          | Isa.Halt ->
+            ());
+          st
+        in
+        let work = Queue.create () in
+        states.(0) <- Array.make nr Bot;
+        Queue.add 0 work;
+        while not (Queue.is_empty work) do
+          let pc = Queue.pop work in
+          let out = transfer states.(pc) pc in
+          List.iter
+            (fun s ->
+              if s < n then
+                if states.(s) = [||] then begin
+                  states.(s) <- out;
+                  Queue.add s work
+                end
+                else begin
+                  let changed = ref false in
+                  let merged =
+                    Array.mapi
+                      (fun i c ->
+                        let j = join c out.(i) in
+                        if j <> c then changed := true;
+                        j)
+                      states.(s)
+                  in
+                  if !changed then begin
+                    states.(s) <- merged;
+                    Queue.add s work
+                  end
+                end)
+            (succs pc)
+        done;
+        Array.iteri
+          (fun pc instr ->
+            match instr with
+            | Isa.Enq (q, s) when q >= 0 && q < nq && states.(pc) <> [||] -> (
+              let c = states.(pc).(s) in
+              let want =
+                match queues.(q).Isa.cls with
+                | Isa.Qint -> Cint
+                | Isa.Qfloat -> Cfloat
+              in
+              match (c, want) with
+              | Cint, Cfloat | Cfloat, Cint ->
+                add
+                  {
+                    v_check = Typing;
+                    v_core = Some core;
+                    v_queue = Some q;
+                    v_pc = Some pc;
+                    v_message =
+                      Fmt.str
+                        "enqueue of %s register r%d onto %s queue %d"
+                        (cls_name c) s
+                        (qclass_name queues.(q).Isa.cls)
+                        q;
+                  }
+              | _ -> ())
+            | _ -> ())
+          code
+      end)
+    program.Program.cores
+
+(* ------------------------------------------------------------------ *)
+(* Endpoints.                                                          *)
+
+let endpoints_check add (program : Program.t) =
+  let queues = program.Program.queues in
+  let nq = Array.length queues in
+  Array.iteri
+    (fun core (cp : Program.core_program) ->
+      Array.iteri
+        (fun pc instr ->
+          let bad q msg =
+            add
+              {
+                v_check = Endpoints;
+                v_core = Some core;
+                v_queue = Some q;
+                v_pc = Some pc;
+                v_message = msg;
+              }
+          in
+          match instr with
+          | Isa.Enq (q, _) ->
+            if q < 0 || q >= nq then
+              bad q (Fmt.str "enqueue on unknown queue %d" q)
+            else if queues.(q).Isa.src <> core then
+              bad q
+                (Fmt.str
+                   "enqueue on queue %d (%d->%d %s) from core %d, which is \
+                    not its source"
+                   q queues.(q).Isa.src queues.(q).Isa.dst
+                   (qclass_name queues.(q).Isa.cls)
+                   core)
+          | Isa.Deq (_, q) ->
+            if q < 0 || q >= nq then
+              bad q (Fmt.str "dequeue on unknown queue %d" q)
+            else if queues.(q).Isa.dst <> core then
+              bad q
+                (Fmt.str
+                   "dequeue on queue %d (%d->%d %s) from core %d, which is \
+                    not its destination"
+                   q queues.(q).Isa.src queues.(q).Isa.dst
+                   (qclass_name queues.(q).Isa.cls)
+                   core)
+          | _ -> ())
+        cp.Program.code)
+    program.Program.cores
+
+(* ------------------------------------------------------------------ *)
+(* Driver handshake protocol.                                          *)
+
+(* Registers holding a compile-time constant: defined exactly once, by
+   a [Li].  The token registers come from the constant pool, so this is
+   precise where it matters. *)
+let const_table (cp : Program.core_program) =
+  let defs = Array.make (max 1 cp.Program.n_regs) 0 in
+  let vals = Array.make (max 1 cp.Program.n_regs) None in
+  Array.iter
+    (fun instr ->
+      (match Isa.dst instr with
+      | Some d -> defs.(d) <- defs.(d) + 1
+      | None -> ());
+      match instr with
+      | Isa.Li (d, v) -> vals.(d) <- Some v
+      | _ -> ())
+    cp.Program.code;
+  fun r -> if defs.(r) = 1 then vals.(r) else None
+
+let protocol_check add (program : Program.t) summaries =
+  let queues = program.Program.queues in
+  let nq = Array.length queues in
+  Array.iteri
+    (fun core (_, handshakes) ->
+      List.iter
+        (fun (q, tok_pc) ->
+          if q >= 0 && q < nq && queues.(q).Isa.dst = core then begin
+            let src = queues.(q).Isa.src in
+            if src >= 0 && src < Array.length program.Program.cores then begin
+              let cp = program.Program.cores.(src) in
+              let const = const_table cp in
+              let enq_const pc =
+                match cp.Program.code.(pc) with
+                | Isa.Enq (_, r) -> const r
+                | _ -> None
+              in
+              let prod_items, _ = summaries.(src) in
+              let prod = filter_ops ~queue:q ~enq:true prod_items in
+              let bad pc msg =
+                add
+                  {
+                    v_check = Protocol;
+                    v_core = Some src;
+                    v_queue = Some q;
+                    v_pc = pc;
+                    v_message = msg;
+                  }
+              in
+              match prod with
+              | [] ->
+                bad (Some tok_pc)
+                  (Fmt.str
+                     "core %d drives its loop from queue %d but core %d \
+                      never enqueues a control token on it"
+                     core q src)
+              | first :: _ -> (
+                (match first with
+                | P_op o -> (
+                  match enq_const o.o_pc with
+                  | Some (Types.VInt v) when v <> 0 -> ()
+                  | Some v ->
+                    bad (Some o.o_pc)
+                      (Fmt.str
+                         "first control token on queue %d is %a, expected a \
+                          nonzero integer spawn token"
+                         q Types.pp_value_human v)
+                  | None ->
+                    bad (Some o.o_pc)
+                      (Fmt.str
+                         "first control token on queue %d is not a constant"
+                         q))
+                | P_loop l ->
+                  bad (Some l.l_head)
+                    (Fmt.str
+                       "queue %d feeds a driver loop but the producer's \
+                        first enqueue sits inside a loop at pc %d"
+                       q l.l_head));
+                match List.rev prod with
+                | P_op o :: _ -> (
+                  match enq_const o.o_pc with
+                  | Some (Types.VInt 0) -> ()
+                  | Some v ->
+                    bad (Some o.o_pc)
+                      (Fmt.str
+                         "last control token on queue %d is %a, expected the \
+                          zero halt token"
+                         q Types.pp_value_human v)
+                  | None ->
+                    bad (Some o.o_pc)
+                      (Fmt.str
+                         "last control token on queue %d is not a constant" q))
+                | P_loop l :: _ ->
+                  bad (Some l.l_head)
+                    (Fmt.str
+                       "queue %d feeds a driver loop but the producer's last \
+                        enqueue sits inside a loop at pc %d"
+                       q l.l_head)
+                | [] -> ())
+            end
+          end)
+        handshakes)
+    summaries
+
+(* ------------------------------------------------------------------ *)
+(* Capacity-bounded deadlock freedom.                                  *)
+
+(* Unroll every loop [u] times and list the queue ops in execution
+   order.  [u >= queue_len + a few] iterations saturate the wait-for
+   graph: program-order and capacity edges repeat with period one
+   iteration, so any cycle appears within the first [queue_len + 2]
+   unrollings. *)
+let expand u items =
+  let rec go acc items =
+    List.fold_left
+      (fun acc it ->
+        match it with
+        | P_op o -> o :: acc
+        | P_loop l ->
+          let rec rep acc k = if k = 0 then acc else rep (go acc l.l_items) (k - 1) in
+          rep acc u)
+      acc items
+  in
+  List.rev (go [] items)
+
+(* Find a cycle in the waits-on digraph; returns it oldest-first, each
+   node waiting on the next, the last waiting on the first. *)
+let find_cycle n_nodes prereqs =
+  let color = Array.make n_nodes 0 in
+  let parent = Array.make n_nodes (-1) in
+  let cycle = ref None in
+  let rec dfs u =
+    color.(u) <- 1;
+    List.iter
+      (fun v ->
+        if !cycle = None then
+          if color.(v) = 0 then begin
+            parent.(v) <- u;
+            dfs v
+          end
+          else if color.(v) = 1 then begin
+            let rec collect acc x =
+              if x = v then v :: acc else collect (x :: acc) parent.(x)
+            in
+            cycle := Some (collect [] u)
+          end)
+      prereqs.(u);
+    color.(u) <- 2
+  in
+  let i = ref 0 in
+  while !cycle = None && !i < n_nodes do
+    if color.(!i) = 0 then dfs !i;
+    incr i
+  done;
+  !cycle
+
+let deadlock_check add ~queue_len (program : Program.t) summaries =
+  let nq = Array.length program.Program.queues in
+  let u = queue_len + 4 in
+  (* Per-core instance streams, globally indexed. *)
+  let instances = ref [] in
+  let n_nodes = ref 0 in
+  let per_core =
+    Array.mapi
+      (fun core (items, _) ->
+        let ops = expand u items in
+        let ids =
+          List.map
+            (fun (o : qop) ->
+              let id = !n_nodes in
+              incr n_nodes;
+              instances := (id, core, o) :: !instances;
+              id)
+            ops
+        in
+        (ids, ops))
+      summaries
+  in
+  let n = !n_nodes in
+  let instance = Array.make (max 1 n) (0, { o_pc = 0; o_queue = 0; o_enq = true; o_path = [] }) in
+  List.iter (fun (id, core, o) -> instance.(id) <- (core, o)) !instances;
+  let prereqs = Array.make (max 1 n) [] in
+  let edge a b = prereqs.(a) <- b :: prereqs.(a) in
+  (* Program order: a queue op waits on the previous queue op of its
+     core (in-order, single-issue cores block on queue instructions). *)
+  Array.iter
+    (fun (ids, _) ->
+      let rec chain = function
+        | a :: (b :: _ as rest) ->
+          edge b a;
+          chain rest
+        | _ -> []
+      in
+      ignore (chain ids))
+    per_core;
+  (* Comm and capacity edges, per queue. *)
+  for q = 0 to nq - 1 do
+    let enqs = ref [] and deqs = ref [] in
+    Array.iter
+      (fun (ids, ops) ->
+        List.iter2
+          (fun id (o : qop) ->
+            if o.o_queue = q then
+              if o.o_enq then enqs := id :: !enqs else deqs := id :: !deqs)
+          ids ops)
+      per_core;
+    let enqs = Array.of_list (List.rev !enqs) in
+    let deqs = Array.of_list (List.rev !deqs) in
+    (* The k-th dequeue waits on the k-th enqueue (FIFO). *)
+    for k = 0 to min (Array.length enqs) (Array.length deqs) - 1 do
+      edge deqs.(k) enqs.(k)
+    done;
+    (* The k-th enqueue waits on dequeue k - capacity freeing a slot. *)
+    for k = queue_len to Array.length enqs - 1 do
+      if k - queue_len < Array.length deqs then
+        edge enqs.(k) deqs.(k - queue_len)
+    done
+  done;
+  match find_cycle n prereqs with
+  | None -> ()
+  | Some cyc ->
+    (* Compress per-iteration repeats: unique (core, pc) in order. *)
+    let seen = Hashtbl.create 8 in
+    let uniq =
+      List.filter
+        (fun id ->
+          let core, o = instance.(id) in
+          if Hashtbl.mem seen (core, o.o_pc) then false
+          else begin
+            Hashtbl.add seen (core, o.o_pc) ();
+            true
+          end)
+        cyc
+    in
+    let describe id =
+      let core, o = instance.(id) in
+      Fmt.str "core %d %s q%d (pc %d)" core
+        (if o.o_enq then "enq" else "deq")
+        o.o_queue o.o_pc
+    in
+    let shown = List.filteri (fun i _ -> i < 8) uniq in
+    let core0, op0 =
+      match uniq with id :: _ -> instance.(id) | [] -> instance.(List.hd cyc)
+    in
+    add
+      {
+        v_check = Deadlock;
+        v_core = Some core0;
+        v_queue = Some op0.o_queue;
+        v_pc = Some op0.o_pc;
+        v_message =
+          Fmt.str "static wait-for cycle: %s -> %s%s"
+            (String.concat " -> " (List.map describe shown))
+            (describe (List.hd uniq))
+            (if List.length uniq > 8 then
+               Fmt.str " (%d ops in cycle)" (List.length uniq)
+             else "");
+      }
+
+(* ------------------------------------------------------------------ *)
+(* Plan conformance: FIFO consistency of the lowered kernel loop.      *)
+
+(* In-loop ops of a summary, flattened in order (paths kept). *)
+let in_loop_ops items =
+  let rec under items =
+    List.concat_map
+      (function P_op o -> [ o ] | P_loop l -> under l.l_items)
+      items
+  in
+  List.concat_map
+    (function P_op _ -> [] | P_loop l -> under l.l_items)
+    items
+
+let conformance_check add (program : Program.t) (plan : Comm.t) summaries =
+  let queues = program.Program.queues in
+  let qid_of =
+    let tbl = Hashtbl.create 16 in
+    Array.iteri
+      (fun i (s : Isa.queue_spec) ->
+        Hashtbl.replace tbl (s.Isa.src, s.Isa.dst, s.Isa.cls) i)
+      queues;
+    fun (tr : Comm.transfer) ->
+      Hashtbl.find_opt tbl
+        (tr.Comm.src_core, tr.Comm.dst_core, qclass_of_ty tr.Comm.ty)
+  in
+  let wants (tr : Comm.transfer) =
+    List.map (fun (p : Region.pred) -> p.Region.want) tr.Comm.preds
+  in
+  Array.iteri
+    (fun core (items, _) ->
+      let fail pc queue msg =
+        add
+          {
+            v_check = Fifo;
+            v_core = Some core;
+            v_queue = queue;
+            v_pc = pc;
+            v_message = msg;
+          }
+      in
+      let missing = ref false in
+      let event key enq tr =
+        match qid_of tr with
+        | Some q -> Some (key, (enq, q, wants tr))
+        | None ->
+          if not !missing then
+            fail None None
+              (Fmt.str
+                 "plan transfer of %s (%d->%d %s) has no queue in the \
+                  lowered program"
+                 tr.Comm.var tr.Comm.src_core tr.Comm.dst_core
+                 (qclass_name (qclass_of_ty tr.Comm.ty)));
+          missing := true;
+          None
+      in
+      (* Expected enqueues: anchor order, as Lower sorts them. *)
+      let enqs =
+        List.filter_map
+          (fun (tr : Comm.transfer) ->
+            if tr.Comm.src_core = core then
+              event (tr.Comm.enq_anchor, 2, tr.Comm.seq) true tr
+            else None)
+          plan.Comm.transfers
+      in
+      (* Expected dequeues: producer-anchor order with the suffix-min
+         hoist, replicating Lower's placement keys. *)
+      let deq_trs =
+        List.filter
+          (fun (tr : Comm.transfer) -> tr.Comm.dst_core = core)
+          plan.Comm.transfers
+        |> List.sort (fun (a : Comm.transfer) (b : Comm.transfer) ->
+               compare
+                 (a.Comm.enq_anchor, a.Comm.src_core, a.Comm.ty, a.Comm.seq)
+                 (b.Comm.enq_anchor, b.Comm.src_core, b.Comm.ty, b.Comm.seq))
+        |> Array.of_list
+      in
+      let anchors = Array.map (fun tr -> tr.Comm.deq_anchor) deq_trs in
+      for i = Array.length anchors - 2 downto 0 do
+        if anchors.(i + 1) < anchors.(i) then anchors.(i) <- anchors.(i + 1)
+      done;
+      let deqs =
+        List.filter_map Fun.id
+          (List.init (Array.length deq_trs) (fun i ->
+               event (anchors.(i), 0, i) false deq_trs.(i)))
+      in
+      if not !missing then begin
+        let expected =
+          List.sort (fun (k1, _) (k2, _) -> compare k1 k2) (enqs @ deqs)
+        in
+        let actual = in_loop_ops items in
+        let n_exp = List.length expected and n_act = List.length actual in
+        if n_exp <> n_act then
+          fail (first_pc items) None
+            (Fmt.str
+               "kernel loop carries %d communication op(s) but the comm \
+                plan schedules %d"
+               n_act n_exp)
+        else begin
+          (* Walk expected in key groups; within a group (enqueues with
+             identical anchor and seq) any order is a valid sort. *)
+          let cmp = compare in
+          let rec walk expected actual =
+            match expected with
+            | [] -> ()
+            | (key, _) :: _ ->
+              let group, expected' =
+                List.partition (fun (k, _) -> k = key) expected
+              in
+              let g = List.length group in
+              let rec split n acc l =
+                if n = 0 then (List.rev acc, l)
+                else
+                  match l with
+                  | x :: rest -> split (n - 1) (x :: acc) rest
+                  | [] -> (List.rev acc, [])
+              in
+              let here, actual' = split g [] actual in
+              let exp_sig = List.sort cmp (List.map snd group) in
+              let act_sig =
+                List.sort cmp
+                  (List.map
+                     (fun (o : qop) -> (o.o_enq, o.o_queue, o.o_path))
+                     here)
+              in
+              if exp_sig <> act_sig then begin
+                let pc =
+                  match here with o :: _ -> Some o.o_pc | [] -> None
+                in
+                let queue =
+                  match exp_sig with (_, q, _) :: _ -> Some q | [] -> None
+                in
+                fail pc queue
+                  (Fmt.str
+                     "in-loop comm order deviates from the plan: expected \
+                      %s, found %s"
+                     (String.concat "+"
+                        (List.map
+                           (fun (e, q, _) ->
+                             Fmt.str "%s q%d" (if e then "enq" else "deq") q)
+                           exp_sig))
+                     (String.concat "+"
+                        (List.map
+                           (fun (e, q, _) ->
+                             Fmt.str "%s q%d" (if e then "enq" else "deq") q)
+                           act_sig)))
+              end
+              else walk expected' actual'
+          in
+          walk expected actual
+        end
+      end)
+    summaries
+
+(* ------------------------------------------------------------------ *)
+(* Driver.                                                             *)
+
+let run ?plan ~queue_len (program : Program.t) =
+  let violations = ref [] in
+  let add v = violations := v :: !violations in
+  let ops_checked =
+    Array.fold_left
+      (fun acc (cp : Program.core_program) ->
+        Array.fold_left
+          (fun acc i ->
+            match i with Isa.Enq _ | Isa.Deq _ -> acc + 1 | _ -> acc)
+          acc cp.Program.code)
+      0 program.Program.cores
+  in
+  endpoints_check add program;
+  typing_check add program;
+  let parsed =
+    Array.mapi
+      (fun core cp ->
+        match parse_core cp with
+        | nodes -> Some (summarize cp.Program.code nodes)
+        | exception Unstructured (pc, msg) ->
+          add
+            {
+              v_check = Structure;
+              v_core = Some core;
+              v_queue = None;
+              v_pc = Some pc;
+              v_message = msg;
+            };
+          None)
+      program.Program.cores
+  in
+  (if Array.for_all Option.is_some parsed then begin
+     let summaries = Array.map Option.get parsed in
+     (* Balance per queue. *)
+     Array.iteri
+       (fun q (spec : Isa.queue_spec) ->
+         let n_cores = Array.length program.Program.cores in
+         if
+           spec.Isa.src >= 0 && spec.Isa.src < n_cores && spec.Isa.dst >= 0
+           && spec.Isa.dst < n_cores
+         then begin
+           let prod_items, _ = summaries.(spec.Isa.src) in
+           let cons_items, _ = summaries.(spec.Isa.dst) in
+           let prod = filter_ops ~queue:q ~enq:true prod_items in
+           let cons = filter_ops ~queue:q ~enq:false cons_items in
+           match align_balance prod cons with
+           | None -> ()
+           | Some (pc, msg) ->
+             add
+               {
+                 v_check = Balance;
+                 v_core = None;
+                 v_queue = Some q;
+                 v_pc = pc;
+                 v_message =
+                   Fmt.str "queue %d (%d->%d %s): %s" q spec.Isa.src
+                     spec.Isa.dst
+                     (qclass_name spec.Isa.cls)
+                     msg;
+               }
+         end
+         else
+           add
+             {
+               v_check = Endpoints;
+               v_core = None;
+               v_queue = Some q;
+               v_pc = None;
+               v_message =
+                 Fmt.str "queue %d endpoints (%d->%d) are not cores" q
+                   spec.Isa.src spec.Isa.dst;
+             })
+       program.Program.queues;
+     protocol_check add program summaries;
+     deadlock_check add ~queue_len program summaries;
+     match plan with
+     | Some p -> conformance_check add program p summaries
+     | None -> ()
+   end);
+  {
+    violations = List.rev !violations;
+    queues_checked = Array.length program.Program.queues;
+    ops_checked;
+  }

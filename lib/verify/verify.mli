@@ -1,0 +1,79 @@
+(** Static queue-protocol verifier.
+
+    Runs over a lowered {!Finepar_machine.Program.t} (and, when
+    available, the {!Finepar_transform.Comm.t} transfer plan) and proves
+    four properties of the inter-core communication before a single
+    cycle is simulated:
+
+    - {b endpoints}: every [Enq] executes on its queue's source core and
+      every [Deq] on its destination core;
+    - {b balance and type agreement}: along every feasible predicate
+      path, each queue's enqueue sequence on the producer core matches
+      the dequeue sequence on the consumer core — same loop nesting,
+      same guard polarities, same count — and every enqueued register
+      has the queue's value class (int vs float), inferred by dataflow;
+    - {b capacity-bounded deadlock freedom}: the cross-core wait-for
+      graph induced by program order, queue FIFO order, and the finite
+      queue capacity (an enqueue [k] cannot complete before dequeue
+      [k - capacity]) is acyclic over a sufficient loop unrolling;
+    - {b FIFO consistency} (plan-directed): the per-core interleaving of
+      communication instructions inside the kernel loop is exactly the
+      one the comm plan promises — enqueues in anchor order, dequeues in
+      producer-anchor order hoisted by the suffix-min rule of
+      [Transform.Comm] — and each op sits under the guard polarities of
+      its transfer's predicates.
+
+    The verifier is conservative: it treats every guarded operation as
+    executable (a matched enqueue/dequeue pair under the same guard
+    drops out together, so a cycle found on any sub-path is a cycle of
+    the full graph) and recognizes the one irregular construct the code
+    generator emits — the secondary-core driver loop, whose spawn /
+    halt-token handshake is checked separately (first control token a
+    nonzero constant, last a zero constant).
+
+    What remains dynamic-only: operand-latency waits, actual trip
+    counts, memory effects, and value-dependent guard outcomes (the
+    verifier proves path-wise consistency, not path feasibility). *)
+
+type check =
+  | Structure  (** code is not reducible to loops + forward guards *)
+  | Endpoints  (** queue op on the wrong core, or bad queue id *)
+  | Typing  (** enqueued register class differs from the queue class *)
+  | Balance  (** producer/consumer sequences of a queue disagree *)
+  | Fifo  (** in-loop comm interleaving deviates from the comm plan *)
+  | Deadlock  (** static wait-for cycle *)
+  | Protocol  (** malformed driver spawn/halt-token handshake *)
+
+val check_name : check -> string
+
+type violation = {
+  v_check : check;
+  v_core : int option;
+  v_queue : int option;
+  v_pc : int option;
+  v_message : string;
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+type result = {
+  violations : violation list;
+  queues_checked : int;
+  ops_checked : int;  (** queue instructions examined *)
+}
+
+val ok : result -> bool
+
+exception Rejected of string * violation list
+(** Raised by {!Finepar.Compiler.compile} when verification fails:
+    kernel name and the violations.  A printer is registered. *)
+
+val run :
+  ?plan:Finepar_transform.Comm.t ->
+  queue_len:int ->
+  Finepar_machine.Program.t ->
+  result
+(** Verify [program] against a queue capacity of [queue_len] slots.
+    With [?plan] the FIFO-consistency check additionally validates the
+    lowered code against the comm plan; without it only the
+    plan-independent checks run (useful for hand-built programs). *)

@@ -260,11 +260,48 @@ let test_deadlock_detected () =
         emit bb (Isa.Deq (d, 0));
         emit bb Isa.Halt)
   in
-  Alcotest.(check bool) "deadlock raises Stuck" true
-    (try
-       ignore (run program);
-       false
-     with Sim.Stuck msg -> String.length msg > 0)
+  match run program with
+  | _ -> Alcotest.fail "expected Sim.Stuck"
+  | exception Sim.Stuck st ->
+    Alcotest.(check bool) "reason is deadlock" true
+      (match st.Sim.st_reason with Sim.Deadlock _ -> true | _ -> false);
+    Alcotest.(check int) "one blocked core" 1 (List.length st.Sim.st_blocked);
+    let bc = List.hd st.Sim.st_blocked in
+    Alcotest.(check int) "core 1 is blocked" 1 bc.Sim.bc_core;
+    Alcotest.(check bool) "blocked on an empty queue" true
+      (bc.Sim.bc_wait = Sim.Wait_queue_empty 0);
+    Alcotest.(check bool) "queue 0 reported empty" true
+      (List.exists
+         (fun (qo : Sim.queue_occupancy) ->
+           qo.Sim.qo_id = 0 && qo.Sim.qo_occupancy = 0)
+         st.Sim.st_queues);
+    Alcotest.(check bool) "message is descriptive" true
+      (let msg = Sim.stuck_message st in
+       String.length msg > 0)
+
+let test_max_cycles_inclusive () =
+  (* An infinite loop under a tiny budget: the run executes exactly
+     max_cycles cycles (inclusive bound) and then raises a structured
+     Max_cycles. *)
+  let config = { Config.default with Config.max_cycles = 50 } in
+  let program =
+    one_core (fun bb ->
+        let open Program.Builder in
+        let r = fresh_reg bb in
+        emit bb (Isa.Li (r, Types.VInt 1));
+        let top = fresh_label bb in
+        place_label bb top;
+        emit bb (Isa.Bin (Types.Add, r, r, r));
+        emit bb (Isa.Jmp top))
+  in
+  match run ~config program with
+  | _ -> Alcotest.fail "expected Sim.Stuck"
+  | exception Sim.Stuck st ->
+    Alcotest.(check bool) "reason is max-cycles with the limit" true
+      (match st.Sim.st_reason with
+      | Sim.Max_cycles { limit } -> limit = 50
+      | _ -> false);
+    Alcotest.(check int) "stopped exactly at the budget" 50 st.Sim.st_cycle
 
 (* ------------------------------------------------------------------ *)
 (* Caches.                                                             *)
@@ -378,6 +415,8 @@ let () =
           Alcotest.test_case "full queue blocks" `Quick test_queue_full_blocks;
           Alcotest.test_case "fifo order" `Quick test_fifo_order;
           Alcotest.test_case "deadlock detected" `Quick test_deadlock_detected;
+          Alcotest.test_case "max-cycles inclusive bound" `Quick
+            test_max_cycles_inclusive;
         ] );
       ( "caches",
         [

@@ -362,7 +362,7 @@ let test_report_invariants () =
   Alcotest.(check (list string)) "pipeline passes recorded"
     [
       "speculate"; "flatten"; "fiber-split"; "deps"; "code-graph"; "merge";
-      "schedule"; "comm"; "lower";
+      "schedule"; "comm"; "lower"; "verify";
     ]
     (List.map fst t.Report.pass_times)
 
