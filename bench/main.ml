@@ -377,6 +377,78 @@ let characterization _ctx =
      scalar + 1 array reductions) + 2 conditional + 18 selected)@."
 
 (* ------------------------------------------------------------------ *)
+(* Simulation-engine throughput: replay the fuzz corpus under both      *)
+(* engines and report simulated cycles per wall-clock second.  The      *)
+(* cycle counts are identical by the cycle-exactness contract (enforced *)
+(* by test_engine.ml and the fuzz oracle); only the wall time differs.  *)
+
+let engines ctx =
+  section "engines"
+    "simulation-engine throughput on the fuzz corpus (cycle vs event)";
+  let module F = Finepar_fuzz in
+  match
+    List.find_opt Sys.file_exists [ "test/fuzz_corpus"; "fuzz_corpus" ]
+  with
+  | None -> Fmt.pr "fuzz corpus directory not found; section skipped@."
+  | Some dir ->
+    let cases =
+      List.filter_map
+        (fun path ->
+          let case = (F.Corpus.load_file path).F.Corpus.case in
+          match Compiler.compile case.F.Gen.config case.F.Gen.kernel with
+          | exception _ -> None
+          | cc -> Some (case, cc))
+        (F.Corpus.files dir)
+    in
+    let reps = 12 in
+    let measure engine =
+      let t0 = Unix.gettimeofday () in
+      let cycles = ref 0 in
+      for _ = 1 to reps do
+        List.iter
+          (fun ((case : F.Gen.case), cc) ->
+            let n_threads =
+              Array.length
+                cc.Compiler.code.Finepar_codegen.Lower.program
+                  .Finepar_machine.Program.cores
+            in
+            let core_map = F.Gen.materialize case.F.Gen.placement n_threads in
+            let workload =
+              Finepar_kernels.Workload.default ~seed:case.F.Gen.workload_seed
+                case.F.Gen.kernel
+            in
+            match
+              Runner.run ~check:false ~workload ~core_map ~engine cc
+            with
+            | r -> cycles := !cycles + r.Runner.cycles
+            | exception Finepar_machine.Sim.Stuck _ -> ())
+          cases
+      done;
+      let dt = Unix.gettimeofday () -. t0 in
+      (float_of_int !cycles /. dt, !cycles)
+    in
+    let cyc_rate, total = measure Finepar_machine.Engine.Cycle in
+    let ev_rate, total' = measure Finepar_machine.Engine.Event in
+    assert (total = total');
+    let speedup = ev_rate /. cyc_rate in
+    Fmt.pr "%-8s %14s %18s@." "engine" "sim cycles" "cycles/second";
+    Fmt.pr "%-8s %14d %18.0f@." "cycle" total cyc_rate;
+    Fmt.pr "%-8s %14d %18.0f@." "event" total ev_rate;
+    Fmt.pr "event-engine sim-throughput speedup: %.2fx (%d corpus cases x %d \
+            reps)@."
+      speedup (List.length cases) reps;
+    collect ctx "engines"
+      (J.Obj
+         [
+           ("cases", J.Int (List.length cases));
+           ("reps", J.Int reps);
+           ("simulated_cycles", J.Int total);
+           ("cycle_cycles_per_second", J.Float cyc_rate);
+           ("event_cycles_per_second", J.Float ev_rate);
+           ("event_speedup", J.Float speedup);
+         ])
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock benchmarks of the toolchain itself.             *)
 
 let wallclock ctx =
@@ -454,6 +526,7 @@ let all_sections =
     ("extension_cores", extension_cores);
     ("extension_simd", extension_simd);
     ("characterization", characterization);
+    ("engines", engines);
     ("wallclock", wallclock);
   ]
 

@@ -47,6 +47,28 @@ let throughput_arg =
   let doc = "Enable the throughput (unidirectional) merge heuristic." in
   Arg.(value & flag & info [ "throughput" ] ~doc)
 
+let engine_conv =
+  let parse str =
+    match Finepar_machine.Engine.of_string str with
+    | Some e -> Ok e
+    | None ->
+      Error
+        (`Msg (Printf.sprintf "unknown engine %s (expected cycle or event)" str))
+  in
+  let print ppf e = Fmt.string ppf (Finepar_machine.Engine.to_string e) in
+  Arg.conv (parse, print)
+
+let engine_arg =
+  let doc =
+    "Simulation engine: $(b,cycle) (the reference stepper) or $(b,event) \
+     (event-driven fast-forward).  The two are cycle-exact to each other; \
+     $(b,event) is faster on latency-dominated runs."
+  in
+  Arg.(
+    value
+    & opt engine_conv Finepar_machine.Engine.default
+    & info [ "engine" ] ~doc)
+
 let machine_of ~latency ~queue_len =
   {
     Finepar_machine.Config.default with
@@ -71,7 +93,7 @@ let list_cmd =
     Term.(const run $ const ())
 
 let run_cmd =
-  let run name cores latency queue_len speculation throughput =
+  let run name cores latency queue_len speculation throughput engine =
     let e = find_entry name in
     let machine = machine_of ~latency ~queue_len in
     let config =
@@ -83,8 +105,8 @@ let run_cmd =
       }
     in
     let seq, par, s =
-      Runner.speedup ~machine ~config ~workload:e.Registry.workload ~cores
-        e.Registry.kernel
+      Runner.speedup ~machine ~config ~engine ~workload:e.Registry.workload
+        ~cores e.Registry.kernel
     in
     let c = Compiler.compile config e.Registry.kernel in
     Fmt.pr "kernel      %s@." name;
@@ -98,7 +120,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Compile and simulate one kernel")
     Term.(
       const run $ kernel_arg $ cores_arg $ latency_arg $ queue_len_arg
-      $ speculation_arg $ throughput_arg)
+      $ speculation_arg $ throughput_arg $ engine_arg)
 
 let show_cmd =
   let stage_arg =
@@ -220,7 +242,7 @@ let with_output file f =
   end
 
 let compile_and_sim ~name ~cores ~latency ~queue_len ~speculation ~throughput
-    ~tracing =
+    ~tracing ~engine =
   let e = find_entry name in
   let machine = machine_of ~latency ~queue_len in
   let config =
@@ -233,15 +255,15 @@ let compile_and_sim ~name ~cores ~latency ~queue_len ~speculation ~throughput
   in
   let c = Compiler.compile config e.Registry.kernel in
   let run, sim =
-    Runner.run_with_sim ~tracing ~workload:e.Registry.workload c
+    Runner.run_with_sim ~tracing ~engine ~workload:e.Registry.workload c
   in
   (c, run, sim)
 
 let trace_cmd =
-  let run name cores latency queue_len speculation throughput output =
+  let run name cores latency queue_len speculation throughput engine output =
     let c, _, sim =
       compile_and_sim ~name ~cores ~latency ~queue_len ~speculation
-        ~throughput ~tracing:true
+        ~throughput ~tracing:true ~engine
     in
     let events =
       Report.chrome_trace ~pass_times:c.Compiler.pass_times sim
@@ -263,17 +285,18 @@ let trace_cmd =
           occupancy counter per queue, and a compiler-pass lane")
     Term.(
       const run $ kernel_arg $ cores_arg $ latency_arg $ queue_len_arg
-      $ speculation_arg $ throughput_arg $ output_arg)
+      $ speculation_arg $ throughput_arg $ engine_arg $ output_arg)
 
 let report_cmd =
   let format_arg =
     let doc = "Output format: text, json or csv." in
     Arg.(value & opt string "text" & info [ "format" ] ~doc)
   in
-  let run name cores latency queue_len speculation throughput format output =
+  let run name cores latency queue_len speculation throughput engine format
+      output =
     let _, r, _ =
       compile_and_sim ~name ~cores ~latency ~queue_len ~speculation
-        ~throughput ~tracing:false
+        ~throughput ~tracing:false ~engine
     in
     let t = r.Runner.telemetry in
     match format with
@@ -297,32 +320,33 @@ let report_cmd =
           simulated kernel, plus compiler pass times")
     Term.(
       const run $ kernel_arg $ cores_arg $ latency_arg $ queue_len_arg
-      $ speculation_arg $ throughput_arg $ format_arg $ output_arg)
+      $ speculation_arg $ throughput_arg $ engine_arg $ format_arg
+      $ output_arg)
 
 let sweep_cmd =
-  let run name cores queue_len =
+  let run name cores queue_len engine =
     let e = find_entry name in
     Fmt.pr "%-10s %8s@." "latency" "speedup";
     List.iter
       (fun latency ->
         let machine = machine_of ~latency ~queue_len in
         let _, _, s =
-          Runner.speedup ~machine ~workload:e.Registry.workload ~cores
-            e.Registry.kernel
+          Runner.speedup ~machine ~engine ~workload:e.Registry.workload
+            ~cores e.Registry.kernel
         in
         Fmt.pr "%-10d %8.2f@." latency s)
       [ 5; 10; 20; 50; 100 ]
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Transfer-latency sweep for one kernel (Fig. 13)")
-    Term.(const run $ kernel_arg $ cores_arg $ queue_len_arg)
+    Term.(const run $ kernel_arg $ cores_arg $ queue_len_arg $ engine_arg)
 
 let autotune_cmd =
-  let run name cores latency queue_len =
+  let run name cores latency queue_len engine =
     let e = find_entry name in
     let machine = machine_of ~latency ~queue_len in
     let t =
-      Runner.autotune ~machine ~cores ~workload:e.Registry.workload
+      Runner.autotune ~machine ~cores ~engine ~workload:e.Registry.workload
         e.Registry.kernel
     in
     Fmt.pr "%-24s %10s@." "configuration" "cycles";
@@ -340,7 +364,9 @@ let autotune_cmd =
        ~doc:
          "Compile multiple code versions and keep the fastest (Section \
           III-I)")
-    Term.(const run $ kernel_arg $ cores_arg $ latency_arg $ queue_len_arg)
+    Term.(
+      const run $ kernel_arg $ cores_arg $ latency_arg $ queue_len_arg
+      $ engine_arg)
 
 let fuzz_cmd =
   let cases_arg =
@@ -385,10 +411,10 @@ let fuzz_cmd =
     in
     Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~doc)
   in
-  let run cases seconds seed out_dir summary replay jobs =
+  let run cases seconds seed out_dir summary replay jobs engine =
     match replay with
     | Some dir ->
-      let replays = Finepar_fuzz.Corpus.replay_dir dir in
+      let replays = Finepar_fuzz.Corpus.replay_dir ~engine dir in
       let failed = ref 0 in
       List.iter
         (fun (r : Finepar_fuzz.Corpus.replay) ->
@@ -411,7 +437,7 @@ let fuzz_cmd =
     | None ->
       let pool = Finepar_exec.Pool.create ?domains:jobs () in
       let s =
-        Finepar_fuzz.Driver.run ?out_dir ?seconds ~pool ~cases ~seed ()
+        Finepar_fuzz.Driver.run ~engine ?out_dir ?seconds ~pool ~cases ~seed ()
       in
       List.iter
         (fun (f : Finepar_fuzz.Driver.failure_report) ->
@@ -467,7 +493,7 @@ let fuzz_cmd =
           shrunk to minimal reproducers")
     Term.(
       const run $ cases_arg $ seconds_arg $ seed_arg $ out_dir_arg
-      $ summary_arg $ replay_arg $ jobs_arg)
+      $ summary_arg $ replay_arg $ jobs_arg $ engine_arg)
 
 let verify_cmd =
   let module Verify = Finepar_verify.Verify in
@@ -536,7 +562,7 @@ let verify_cmd =
           config e.Registry.kernel)
       [ 1; 2; 4 ]
   in
-  let verify_corpus dir =
+  let verify_corpus ~engine dir =
     let files = Finepar_fuzz.Corpus.files dir in
     if files = [] then begin
       incr failed;
@@ -548,7 +574,18 @@ let verify_cmd =
         | entry ->
           let case = entry.Finepar_fuzz.Corpus.case in
           verify_kernel path case.Finepar_fuzz.Gen.config
-            case.Finepar_fuzz.Gen.kernel
+            case.Finepar_fuzz.Gen.kernel;
+          (* Dynamic cross-check: the reproducer must still pass the
+             full oracle set under the selected simulation engine. *)
+          (match Finepar_fuzz.Oracle.check ~engine case with
+          | Finepar_fuzz.Oracle.Pass _ ->
+            Fmt.pr "OK   %-28s dynamic replay (%s engine)@." path
+              (Finepar_machine.Engine.to_string engine)
+          | Finepar_fuzz.Oracle.Fail f ->
+            incr failed;
+            Fmt.pr "FAIL %s: dynamic replay (%s engine): %a@." path
+              (Finepar_machine.Engine.to_string engine)
+              Finepar_fuzz.Oracle.pp_failure f)
         | exception e ->
           incr failed;
           Fmt.pr "FAIL %s: unreadable reproducer: %s@." path
@@ -601,7 +638,7 @@ let verify_cmd =
       [ Mutate.Drop_dequeue; Mutate.Swap_endpoints; Mutate.Reorder_enqueue ]
   in
   let run kernel all corpus smoke cores latency queue_len speculation
-      throughput =
+      throughput engine =
     failed := 0;
     let selected = ref false in
     (match kernel with
@@ -629,7 +666,7 @@ let verify_cmd =
     (match corpus with
     | Some dir ->
       selected := true;
-      verify_corpus dir
+      verify_corpus ~engine dir
     | None -> ());
     if smoke then begin
       selected := true;
@@ -655,7 +692,7 @@ let verify_cmd =
     Term.(
       const run $ kernel_opt_arg $ all_arg $ corpus_arg $ smoke_arg
       $ cores_arg $ latency_arg $ queue_len_arg $ speculation_arg
-      $ throughput_arg)
+      $ throughput_arg $ engine_arg)
 
 let classify_cmd =
   let run () =

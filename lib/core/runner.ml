@@ -21,13 +21,13 @@ exception Mismatch of string
     with the reference evaluator and {!Mismatch} is raised on any
     difference. *)
 let run_with_sim ?(check = true) ?(workload = []) ?core_map ?tracing
-    ?trace_capacity (c : Compiler.compiled) =
+    ?trace_capacity ?engine (c : Compiler.compiled) =
   let sim =
     Sim.create ?core_map ?tracing ?trace_capacity
       ~config:c.Compiler.config.Compiler.machine ~initial:workload
       c.Compiler.code.Finepar_codegen.Lower.program
   in
-  let cycles = Sim.run sim in
+  let cycles = Sim.run ?engine sim in
   let written = Stmt.arrays_written c.Compiler.kernel.Kernel.body in
   let result =
     {
@@ -68,28 +68,28 @@ let run_with_sim ?(check = true) ?(workload = []) ?core_map ?tracing
     },
     sim )
 
-let run ?check ?workload ?core_map ?tracing ?trace_capacity c =
-  fst (run_with_sim ?check ?workload ?core_map ?tracing ?trace_capacity c)
+let run ?check ?workload ?core_map ?tracing ?trace_capacity ?engine c =
+  fst (run_with_sim ?check ?workload ?core_map ?tracing ?trace_capacity ?engine c)
 
 (** Collect profile feedback by running the sequential version — the
     paper's profile-directed feedback loop (Sections III-B and III-I). *)
-let profile_feedback ?(machine = Config.default) ~workload kernel =
+let profile_feedback ?(machine = Config.default) ?engine ~workload kernel =
   let seq = Compiler.compile_sequential ~machine kernel in
-  let r = run ~check:false ~workload seq in
+  let r = run ~check:false ~workload ?engine seq in
   Finepar_analysis.Profile.of_counters r.load_counters
 
 (** Compile and run the sequential baseline and an [n]-core parallel
     version; returns (sequential run, parallel run, speedup). *)
 let speedup ?(machine = Config.default) ?(config = Compiler.default_config ())
-    ~workload ~cores kernel =
+    ?engine ~workload ~cores kernel =
   let config = { config with Compiler.machine; cores } in
   let seq = Compiler.compile_sequential ~machine kernel in
-  let seq_run = run ~workload seq in
+  let seq_run = run ~workload ?engine seq in
   let profile =
     Finepar_analysis.Profile.of_counters seq_run.load_counters
   in
   let par = Compiler.compile { config with Compiler.profile } kernel in
-  let par_run = run ~workload par in
+  let par_run = run ~workload ?engine par in
   let s = float_of_int seq_run.cycles /. float_of_int par_run.cycles in
   (seq_run, par_run, s)
 
@@ -105,9 +105,10 @@ type tuned = {
   candidates : (string * int) list;  (** configuration -> cycles *)
 }
 
-let autotune ?(machine = Config.default) ?(cores = 4) ?(workload = []) kernel =
+let autotune ?(machine = Config.default) ?(cores = 4) ?(workload = []) ?engine
+    kernel =
   let seq = Compiler.compile_sequential ~machine kernel in
-  let seq_run = run ~check:false ~workload seq in
+  let seq_run = run ~check:false ~workload ?engine seq in
   let profile = Finepar_analysis.Profile.of_counters seq_run.load_counters in
   let base = { (Compiler.default_config ~cores ()) with Compiler.machine; profile } in
   let candidates =
@@ -125,7 +126,7 @@ let autotune ?(machine = Config.default) ?(cores = 4) ?(workload = []) kernel =
     List.map
       (fun (name, config) ->
         let c = Compiler.compile config kernel in
-        let r = run ~workload c in
+        let r = run ~workload ?engine c in
         (name, c, r.cycles))
       candidates
   in

@@ -27,13 +27,17 @@ exception Mismatch of string
     @param tracing record per-cycle issue/stall events in the simulator's
       bounded ring buffer (default [false])
     @param trace_capacity ring capacity when tracing
-      (default {!Finepar_machine.Sim.default_trace_capacity}) *)
+      (default {!Finepar_machine.Sim.default_trace_capacity})
+    @param engine simulation engine (default
+      {!Finepar_machine.Engine.default}, the cycle stepper); both engines
+      are cycle-exact to each other *)
 val run :
   ?check:bool ->
   ?workload:Finepar_ir.Eval.workload ->
   ?core_map:int array ->
   ?tracing:bool ->
   ?trace_capacity:int ->
+  ?engine:Finepar_machine.Engine.t ->
   Compiler.compiled ->
   run
 
@@ -45,6 +49,7 @@ val run_with_sim :
   ?core_map:int array ->
   ?tracing:bool ->
   ?trace_capacity:int ->
+  ?engine:Finepar_machine.Engine.t ->
   Compiler.compiled ->
   run * Finepar_machine.Sim.t
 
@@ -52,6 +57,7 @@ val run_with_sim :
     paper's profile-directed feedback (Sections III-B, III-I). *)
 val profile_feedback :
   ?machine:Finepar_machine.Config.t ->
+  ?engine:Finepar_machine.Engine.t ->
   workload:Finepar_ir.Eval.workload ->
   Finepar_ir.Kernel.t ->
   Finepar_analysis.Profile.t
@@ -63,6 +69,7 @@ val profile_feedback :
 val speedup :
   ?machine:Finepar_machine.Config.t ->
   ?config:Compiler.config ->
+  ?engine:Finepar_machine.Engine.t ->
   workload:Finepar_ir.Eval.workload ->
   cores:int ->
   Finepar_ir.Kernel.t ->
@@ -87,5 +94,6 @@ val autotune :
   ?machine:Finepar_machine.Config.t ->
   ?cores:int ->
   ?workload:Finepar_ir.Eval.workload ->
+  ?engine:Finepar_machine.Engine.t ->
   Finepar_ir.Kernel.t ->
   tuned

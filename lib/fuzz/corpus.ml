@@ -25,16 +25,17 @@ let files dir =
 
 let load_file path = { path; case = Repro.load path }
 
-let replay_file ?compile path =
+let replay_file ?compile ?engine path =
   match load_file path with
-  | entry -> { entry; outcome = Ok (Oracle.check ?compile entry.case) }
+  | entry -> { entry; outcome = Ok (Oracle.check ?compile ?engine entry.case) }
   | exception (Repro.Parse_error msg | Finepar_ir.Kernel.Invalid msg) ->
     {
       entry = { path; case = Gen.case_of_seed 0 };
       outcome = Error msg;
     }
 
-let replay_dir ?compile dir = List.map (replay_file ?compile) (files dir)
+let replay_dir ?compile ?engine dir =
+  List.map (replay_file ?compile ?engine) (files dir)
 
 (** A short stable basename for a new corpus entry derived from the
     failing oracle and the seed that produced it. *)

@@ -76,14 +76,14 @@ type case_result = {
   cr_shrunk : (Gen.case * Oracle.failure) option;  (** on [Fail] *)
 }
 
-let run_case ?compile case_seed =
+let run_case ?compile ?engine case_seed =
   let case = Gen.case_of_seed case_seed in
   let has_if, has_indirect, has_int = case_features case in
-  let outcome = Oracle.check ?compile case in
+  let outcome = Oracle.check ?compile ?engine case in
   let shrunk =
     match outcome with
     | Oracle.Pass _ -> None
-    | Oracle.Fail failure -> Some (Shrink.shrink ?compile case failure)
+    | Oracle.Fail failure -> Some (Shrink.shrink ?compile ?engine case failure)
   in
   {
     cr_seed = case_seed;
@@ -103,7 +103,7 @@ let run_case ?compile case_seed =
     finished, not abandoned).  Failures are shrunk; when [out_dir] is
     given, each shrunk reproducer is saved there.  [on_case] is a
     progress hook, always called in case order on the calling domain. *)
-let run ?compile ?out_dir ?pool ?(seconds = infinity)
+let run ?compile ?engine ?out_dir ?pool ?(seconds = infinity)
     ?(on_case = fun _ _ -> ()) ~cases ~seed () =
   let started = Unix.gettimeofday () in
   let elapsed () = Unix.gettimeofday () -. started in
@@ -151,7 +151,7 @@ let run ?compile ?out_dir ?pool ?(seconds = infinity)
     let n = min batch (cases - !i) in
     let seeds = List.init n (fun k -> derive_seed ~root:seed (!i + k)) in
     List.iter absorb
-      (Finepar_exec.Pool.map_opt pool ~f:(run_case ?compile) seeds);
+      (Finepar_exec.Pool.map_opt pool ~f:(run_case ?compile ?engine) seeds);
     i := !i + n
   done;
   {

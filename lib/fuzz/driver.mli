@@ -30,6 +30,7 @@ val derive_seed : root:int -> int -> int
 
 val run :
   ?compile:Oracle.compile_fn ->
+  ?engine:Finepar_machine.Engine.t ->
   ?out_dir:string ->
   ?pool:Finepar_exec.Pool.t ->
   ?seconds:float ->

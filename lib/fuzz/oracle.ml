@@ -1,6 +1,6 @@
 (** The differential oracle set.
 
-    Every fuzzed case is checked against five independent oracles:
+    Every fuzzed case is checked against six independent oracles:
 
     - {b verifier accepts}: the static queue-protocol verifier
       ({!Finepar_verify.Verify}) accepts the generated code against the
@@ -12,6 +12,10 @@
       [cycles * threads], and queue occupancy respects capacity;
     - {b determinism}: a second run of the same compiled program on the
       same workload reproduces the cycle count and outputs;
+    - {b cross-engine}: the other simulation engine (cycle stepper vs
+      event-driven fast-forward, {!Finepar_machine.Engine}) reproduces
+      the cycle count, the architectural outputs, and the full telemetry
+      report;
     - {b cross-core agreement}: the same kernel compiled for one core
       produces the same observable results.
 
@@ -81,7 +85,15 @@ let telemetry_failure (sim : Sim.t) =
     sim.Sim.queues;
   !bad
 
-let check ?(compile : compile_fn = Finepar.Compiler.compile) (case : Gen.case) =
+(* The full telemetry report rendered to JSON: covers every counter,
+   stall-episode histogram and queue-occupancy histogram in one
+   comparable string. *)
+let report_json (r : Finepar.Runner.run) =
+  Finepar_telemetry.Json.to_string
+    (Finepar.Report.to_json r.Finepar.Runner.telemetry)
+
+let check ?(compile : compile_fn = Finepar.Compiler.compile)
+    ?(engine = Finepar_machine.Engine.default) (case : Gen.case) =
   let workload =
     Finepar_kernels.Workload.default ~seed:case.Gen.workload_seed case.Gen.kernel
   in
@@ -118,7 +130,7 @@ let check ?(compile : compile_fn = Finepar.Compiler.compile) (case : Gen.case) =
     else
     let n_threads = Array.length program.Program.cores in
     let core_map = Gen.materialize case.Gen.placement n_threads in
-    match Finepar.Runner.run_with_sim ~check:true ~workload ~core_map c with
+    match Finepar.Runner.run_with_sim ~check:true ~workload ~core_map ~engine c with
     | exception Finepar.Runner.Mismatch m -> fail "bit-exact" "%s" m
     | exception Sim.Stuck st -> (
       (* Classify how the simulator got stuck: a deadlock, exhausting
@@ -136,7 +148,7 @@ let check ?(compile : compile_fn = Finepar.Compiler.compile) (case : Gen.case) =
       | None -> (
         (* Determinism: same compiled program, same workload, fresh
            simulator state. *)
-        match Finepar.Runner.run ~check:false ~workload ~core_map c with
+        match Finepar.Runner.run ~check:false ~workload ~core_map ~engine c with
         | exception e ->
           fail "determinism" "second run raised %s" (Printexc.to_string e)
         | run2 ->
@@ -146,7 +158,40 @@ let check ?(compile : compile_fn = Finepar.Compiler.compile) (case : Gen.case) =
           else if
             not (Eval.result_equal run1.Finepar.Runner.result run2.Finepar.Runner.result)
           then fail "determinism" "results differ across identical runs"
-          else
+          else (
+            (* Cross-engine: the other engine must be cycle-exact —
+               same cycle count, same architectural outputs, same
+               telemetry report (the report JSON covers every counter
+               and histogram). *)
+            let other =
+              match engine with
+              | Finepar_machine.Engine.Cycle -> Finepar_machine.Engine.Event
+              | Finepar_machine.Engine.Event -> Finepar_machine.Engine.Cycle
+            in
+            match
+              Finepar.Runner.run ~check:false ~workload ~core_map
+                ~engine:other c
+            with
+            | exception e ->
+              fail "cross-engine" "%s engine raised %s"
+                (Finepar_machine.Engine.to_string other)
+                (Printexc.to_string e)
+            | run_other ->
+            if run1.Finepar.Runner.cycles <> run_other.Finepar.Runner.cycles
+            then
+              fail "cross-engine" "cycle counts differ: %s %d vs %s %d"
+                (Finepar_machine.Engine.to_string engine)
+                run1.Finepar.Runner.cycles
+                (Finepar_machine.Engine.to_string other)
+                run_other.Finepar.Runner.cycles
+            else if
+              not
+                (Eval.result_equal run1.Finepar.Runner.result
+                   run_other.Finepar.Runner.result)
+            then fail "cross-engine" "results differ across engines"
+            else if report_json run1 <> report_json run_other then
+              fail "cross-engine" "telemetry reports differ across engines"
+            else
             (* Cross-core agreement: one-core compilation of the same
                kernel must observe the same live-outs and arrays. *)
             let config1 = { case.Gen.config with Finepar.Compiler.cores = 1 } in
@@ -154,7 +199,7 @@ let check ?(compile : compile_fn = Finepar.Compiler.compile) (case : Gen.case) =
             | exception e ->
               fail "cross-core" "1-core compile raised %s" (Printexc.to_string e)
             | c1 -> (
-              match Finepar.Runner.run ~check:true ~workload c1 with
+              match Finepar.Runner.run ~check:true ~workload ~engine c1 with
               | exception e ->
                 fail "cross-core" "1-core run raised %s" (Printexc.to_string e)
               | run_1core ->
@@ -176,6 +221,6 @@ let check ?(compile : compile_fn = Finepar.Compiler.compile) (case : Gen.case) =
                       instrs = run1.Finepar.Runner.instrs;
                       speculated_ifs =
                         c.Finepar.Compiler.stats.Finepar.Compiler.speculated_ifs;
-                    })))))
+                    }))))))
 
 let pp_failure ppf f = Fmt.pf ppf "[%s] %s" f.oracle f.message

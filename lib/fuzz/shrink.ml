@@ -417,9 +417,9 @@ let max_steps = 10_000
 (** Minimize a failing case; [failure] is the outcome the case is known
     to produce.  Returns the smallest case found together with its
     (same-oracle) failure. *)
-let shrink ?compile (case : Gen.case) (failure : Oracle.failure) =
+let shrink ?compile ?engine (case : Gen.case) (failure : Oracle.failure) =
   let still_fails candidate =
-    match Oracle.check ?compile candidate with
+    match Oracle.check ?compile ?engine candidate with
     | Oracle.Fail f when String.equal f.Oracle.oracle failure.Oracle.oracle -> Some f
     | Oracle.Pass _ | Oracle.Fail _ -> None
   in

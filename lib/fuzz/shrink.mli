@@ -12,6 +12,7 @@ val kernel_candidates : Finepar_ir.Kernel.t -> Finepar_ir.Kernel.t list
 
 val shrink :
   ?compile:Oracle.compile_fn ->
+  ?engine:Finepar_machine.Engine.t ->
   Gen.case ->
   Oracle.failure ->
   Gen.case * Oracle.failure

@@ -57,6 +57,7 @@ type stuck = {
 exception Stuck of stuck
 
 module Telemetry = Finepar_telemetry
+module Engine = Engine
 
 type queue_state = {
   spec : Isa.queue_spec;
@@ -577,24 +578,69 @@ let () =
     | Stuck st -> Some ("Finepar_machine.Sim.Stuck: " ^ stuck_message st)
     | _ -> None)
 
-(** Run the program to completion; returns the cycle count of the last
-    core to halt.  Raises {!Stuck} on deadlock (no core can make progress
-    for [queue length * transfer latency + slack] consecutive cycles) or
-    when [max_cycles] is reached (inclusive bound: a run executes at most
-    [max_cycles] cycles). *)
-let run t =
+(* No core issued for [queue length * transfer latency + slack]
+   consecutive cycles => deadlock.  Both engines use the same window, and
+   the event engine's fast-forward jumps never cross the resulting
+   deadline, so Stuck payloads are identical. *)
+let deadlock_window t =
+  (t.config.Config.queue_len * max 1 t.config.Config.transfer_latency)
+  + t.config.Config.mem_latency + 1000
+
+(** One simulated cycle, shared verbatim by both engines: SMT round-robin
+    arbitration with issue attempts, then classification of the cores
+    that never got an attempt.  [step_core] accounts every attempted core
+    (issue or stall counter); the second pass classifies the rest, so
+    every (core, cycle) lands in exactly one counter.  [attempted] is
+    caller-owned scratch of length [cores], reused across cycles.
+    Returns [true] iff any instruction issued. *)
+let step_cycle t attempted cy =
   let n = Array.length t.program.Program.cores in
+  let progressed = ref false in
+  Array.fill attempted 0 n false;
+  (* Each physical core issues at most one instruction per cycle; its
+     hardware threads arbitrate round-robin (SMT sharing when several
+     logical cores map to one physical core). *)
+  Array.iteri
+    (fun phys threads ->
+      let k = List.length threads in
+      if k > 0 then begin
+        let arr = Array.of_list threads in
+        let issued = ref false in
+        for j = 0 to k - 1 do
+          let core = arr.((t.rr.(phys) + j) mod k) in
+          if
+            (not !issued)
+            && (not t.halted.(core))
+            && t.min_issue.(core) <= cy
+          then begin
+            attempted.(core) <- true;
+            if step_core t core cy then begin
+              issued := true;
+              t.rr.(phys) <- (t.rr.(phys) + j + 1) mod k;
+              progressed := true
+            end
+          end
+        done
+      end)
+    t.threads_of;
+  for core = 0 to n - 1 do
+    if not attempted.(core) then begin
+      let stats = t.stats.(core) in
+      if t.halted.(core) then
+        stats.idle_after_halt <- stats.idle_after_halt + 1
+      else if t.min_issue.(core) > cy then
+        stats.branch_wait <- stats.branch_wait + 1
+      else stats.smt_wait <- stats.smt_wait + 1
+    end
+  done;
+  !progressed
+
+(** The reference engine: every core, every cycle. *)
+let run_cycle t =
   let cy = ref 0 in
   let last_progress = ref 0 in
-  let deadlock_window =
-    (t.config.Config.queue_len * max 1 t.config.Config.transfer_latency)
-    + t.config.Config.mem_latency + 1000
-  in
-  (* Per-cycle issue-attempt marks, reused across cycles.  [step_core]
-     accounts every attempted core (issue or stall counter); the
-     second pass below classifies the cores that were never attempted, so
-     every (core, cycle) lands in exactly one counter. *)
-  let attempted = Array.make n false in
+  let deadlock_window = deadlock_window t in
+  let attempted = Array.make (Array.length t.program.Program.cores) false in
   while not (all_halted t) do
     (* Keep [t.cycles] current so fault/deadlock snapshots carry the
        cycle they happened at; it is overwritten with the final count
@@ -604,54 +650,170 @@ let run t =
       raise
         (Stuck
            (snapshot t (Max_cycles { limit = t.config.Config.max_cycles })));
-    let progressed = ref false in
-    Array.fill attempted 0 n false;
-    (* Each physical core issues at most one instruction per cycle; its
-       hardware threads arbitrate round-robin (SMT sharing when several
-       logical cores map to one physical core). *)
-    Array.iteri
-      (fun phys threads ->
-        let k = List.length threads in
-        if k > 0 then begin
-          let arr = Array.of_list threads in
-          let issued = ref false in
-          for j = 0 to k - 1 do
-            let core = arr.((t.rr.(phys) + j) mod k) in
-            if
-              (not !issued)
-              && (not t.halted.(core))
-              && t.min_issue.(core) <= !cy
-            then begin
-              attempted.(core) <- true;
-              if step_core t core !cy then begin
-                issued := true;
-                t.rr.(phys) <- (t.rr.(phys) + j + 1) mod k;
-                progressed := true
-              end
-            end
-          done
-        end)
-      t.threads_of;
-    for core = 0 to n - 1 do
-      if not attempted.(core) then begin
-        let stats = t.stats.(core) in
-        if t.halted.(core) then
-          stats.idle_after_halt <- stats.idle_after_halt + 1
-        else if t.min_issue.(core) > !cy then
-          stats.branch_wait <- stats.branch_wait + 1
-        else stats.smt_wait <- stats.smt_wait + 1
-      end
-    done;
-    if !progressed then last_progress := !cy;
+    if step_cycle t attempted !cy then last_progress := !cy;
     if !cy - !last_progress > deadlock_window then
       raise (Stuck (snapshot t (Deadlock { window = deadlock_window })));
     incr cy
+  done;
+  for core = 0 to Array.length t.program.Program.cores - 1 do
+    flush_stall_run t core
+  done;
+  t.cycles <- !cy;
+  !cy
+
+(* A blocked core's issue conditions, read off the frozen machine state
+   at the end of a quiescent cycle (mirrors the checks in [step_core] and
+   [wait_of]).  A core whose pc ran off its code profiles as [Free] with
+   no operand wait: the engine then jumps to its [min_issue], where
+   [step_core] raises the same fault the stepper would. *)
+let profile_of t core =
+  let prog = t.program.Program.cores.(core) in
+  let pc = t.pc.(core) in
+  let min_issue = t.min_issue.(core) in
+  if pc >= Array.length prog.Program.code then
+    { Engine.pr_min_issue = min_issue; pr_operands_at = 0; pr_gate = Engine.Free }
+  else
+    let instr = prog.Program.code.(pc) in
+    let ready = t.reg_ready.(core) in
+    let operands_at =
+      List.fold_left (fun acc r -> max acc ready.(r)) 0 (Isa.srcs instr)
+    in
+    let gate =
+      match instr with
+      | Isa.Enq (q, _)
+        when Queue.length t.queues.(q).items >= t.config.Config.queue_len ->
+        Engine.External
+      | Isa.Deq (_, q) -> (
+        match Queue.peek_opt t.queues.(q).items with
+        | Some (_, visible_at) -> Engine.Head_at visible_at
+        | None -> Engine.External)
+      | _ -> Engine.Free
+    in
+    { Engine.pr_min_issue = min_issue; pr_operands_at = operands_at; pr_gate = gate }
+
+(* [count] consecutive cycles blocked on [reason], starting at
+   [first_cycle]: exactly [note_stall] applied [count] times — per-class
+   counter, stall-episode run, per-fiber attribution, and (when tracing)
+   one [Ev_stall] per skipped cycle so traces carry the same events. *)
+let bulk_stall t core ~pc ~reason ~count ~first_cycle =
+  let stats = t.stats.(core) in
+  (match reason with
+  | Telemetry.Stall.Operand ->
+    stats.stall_operand <- stats.stall_operand + count
+  | Telemetry.Stall.Queue_full _ ->
+    stats.stall_queue_full <- stats.stall_queue_full + count
+  | Telemetry.Stall.Queue_empty _ ->
+    stats.stall_queue_empty <- stats.stall_queue_empty + count);
+  let cls = Telemetry.Stall.class_index reason in
+  if t.stall_run_class.(core) = cls then
+    t.stall_run_len.(core) <- t.stall_run_len.(core) + count
+  else begin
+    flush_stall_run t core;
+    t.stall_run_class.(core) <- cls;
+    t.stall_run_len.(core) <- count
+  end;
+  let slot = fiber_slot t core pc in
+  t.fiber_stall.(slot) <- t.fiber_stall.(slot) + count;
+  if t.tracing then
+    for i = 0 to count - 1 do
+      Telemetry.Ring.push t.trace
+        (Ev_stall { core; cycle = first_cycle + i; pc; reason })
+    done
+
+(* Credit the quiescent window [from, until) to every core, exactly as
+   the stepper would have: idle for halted cores; otherwise the
+   branch-wait / operand-stall / queue-stall split of [Engine.segments]
+   (sound because the caller guarantees [until <= wake] for every
+   non-halted core). *)
+let credit_quiescent t ~from ~until =
+  if until > from then
+    for core = 0 to Array.length t.program.Program.cores - 1 do
+      let stats = t.stats.(core) in
+      if t.halted.(core) then
+        stats.idle_after_halt <- stats.idle_after_halt + (until - from)
+      else begin
+        let p = profile_of t core in
+        let n_branch, n_operand, n_queue = Engine.segments p ~from ~until in
+        stats.branch_wait <- stats.branch_wait + n_branch;
+        let pc = t.pc.(core) in
+        if n_operand > 0 then
+          bulk_stall t core ~pc ~reason:Telemetry.Stall.Operand
+            ~count:n_operand ~first_cycle:(from + n_branch);
+        if n_queue > 0 then begin
+          let reason =
+            match t.program.Program.cores.(core).Program.code.(pc) with
+            | Isa.Enq (q, _) -> Telemetry.Stall.Queue_full q
+            | Isa.Deq (_, q) -> Telemetry.Stall.Queue_empty q
+            | _ -> assert false (* only queue gates leave a third segment *)
+          in
+          bulk_stall t core ~pc ~reason ~count:n_queue
+            ~first_cycle:(from + n_branch + n_operand)
+        end
+      end
+    done
+
+(** The event-driven engine: cycles where an instruction issues are
+    stepped one by one (issue order, SMT arbitration and cache state must
+    follow the reference exactly); a cycle where nothing issues proves
+    the machine quiescent, so the engine computes every core's wake time
+    and jumps to the earliest one, bulk-crediting the skipped cycles.
+    Jumps are clamped to the deadlock deadline and the cycle budget so
+    [Stuck] fires at the same cycle with the same payload as the
+    stepper. *)
+let run_event t =
+  let n = Array.length t.program.Program.cores in
+  let cy = ref 0 in
+  let last_progress = ref 0 in
+  let deadlock_window = deadlock_window t in
+  let attempted = Array.make n false in
+  while not (all_halted t) do
+    t.cycles <- !cy;
+    if !cy >= t.config.Config.max_cycles then
+      raise
+        (Stuck
+           (snapshot t (Max_cycles { limit = t.config.Config.max_cycles })));
+    if step_cycle t attempted !cy then begin
+      last_progress := !cy;
+      incr cy
+    end
+    else begin
+      if !cy - !last_progress > deadlock_window then
+        raise (Stuck (snapshot t (Deadlock { window = deadlock_window })));
+      let wake = ref Engine.Never in
+      for core = 0 to n - 1 do
+        if not t.halted.(core) then
+          wake := Engine.min_wake !wake (Engine.wake (profile_of t core))
+      done;
+      (* The machine is quiescent: nothing can change before the earliest
+         wake, the deadlock deadline, or the cycle budget — whichever
+         comes first.  Every wake is > [cy] (an issuable core would have
+         issued or faulted in [step_cycle] above), so the jump always
+         moves forward. *)
+      let deadline = !last_progress + deadlock_window + 1 in
+      let target =
+        match !wake with
+        | Engine.Never -> min deadline t.config.Config.max_cycles
+        | Engine.At w -> min (min w deadline) t.config.Config.max_cycles
+      in
+      assert (target > !cy);
+      credit_quiescent t ~from:(!cy + 1) ~until:target;
+      cy := target
+    end
   done;
   for core = 0 to n - 1 do
     flush_stall_run t core
   done;
   t.cycles <- !cy;
   !cy
+
+(** Run the program to completion; returns the cycle count of the last
+    core to halt.  Raises {!Stuck} on deadlock (no core can make progress
+    for [queue length * transfer latency + slack] consecutive cycles) or
+    when [max_cycles] is reached (inclusive bound: a run executes at most
+    [max_cycles] cycles).  Both engines implement identical semantics
+    (see {!Engine}); [Engine.Event] only runs faster. *)
+let run ?(engine = Engine.default) t =
+  match engine with Engine.Cycle -> run_cycle t | Engine.Event -> run_event t
 
 (** Final contents of a named array. *)
 let array_contents t name =

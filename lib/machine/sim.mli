@@ -20,6 +20,10 @@
 
 module Telemetry = Finepar_telemetry
 
+module Engine = Engine
+(** Engine selection for {!run}: the reference cycle stepper or the
+    cycle-exact event-driven fast-forward engine. *)
+
 (** What a non-halted core is waiting on when the simulator gives up. *)
 type wait =
   | Wait_queue_full of int  (** blocked enqueue: queue id *)
@@ -169,7 +173,12 @@ val pp_wait : Format.formatter -> wait -> unit
 val pp_blocked_core : Format.formatter -> blocked_core -> unit
 val pp_queue_occupancy : Format.formatter -> queue_occupancy -> unit
 
-val run : t -> int
+val run : ?engine:Engine.t -> t -> int
+(** Run to completion under the selected engine ([Engine.default], the
+    cycle stepper, when omitted); returns the final cycle count.  Both
+    engines are cycle-exact to each other: identical cycle counts,
+    architectural outputs, telemetry, and {!Stuck} payloads. *)
+
 val array_contents : t -> String.t -> Finepar_ir.Types.value array
 val reg_value : t -> int -> int -> Finepar_ir.Types.value
 val load_counters : t -> (string * int * int) list

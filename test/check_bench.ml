@@ -20,7 +20,13 @@
    a semantic change to the compiler or simulator and fails the gate.
    Wall-clock numbers (the bechamel "wallclock" section, and the
    --current-seconds / --speedup gates) are machine-dependent and get
-   the tolerance instead. *)
+   the tolerance instead.
+
+   The "engines" section (simulation-engine throughput on the fuzz
+   corpus) is also machine-dependent: it is never compared exactly;
+   instead its event_speedup is gated against meta.min_event_speedup
+   when the baseline carries one, and the per-engine throughput is
+   reported in the job summary. *)
 
 module J = Finepar_telemetry.Json
 
@@ -151,6 +157,22 @@ let markdown ~out ~cur ~speedup =
         | _ -> ());
         p "\n(paper: 1.32 / 2.05 average)\n"
       | None -> ());
+      (match Option.bind (find "sections" cur) (find "engines") with
+      | Some e ->
+        p "\n### Simulation engines (fuzz-corpus replay)\n\n";
+        p "| engine | simulated cycles/second |\n|---|---|\n";
+        (match
+           ( Option.bind (find "cycle_cycles_per_second" e) num,
+             Option.bind (find "event_cycles_per_second" e) num )
+         with
+        | Some c, Some ev ->
+          p "| cycle | %.0f |\n| event | %.0f |\n" c ev
+        | _ -> ());
+        (match Option.bind (find "event_speedup" e) num with
+        | Some s ->
+          p "\nEvent-engine sim-throughput speedup: **%.2fx**\n" s
+        | None -> ())
+      | None -> ());
       if !failures = [] then p "\nAll paper-accuracy numbers match the baseline.\n"
       else begin
         p "\n### Failures\n\n";
@@ -193,12 +215,15 @@ let () =
       | Some c ->
         if String.equal name "wallclock" then
           compare_wallclock ~tolerance b c
+        else if String.equal name "engines" then
+          (* Machine-dependent throughput: gated via meta below. *)
+          ()
         else compare_exact name b c)
     (obj_assoc base_sections);
   List.iter
     (fun (name, _) ->
-      if find name base_sections = None then
-        note "section %S not in baseline (refresh bench/baseline.json)" name)
+      if find name base_sections = None && not (String.equal name "engines")
+      then note "section %S not in baseline (refresh bench/baseline.json)" name)
     (obj_assoc cur_sections);
   let meta = Option.value ~default:(J.Obj []) (find "meta" base) in
   (match (cur_seconds, Option.bind (find "par_seconds" meta) num) with
@@ -223,6 +248,24 @@ let () =
     else note "parallel harness speedup %.2fx (gate: >= %.2fx)" s m
   | Some s, None -> note "parallel harness speedup %.2fx (no gate)" s
   | None, _ -> ());
+  (* The engines section: event-engine sim-throughput speedup over the
+     cycle stepper on the fuzz corpus, gated against
+     meta.min_event_speedup when the baseline records one. *)
+  (match find "engines" cur_sections with
+  | None -> ()
+  | Some e -> (
+    let fnum k = Option.bind (find k e) num in
+    match (fnum "event_speedup", Option.bind (find "min_event_speedup" meta) num)
+    with
+    | Some s, Some m ->
+      if s < m then
+        fail "event-engine sim-throughput speedup %.2fx below the %.2fx gate"
+          s m
+      else
+        note "event-engine sim-throughput speedup %.2fx (gate: >= %.2fx)" s m
+    | Some s, None ->
+      note "event-engine sim-throughput speedup %.2fx (no gate)" s
+    | None, _ -> fail "engines section has no event_speedup number"));
   (match md with
   | Some out -> markdown ~out ~cur ~speedup
   | None -> ());

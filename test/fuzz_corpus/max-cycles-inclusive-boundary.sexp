@@ -1,0 +1,84 @@
+(case
+ (kernel
+  (name fuzz)
+  (index i)
+  (lo 0)
+  (hi 11)
+  (arrays (a f64 23) (b f64 14) (out f64 16) (iout i64 13))
+  (scalars
+   (p f64 (f 0x1.dcdfa508ebad8p-2))
+   (q f64 (f 0x1.79656b5677ceap+0))
+   (k i64 (i -1)))
+  (body
+   (assign
+    x1
+    (binop add (unop neg (load a (var i))) (unop sqrt (unop abs (var p)))))
+   (store out (var i) (binop sub (load b (var i)) (var q)))
+   (store out (var i) (unop abs (binop sub (var p) (var p))))
+   (store
+    out
+    (var i)
+    (binop
+     div
+     (select (binop gt (var i) (const (i -3))) (var x1) (var x1))
+     (unop abs (var x1))))
+   (if
+    (binop
+     eq
+     (unop to_int (const (f 0x1.65521cc9afb24p-1)))
+     (binop eq (var i) (const (i -4))))
+    ((store
+      out
+      (var i)
+      (binop
+       min
+       (binop mul (var p) (load b (var i)))
+       (select
+        (binop eq (const (f -0x1.59a2f13b7be5p+0)) (var q))
+        (var p)
+        (load a (var i)))))
+     (assign
+      m2
+      (binop
+       sub
+       (binop div (var x1) (const (f 0x1.25fa2c4667a28p-1)))
+       (select (binop le (const (i 1)) (var i)) (load b (var i)) (var q)))))
+    ((store
+      iout
+      (var i)
+      (binop shl (binop min (var i) (const (i 6))) (const (i 1))))
+     (assign m2 (var x1))))
+   (store
+    out
+    (var i)
+    (unop
+     abs
+     (binop
+      div
+      (load a (var i))
+      (binop
+       add
+       (unop abs (const (f -0x1.9b4bdf11ab2dp-3)))
+       (const (f 0x1p+0)))))))
+  (live_out q))
+ (config
+  (cores 4)
+  (max_height 2)
+  (algorithm greedy)
+  (throughput true)
+  (max_queue_pairs none)
+  (speculation true)
+  (machine
+   (queue_len 8)
+   (transfer_latency 20)
+   (l1_bytes 2048)
+   (l1_line 64)
+   (l2_bytes 65536)
+   (l1_hit 2)
+   (l2_hit 12)
+   (mem_latency 80)
+   (branch_taken_penalty 1)
+   (deq_latency 1)
+   (max_cycles 2709)))
+ (placement identity)
+ (workload_seed 891))

@@ -1,0 +1,443 @@
+(* Differential tests for the two simulation engines: the cycle stepper
+   (the reference semantics) and the event-driven fast-forward engine
+   must be cycle-exact to each other — identical final cycle counts,
+   bit-identical architectural outputs, identical telemetry reports
+   (every counter, stall-episode histogram and queue-occupancy
+   histogram) and identical structured [Stuck] payloads.  Covered here:
+
+   - the full kernel registry x {2, 4} cores x {default,
+     high-transfer-latency, SMT core_map} configurations;
+   - the checked-in fuzz corpus, each case under its own recorded
+     configuration and placement;
+   - hand-built deadlock / max-cycles / boundary programs (Stuck payload
+     equality, including the cycle the simulator gave up at);
+   - a latency-dominated pipeline where almost the whole run is
+     fast-forwarded, checking every per-core counter survives the jump;
+   - the pure fast-forward scheduling math (Engine.wake / segments);
+   - a qcheck property over random lib/fuzz cases: cross-engine
+     equality plus the per-core accounting invariant under both
+     engines. *)
+
+open Finepar_ir
+open Finepar_machine
+module Compiler = Finepar.Compiler
+module Runner = Finepar.Runner
+module Registry = Finepar_kernels.Registry
+
+let engines = [ Engine.Cycle; Engine.Event ]
+
+let report_json (r : Runner.run) =
+  Finepar_telemetry.Json.to_string (Finepar.Report.to_json r.Runner.telemetry)
+
+let check_pair what (a : Runner.run) (b : Runner.run) =
+  Alcotest.(check int) (what ^ ": cycle counts equal") a.Runner.cycles
+    b.Runner.cycles;
+  Alcotest.(check bool)
+    (what ^ ": outputs bit-identical")
+    true
+    (Eval.result_equal a.Runner.result b.Runner.result);
+  Alcotest.(check string)
+    (what ^ ": telemetry reports identical")
+    (report_json a) (report_json b)
+
+(* ------------------------------------------------------------------ *)
+(* Registry differential sweep.                                        *)
+
+(* The three machine/placement variants.  The SMT variant packs the
+   program's hardware threads two-per-physical-core; the map is sized
+   from the compiled program because the partitioner can produce fewer
+   threads than the requested core count. *)
+let variants =
+  [
+    ("default", Config.default, false);
+    ("transfer-latency-50", Config.with_transfer_latency 50 Config.default,
+     false);
+    ("smt", Config.default, true);
+  ]
+
+let registry_sweep (e : Registry.entry) () =
+  List.iter
+    (fun cores ->
+      List.iter
+        (fun (vname, machine, smt) ->
+          let config =
+            { (Compiler.default_config ~cores ()) with Compiler.machine }
+          in
+          let c = Compiler.compile config e.Registry.kernel in
+          let n_threads =
+            Array.length
+              c.Compiler.code.Finepar_codegen.Lower.program
+                .Finepar_machine.Program.cores
+          in
+          let core_map =
+            if smt then
+              Some (Array.init n_threads (fun i -> i mod max 1 (n_threads / 2)))
+            else None
+          in
+          let what =
+            Printf.sprintf "%s cores=%d %s" e.Registry.kernel.Kernel.name cores
+              vname
+          in
+          match
+            List.map
+              (fun engine ->
+                Runner.run ~workload:e.Registry.workload ?core_map ~engine c)
+              engines
+          with
+          | [ cy; ev ] -> check_pair what cy ev
+          | _ -> assert false)
+        variants)
+    [ 2; 4 ]
+
+let registry_cases =
+  List.map
+    (fun (e : Registry.entry) ->
+      Alcotest.test_case e.Registry.kernel.Kernel.name `Quick
+        (registry_sweep e))
+    Registry.all
+
+(* ------------------------------------------------------------------ *)
+(* Fuzz corpus differential.                                           *)
+
+let test_corpus_differential () =
+  let files = Finepar_fuzz.Corpus.files "fuzz_corpus" in
+  Alcotest.(check bool) "corpus present" true (files <> []);
+  List.iter
+    (fun path ->
+      let entry = Finepar_fuzz.Corpus.load_file path in
+      let case = entry.Finepar_fuzz.Corpus.case in
+      let c =
+        Compiler.compile case.Finepar_fuzz.Gen.config
+          case.Finepar_fuzz.Gen.kernel
+      in
+      let n_threads =
+        Array.length
+          c.Compiler.code.Finepar_codegen.Lower.program
+            .Finepar_machine.Program.cores
+      in
+      let core_map =
+        Finepar_fuzz.Gen.materialize case.Finepar_fuzz.Gen.placement n_threads
+      in
+      let workload =
+        Finepar_kernels.Workload.default
+          ~seed:case.Finepar_fuzz.Gen.workload_seed case.Finepar_fuzz.Gen.kernel
+      in
+      match
+        List.map
+          (fun engine -> Runner.run ~check:false ~workload ~core_map ~engine c)
+          engines
+      with
+      | [ cy; ev ] -> check_pair (Filename.basename path) cy ev
+      | _ -> assert false)
+    files
+
+(* ------------------------------------------------------------------ *)
+(* Stuck payload equality.                                             *)
+
+(* Run [program] under one engine; returns the structured Stuck payload
+   and the partial-run simulator, or the cycle count if it finished. *)
+let stuck_of ?(config = Config.default) program engine =
+  let sim = Sim.create ~config ~initial:[] program in
+  match Sim.run ~engine sim with
+  | cycles -> Error cycles
+  | exception Sim.Stuck st -> Ok (st, sim)
+
+let check_stuck_pair what ?config program =
+  match
+    ( stuck_of ?config program Engine.Cycle,
+      stuck_of ?config program Engine.Event )
+  with
+  | Ok (a, sim_a), Ok (b, sim_b) ->
+    Alcotest.(check int) (what ^ ": stuck at the same cycle") a.Sim.st_cycle
+      b.Sim.st_cycle;
+    Alcotest.(check string)
+      (what ^ ": identical stuck message")
+      (Sim.stuck_message a) (Sim.stuck_message b);
+    Alcotest.(check bool)
+      (what ^ ": identical blocked set")
+      true
+      (a.Sim.st_blocked = b.Sim.st_blocked);
+    Alcotest.(check bool)
+      (what ^ ": identical queue occupancies")
+      true
+      (a.Sim.st_queues = b.Sim.st_queues);
+    (* The partial run's accounting must also agree, per core. *)
+    Array.iteri
+      (fun i (sa : Sim.core_stats) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: core %d stats equal" what i)
+          true
+          (sa = sim_b.Sim.stats.(i)))
+      sim_a.Sim.stats
+  | Error cy_a, Error cy_b ->
+    Alcotest.failf "%s: expected Stuck, both engines finished (%d, %d)" what
+      cy_a cy_b
+  | Ok _, Error cy | Error cy, Ok _ ->
+    Alcotest.failf "%s: one engine finished in %d cycles, the other got stuck"
+      what cy
+
+let test_deadlock_payloads () =
+  (* A consumer dequeuing from a queue that is never fed. *)
+  let starved =
+    Helpers.two_cores ~queues:Helpers.q01
+      (fun bb -> Program.Builder.emit bb Isa.Halt)
+      (fun bb ->
+        let open Program.Builder in
+        let d = fresh_reg bb in
+        emit bb (Isa.Deq (d, 0));
+        emit bb Isa.Halt)
+  in
+  check_stuck_pair "starved consumer" starved;
+  (* Crossed dependency: each core first dequeues what the other has not
+     yet sent — a two-core wait-for cycle. *)
+  let crossed =
+    Helpers.two_cores
+      ~queues:
+        [|
+          { Isa.src = 0; dst = 1; cls = Isa.Qint };
+          { Isa.src = 1; dst = 0; cls = Isa.Qint };
+        |]
+      (fun bb ->
+        let open Program.Builder in
+        let d = fresh_reg bb in
+        emit bb (Isa.Deq (d, 1));
+        emit bb (Isa.Enq (0, d));
+        emit bb Isa.Halt)
+      (fun bb ->
+        let open Program.Builder in
+        let d = fresh_reg bb in
+        emit bb (Isa.Deq (d, 0));
+        emit bb (Isa.Enq (1, d));
+        emit bb Isa.Halt)
+  in
+  check_stuck_pair "crossed dequeues" crossed
+
+let infinite_loop =
+  Helpers.one_core (fun bb ->
+      let open Program.Builder in
+      let r = fresh_reg bb in
+      emit bb (Isa.Li (r, Types.VInt 1));
+      let top = fresh_label bb in
+      place_label bb top;
+      emit bb (Isa.Bin (Types.Add, r, r, r));
+      emit bb (Isa.Jmp top))
+
+let test_max_cycles_payloads () =
+  let config = { Config.default with Config.max_cycles = 50 } in
+  check_stuck_pair "max-cycles budget" ~config infinite_loop
+
+let test_max_cycles_boundary () =
+  (* A run that halts in exactly max_cycles completes under both engines
+     (the budget is an inclusive bound); one cycle less and both raise at
+     the same cycle. *)
+  let program =
+    Helpers.one_core (fun bb ->
+        let open Program.Builder in
+        let r = fresh_reg bb in
+        emit bb (Isa.Li (r, Types.VInt 41));
+        emit bb (Isa.Un (Types.Neg, r, r));
+        emit bb Isa.Halt)
+  in
+  let _, cycles = Helpers.run program in
+  let config = { Config.default with Config.max_cycles = cycles } in
+  List.iter
+    (fun engine ->
+      let _, cy = Helpers.run ~config ~engine program in
+      Alcotest.(check int)
+        (Printf.sprintf "%s engine finishes on the boundary"
+           (Engine.to_string engine))
+        cycles cy)
+    engines;
+  let tight = { Config.default with Config.max_cycles = cycles - 1 } in
+  check_stuck_pair "one below the boundary" ~config:tight program
+
+(* ------------------------------------------------------------------ *)
+(* Fast-forward behaviour on a latency-dominated pipeline.              *)
+
+let test_fast_forward_counters () =
+  (* One value crosses a transfer_latency=100 queue: the consumer's wait
+     is almost entirely fast-forwardable, and every counter the stepper
+     records must survive the jump unchanged. *)
+  let config =
+    { (Config.with_transfer_latency 100 Config.default) with
+      Config.queue_len = 1
+    }
+  in
+  let program =
+    Helpers.two_cores ~queues:Helpers.q01
+      (fun bb ->
+        let open Program.Builder in
+        let r = fresh_reg bb in
+        emit bb (Isa.Li (r, Types.VInt 7));
+        emit bb (Isa.Enq (0, r));
+        emit bb Isa.Halt)
+      (fun bb ->
+        let open Program.Builder in
+        let d = fresh_reg bb and e = fresh_reg bb in
+        emit bb (Isa.Deq (d, 0));
+        emit bb (Isa.Bin (Types.Add, e, d, d));
+        emit bb Isa.Halt)
+  in
+  let sim_c, cy_c = Helpers.run ~config ~engine:Engine.Cycle program in
+  let sim_e, cy_e = Helpers.run ~config ~engine:Engine.Event program in
+  Alcotest.(check int) "cycle counts equal" cy_c cy_e;
+  Alcotest.(check bool) "consumer waited out the transfer latency" true
+    (sim_c.Sim.stats.(1).Sim.stall_queue_empty > 90);
+  Array.iteri
+    (fun i (sc : Sim.core_stats) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "core %d stats equal" i)
+        true
+        (sc = sim_e.Sim.stats.(i)))
+    sim_c.Sim.stats;
+  Alcotest.(check bool) "stall-episode histograms equal" true
+    (Array.for_all2
+       (fun a b ->
+         Finepar_telemetry.Histogram.buckets a
+         = Finepar_telemetry.Histogram.buckets b)
+       sim_c.Sim.stall_hist sim_e.Sim.stall_hist);
+  Alcotest.(check bool) "dequeued value identical" true
+    (Types.value_equal (Sim.reg_value sim_c 1 1) (Sim.reg_value sim_e 1 1));
+  Helpers.check_accounting "fast-forward (cycle)" sim_c;
+  Helpers.check_accounting "fast-forward (event)" sim_e
+
+(* ------------------------------------------------------------------ *)
+(* The pure scheduling math.                                            *)
+
+let test_wake_math () =
+  let p ?(m = 0) ?(r = 0) gate =
+    { Engine.pr_min_issue = m; pr_operands_at = r; pr_gate = gate }
+  in
+  Alcotest.(check bool) "free core wakes at max(min_issue, operands)" true
+    (Engine.wake (p ~m:3 ~r:7 Engine.Free) = Engine.At 7);
+  Alcotest.(check bool) "dequeue wakes at head visibility" true
+    (Engine.wake (p ~m:2 ~r:0 (Engine.Head_at 40)) = Engine.At 40);
+  Alcotest.(check bool) "branch penalty dominates an early head" true
+    (Engine.wake (p ~m:50 ~r:0 (Engine.Head_at 40)) = Engine.At 50);
+  Alcotest.(check bool) "externally gated core never self-wakes" true
+    (Engine.wake (p ~m:9 ~r:9 Engine.External) = Engine.Never);
+  Alcotest.(check bool) "min_wake ignores Never" true
+    (Engine.min_wake Engine.Never (Engine.At 5) = Engine.At 5);
+  Alcotest.(check bool) "min_wake takes the earlier" true
+    (Engine.min_wake (Engine.At 9) (Engine.At 5) = Engine.At 5)
+
+let test_segments_math () =
+  (* branch wait until min_issue, operand stall until operands_at, then
+     the queue gate; the counts always sum to the window length. *)
+  let p =
+    { Engine.pr_min_issue = 12; pr_operands_at = 16; pr_gate = Engine.External }
+  in
+  Alcotest.(check (triple int int int))
+    "three segments" (2, 4, 4)
+    (Engine.segments p ~from:10 ~until:20);
+  Alcotest.(check (triple int int int))
+    "window past both marks is all queue wait" (0, 0, 5)
+    (Engine.segments p ~from:20 ~until:25);
+  Alcotest.(check (triple int int int))
+    "window before min_issue is all branch wait" (5, 0, 0)
+    (Engine.segments p ~from:5 ~until:10);
+  let free =
+    { Engine.pr_min_issue = 30; pr_operands_at = 0; pr_gate = Engine.Free }
+  in
+  Alcotest.(check (triple int int int))
+    "branch-only window on a free core" (10, 0, 0)
+    (Engine.segments free ~from:20 ~until:30)
+
+let test_engine_names () =
+  List.iter
+    (fun e ->
+      Alcotest.(check bool)
+        (Engine.to_string e ^ " round-trips")
+        true
+        (Engine.of_string (Engine.to_string e) = Some e))
+    Engine.all;
+  Alcotest.(check bool) "unknown name rejected" true
+    (Engine.of_string "warp" = None)
+
+(* ------------------------------------------------------------------ *)
+(* qcheck: random cases are cycle-exact across engines.                 *)
+
+let arbitrary_case =
+  QCheck.make
+    (QCheck.Gen.map
+       (fun seed -> Finepar_fuzz.Gen.case_of_seed seed)
+       (QCheck.Gen.int_bound 1_000_000))
+    ~print:(fun case ->
+      Fmt.to_to_string Kernel.pp case.Finepar_fuzz.Gen.kernel)
+
+let prop_cross_engine =
+  QCheck.Test.make ~count:80
+    ~name:"random cases: engines agree and both account every cycle"
+    arbitrary_case
+    (fun case ->
+      match
+        Compiler.compile case.Finepar_fuzz.Gen.config
+          case.Finepar_fuzz.Gen.kernel
+      with
+      | exception _ -> true (* rejected cases are the fuzz driver's concern *)
+      | c -> (
+        let n_threads =
+          Array.length
+            c.Compiler.code.Finepar_codegen.Lower.program
+              .Finepar_machine.Program.cores
+        in
+        let core_map =
+          Finepar_fuzz.Gen.materialize case.Finepar_fuzz.Gen.placement n_threads
+        in
+        let workload =
+          Finepar_kernels.Workload.default
+            ~seed:case.Finepar_fuzz.Gen.workload_seed
+            case.Finepar_fuzz.Gen.kernel
+        in
+        let outcome engine =
+          match
+            Runner.run_with_sim ~check:false ~workload ~core_map ~engine c
+          with
+          | run, sim -> Ok (run, sim)
+          | exception Sim.Stuck st -> Error (Sim.stuck_message st)
+          | exception e -> Error (Printexc.to_string e)
+        in
+        match (outcome Engine.Cycle, outcome Engine.Event) with
+        | Ok (run_c, sim_c), Ok (run_e, sim_e) ->
+          let accounted (sim : Sim.t) =
+            Array.for_all
+              (fun s -> Sim.accounted_cycles s = sim.Sim.cycles)
+              sim.Sim.stats
+          in
+          run_c.Runner.cycles = run_e.Runner.cycles
+          && Eval.result_equal run_c.Runner.result run_e.Runner.result
+          && String.equal (report_json run_c) (report_json run_e)
+          && accounted sim_c && accounted sim_e
+        | Error a, Error b -> String.equal a b
+        | Ok _, Error _ | Error _, Ok _ -> false))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "engine"
+    [
+      ("registry", registry_cases);
+      ( "corpus",
+        [
+          Alcotest.test_case "corpus differential" `Quick
+            test_corpus_differential;
+        ] );
+      ( "stuck",
+        [
+          Alcotest.test_case "deadlock payloads" `Quick test_deadlock_payloads;
+          Alcotest.test_case "max-cycles payloads" `Quick
+            test_max_cycles_payloads;
+          Alcotest.test_case "max-cycles boundary" `Quick
+            test_max_cycles_boundary;
+        ] );
+      ( "fast-forward",
+        [
+          Alcotest.test_case "latency-dominated pipeline" `Quick
+            test_fast_forward_counters;
+          Alcotest.test_case "wake math" `Quick test_wake_math;
+          Alcotest.test_case "segment math" `Quick test_segments_math;
+          Alcotest.test_case "engine names" `Quick test_engine_names;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_cross_engine ] );
+    ]

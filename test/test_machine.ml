@@ -5,36 +5,14 @@
 open Finepar_ir
 open Finepar_machine
 
-let b () = Program.Builder.create ()
-
-let one_core ?(arrays = [||]) ?(queues = [||]) code_builder =
-  let bb = b () in
-  code_builder bb;
-  {
-    Program.cores = [| Program.Builder.finish bb |];
-    queues;
-    arrays;
-  }
-
-let two_cores ?(arrays = [||]) ~queues build0 build1 =
-  let b0 = b () and b1 = b () in
-  build0 b0;
-  build1 b1;
-  {
-    Program.cores = [| Program.Builder.finish b0; Program.Builder.finish b1 |];
-    queues;
-    arrays;
-  }
-
-let run ?(config = Config.default) ?tracing ?(initial = []) program =
-  let sim = Sim.create ?tracing ~config ~initial program in
-  let cycles = Sim.run sim in
-  (sim, cycles)
-
-let q01 = [| { Isa.src = 0; dst = 1; cls = Isa.Qint } |]
-
-let farr_layout name len base =
-  { Program.arr_name = name; arr_ty = Types.F64; arr_len = len; arr_base = base }
+(* Program/config builders shared with the verifier, telemetry and
+   engine suites live in [Helpers]. *)
+let b = Helpers.b
+let one_core = Helpers.one_core
+let two_cores = Helpers.two_cores
+let run = Helpers.run
+let q01 = Helpers.q01
+let farr_layout = Helpers.farr_layout
 
 (* ------------------------------------------------------------------ *)
 (* ISA semantics.                                                      *)

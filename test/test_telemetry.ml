@@ -217,28 +217,10 @@ let test_passes () =
 (* ------------------------------------------------------------------ *)
 (* Simulator invariants (satellite: queue_stats / core_stats).         *)
 
-let sim_of ~cores name =
-  let e =
-    match Finepar_kernels.Registry.find name with
-    | Some e -> e
-    | None -> Alcotest.failf "kernel %s not in registry" name
-  in
-  let c = Compiler.compile (Compiler.default_config ~cores ()) e.Finepar_kernels.Registry.kernel in
-  let _, sim =
-    Runner.run_with_sim ~tracing:true ~workload:e.Finepar_kernels.Registry.workload c
-  in
-  (c, sim)
-
-let check_accounting name sim =
-  let module Sim = Finepar_machine.Sim in
-  let cycles = sim.Sim.cycles in
-  Array.iteri
-    (fun i s ->
-      Alcotest.(check int)
-        (Printf.sprintf "%s core %d: every cycle accounted" name i)
-        cycles
-        (Sim.accounted_cycles s))
-    sim.Sim.stats
+(* [sim_of] and [check_accounting] are shared with the engine suite via
+   [Helpers]. *)
+let sim_of ~cores name = Helpers.sim_of ~cores name
+let check_accounting = Helpers.check_accounting
 
 let test_cycle_accounting () =
   List.iter

@@ -10,17 +10,9 @@ module Verify = Finepar_verify.Verify
 module Compiler = Finepar.Compiler
 module Registry = Finepar_kernels.Registry
 
-let b () = Program.Builder.create ()
-
-let two_cores ~queues build0 build1 =
-  let b0 = b () and b1 = b () in
-  build0 b0;
-  build1 b1;
-  {
-    Program.cores = [| Program.Builder.finish b0; Program.Builder.finish b1 |];
-    queues;
-    arrays = [||];
-  }
+(* Program builders shared with the machine, telemetry and engine
+   suites live in [Helpers]. *)
+let two_cores = Helpers.two_cores
 
 let has check (r : Verify.result) =
   List.exists (fun v -> v.Verify.v_check = check) r.Verify.violations
@@ -28,10 +20,7 @@ let has check (r : Verify.result) =
 let check_names (r : Verify.result) =
   List.map (fun v -> Verify.check_name v.Verify.v_check) r.Verify.violations
 
-let contains ~sub s =
-  let n = String.length s and m = String.length sub in
-  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
-  m = 0 || go 0
+let contains = Helpers.contains
 
 (* ------------------------------------------------------------------ *)
 (* Hand-built programs, one per property.                              *)
