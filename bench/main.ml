@@ -530,10 +530,29 @@ let all_sections =
     ("wallclock", wallclock);
   ]
 
-(* -j N, -jN or --jobs=N; anything else is a section-name prefix or a
-   --json=FILE output request. *)
+(* -j N, -jN or --jobs=N; --trace-out=FILE, --profile[=FILE] and
+   --history=FILE ('none' disables the default bench/history.jsonl);
+   anything else is a section-name prefix or a --json=FILE output
+   request. *)
+type opts = {
+  json_out : string option;
+  jobs : int option;
+  wanted : string list;
+  trace_out : string option;
+  profile : string option;  (** "-" = text to stdout, else JSON file *)
+  history : string option;
+}
+
 let parse_args args =
-  let json_out = ref None and jobs = ref None and wanted = ref [] in
+  let json_out = ref None
+  and jobs = ref None
+  and wanted = ref []
+  and trace_out = ref None
+  and profile = ref None
+  and history = ref (Some "bench/history.jsonl") in
+  let cut ~prefix a = String.sub a (String.length prefix)
+      (String.length a - String.length prefix)
+  in
   let rec go = function
     | [] -> ()
     | "-j" :: n :: rest ->
@@ -541,21 +560,71 @@ let parse_args args =
       go rest
     | a :: rest ->
       (if String.starts_with ~prefix:"--json=" a then
-         json_out :=
-           Some (String.sub a 7 (String.length a - 7))
+         json_out := Some (cut ~prefix:"--json=" a)
        else if String.starts_with ~prefix:"--jobs=" a then
-         jobs := int_of_string_opt (String.sub a 7 (String.length a - 7))
+         jobs := int_of_string_opt (cut ~prefix:"--jobs=" a)
+       else if String.starts_with ~prefix:"--trace-out=" a then
+         trace_out := Some (cut ~prefix:"--trace-out=" a)
+       else if String.equal "--profile" a then profile := Some "-"
+       else if String.starts_with ~prefix:"--profile=" a then
+         profile := Some (cut ~prefix:"--profile=" a)
+       else if String.starts_with ~prefix:"--history=" a then begin
+         match cut ~prefix:"--history=" a with
+         | "none" -> history := None
+         | file -> history := Some file
+       end
        else if String.starts_with ~prefix:"-j" a && String.length a > 2 then
          jobs := int_of_string_opt (String.sub a 2 (String.length a - 2))
        else wanted := a :: !wanted);
       go rest
   in
   go args;
-  (!json_out, !jobs, List.rev !wanted)
+  {
+    json_out = !json_out;
+    jobs = !jobs;
+    wanted = List.rev !wanted;
+    trace_out = !trace_out;
+    profile = !profile;
+    history = !history;
+  }
+
+let pool_metrics (p : Pool.stats) =
+  [
+    ("pool.tasks", float_of_int p.Pool.tasks);
+    ("pool.steals", float_of_int p.Pool.steals);
+    ("pool.steal_failures", float_of_int p.Pool.steal_failures);
+    ("pool.busy_seconds", p.Pool.busy_seconds);
+    ("pool.idle_seconds", p.Pool.idle_seconds);
+    ("pool.imbalance", p.Pool.imbalance);
+  ]
+
+let pool_json (p : Pool.stats) =
+  J.Obj
+    [
+      ("domains", J.Int p.Pool.domains);
+      ("runs", J.Int p.Pool.runs);
+      ("tasks", J.Int p.Pool.tasks);
+      ("steals", J.Int p.Pool.steals);
+      ("steal_failures", J.Int p.Pool.steal_failures);
+      ("busy_seconds", J.Float p.Pool.busy_seconds);
+      ("idle_seconds", J.Float p.Pool.idle_seconds);
+      ("imbalance", J.Float p.Pool.imbalance);
+    ]
 
 let () =
-  let json_out, jobs, wanted = parse_args (List.tl (Array.to_list Sys.argv)) in
-  let pool = Pool.create ?domains:jobs () in
+  let module Tracer = Finepar_telemetry.Tracer in
+  let t_start = Unix.gettimeofday () in
+  let opts = parse_args (List.tl (Array.to_list Sys.argv)) in
+  let tracing = opts.trace_out <> None || opts.profile <> None in
+  let tracer =
+    if tracing then begin
+      let t = Tracer.create () in
+      Tracer.install t;
+      Some t
+    end
+    else None
+  in
+  let pool = Pool.create ?domains:opts.jobs () in
   Fmt.epr "using %d domain(s); output is -j invariant@." (Pool.domains pool);
   let ctx = { pool = Some pool; collected = [] } in
   let matches name w =
@@ -564,18 +633,84 @@ let () =
   in
   List.iter
     (fun (name, f) ->
-      if wanted = [] || List.exists (matches name) wanted then f ctx)
+      if opts.wanted = [] || List.exists (matches name) opts.wanted then
+        Tracer.with_span ~cat:"bench" ("bench:" ^ name) (fun () -> f ctx))
     all_sections;
-  (match json_out with
+  Tracer.uninstall ();
+  let stats = Pool.stats pool in
+  let wall = Unix.gettimeofday () -. t_start in
+  (* Scheduling-dependent, so stderr (the CI diffs stdout and the
+     --json file across -j): the load-imbalance line the bench workflow
+     scrapes into its job summary. *)
+  Fmt.epr
+    "pool: %d domains, %d tasks, %d steals (%d failed), busy %.3fs, idle \
+     %.3fs, imbalance %.2f@."
+    stats.Pool.domains stats.Pool.tasks stats.Pool.steals
+    stats.Pool.steal_failures stats.Pool.busy_seconds stats.Pool.idle_seconds
+    stats.Pool.imbalance;
+  let sections = J.Obj [ ("sections", J.Obj (List.rev ctx.collected)) ] in
+  (match opts.json_out with
   | None -> ()
   | Some file ->
     let oc = open_out file in
+    (* The "pool" object is opt-in (tracing flags) so the default
+       --json document stays byte-identical at every -j. *)
+    let doc =
+      if tracing then
+        match sections with
+        | J.Obj kvs -> J.Obj (kvs @ [ ("pool", pool_json stats) ])
+        | other -> other
+      else sections
+    in
     Fun.protect
       ~finally:(fun () -> close_out oc)
       (fun () ->
-        J.to_channel oc
-          (J.Obj [ ("sections", J.Obj (List.rev ctx.collected)) ]);
+        J.to_channel oc doc;
         output_char oc '\n');
     Fmt.epr "metrics written to %s@." file);
+  (* Every run appends one line of scalar metrics to the history file;
+     finepar perf-report and check_bench --history read it back. *)
+  (match opts.history with
+  | None -> ()
+  | Some path ->
+    let module History = Finepar_telemetry.History in
+    let metrics =
+      History.summarize_sections sections
+      @ [ ("wall_seconds", wall) ]
+      @ pool_metrics stats
+    in
+    History.append ~path
+      (History.entry ~time:t_start ~label:"bench" ~jobs:(Pool.domains pool)
+         ~metrics);
+    Fmt.epr "history appended to %s@." path);
+  (match tracer with
+  | None -> ()
+  | Some t ->
+    (match opts.trace_out with
+    | None -> ()
+    | Some file ->
+      let oc = open_out file in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          Finepar_telemetry.Chrome_trace.to_channel oc (Tracer.to_chrome t));
+      Fmt.epr "trace written to %s@." file);
+    match opts.profile with
+    | None -> ()
+    | Some dest ->
+      let tree = Finepar_telemetry.Profile_tree.of_spans (Tracer.spans t) in
+      if String.equal dest "-" then
+        Fmt.pr "@.%a@."
+          (fun ppf tr -> Finepar_telemetry.Profile_tree.pp ppf tr)
+          tree
+      else begin
+        let oc = open_out dest in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () ->
+            J.to_channel oc (Finepar_telemetry.Profile_tree.to_json tree);
+            output_char oc '\n');
+        Fmt.epr "profile written to %s@." dest
+      end);
   rule ();
   print_endline "done."

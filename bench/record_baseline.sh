@@ -19,17 +19,17 @@ now_ns() { date +%s%N; }
 
 t0=$(now_ns)
 dune exec --no-build bench/main.exe -- $DET_SECTIONS -j1 \
-  --json=/dev/null >/dev/null
+  --json=/dev/null --history=none >/dev/null
 t1=$(now_ns)
 SEQ=$(python3 -c "print(($t1-$t0)/1e9)")
 
 t0=$(now_ns)
 dune exec --no-build bench/main.exe -- $DET_SECTIONS -j4 \
-  --json=/dev/null >/dev/null
+  --json=/dev/null --history=none >/dev/null
 t1=$(now_ns)
 PAR=$(python3 -c "print(($t1-$t0)/1e9)")
 
-dune exec --no-build bench/main.exe -- -j1 --json=bench/baseline.json \
+dune exec --no-build bench/main.exe -- -j1 --json=bench/baseline.json --history=none \
   >/dev/null
 
 SEQ="$SEQ" PAR="$PAR" MIN_SPEEDUP="$MIN_SPEEDUP" python3 - <<'EOF'

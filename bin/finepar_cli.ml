@@ -77,6 +77,85 @@ let machine_of ~latency ~queue_len =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Unified host-side tracing: every heavyweight subcommand accepts the
+   same --trace-out/--profile pair.  With neither given no tracer is
+   installed and every span site stays a single atomic load. *)
+
+let trace_out_arg =
+  let doc =
+    "Write a Chrome trace_event timeline of the host pipeline (compiler \
+     passes, simulator runs, fuzz cases; one thread row per domain) to \
+     $(docv).  Open in chrome://tracing or Perfetto."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~doc ~docv:"FILE")
+
+let profile_arg =
+  let doc =
+    "Print a self-time/total-time profile tree of the host pipeline on \
+     exit.  With $(docv), write it as JSON there instead ($(b,-) keeps \
+     the text form on stdout)."
+  in
+  Arg.(
+    value
+    & opt ~vopt:(Some "-") (some string) None
+    & info [ "profile" ] ~doc ~docv:"FILE")
+
+let write_chrome_trace tracer file =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Finepar_telemetry.Chrome_trace.to_channel oc
+        (Finepar_telemetry.Tracer.to_chrome tracer));
+  Fmt.epr "wrote %s@." file
+
+let emit_profile tracer dest =
+  let tree =
+    Finepar_telemetry.Profile_tree.of_spans
+      (Finepar_telemetry.Tracer.spans tracer)
+  in
+  if String.equal dest "-" then
+    Fmt.pr "@[%a@]@."
+      (fun ppf t -> Finepar_telemetry.Profile_tree.pp ppf t)
+      tree
+  else begin
+    let oc = open_out dest in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        Finepar_telemetry.Json.to_channel oc
+          (Finepar_telemetry.Profile_tree.to_json tree);
+        output_char oc '\n');
+    Fmt.epr "wrote %s@." dest
+  end
+
+(* Run [f] under an installed tracer when either flag was given, then
+   export.  The export is also registered with [at_exit] (guarded to
+   run once) because failing subcommands leave through [exit 1], which
+   skips [Fun.protect] finalizers — a failing run still leaves its
+   trace behind. *)
+let with_tracing ~trace_out ~profile f =
+  match (trace_out, profile) with
+  | None, None -> f ()
+  | _ ->
+    let tracer = Finepar_telemetry.Tracer.create () in
+    Finepar_telemetry.Tracer.install tracer;
+    let exported = ref false in
+    let export () =
+      if not !exported then begin
+        exported := true;
+        Finepar_telemetry.Tracer.uninstall ();
+        Option.iter (write_chrome_trace tracer) trace_out;
+        Option.iter (emit_profile tracer) profile
+      end
+    in
+    at_exit export;
+    Fun.protect ~finally:export f
+
+let tracing_enabled ~trace_out ~profile =
+  trace_out <> None || profile <> None
+
+(* ------------------------------------------------------------------ *)
 
 let list_cmd =
   let run () =
@@ -93,7 +172,9 @@ let list_cmd =
     Term.(const run $ const ())
 
 let run_cmd =
-  let run name cores latency queue_len speculation throughput engine =
+  let run name cores latency queue_len speculation throughput engine trace_out
+      profile =
+    with_tracing ~trace_out ~profile @@ fun () ->
     let e = find_entry name in
     let machine = machine_of ~latency ~queue_len in
     let config =
@@ -120,7 +201,8 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Compile and simulate one kernel")
     Term.(
       const run $ kernel_arg $ cores_arg $ latency_arg $ queue_len_arg
-      $ speculation_arg $ throughput_arg $ engine_arg)
+      $ speculation_arg $ throughput_arg $ engine_arg $ trace_out_arg
+      $ profile_arg)
 
 let show_cmd =
   let stage_arg =
@@ -324,7 +406,8 @@ let report_cmd =
       $ output_arg)
 
 let sweep_cmd =
-  let run name cores queue_len engine =
+  let run name cores queue_len engine trace_out profile =
+    with_tracing ~trace_out ~profile @@ fun () ->
     let e = find_entry name in
     Fmt.pr "%-10s %8s@." "latency" "speedup";
     List.iter
@@ -339,10 +422,13 @@ let sweep_cmd =
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Transfer-latency sweep for one kernel (Fig. 13)")
-    Term.(const run $ kernel_arg $ cores_arg $ queue_len_arg $ engine_arg)
+    Term.(
+      const run $ kernel_arg $ cores_arg $ queue_len_arg $ engine_arg
+      $ trace_out_arg $ profile_arg)
 
 let autotune_cmd =
-  let run name cores latency queue_len engine =
+  let run name cores latency queue_len engine trace_out profile =
+    with_tracing ~trace_out ~profile @@ fun () ->
     let e = find_entry name in
     let machine = machine_of ~latency ~queue_len in
     let t =
@@ -366,7 +452,7 @@ let autotune_cmd =
           III-I)")
     Term.(
       const run $ kernel_arg $ cores_arg $ latency_arg $ queue_len_arg
-      $ engine_arg)
+      $ engine_arg $ trace_out_arg $ profile_arg)
 
 let fuzz_cmd =
   let cases_arg =
@@ -411,7 +497,9 @@ let fuzz_cmd =
     in
     Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~doc)
   in
-  let run cases seconds seed out_dir summary replay jobs engine =
+  let run cases seconds seed out_dir summary replay jobs engine trace_out
+      profile =
+    with_tracing ~trace_out ~profile @@ fun () ->
     match replay with
     | Some dir ->
       let replays = Finepar_fuzz.Corpus.replay_dir ~engine dir in
@@ -460,6 +548,24 @@ let fuzz_cmd =
         (float_of_int s.Finepar_fuzz.Driver.cases_run
         /. Float.max 1e-9 s.Finepar_fuzz.Driver.elapsed)
         (Finepar_exec.Pool.domains pool);
+      (* Scheduling-dependent pool stats are opt-in (profiling flags)
+         so the default output — and the JSON the CI diffs across -j —
+         stays deterministic. *)
+      let pool_stats =
+        if tracing_enabled ~trace_out ~profile then
+          Some (Finepar_exec.Pool.stats pool)
+        else None
+      in
+      Option.iter
+        (fun (p : Finepar_exec.Pool.stats) ->
+          Fmt.pr
+            "pool: %d domains, %d tasks, %d steals (%d failed), busy \
+             %.3fs, idle %.3fs, imbalance %.2f@."
+            p.Finepar_exec.Pool.domains p.Finepar_exec.Pool.tasks
+            p.Finepar_exec.Pool.steals p.Finepar_exec.Pool.steal_failures
+            p.Finepar_exec.Pool.busy_seconds p.Finepar_exec.Pool.idle_seconds
+            p.Finepar_exec.Pool.imbalance)
+        pool_stats;
       Fmt.pr
         "coverage: %d with ifs, %d indirect, %d int-ops; %d speculated, %d \
          multi-core, %d smt@."
@@ -471,7 +577,7 @@ let fuzz_cmd =
       (match summary with
       | None -> ()
       | Some file ->
-        let json = Finepar_fuzz.Driver.summary_to_json s in
+        let json = Finepar_fuzz.Driver.summary_to_json ?pool:pool_stats s in
         if String.equal file "-" then print_endline json
         else begin
           let oc = open_out file in
@@ -493,7 +599,8 @@ let fuzz_cmd =
           shrunk to minimal reproducers")
     Term.(
       const run $ cases_arg $ seconds_arg $ seed_arg $ out_dir_arg
-      $ summary_arg $ replay_arg $ jobs_arg $ engine_arg)
+      $ summary_arg $ replay_arg $ jobs_arg $ engine_arg $ trace_out_arg
+      $ profile_arg)
 
 let verify_cmd =
   let module Verify = Finepar_verify.Verify in
@@ -638,7 +745,8 @@ let verify_cmd =
       [ Mutate.Drop_dequeue; Mutate.Swap_endpoints; Mutate.Reorder_enqueue ]
   in
   let run kernel all corpus smoke cores latency queue_len speculation
-      throughput engine =
+      throughput engine trace_out profile =
+    with_tracing ~trace_out ~profile @@ fun () ->
     failed := 0;
     let selected = ref false in
     (match kernel with
@@ -692,7 +800,156 @@ let verify_cmd =
     Term.(
       const run $ kernel_opt_arg $ all_arg $ corpus_arg $ smoke_arg
       $ cores_arg $ latency_arg $ queue_len_arg $ speculation_arg
-      $ throughput_arg $ engine_arg)
+      $ throughput_arg $ engine_arg $ trace_out_arg $ profile_arg)
+
+let profile_cmd =
+  let format_arg =
+    let doc = "Output format: text (profile tree + hot list) or json." in
+    Arg.(value & opt string "text" & info [ "format" ] ~doc)
+  in
+  let run name cores latency queue_len speculation throughput engine format
+      output trace_out =
+    let tracer = Finepar_telemetry.Tracer.create () in
+    Finepar_telemetry.Tracer.install tracer;
+    let _, r, _ =
+      Fun.protect
+        ~finally:(fun () -> Finepar_telemetry.Tracer.uninstall ())
+        (fun () ->
+          compile_and_sim ~name ~cores ~latency ~queue_len ~speculation
+            ~throughput ~tracing:false ~engine)
+    in
+    let tree =
+      Finepar_telemetry.Profile_tree.of_spans
+        (Finepar_telemetry.Tracer.spans tracer)
+    in
+    Option.iter (write_chrome_trace tracer) trace_out;
+    match format with
+    | "text" ->
+      with_output output (fun oc ->
+          let ppf = Format.formatter_of_out_channel oc in
+          Fmt.pf ppf "kernel %s: %d cycles on %d cores (%s engine)@.@." name
+            r.Runner.cycles cores
+            (Finepar_machine.Engine.to_string engine);
+          Fmt.pf ppf "%a@."
+            (fun ppf t -> Finepar_telemetry.Profile_tree.pp ppf t)
+            tree)
+    | "json" ->
+      with_output output (fun oc ->
+          Finepar_telemetry.Json.to_channel oc
+            (Finepar_telemetry.Profile_tree.to_json tree);
+          output_char oc '\n')
+    | other ->
+      Fmt.epr "unknown format %s (expected text or json)@." other;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Compile and simulate one kernel under the host tracer and \
+          print where the host time went: a self-time/total-time span \
+          tree (compiler passes under their compile, the simulator run) \
+          plus the hottest spans")
+    Term.(
+      const run $ kernel_arg $ cores_arg $ latency_arg $ queue_len_arg
+      $ speculation_arg $ throughput_arg $ engine_arg $ format_arg
+      $ output_arg $ trace_out_arg)
+
+let perf_report_cmd =
+  let module History = Finepar_telemetry.History in
+  let module Json = Finepar_telemetry.Json in
+  let history_arg =
+    let doc = "Bench history file (JSON Lines; one object per bench run)." in
+    Arg.(
+      value & opt string "bench/history.jsonl" & info [ "history" ] ~doc)
+  in
+  let window_arg =
+    let doc = "Rolling window: judge the latest run against the mean of \
+               up to this many preceding runs."
+    in
+    Arg.(value & opt int 5 & info [ "window" ] ~doc)
+  in
+  let tolerance_arg =
+    let doc = "Fractional drift allowed before a metric is flagged (0.10 \
+               = 10%)."
+    in
+    Arg.(value & opt float 0.10 & info [ "tolerance" ] ~doc)
+  in
+  let format_arg =
+    let doc = "Output format: text or json." in
+    Arg.(value & opt string "text" & info [ "format" ] ~doc)
+  in
+  let check_arg =
+    let doc = "Exit 1 when any metric regressed past the tolerance." in
+    Arg.(value & flag & info [ "check" ] ~doc)
+  in
+  let run history window tolerance format check =
+    match History.load ~path:history with
+    | Error e ->
+      Fmt.epr "perf-report: cannot read %s: %s@." history e;
+      exit 2
+    | Ok [] ->
+      Fmt.epr "perf-report: %s has no runs@." history;
+      exit 2
+    | Ok entries ->
+      let ts =
+        History.trends ~window ~tolerance (List.map History.metrics_of entries)
+      in
+      (match format with
+      | "json" ->
+        print_endline
+          (Json.to_string
+             (Json.Obj
+                [
+                  ("history", Json.String history);
+                  ("runs", Json.Int (List.length entries));
+                  ("window", Json.Int window);
+                  ("tolerance", Json.Float tolerance);
+                  ( "trends",
+                    Json.List (List.map History.trend_to_json ts) );
+                  ( "regressions",
+                    Json.Int
+                      (List.length
+                         (List.filter
+                            (fun (t : History.trend) ->
+                              t.History.verdict = History.Regression)
+                            ts)) );
+                ]))
+      | "text" ->
+        Fmt.pr "%s: %d run(s), window %d, tolerance %.0f%%@.@." history
+          (List.length entries) window (tolerance *. 100.);
+        Fmt.pr "%-40s %4s %12s %12s %8s  %s@." "metric" "runs" "last"
+          "window-mean" "delta" "verdict";
+        List.iter
+          (fun (t : History.trend) ->
+            Fmt.pr "%-40s %4d %12.6g %12s %8s  %s@." t.History.metric
+              t.History.n t.History.last
+              (match t.History.window_mean with
+              | None -> "-"
+              | Some m -> Fmt.str "%.6g" m)
+              (match t.History.delta_pct with
+              | None -> "-"
+              | Some d -> Fmt.str "%+.1f%%" d)
+              (History.verdict_string t.History.verdict))
+          ts
+      | other ->
+        Fmt.epr "unknown format %s (expected text or json)@." other;
+        exit 1);
+      if check && History.any_regression ts then begin
+        Fmt.epr "@.perf-report: regression(s) past %.0f%% tolerance@."
+          (tolerance *. 100.);
+        exit 1
+      end
+  in
+  Cmd.v
+    (Cmd.info "perf-report"
+       ~doc:
+         "Render per-metric trends from the append-only bench history \
+          (bench/history.jsonl): the latest run judged against a \
+          rolling window of its predecessors, with a regression verdict \
+          per metric")
+    Term.(
+      const run $ history_arg $ window_arg $ tolerance_arg $ format_arg
+      $ check_arg)
 
 let classify_cmd =
   let run () =
@@ -719,5 +976,6 @@ let () =
        (Cmd.group info
           [
             list_cmd; run_cmd; verify_cmd; show_cmd; trace_cmd; report_cmd;
-            sweep_cmd; autotune_cmd; classify_cmd; fuzz_cmd;
+            sweep_cmd; autotune_cmd; classify_cmd; fuzz_cmd; profile_cmd;
+            perf_report_cmd;
           ]))

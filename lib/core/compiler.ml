@@ -80,6 +80,17 @@ let pp_stats ppf s =
     s.queue_pairs_static s.n_partitions
 
 let compile (config : config) (kernel : Kernel.t) =
+  (* One enclosing span per compilation: with a tracer installed, the
+     per-pass spans emitted by [Passes.time] nest under it, turning the
+     flat pass-timer list into a tree rooted at the kernel. *)
+  Finepar_telemetry.Tracer.with_span ~cat:"compile"
+    ~args:
+      [
+        ("kernel", Finepar_telemetry.Json.String kernel.Kernel.name);
+        ("cores", Finepar_telemetry.Json.Int config.cores);
+      ]
+    ("compile " ^ kernel.Kernel.name)
+  @@ fun () ->
   let passes = Finepar_telemetry.Passes.create () in
   let timed name f = Finepar_telemetry.Passes.time passes name f in
   let kernel', speculated_ifs =

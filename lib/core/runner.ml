@@ -27,7 +27,23 @@ let run_with_sim ?(check = true) ?(workload = []) ?core_map ?tracing
       ~config:c.Compiler.config.Compiler.machine ~initial:workload
       c.Compiler.code.Finepar_codegen.Lower.program
   in
-  let cycles = Sim.run ?engine sim in
+  let engine_name =
+    Engine.to_string (Option.value engine ~default:Engine.default)
+  in
+  let cycles =
+    Finepar_telemetry.Tracer.with_span ~cat:"sim"
+      ~args:
+        [
+          ( "kernel",
+            Finepar_telemetry.Json.String c.Compiler.source.Kernel.name );
+        ]
+      ("sim:" ^ engine_name)
+      (fun () ->
+        let cycles = Sim.run ?engine sim in
+        Finepar_telemetry.Tracer.set_arg "cycles"
+          (Finepar_telemetry.Json.Int cycles);
+        cycles)
+  in
   let written = Stmt.arrays_written c.Compiler.kernel.Kernel.body in
   let result =
     {

@@ -1,11 +1,33 @@
 exception Nested_map
 
+type stats = {
+  domains : int;
+  runs : int;
+  run_seconds : float;
+  tasks : int;
+  steals : int;
+  steal_failures : int;
+  busy_seconds : float;
+  idle_seconds : float;
+  worker_tasks : int array;
+  worker_busy : float array;
+  imbalance : float;
+}
+
 type t = {
   n_domains : int;
   busy : bool Atomic.t;
       (* set while a parallel [map] is running; nested calls on the same
          pool would spawn domains from inside domains, so they are
          rejected instead (see the .mli) *)
+  stats_lock : Mutex.t;
+  mutable runs : int;
+  mutable run_seconds : float;
+  acc_tasks : int array;  (** all acc_ arrays are length [n_domains] *)
+  acc_steals : int array;
+  acc_steal_failures : int array;
+  acc_busy : float array;
+  acc_idle : float array;
 }
 
 let env_domains () =
@@ -25,9 +47,64 @@ let create ?domains () =
   let n_domains =
     match domains with Some d -> max 1 d | None -> default_domains ()
   in
-  { n_domains; busy = Atomic.make false }
+  {
+    n_domains;
+    busy = Atomic.make false;
+    stats_lock = Mutex.create ();
+    runs = 0;
+    run_seconds = 0.;
+    acc_tasks = Array.make n_domains 0;
+    acc_steals = Array.make n_domains 0;
+    acc_steal_failures = Array.make n_domains 0;
+    acc_busy = Array.make n_domains 0.;
+    acc_idle = Array.make n_domains 0.;
+  }
 
 let domains t = t.n_domains
+
+(* Imbalance = max busy / mean busy over workers that ran at least one
+   task: 1.0 is a perfectly even split, [workers] is one worker doing
+   everything.  An idle pool reports 1.0. *)
+let imbalance_of ~tasks ~busy =
+  let n = Array.length busy in
+  let sum = ref 0. and mx = ref 0. and active = ref 0 in
+  for w = 0 to n - 1 do
+    if tasks.(w) > 0 then begin
+      incr active;
+      sum := !sum +. busy.(w);
+      if busy.(w) > !mx then mx := busy.(w)
+    end
+  done;
+  if !active = 0 || !sum <= 0. then 1.
+  else !mx /. (!sum /. float_of_int !active)
+
+let stats t =
+  Mutex.protect t.stats_lock (fun () ->
+      let sumi a = Array.fold_left ( + ) 0 a
+      and sumf a = Array.fold_left ( +. ) 0. a in
+      {
+        domains = t.n_domains;
+        runs = t.runs;
+        run_seconds = t.run_seconds;
+        tasks = sumi t.acc_tasks;
+        steals = sumi t.acc_steals;
+        steal_failures = sumi t.acc_steal_failures;
+        busy_seconds = sumf t.acc_busy;
+        idle_seconds = sumf t.acc_idle;
+        worker_tasks = Array.copy t.acc_tasks;
+        worker_busy = Array.copy t.acc_busy;
+        imbalance = imbalance_of ~tasks:t.acc_tasks ~busy:t.acc_busy;
+      })
+
+let reset_stats t =
+  Mutex.protect t.stats_lock (fun () ->
+      t.runs <- 0;
+      t.run_seconds <- 0.;
+      Array.fill t.acc_tasks 0 t.n_domains 0;
+      Array.fill t.acc_steals 0 t.n_domains 0;
+      Array.fill t.acc_steal_failures 0 t.n_domains 0;
+      Array.fill t.acc_busy 0 t.n_domains 0.;
+      Array.fill t.acc_idle 0 t.n_domains 0.)
 
 (* ------------------------------------------------------------------ *)
 (* The work-stealing scheduler.  Task indices are dealt out in
@@ -56,6 +133,18 @@ let steal d =
         Some i)
       else None)
 
+(* Per-run observability: each worker owns one slot of each array, so
+   recording is unsynchronized; the coordinating domain reads the
+   arrays only after every helper is joined. *)
+type run_stats = {
+  r_tasks : int array;
+  r_steals : int array;
+  r_steal_failures : int array;
+  r_busy : float array;
+  r_idle : float array;
+  mutable r_wall : float;
+}
+
 let parallel_run ~workers ~n task =
   let chunk = (n + workers - 1) / workers in
   let deques =
@@ -65,6 +154,16 @@ let parallel_run ~workers ~n task =
           lo = min n (w * chunk);
           hi = min n ((w + 1) * chunk);
         })
+  in
+  let rs =
+    {
+      r_tasks = Array.make workers 0;
+      r_steals = Array.make workers 0;
+      r_steal_failures = Array.make workers 0;
+      r_busy = Array.make workers 0.;
+      r_idle = Array.make workers 0.;
+      r_wall = 0.;
+    }
   in
   (* Own deque first, then the others in round-robin order.  No task
      spawns further tasks, so a full scan finding every deque empty
@@ -77,16 +176,33 @@ let parallel_run ~workers ~n task =
       match
         if tries = 0 then pop_own deques.(victim) else steal deques.(victim)
       with
-      | Some i -> Some i
-      | None -> next w (tries + 1)
+      | Some i ->
+        if tries > 0 then rs.r_steals.(w) <- rs.r_steals.(w) + 1;
+        Some i
+      | None ->
+        if tries > 0 then
+          rs.r_steal_failures.(w) <- rs.r_steal_failures.(w) + 1;
+        next w (tries + 1)
   in
-  let rec worker w =
+  let rec worker_loop w =
     match next w 0 with
     | Some i ->
+      let t0 = Unix.gettimeofday () in
       task i;
-      worker w
+      rs.r_busy.(w) <- rs.r_busy.(w) +. (Unix.gettimeofday () -. t0);
+      rs.r_tasks.(w) <- rs.r_tasks.(w) + 1;
+      worker_loop w
     | None -> ()
   in
+  let worker w =
+    let t0 = Unix.gettimeofday () in
+    Fun.protect
+      ~finally:(fun () ->
+        rs.r_idle.(w) <-
+          Float.max 0. (Unix.gettimeofday () -. t0 -. rs.r_busy.(w)))
+      (fun () -> worker_loop w)
+  in
+  let t_run = Unix.gettimeofday () in
   let helpers =
     Array.init (workers - 1) (fun k -> Domain.spawn (fun () -> worker (k + 1)))
   in
@@ -96,7 +212,8 @@ let parallel_run ~workers ~n task =
     match worker 0 with () -> None | exception e -> Some e
   in
   Array.iter Domain.join helpers;
-  match main_exn with None -> () | Some e -> raise e
+  rs.r_wall <- Unix.gettimeofday () -. t_run;
+  match main_exn with None -> rs | Some e -> raise e
 
 let map pool ~f xs =
   let arr = Array.of_list xs in
@@ -110,21 +227,55 @@ let map pool ~f xs =
         | exception e -> Error (e, Printexc.get_raw_backtrace ()))
   in
   let workers = min pool.n_domains n in
+  let record rs =
+    Mutex.protect pool.stats_lock (fun () ->
+        pool.runs <- pool.runs + 1;
+        pool.run_seconds <- pool.run_seconds +. rs.r_wall;
+        Array.iteri
+          (fun w c -> pool.acc_tasks.(w) <- pool.acc_tasks.(w) + c)
+          rs.r_tasks;
+        Array.iteri
+          (fun w c -> pool.acc_steals.(w) <- pool.acc_steals.(w) + c)
+          rs.r_steals;
+        Array.iteri
+          (fun w c ->
+            pool.acc_steal_failures.(w) <- pool.acc_steal_failures.(w) + c)
+          rs.r_steal_failures;
+        Array.iteri
+          (fun w s -> pool.acc_busy.(w) <- pool.acc_busy.(w) +. s)
+          rs.r_busy;
+        Array.iteri
+          (fun w s -> pool.acc_idle.(w) <- pool.acc_idle.(w) +. s)
+          rs.r_idle)
+  in
   (if workers <= 1 then begin
      (* Sequential degradation (one domain, or 0/1 tasks).  A busy
         multi-domain pool still rejects, so nesting behaviour does not
         depend on the length of the inner list. *)
      if pool.n_domains > 1 && Atomic.get pool.busy then raise Nested_map;
+     let t0 = Unix.gettimeofday () in
      for i = 0 to n - 1 do
        task i
-     done
+     done;
+     if n > 0 then begin
+       let wall = Unix.gettimeofday () -. t0 in
+       record
+         {
+           r_tasks = [| n |];
+           r_steals = [| 0 |];
+           r_steal_failures = [| 0 |];
+           r_busy = [| wall |];
+           r_idle = [| 0. |];
+           r_wall = wall;
+         }
+     end
    end
    else begin
      if not (Atomic.compare_and_set pool.busy false true) then
        raise Nested_map;
      Fun.protect
        ~finally:(fun () -> Atomic.set pool.busy false)
-       (fun () -> parallel_run ~workers ~n task)
+       (fun () -> record (parallel_run ~workers ~n task))
    end);
   (* Merge by task index: re-raise the lowest-indexed failure (so the
      observed exception is independent of scheduling), else return the

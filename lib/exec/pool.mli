@@ -20,6 +20,34 @@ exception Nested_map
 
 type t
 
+type stats = {
+  domains : int;  (** pool width (worker slots) *)
+  runs : int;  (** {!map} calls that executed at least one task *)
+  run_seconds : float;  (** wall-clock time spent inside those calls *)
+  tasks : int;  (** tasks executed, across all runs *)
+  steals : int;  (** tasks taken from another worker's deque *)
+  steal_failures : int;  (** steal attempts that found an empty deque *)
+  busy_seconds : float;  (** summed over workers: time inside tasks *)
+  idle_seconds : float;  (** summed over workers: in-run time not in tasks *)
+  worker_tasks : int array;  (** per-slot task counts (length [domains]) *)
+  worker_busy : float array;  (** per-slot busy seconds (length [domains]) *)
+  imbalance : float;
+      (** max busy / mean busy over workers that ran at least one task:
+          1.0 is a perfectly even split, [domains] is one worker doing
+          everything; 1.0 when the pool has not run. *)
+}
+(** Cumulative execution statistics, accumulated across {!map} calls
+    since pool creation (or the last {!reset_stats}).  Sequential
+    degradation (one domain, or 0/1 tasks) is counted too — the run is
+    attributed to worker slot 0 with zero steals and zero idle — so
+    [tasks] always equals the total number of elements mapped. *)
+
+val stats : t -> stats
+(** A consistent snapshot; thread-safe.  Timing uses wall-clock
+    ([Unix.gettimeofday]), matching the rest of the telemetry layer. *)
+
+val reset_stats : t -> unit
+
 val default_domains : unit -> int
 (** [FINEPAR_DOMAINS] if set to a positive integer, else
     [max 1 (Domain.recommended_domain_count () - 1)]. *)

@@ -77,9 +77,20 @@ type case_result = {
 }
 
 let run_case ?compile ?engine case_seed =
+  (* One span per case, tagged with the oracle outcome, so a traced
+     campaign shows where the time went and which cases failed. *)
+  Finepar_telemetry.Tracer.with_span ~cat:"fuzz"
+    ~args:[ ("seed", Json.Int case_seed) ]
+    "case"
+  @@ fun () ->
   let case = Gen.case_of_seed case_seed in
   let has_if, has_indirect, has_int = case_features case in
   let outcome = Oracle.check ?compile ?engine case in
+  Finepar_telemetry.Tracer.set_arg "outcome"
+    (Json.String
+       (match outcome with
+       | Oracle.Pass _ -> "pass"
+       | Oracle.Fail f -> "fail:" ^ f.Oracle.oracle));
   let shrunk =
     match outcome with
     | Oracle.Pass _ -> None
@@ -105,6 +116,10 @@ let run_case ?compile ?engine case_seed =
     progress hook, always called in case order on the calling domain. *)
 let run ?compile ?engine ?out_dir ?pool ?(seconds = infinity)
     ?(on_case = fun _ _ -> ()) ~cases ~seed () =
+  Finepar_telemetry.Tracer.with_span ~cat:"fuzz"
+    ~args:[ ("root_seed", Json.Int seed); ("cases", Json.Int cases) ]
+    "campaign"
+  @@ fun () ->
   let started = Unix.gettimeofday () in
   let elapsed () = Unix.gettimeofday () -. started in
   let passed = ref 0 and failures = ref [] in
@@ -185,30 +200,51 @@ let json_of_failure (f : failure_report) =
         | Some p -> Json.String p );
     ]
 
+let json_of_pool_stats (p : Finepar_exec.Pool.stats) =
+  Json.Obj
+    [
+      ("domains", Json.Int p.Finepar_exec.Pool.domains);
+      ("runs", Json.Int p.Finepar_exec.Pool.runs);
+      ("run_seconds", Json.Float p.Finepar_exec.Pool.run_seconds);
+      ("tasks", Json.Int p.Finepar_exec.Pool.tasks);
+      ("steals", Json.Int p.Finepar_exec.Pool.steals);
+      ("steal_failures", Json.Int p.Finepar_exec.Pool.steal_failures);
+      ("busy_seconds", Json.Float p.Finepar_exec.Pool.busy_seconds);
+      ("idle_seconds", Json.Float p.Finepar_exec.Pool.idle_seconds);
+      ("imbalance", Json.Float p.Finepar_exec.Pool.imbalance);
+    ]
+
 (* Deliberately excludes [elapsed]: the summary JSON is a pure function
    of the root seed and case count, so sequential and parallel campaigns
    (and CI reruns) can be diffed byte for byte.  Wall-clock numbers
-   belong in the harness's text output. *)
-let json_of_summary (s : summary) =
+   belong in the harness's text output.  The optional [pool] object
+   (steal counts, busy/idle seconds, load imbalance) is scheduling-
+   dependent, so callers attach it only when the user asked for
+   profiling — the CI determinism diffs never pass it. *)
+let json_of_summary ?pool (s : summary) =
   Json.Obj
-    [
-      ("root_seed", Json.Int s.root_seed);
-      ("cases_run", Json.Int s.cases_run);
-      ("passed", Json.Int s.passed);
-      ("failed", Json.Int s.failed);
-      ( "coverage",
-        Json.Obj
-          [
-            ("kernels_with_ifs", Json.Int s.kernels_with_ifs);
-            ("kernels_with_indirect", Json.Int s.kernels_with_indirect);
-            ("kernels_with_int_ops", Json.Int s.kernels_with_int_ops);
-            ("speculated_configs", Json.Int s.speculated);
-            ("multi_core_configs", Json.Int s.multi_core);
-            ("smt_placements", Json.Int s.smt_cases);
-            ("total_partitions", Json.Int s.total_partitions);
-            ("total_cycles", Json.Int s.total_cycles);
-          ] );
-      ("failures", Json.List (List.map json_of_failure s.failures));
-    ]
+    ([
+       ("root_seed", Json.Int s.root_seed);
+       ("cases_run", Json.Int s.cases_run);
+       ("passed", Json.Int s.passed);
+       ("failed", Json.Int s.failed);
+       ( "coverage",
+         Json.Obj
+           [
+             ("kernels_with_ifs", Json.Int s.kernels_with_ifs);
+             ("kernels_with_indirect", Json.Int s.kernels_with_indirect);
+             ("kernels_with_int_ops", Json.Int s.kernels_with_int_ops);
+             ("speculated_configs", Json.Int s.speculated);
+             ("multi_core_configs", Json.Int s.multi_core);
+             ("smt_placements", Json.Int s.smt_cases);
+             ("total_partitions", Json.Int s.total_partitions);
+             ("total_cycles", Json.Int s.total_cycles);
+           ] );
+       ("failures", Json.List (List.map json_of_failure s.failures));
+     ]
+    @
+    match pool with
+    | None -> []
+    | Some p -> [ ("pool", json_of_pool_stats p) ])
 
-let summary_to_json s = Json.to_string (json_of_summary s)
+let summary_to_json ?pool s = Json.to_string (json_of_summary ?pool s)

@@ -50,6 +50,9 @@ val run :
     its JSON) is identical to a sequential run's.  Under a [seconds]
     budget the number of cases that fit may differ. *)
 
-val summary_to_json : summary -> string
+val summary_to_json : ?pool:Finepar_exec.Pool.stats -> summary -> string
 (** Machine-readable summary.  Excludes the wall-clock [elapsed] field
-    so the JSON is a pure function of [seed] and the case count. *)
+    so the JSON is a pure function of [seed] and the case count.  When
+    [pool] is given (profiling was requested), a scheduling-dependent
+    ["pool"] object — steal counts, busy/idle seconds, load imbalance —
+    is appended; the CI determinism diffs never pass it. *)

@@ -72,6 +72,30 @@ let max_value t = if t.count = 0 then None else Some t.max
 let mean t =
   if t.count = 0 then None else Some (float_of_int t.sum /. float_of_int t.count)
 
+(* Prometheus-style quantile estimate over the bucket layout: the
+   inclusive upper bound of the first bucket holding the rank-th
+   observation, clamped into [min, max] so degenerate histograms stay
+   exact — a single-sample histogram reports its one value at every
+   percentile, and the overflow bucket (bound [max_int]) reports the
+   observed maximum instead of infinity. *)
+let percentile t q =
+  if Float.is_nan q || q < 0. || q > 100. then
+    invalid_arg "Histogram.percentile: q outside [0, 100]";
+  if t.count = 0 then None
+  else begin
+    let rank =
+      Stdlib.max 1 (int_of_float (Float.ceil (q /. 100. *. float_of_int t.count)))
+    in
+    let n = Array.length t.bounds in
+    let rec go i cum =
+      let cum = cum + t.counts.(i) in
+      if cum >= rank || i = n then
+        if i < n then t.bounds.(i) else max_int
+      else go (i + 1) cum
+    in
+    Some (Stdlib.min t.max (Stdlib.max t.min (go 0 0)))
+  end
+
 (** (inclusive upper bound, count) per bucket; the overflow bucket is
     reported with bound [max_int]. *)
 let buckets t =
@@ -95,12 +119,18 @@ let merge_into ~into t =
   end
 
 let to_json t =
+  let pct q =
+    match percentile t q with None -> Json.Null | Some v -> Json.Int v
+  in
   Json.Obj
     [
       ("count", Json.Int t.count);
       ("sum", Json.Int t.sum);
       ("min", if t.count = 0 then Json.Null else Json.Int t.min);
       ("max", if t.count = 0 then Json.Null else Json.Int t.max);
+      ("p50", pct 50.);
+      ("p90", pct 90.);
+      ("p99", pct 99.);
       ( "buckets",
         Json.List
           (List.map

@@ -20,6 +20,14 @@ val min_value : t -> int option
 val max_value : t -> int option
 val mean : t -> float option
 
+(** [percentile t q] for [q] in [0, 100]: the inclusive upper bound of
+    the bucket holding the rank-[ceil (q/100 * count)] observation,
+    clamped into [[min_value, max_value]] (so a single-sample histogram
+    reports its one value at every percentile and the overflow bucket
+    reports the observed maximum).  [None] on an empty histogram;
+    raises [Invalid_argument] outside [0, 100]. *)
+val percentile : t -> float -> int option
+
 (** (inclusive upper bound, count) per bucket, overflow reported with
     bound [max_int]. *)
 val buckets : t -> (int * int) list

@@ -1,0 +1,254 @@
+(** Append-only benchmark history (JSON Lines) and rolling-window
+    trends.
+
+    Every bench run appends one self-contained JSON object per line to
+    [bench/history.jsonl]: a timestamp, the pool width, and a flat
+    [metrics] object of scalar measurements extracted from the run's
+    sections ({!summarize_sections}).  Because the file is append-only
+    and line-oriented, runs accumulate across invocations (and across
+    CI runs via a cached artifact), and consumers — [finepar
+    perf-report], [check_bench --history] — can judge the {e latest}
+    run against a rolling window of its predecessors instead of only
+    the checked-in static baseline. *)
+
+(* ------------------------------------------------------------------ *)
+(* The file format. *)
+
+let append ~path json =
+  let dir = Filename.dirname path in
+  if dir <> "" && dir <> "." && not (Sys.file_exists dir) then
+    Sys.mkdir dir 0o755;
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string json);
+      output_char oc '\n')
+
+(** Parse every non-blank line; the first malformed line is an error. *)
+let load ~path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error e -> Error e
+  | contents ->
+    let lines = String.split_on_char '\n' contents in
+    let rec go i acc = function
+      | [] -> Ok (List.rev acc)
+      | line :: rest ->
+        let line = String.trim line in
+        if line = "" then go (i + 1) acc rest
+        else (
+          match Json.of_string line with
+          | Ok v -> go (i + 1) (v :: acc) rest
+          | Error e -> Error (Printf.sprintf "%s:%d: %s" path i e))
+    in
+    go 1 [] lines
+
+let entry ~time ~label ~jobs ~metrics =
+  Json.Obj
+    [
+      ("time", Json.Float time);
+      ("label", Json.String label);
+      ("jobs", Json.Int jobs);
+      ( "metrics",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) metrics) );
+    ]
+
+let num = function
+  | Json.Int i -> Some (float_of_int i)
+  | Json.Float f -> Some f
+  | _ -> None
+
+(** The flat metric list of one history line ([] when malformed). *)
+let metrics_of = function
+  | Json.Obj kvs -> (
+    match List.assoc_opt "metrics" kvs with
+    | Some (Json.Obj ms) ->
+      List.filter_map (fun (k, v) -> Option.map (fun f -> (k, f)) (num v)) ms
+    | _ -> [])
+  | _ -> []
+
+(* ------------------------------------------------------------------ *)
+(* Extracting scalar metrics from a bench --json document. *)
+
+(* A list-of-objects section (table3, fig13, wallclock...) summarizes to
+   the mean of each numeric field; when every row is a named singleton
+   ({"name": ..., "ns_per_run": ...}, the bechamel shape), the per-name
+   values are kept instead, so individual benchmarks get trends. *)
+let summarize_rows section rows =
+  let objs =
+    List.filter_map (function Json.Obj kvs -> Some kvs | _ -> None) rows
+  in
+  if objs = [] then []
+  else
+    let named_singletons =
+      List.filter_map
+        (fun kvs ->
+          match
+            ( List.assoc_opt "name" kvs,
+              List.filter_map
+                (fun (k, v) -> Option.map (fun f -> (k, f)) (num v))
+                kvs )
+          with
+          (* Keep the field name ("ns_per_run") in the metric so the
+             lower-is-better heuristic still sees it. *)
+          | Some (Json.String n), [ (field, v) ] ->
+            Some (n ^ "." ^ field, v)
+          | _ -> None)
+        objs
+    in
+    if List.length named_singletons = List.length objs then
+      List.map (fun (n, v) -> (section ^ "." ^ n, v)) named_singletons
+    else
+      let fields =
+        List.concat_map
+          (fun kvs ->
+            List.filter_map
+              (fun (k, v) -> Option.map (fun _ -> k) (num v))
+              kvs)
+          objs
+        |> List.sort_uniq String.compare
+      in
+      List.filter_map
+        (fun field ->
+          let vs =
+            List.filter_map
+              (fun kvs -> Option.bind (List.assoc_opt field kvs) num)
+              objs
+          in
+          if vs = [] then None
+          else
+            Some
+              ( Printf.sprintf "%s.mean_%s" section field,
+                List.fold_left ( +. ) 0. vs /. float_of_int (List.length vs) ))
+        fields
+
+(** Flatten a bench [--json] document ({"sections": {...}}) to scalar
+    ("section.metric", value) pairs: an object section keeps its
+    top-level numeric members, a list section is averaged per field
+    (see {!summarize_rows}). *)
+let summarize_sections json =
+  let sections =
+    match json with
+    | Json.Obj kvs -> (
+      match List.assoc_opt "sections" kvs with
+      | Some (Json.Obj ss) -> ss
+      | _ -> [])
+    | _ -> []
+  in
+  List.concat_map
+    (fun (name, v) ->
+      match v with
+      | Json.Obj kvs ->
+        List.filter_map
+          (fun (k, v) ->
+            Option.map (fun f -> (name ^ "." ^ k, f)) (num v))
+          kvs
+      | Json.List rows -> summarize_rows name rows
+      | _ -> [])
+    sections
+
+(* ------------------------------------------------------------------ *)
+(* Rolling-window trends. *)
+
+(** Metrics where smaller is faster: wall-clock durations and the pool
+    imbalance ratio.  Everything else (speedups, throughputs) is
+    treated as higher-is-better. *)
+let lower_is_better name =
+  let has needle =
+    let nl = String.length needle and sl = String.length name in
+    let rec go i =
+      i + nl <= sl && (String.sub name i nl = needle || go (i + 1))
+    in
+    go 0
+  in
+  has "seconds" || has "ns_per_run" || has "imbalance"
+
+type verdict = Ok | Regression | Insufficient
+
+type trend = {
+  metric : string;
+  n : int;  (** runs carrying this metric *)
+  first : float;
+  last : float;
+  lo : float;
+  hi : float;
+  window_mean : float option;
+      (** mean of up to [window] runs preceding the last *)
+  delta_pct : float option;  (** last vs window mean, percent *)
+  verdict : verdict;
+}
+
+let verdict_string = function
+  | Ok -> "ok"
+  | Regression -> "REGRESSION"
+  | Insufficient -> "n/a"
+
+(** Per-metric trends over history entries in file order.  The last
+    entry is judged against the mean of up to [window] preceding
+    entries: moving past [tolerance] (fractional, default 0.10) in the
+    metric's bad direction is a [Regression].  A metric seen in fewer
+    than two entries is [Insufficient]. *)
+let trends ?(window = 5) ?(tolerance = 0.10) entries_metrics =
+  let names =
+    List.concat_map (List.map fst) entries_metrics
+    |> List.sort_uniq String.compare
+  in
+  List.map
+    (fun metric ->
+      let series = List.filter_map (List.assoc_opt metric) entries_metrics in
+      let n = List.length series in
+      match List.rev series with
+      | [] ->
+        {
+          metric; n = 0; first = 0.; last = 0.; lo = 0.; hi = 0.;
+          window_mean = None; delta_pct = None; verdict = Insufficient;
+        }
+      | last :: before ->
+        let first = List.hd series in
+        let lo = List.fold_left Float.min last series
+        and hi = List.fold_left Float.max last series in
+        let window_vals =
+          List.filteri (fun i _ -> i < window) before
+        in
+        if window_vals = [] then
+          {
+            metric; n; first; last; lo; hi;
+            window_mean = None; delta_pct = None; verdict = Insufficient;
+          }
+        else
+          let mean =
+            List.fold_left ( +. ) 0. window_vals
+            /. float_of_int (List.length window_vals)
+          in
+          let delta =
+            if Float.abs mean < 1e-12 then 0. else (last -. mean) /. mean
+          in
+          let bad =
+            if lower_is_better metric then delta > tolerance
+            else delta < -.tolerance
+          in
+          {
+            metric; n; first; last; lo; hi;
+            window_mean = Some mean;
+            delta_pct = Some (delta *. 100.);
+            verdict = (if bad then Regression else Ok);
+          })
+    names
+
+let any_regression ts = List.exists (fun t -> t.verdict = Regression) ts
+
+let trend_to_json t =
+  Json.Obj
+    [
+      ("metric", Json.String t.metric);
+      ("runs", Json.Int t.n);
+      ("first", Json.Float t.first);
+      ("last", Json.Float t.last);
+      ("min", Json.Float t.lo);
+      ("max", Json.Float t.hi);
+      ( "window_mean",
+        match t.window_mean with None -> Json.Null | Some m -> Json.Float m );
+      ( "delta_pct",
+        match t.delta_pct with None -> Json.Null | Some d -> Json.Float d );
+      ("verdict", Json.String (verdict_string t.verdict));
+    ]

@@ -1,0 +1,56 @@
+(** Append-only benchmark history (JSON Lines) and rolling-window
+    trends (see [bench/history.jsonl] and [finepar perf-report]). *)
+
+(** Append one JSON object as a line (creates the file and its parent
+    directory as needed). *)
+val append : path:string -> Json.t -> unit
+
+(** Parse every non-blank line of the file; the first malformed line
+    (or an unreadable file) is an error. *)
+val load : path:string -> (Json.t list, string) result
+
+(** A well-formed history line: timestamp, label, pool width, and a
+    flat object of scalar metrics. *)
+val entry :
+  time:float -> label:string -> jobs:int -> metrics:(string * float) list ->
+  Json.t
+
+(** The flat metric list of one history line ([] when malformed). *)
+val metrics_of : Json.t -> (string * float) list
+
+(** Flatten a bench [--json] document ({"sections": {...}}) to scalar
+    ("section.metric", value) pairs: an object section keeps its
+    top-level numeric members; a list section is averaged per numeric
+    field, except lists of named singletons (the bechamel wallclock
+    shape) which keep per-name values. *)
+val summarize_sections : Json.t -> (string * float) list
+
+(** Whether a metric regresses by going {e up} (durations, the pool
+    imbalance ratio) rather than down (speedups, throughputs). *)
+val lower_is_better : string -> bool
+
+type verdict = Ok | Regression | Insufficient
+
+type trend = {
+  metric : string;
+  n : int;  (** runs carrying this metric *)
+  first : float;
+  last : float;
+  lo : float;
+  hi : float;
+  window_mean : float option;
+      (** mean of up to [window] runs preceding the last *)
+  delta_pct : float option;  (** last vs window mean, percent *)
+  verdict : verdict;
+}
+
+val verdict_string : verdict -> string
+
+(** Per-metric trends over history entries in file order; the last
+    entry is judged against the mean of up to [window] (default 5)
+    preceding entries with fractional [tolerance] (default 0.10). *)
+val trends :
+  ?window:int -> ?tolerance:float -> (string * float) list list -> trend list
+
+val any_regression : trend list -> bool
+val trend_to_json : trend -> Json.t

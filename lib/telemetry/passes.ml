@@ -12,12 +12,16 @@ type t = { mutable entries : (string * float) list (** reversed *) }
 
 let create () = { entries = [] }
 
+(* Each pass is also a [Tracer] span (category "pass"), so with a
+   tracer installed the flat list doubles as a span tree under the
+   caller's enclosing span; with none installed [with_span] is a single
+   atomic load. *)
 let time t name f =
   let t0 = Unix.gettimeofday () in
   let finally () =
     t.entries <- (name, Unix.gettimeofday () -. t0) :: t.entries
   in
-  Fun.protect ~finally f
+  Fun.protect ~finally (fun () -> Tracer.with_span ~cat:"pass" name f)
 
 (** (pass, seconds) in execution order. *)
 let to_list t = List.rev t.entries

@@ -121,6 +121,31 @@ let compare_wallclock ~tolerance base cur =
             ((c /. b -. 1.) *. 100.))
     (entries base)
 
+(* Rolling-window trends over the append-only bench history.  Advisory
+   by default: machine-to-machine noise on shared CI runners makes a
+   hard gate on history flap, so regressions become notes and job-
+   summary rows, while the checked-in baseline stays the gate. *)
+let history_trends = ref []
+
+let check_history path =
+  let module H = Finepar_telemetry.History in
+  match H.load ~path with
+  | Error e -> note "history: cannot read %s: %s" path e
+  | Ok entries ->
+    let ts = H.trends (List.map H.metrics_of entries) in
+    history_trends := ts;
+    note "history: %d run(s) in %s" (List.length entries) path;
+    List.iter
+      (fun (t : H.trend) ->
+        match (t.H.verdict, t.H.delta_pct) with
+        | H.Regression, Some d ->
+          note "history: %s regressed %+.1f%% vs rolling window (%.6g -> %.6g)"
+            t.H.metric d
+            (Option.value ~default:Float.nan t.H.window_mean)
+            t.H.last
+        | _ -> ())
+      ts
+
 let markdown ~out ~cur ~speedup =
   let oc = open_out out in
   Fun.protect
@@ -173,6 +198,24 @@ let markdown ~out ~cur ~speedup =
           p "\nEvent-engine sim-throughput speedup: **%.2fx**\n" s
         | None -> ())
       | None -> ());
+      (match !history_trends with
+      | [] -> ()
+      | ts ->
+        let module H = Finepar_telemetry.History in
+        p "\n### History trend (latest vs rolling window)\n\n";
+        p "| metric | runs | last | window mean | delta | verdict |\n";
+        p "|---|---|---|---|---|---|\n";
+        List.iter
+          (fun (t : H.trend) ->
+            p "| %s | %d | %.6g | %s | %s | %s |\n" t.H.metric t.H.n t.H.last
+              (match t.H.window_mean with
+              | None -> "-"
+              | Some m -> Printf.sprintf "%.6g" m)
+              (match t.H.delta_pct with
+              | None -> "-"
+              | Some d -> Printf.sprintf "%+.1f%%" d)
+              (H.verdict_string t.H.verdict))
+          ts);
       if !failures = [] then p "\nAll paper-accuracy numbers match the baseline.\n"
       else begin
         p "\n### Failures\n\n";
@@ -181,22 +224,25 @@ let markdown ~out ~cur ~speedup =
 
 let () =
   let args = Array.to_list Sys.argv in
-  let rec parse files tol cur_s speedup min_speedup md = function
-    | [] -> (List.rev files, tol, cur_s, speedup, min_speedup, md)
+  let rec parse files tol cur_s speedup min_speedup md hist = function
+    | [] -> (List.rev files, tol, cur_s, speedup, min_speedup, md, hist)
     | "--wallclock-tolerance" :: v :: rest ->
-      parse files (float_of_string v) cur_s speedup min_speedup md rest
+      parse files (float_of_string v) cur_s speedup min_speedup md hist rest
     | "--current-seconds" :: v :: rest ->
-      parse files tol (Some (float_of_string v)) speedup min_speedup md rest
+      parse files tol (Some (float_of_string v)) speedup min_speedup md hist
+        rest
     | "--speedup" :: v :: rest ->
-      parse files tol cur_s (Some (float_of_string v)) min_speedup md rest
+      parse files tol cur_s (Some (float_of_string v)) min_speedup md hist rest
     | "--min-speedup" :: v :: rest ->
-      parse files tol cur_s speedup (Some (float_of_string v)) md rest
+      parse files tol cur_s speedup (Some (float_of_string v)) md hist rest
     | "--markdown" :: v :: rest ->
-      parse files tol cur_s speedup min_speedup (Some v) rest
-    | a :: rest -> parse (a :: files) tol cur_s speedup min_speedup md rest
+      parse files tol cur_s speedup min_speedup (Some v) hist rest
+    | "--history" :: v :: rest ->
+      parse files tol cur_s speedup min_speedup md (Some v) rest
+    | a :: rest -> parse (a :: files) tol cur_s speedup min_speedup md hist rest
   in
-  let files, tolerance, cur_seconds, speedup, min_speedup_arg, md =
-    parse [] 0.10 None None None None (List.tl args)
+  let files, tolerance, cur_seconds, speedup, min_speedup_arg, md, hist =
+    parse [] 0.10 None None None None None (List.tl args)
   in
   let base_path, cur_path =
     match files with
@@ -266,6 +312,7 @@ let () =
     | Some s, None ->
       note "event-engine sim-throughput speedup %.2fx (no gate)" s
     | None, _ -> fail "engines section has no event_speedup number"));
+  Option.iter check_history hist;
   (match md with
   | Some out -> markdown ~out ~cur ~speedup
   | None -> ());

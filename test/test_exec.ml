@@ -136,6 +136,55 @@ let test_experiments_j1_equivalence () =
   let par = Finepar.Experiments.fig12 ~pool () in
   Alcotest.(check bool) "fig12 rows identical under the pool" true (seq = par)
 
+(* Pool execution statistics: task counts are exact, timing fields are
+   consistent, and the sequential degradation path is counted too. *)
+let test_pool_stats () =
+  let pool = Pool.create ~domains:4 () in
+  let zero = Pool.stats pool in
+  Alcotest.(check int) "fresh pool: no runs" 0 zero.Pool.runs;
+  Alcotest.(check int) "fresh pool: no tasks" 0 zero.Pool.tasks;
+  Alcotest.(check (float 0.0)) "fresh pool: imbalance 1.0" 1.0
+    zero.Pool.imbalance;
+  ignore (Pool.map pool ~f:spin (List.init 100 Fun.id));
+  ignore (Pool.map pool ~f:spin (List.init 50 Fun.id));
+  let s = Pool.stats pool in
+  Alcotest.(check int) "width recorded" 4 s.Pool.domains;
+  Alcotest.(check int) "two runs" 2 s.Pool.runs;
+  Alcotest.(check int) "tasks = elements mapped" 150 s.Pool.tasks;
+  Alcotest.(check int) "per-slot arrays sized by width" 4
+    (Array.length s.Pool.worker_tasks);
+  Alcotest.(check int) "per-slot tasks sum to the total" s.Pool.tasks
+    (Array.fold_left ( + ) 0 s.Pool.worker_tasks);
+  Alcotest.(check bool) "busy time accumulates" true (s.Pool.busy_seconds > 0.);
+  Alcotest.(check bool) "per-slot busy sums to the total" true
+    (Float.abs (Array.fold_left ( +. ) 0. s.Pool.worker_busy
+               -. s.Pool.busy_seconds)
+    < 1e-9);
+  Alcotest.(check bool) "run wall clock recorded" true (s.Pool.run_seconds > 0.);
+  Alcotest.(check bool) "idle time nonnegative" true (s.Pool.idle_seconds >= 0.);
+  Alcotest.(check bool) "steal failures nonnegative" true
+    (s.Pool.steal_failures >= 0);
+  Alcotest.(check bool) "imbalance at least 1.0" true (s.Pool.imbalance >= 1.0);
+  Alcotest.(check bool) "imbalance bounded by width" true
+    (s.Pool.imbalance <= float_of_int s.Pool.domains +. 1e-9);
+  Pool.reset_stats pool;
+  let z = Pool.stats pool in
+  Alcotest.(check int) "reset: runs" 0 z.Pool.runs;
+  Alcotest.(check int) "reset: tasks" 0 z.Pool.tasks;
+  Alcotest.(check (float 0.0)) "reset: busy" 0.0 z.Pool.busy_seconds;
+  Alcotest.(check int) "reset: per-slot tasks" 0
+    (Array.fold_left ( + ) 0 z.Pool.worker_tasks);
+  (* The sequential path (one domain) still counts its work. *)
+  let seq = Pool.create ~domains:1 () in
+  ignore (Pool.map seq ~f:spin (List.init 30 Fun.id));
+  let s1 = Pool.stats seq in
+  Alcotest.(check int) "sequential: tasks counted" 30 s1.Pool.tasks;
+  Alcotest.(check int) "sequential: attributed to slot 0" 30
+    s1.Pool.worker_tasks.(0);
+  Alcotest.(check int) "sequential: no steals" 0 s1.Pool.steals;
+  Alcotest.(check (float 0.0)) "sequential: even by definition" 1.0
+    s1.Pool.imbalance
+
 (* The strict JSON parser backing the bench gate. *)
 let test_json_roundtrip () =
   let doc =
@@ -179,6 +228,7 @@ let () =
             test_nested_map_rejected;
           Alcotest.test_case "FINEPAR_DOMAINS default" `Quick
             test_default_domains_env;
+          Alcotest.test_case "execution stats" `Quick test_pool_stats;
         ] );
       ( "determinism",
         [

@@ -371,6 +371,431 @@ let test_chrome_trace_of_sim () =
        events)
 
 (* ------------------------------------------------------------------ *)
+(* Ring boundaries.                                                    *)
+
+let test_ring_capacity_one () =
+  let r = T.Ring.create ~capacity:1 in
+  T.Ring.push r 1;
+  Alcotest.(check (list int)) "holds one" [ 1 ] (T.Ring.to_list r);
+  Alcotest.(check int) "nothing dropped yet" 0 (T.Ring.dropped r);
+  T.Ring.push r 2;
+  T.Ring.push r 3;
+  Alcotest.(check (list int)) "keeps the newest" [ 3 ] (T.Ring.to_list r);
+  Alcotest.(check int) "drops counted" 2 (T.Ring.dropped r);
+  T.Ring.clear r;
+  Alcotest.(check int) "clear resets dropped" 0 (T.Ring.dropped r);
+  Alcotest.(check bool) "clear empties" true (T.Ring.is_empty r);
+  T.Ring.push r 9;
+  Alcotest.(check (list int)) "usable after clear" [ 9 ] (T.Ring.to_list r)
+
+(* ------------------------------------------------------------------ *)
+(* Histogram percentiles.                                              *)
+
+let test_histogram_percentile () =
+  let empty = T.Histogram.create ~bounds:[| 1; 2 |] in
+  Alcotest.(check (option int)) "empty" None (T.Histogram.percentile empty 50.);
+  List.iter
+    (fun q ->
+      Alcotest.check_raises
+        (Printf.sprintf "q = %g rejected" q)
+        (Invalid_argument "Histogram.percentile: q outside [0, 100]")
+        (fun () -> ignore (T.Histogram.percentile empty q)))
+    [ -0.5; 100.5 ];
+  (* A single sample is exact at every percentile. *)
+  let one = T.Histogram.create ~bounds:[| 1; 2; 4; 8 |] in
+  T.Histogram.observe one 3;
+  List.iter
+    (fun q ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "single sample at p%g" q)
+        (Some 3) (T.Histogram.percentile one q))
+    [ 0.; 50.; 99.; 100. ];
+  (* A known distribution: bucket upper bounds, clamped to [min, max]. *)
+  let h = T.Histogram.create ~bounds:[| 1; 2; 4; 8 |] in
+  List.iter (T.Histogram.observe h) [ 1; 1; 2; 2; 3; 3; 4; 4; 5; 8 ];
+  List.iter
+    (fun (q, want) ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "p%g" q)
+        (Some want) (T.Histogram.percentile h q))
+    [ (0., 1); (50., 4); (90., 8); (100., 8) ];
+  (* The overflow bucket reports the observed maximum, not infinity. *)
+  let ov = T.Histogram.create ~bounds:[| 1; 2 |] in
+  List.iter (T.Histogram.observe ov) [ 5; 100 ];
+  List.iter
+    (fun q ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "overflow at p%g" q)
+        (Some 100) (T.Histogram.percentile ov q))
+    [ 50.; 99. ]
+
+(* ------------------------------------------------------------------ *)
+(* JSON round-trips through the strict parser.                         *)
+
+let test_json_roundtrip () =
+  (* Control characters must escape on the way out and decode on the
+     way back in. *)
+  let orig = "ctl:\000\001\n\t\r quote\"backslash\\ del\127 end" in
+  let s = T.Json.to_string (T.Json.String orig) in
+  String.iter
+    (fun c ->
+      Alcotest.(check bool) "no raw control bytes in output" true
+        (Char.code c >= 0x20))
+    s;
+  (match T.Json.of_string s with
+  | Ok (T.Json.String r) -> Alcotest.(check string) "round trip" orig r
+  | Ok _ -> Alcotest.fail "parsed to a non-string"
+  | Error e -> Alcotest.fail e);
+  (* Non-finite floats serialize to null, so the document stays valid
+     RFC 8259 and reparses. *)
+  let doc =
+    T.Json.Obj
+      [
+        ("nan", T.Json.Float Float.nan);
+        ("inf", T.Json.Float Float.infinity);
+        ("ninf", T.Json.Float Float.neg_infinity);
+        ("ok", T.Json.Float 1.5);
+      ]
+  in
+  match T.Json.of_string (T.Json.to_string doc) with
+  | Ok (T.Json.Obj kvs) ->
+    List.iter
+      (fun k ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s is null" k)
+          true
+          (List.assoc k kvs = T.Json.Null))
+      [ "nan"; "inf"; "ninf" ];
+    Alcotest.(check bool) "finite float survives" true
+      (List.assoc "ok" kvs = T.Json.Float 1.5)
+  | Ok _ -> Alcotest.fail "parsed to a non-object"
+  | Error e -> Alcotest.fail e
+
+(* ------------------------------------------------------------------ *)
+(* Host-side span tracer.                                              *)
+
+(* Run [f] with a fresh tracer installed; always uninstalls. *)
+let with_tracer f =
+  let tr = T.Tracer.create () in
+  T.Tracer.install tr;
+  Fun.protect ~finally:T.Tracer.uninstall (fun () -> f tr)
+
+let test_tracer_disabled () =
+  Alcotest.(check bool) "no tracer installed" true
+    (Option.is_none (T.Tracer.active ()));
+  (* Every instrumentation entry point must be a transparent no-op. *)
+  let v = T.Tracer.with_span "off" (fun () -> 41 + 1) in
+  Alcotest.(check int) "value passes through" 42 v;
+  T.Tracer.set_arg "k" (T.Json.Int 1);
+  T.Tracer.add_counter "c";
+  Alcotest.(check bool) "still no tracer" true
+    (Option.is_none (T.Tracer.active ()))
+
+let test_tracer_nesting () =
+  let tr =
+    with_tracer (fun tr ->
+        T.Tracer.with_span ~cat:"t" "outer" (fun () ->
+            T.Tracer.with_span "inner" (fun () ->
+                T.Tracer.set_arg "k" (T.Json.Int 7));
+            T.Tracer.with_span "inner" (fun () -> ()));
+        (* A raising body still records its span. *)
+        (try T.Tracer.with_span "boom" (fun () -> failwith "x")
+         with Failure _ -> ());
+        T.Tracer.add_counter ~by:2 "cases";
+        T.Tracer.add_counter "cases";
+        T.Tracer.add_counter "other";
+        tr)
+  in
+  let spans = T.Tracer.spans tr in
+  Alcotest.(check int) "four spans" 4 (List.length spans);
+  let outer = List.find (fun s -> s.T.Tracer.name = "outer") spans in
+  Alcotest.(check int) "outer is a root" (-1) outer.T.Tracer.parent;
+  Alcotest.(check string) "category recorded" "t" outer.T.Tracer.cat;
+  let inners = List.filter (fun s -> s.T.Tracer.name = "inner") spans in
+  Alcotest.(check int) "both inners" 2 (List.length inners);
+  List.iter
+    (fun (s : T.Tracer.span) ->
+      Alcotest.(check int) "nested under outer" outer.T.Tracer.id
+        s.T.Tracer.parent;
+      Alcotest.(check bool) "closed" true (s.T.Tracer.t1 >= s.T.Tracer.t0))
+    inners;
+  let arged = List.find (fun s -> s.T.Tracer.args <> []) inners in
+  Alcotest.(check bool) "set_arg hit the open span" true
+    (List.assoc "k" arged.T.Tracer.args = T.Json.Int 7);
+  let boom = List.find (fun s -> s.T.Tracer.name = "boom") spans in
+  Alcotest.(check int) "raising span is a root" (-1) boom.T.Tracer.parent;
+  Alcotest.(check (list (pair string int)))
+    "counters accumulate, sorted"
+    [ ("cases", 3); ("other", 1) ]
+    (T.Tracer.counters tr)
+
+let test_tracer_multi_domain () =
+  let tr =
+    with_tracer (fun tr ->
+        let ds =
+          Array.init 3 (fun i ->
+              Domain.spawn (fun () ->
+                  T.Tracer.with_span "work"
+                    (fun () -> Sys.opaque_identity (i * i))))
+        in
+        T.Tracer.with_span "main" (fun () -> ());
+        Array.iter (fun d -> ignore (Domain.join d)) ds;
+        tr)
+  in
+  let spans = T.Tracer.spans tr in
+  let domains =
+    List.sort_uniq compare (List.map (fun s -> s.T.Tracer.domain) spans)
+  in
+  Alcotest.(check int) "spans from four domains" 4 (List.length domains);
+  let events = T.Tracer.to_chrome tr in
+  let thread_rows =
+    List.filter_map
+      (function
+        | T.Chrome_trace.Thread_name { tid; name; _ } -> Some (tid, name)
+        | _ -> None)
+      events
+  in
+  (* The acceptance shape: one thread row per domain, distinct tids. *)
+  Alcotest.(check int) "one thread row per domain" 4
+    (List.length thread_rows);
+  let tids = List.map fst thread_rows in
+  Alcotest.(check int) "tids distinct" 4
+    (List.length (List.sort_uniq compare tids));
+  Alcotest.(check (list int)) "tids are dense ranks" [ 0; 1; 2; 3 ]
+    (List.sort compare tids);
+  Alcotest.(check bool) "host process named" true
+    (List.exists
+       (function
+         | T.Chrome_trace.Process_name { pid; name } ->
+           pid = T.Tracer.host_pid && name = "host"
+         | _ -> false)
+       events);
+  List.iter
+    (function
+      | T.Chrome_trace.Complete { pid; tid; dur; _ } ->
+        Alcotest.(check int) "span on the host pid" T.Tracer.host_pid pid;
+        Alcotest.(check bool) "span tid has a thread row" true
+          (List.mem tid tids);
+        Alcotest.(check bool) "positive duration" true (dur >= 1)
+      | _ -> ())
+    events;
+  (* tid assignment is stable: rank of the domain id among the sorted
+     distinct domain ids in the trace. *)
+  let expect_tid d =
+    let rec rank i = function
+      | [] -> i
+      | d' :: rest -> if d' = d then i else rank (i + 1) rest
+    in
+    rank 0 domains
+  in
+  List.iter
+    (fun (s : T.Tracer.span) ->
+      let row =
+        List.find
+          (fun (_, name) -> name = Printf.sprintf "domain %d" s.T.Tracer.domain)
+          thread_rows
+      in
+      Alcotest.(check int) "tid = rank of domain id"
+        (expect_tid s.T.Tracer.domain) (fst row))
+    spans
+
+(* ------------------------------------------------------------------ *)
+(* Profile tree.                                                       *)
+
+let spin () = ignore (Sys.opaque_identity (Array.init 2048 (fun i -> i * i)))
+
+let test_profile_tree () =
+  let tr =
+    with_tracer (fun tr ->
+        T.Tracer.with_span "root" (fun () ->
+            for _ = 1 to 3 do
+              T.Tracer.with_span "child" spin
+            done;
+            T.Tracer.with_span "other" (fun () -> T.Tracer.with_span "leaf" spin));
+        tr)
+  in
+  let tree = T.Profile_tree.of_spans (T.Tracer.spans tr) in
+  Alcotest.(check bool) "well formed" true (T.Profile_tree.well_formed tree);
+  (* The acceptance invariant, spelled out: at every node the children's
+     total times — and their self times — sum to no more than the
+     parent's total, and self time is never negative. *)
+  let eps = 1e-9 in
+  let rec check_node (n : T.Profile_tree.node) =
+    let sum f =
+      List.fold_left (fun a (c : T.Profile_tree.node) -> a +. f c) 0.
+        n.T.Profile_tree.children
+    in
+    Alcotest.(check bool)
+      (n.T.Profile_tree.name ^ ": children totals bounded by parent total")
+      true
+      (sum (fun c -> c.T.Profile_tree.total) <= n.T.Profile_tree.total +. eps);
+    Alcotest.(check bool)
+      (n.T.Profile_tree.name ^ ": children self bounded by parent total")
+      true
+      (sum (fun c -> c.T.Profile_tree.self) <= n.T.Profile_tree.total +. eps);
+    Alcotest.(check bool)
+      (n.T.Profile_tree.name ^ ": self nonnegative")
+      true
+      (n.T.Profile_tree.self >= 0.);
+    List.iter check_node n.T.Profile_tree.children
+  in
+  List.iter check_node tree;
+  (match tree with
+  | [ root ] ->
+    Alcotest.(check string) "single root" "root" root.T.Profile_tree.name;
+    Alcotest.(check int) "root count" 1 root.T.Profile_tree.count;
+    let child =
+      List.find
+        (fun (c : T.Profile_tree.node) -> c.T.Profile_tree.name = "child")
+        root.T.Profile_tree.children
+    in
+    Alcotest.(check int) "same-name spans fold" 3 child.T.Profile_tree.count;
+    Alcotest.(check bool) "total_seconds is the root total" true
+      (Float.abs (T.Profile_tree.total_seconds tree -. root.T.Profile_tree.total)
+      < eps)
+  | _ -> Alcotest.fail "expected a single root");
+  let hot = T.Profile_tree.hot_list tree in
+  Alcotest.(check int) "hot list covers every path" 4 (List.length hot);
+  let selves = List.map (fun (_, _, _, self) -> self) hot in
+  Alcotest.(check bool) "hot list sorted by self, descending" true
+    (List.sort (fun a b -> compare b a) selves = selves);
+  Alcotest.(check bool) "paths are slash-joined" true
+    (List.exists (fun (p, _, _, _) -> p = "root/other/leaf") hot)
+
+(* ------------------------------------------------------------------ *)
+(* Bench history and trends.                                           *)
+
+let test_history_roundtrip () =
+  let path = Filename.temp_file "finepar-history" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      T.History.append ~path
+        (T.History.entry ~time:1. ~label:"bench" ~jobs:4
+           ~metrics:[ ("wall_seconds", 2.5); ("pool.imbalance", 1.1) ]);
+      T.History.append ~path
+        (T.History.entry ~time:2. ~label:"bench" ~jobs:4
+           ~metrics:[ ("wall_seconds", 2.6) ]);
+      match T.History.load ~path with
+      | Error e -> Alcotest.fail e
+      | Ok entries ->
+        Alcotest.(check int) "two lines" 2 (List.length entries);
+        Alcotest.(check (list (pair string (float 1e-9))))
+          "metrics survive the round trip"
+          [ ("wall_seconds", 2.5); ("pool.imbalance", 1.1) ]
+          (T.History.metrics_of (List.hd entries)));
+  Alcotest.(check bool) "unreadable file is an error" true
+    (Result.is_error (T.History.load ~path:"/nonexistent/h.jsonl"))
+
+let test_history_direction () =
+  List.iter
+    (fun (metric, want) ->
+      Alcotest.(check bool) metric want (T.History.lower_is_better metric))
+    [
+      ("wall_seconds", true);
+      ("wallclock.compile (4 cores).ns_per_run", true);
+      ("pool.imbalance", true);
+      ("table3.mean_speedup", false);
+      ("fig12.mean_cycles", false);
+    ]
+
+let test_history_trends () =
+  let runs metric series = List.map (fun v -> [ (metric, v) ]) series in
+  let trend_of ts metric =
+    List.find (fun (t : T.History.trend) -> t.T.History.metric = metric) ts
+  in
+  (* A duration creeping up past tolerance regresses... *)
+  let ts = T.History.trends (runs "wall_seconds" [ 1.; 1.; 1.; 1.3 ]) in
+  let t = trend_of ts "wall_seconds" in
+  Alcotest.(check string) "slower wall clock regresses" "REGRESSION"
+    (T.History.verdict_string t.T.History.verdict);
+  Alcotest.(check bool) "any_regression sees it" true
+    (T.History.any_regression ts);
+  (* ...and a duration going down is an improvement, not a regression. *)
+  let ts = T.History.trends (runs "wall_seconds" [ 1.; 1.; 1.; 0.7 ]) in
+  Alcotest.(check string) "faster wall clock is ok" "ok"
+    (T.History.verdict_string
+       (trend_of ts "wall_seconds").T.History.verdict);
+  (* Higher-is-better metrics regress downward. *)
+  let ts = T.History.trends (runs "table3.mean_speedup" [ 2.; 2.; 1.5 ]) in
+  Alcotest.(check string) "dropping speedup regresses" "REGRESSION"
+    (T.History.verdict_string
+       (trend_of ts "table3.mean_speedup").T.History.verdict);
+  (* Within tolerance: ok. *)
+  let ts = T.History.trends (runs "wall_seconds" [ 1.; 1.; 1.05 ]) in
+  Alcotest.(check string) "within tolerance" "ok"
+    (T.History.verdict_string (trend_of ts "wall_seconds").T.History.verdict);
+  (* One run of a metric cannot be judged. *)
+  let ts = T.History.trends [ [ ("fresh", 1.) ] ] in
+  let t = trend_of ts "fresh" in
+  Alcotest.(check string) "single run insufficient" "n/a"
+    (T.History.verdict_string t.T.History.verdict);
+  Alcotest.(check int) "counted once" 1 t.T.History.n;
+  (* The window bounds how far back the judgment looks. *)
+  let ts =
+    T.History.trends ~window:2
+      (runs "wall_seconds" [ 100.; 100.; 1.; 1.; 1.2 ])
+  in
+  let t = trend_of ts "wall_seconds" in
+  Alcotest.(check string) "old outliers age out of the window" "REGRESSION"
+    (T.History.verdict_string t.T.History.verdict);
+  Alcotest.(check (option (float 1e-9))) "window mean" (Some 1.)
+    t.T.History.window_mean
+
+let test_history_summarize () =
+  let doc =
+    T.Json.Obj
+      [
+        ( "sections",
+          T.Json.Obj
+            [
+              ( "table3",
+                T.Json.List
+                  [
+                    T.Json.Obj
+                      [
+                        ("name", T.Json.String "a");
+                        ("speedup", T.Json.Float 2.);
+                        ("cycles", T.Json.Int 100);
+                      ];
+                    T.Json.Obj
+                      [
+                        ("name", T.Json.String "b");
+                        ("speedup", T.Json.Float 4.);
+                        ("cycles", T.Json.Int 300);
+                      ];
+                  ] );
+              ( "wallclock",
+                T.Json.List
+                  [
+                    T.Json.Obj
+                      [
+                        ("name", T.Json.String "compile x");
+                        ("ns_per_run", T.Json.Float 5.);
+                      ];
+                  ] );
+              ("pool", T.Json.Obj [ ("tasks", T.Json.Int 10) ]);
+            ] );
+      ]
+  in
+  let metrics = T.History.summarize_sections doc in
+  let check name want =
+    match List.assoc_opt name metrics with
+    | None -> Alcotest.fail (name ^ " missing")
+    | Some v -> Alcotest.(check (float 1e-9)) name want v
+  in
+  (* Multi-field rows summarize to per-field means... *)
+  check "table3.mean_speedup" 3.;
+  check "table3.mean_cycles" 200.;
+  (* ...while named singletons (the bechamel shape) keep their name AND
+     the field name, so the direction heuristic still applies. *)
+  check "wallclock.compile x.ns_per_run" 5.;
+  Alcotest.(check bool) "named singleton metric is lower-is-better" true
+    (T.History.lower_is_better "wallclock.compile x.ns_per_run");
+  (* Object sections keep their numeric members. *)
+  check "pool.tasks" 10.
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "telemetry"
@@ -380,6 +805,7 @@ let () =
           Alcotest.test_case "basics" `Quick test_ring_basic;
           Alcotest.test_case "zero capacity" `Quick test_ring_zero_capacity;
           Alcotest.test_case "fold order" `Quick test_ring_fold_order;
+          Alcotest.test_case "capacity one" `Quick test_ring_capacity_one;
         ] );
       ( "histogram",
         [
@@ -387,10 +813,15 @@ let () =
           Alcotest.test_case "bounds generators" `Quick
             test_histogram_bounds_generators;
           Alcotest.test_case "merge" `Quick test_histogram_merge;
+          Alcotest.test_case "percentile" `Quick test_histogram_percentile;
           QCheck_alcotest.to_alcotest test_histogram_observe_qcheck;
         ] );
       ("stall", [ Alcotest.test_case "classes" `Quick test_stall_classes ]);
-      ("json", [ Alcotest.test_case "escaping" `Quick test_json_escaping ]);
+      ( "json",
+        [
+          Alcotest.test_case "escaping" `Quick test_json_escaping;
+          Alcotest.test_case "round trip" `Quick test_json_roundtrip;
+        ] );
       ( "metrics",
         [
           Alcotest.test_case "registry" `Quick test_metrics_registry;
@@ -411,5 +842,23 @@ let () =
         [
           Alcotest.test_case "invariants" `Quick test_report_invariants;
           Alcotest.test_case "chrome export" `Quick test_chrome_trace_of_sim;
+        ] );
+      ( "tracer",
+        [
+          Alcotest.test_case "disabled is a no-op" `Quick test_tracer_disabled;
+          Alcotest.test_case "nesting" `Quick test_tracer_nesting;
+          Alcotest.test_case "multi-domain chrome export" `Quick
+            test_tracer_multi_domain;
+        ] );
+      ( "profile tree",
+        [ Alcotest.test_case "self/total invariant" `Quick test_profile_tree ] );
+      ( "history",
+        [
+          Alcotest.test_case "append/load round trip" `Quick
+            test_history_roundtrip;
+          Alcotest.test_case "metric direction" `Quick test_history_direction;
+          Alcotest.test_case "rolling-window trends" `Quick test_history_trends;
+          Alcotest.test_case "summarize bench json" `Quick
+            test_history_summarize;
         ] );
     ]
