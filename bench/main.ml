@@ -377,14 +377,25 @@ let characterization _ctx =
      scalar + 1 array reductions) + 2 conditional + 18 selected)@."
 
 (* ------------------------------------------------------------------ *)
-(* Simulation-engine throughput: replay the fuzz corpus under both      *)
-(* engines and report simulated cycles per wall-clock second.  The      *)
+(* Simulation-engine throughput: replay the fuzz corpus under every     *)
+(* engine and report simulated cycles per wall-clock second.  The       *)
 (* cycle counts are identical by the cycle-exactness contract (enforced *)
 (* by test_engine.ml and the fuzz oracle); only the wall time differs.  *)
+(* The timed region is [Sim.run] alone: building the sim and (for the   *)
+(* compiled engine) specializing it are per-kernel setup, not simulation *)
+(* — they are timed separately by the tracer's sim/specialize spans —   *)
+(* and a [Gc.full_major] between setup and run keeps the setup's        *)
+(* collection debt from being paid inside the measured window.  Each     *)
+(* engine's rate is the best of [reps] full corpus passes: timing noise  *)
+(* (scheduler preemption, heap state left by earlier bench sections) is  *)
+(* strictly one-sided — it can only slow a pass down — so best-of is the *)
+(* stable estimator of the engine's actual throughput where a pooled     *)
+(* mean would drift with whatever ran before.                            *)
 
 let engines ctx =
   section "engines"
-    "simulation-engine throughput on the fuzz corpus (cycle vs event)";
+    "simulation-engine throughput on the fuzz corpus (cycle vs event vs \
+     compiled)";
   let module F = Finepar_fuzz in
   match
     List.find_opt Sys.file_exists [ "test/fuzz_corpus"; "fuzz_corpus" ]
@@ -402,51 +413,94 @@ let engines ctx =
     in
     let reps = 12 in
     let measure engine =
-      let t0 = Unix.gettimeofday () in
       let cycles = ref 0 in
+      let best = ref 0.0 in
       for _ = 1 to reps do
+        let rep_cycles = ref 0 in
+        let rep_t = ref 0.0 in
         List.iter
-          (fun ((case : F.Gen.case), cc) ->
+          (fun ((case : F.Gen.case), (cc : Compiler.compiled)) ->
+            let program = cc.Compiler.code.Finepar_codegen.Lower.program in
             let n_threads =
-              Array.length
-                cc.Compiler.code.Finepar_codegen.Lower.program
-                  .Finepar_machine.Program.cores
+              Array.length program.Finepar_machine.Program.cores
             in
             let core_map = F.Gen.materialize case.F.Gen.placement n_threads in
             let workload =
               Finepar_kernels.Workload.default ~seed:case.F.Gen.workload_seed
                 case.F.Gen.kernel
             in
-            match
-              Runner.run ~check:false ~workload ~core_map ~engine cc
-            with
-            | r -> cycles := !cycles + r.Runner.cycles
-            | exception Finepar_machine.Sim.Stuck _ -> ())
-          cases
+            let sim =
+              Finepar_machine.Sim.create ~core_map
+                ~config:cc.Compiler.config.Compiler.machine ~initial:workload
+                program
+            in
+            let specialized =
+              if engine = Finepar_machine.Engine.Compiled then
+                Some (Finepar_machine.Sim.specialize sim)
+              else None
+            in
+            Gc.full_major ();
+            let t0 = Unix.gettimeofday () in
+            (match Finepar_machine.Sim.run ~engine ?specialized sim with
+            | c -> rep_cycles := !rep_cycles + c
+            | exception Finepar_machine.Sim.Stuck _ -> ());
+            rep_t := !rep_t +. (Unix.gettimeofday () -. t0))
+          cases;
+        cycles := !cycles + !rep_cycles;
+        let rate = float_of_int !rep_cycles /. !rep_t in
+        if rate > !best then best := rate
       done;
-      let dt = Unix.gettimeofday () -. t0 in
-      (float_of_int !cycles /. dt, !cycles)
+      (!best, !cycles)
     in
-    let cyc_rate, total = measure Finepar_machine.Engine.Cycle in
-    let ev_rate, total' = measure Finepar_machine.Engine.Event in
-    assert (total = total');
-    let speedup = ev_rate /. cyc_rate in
+    (* One row per engine, all measured in this one run; every non-cycle
+       engine gets a speedup over the reference stepper's rate, and all
+       engines must simulate the identical cycle total (cycle-exactness
+       leaves nothing else to agree on here). *)
+    let rows =
+      List.map
+        (fun engine -> (engine, measure engine))
+        Finepar_machine.Engine.all
+    in
+    let cyc_rate, total =
+      List.assoc Finepar_machine.Engine.Cycle rows
+    in
+    List.iter (fun (_, (_, total')) -> assert (total = total')) rows;
     Fmt.pr "%-8s %14s %18s@." "engine" "sim cycles" "cycles/second";
-    Fmt.pr "%-8s %14d %18.0f@." "cycle" total cyc_rate;
-    Fmt.pr "%-8s %14d %18.0f@." "event" total ev_rate;
-    Fmt.pr "event-engine sim-throughput speedup: %.2fx (%d corpus cases x %d \
-            reps)@."
-      speedup (List.length cases) reps;
+    List.iter
+      (fun (engine, (rate, _)) ->
+        Fmt.pr "%-8s %14d %18.0f@."
+          (Finepar_machine.Engine.to_string engine)
+          total rate)
+      rows;
+    List.iter
+      (fun (engine, (rate, _)) ->
+        if engine <> Finepar_machine.Engine.Cycle then
+          Fmt.pr "%s-engine sim-throughput speedup: %.2fx (%d corpus cases x \
+                  %d reps)@."
+            (Finepar_machine.Engine.to_string engine)
+            (rate /. cyc_rate) (List.length cases) reps)
+      rows;
     collect ctx "engines"
       (J.Obj
-         [
-           ("cases", J.Int (List.length cases));
-           ("reps", J.Int reps);
-           ("simulated_cycles", J.Int total);
-           ("cycle_cycles_per_second", J.Float cyc_rate);
-           ("event_cycles_per_second", J.Float ev_rate);
-           ("event_speedup", J.Float speedup);
-         ])
+         ([
+            ("cases", J.Int (List.length cases));
+            ("reps", J.Int reps);
+            ("simulated_cycles", J.Int total);
+          ]
+         @ List.map
+             (fun (engine, (rate, _)) ->
+               ( Finepar_machine.Engine.to_string engine
+                 ^ "_cycles_per_second",
+                 J.Float rate ))
+             rows
+         @ List.filter_map
+             (fun (engine, (rate, _)) ->
+               if engine = Finepar_machine.Engine.Cycle then None
+               else
+                 Some
+                   ( Finepar_machine.Engine.to_string engine ^ "_speedup",
+                     J.Float (rate /. cyc_rate) ))
+             rows))
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock benchmarks of the toolchain itself.             *)

@@ -12,6 +12,12 @@ set -eu
 
 DET_SECTIONS="table fig ablation extension characterization"
 MIN_SPEEDUP="${MIN_SPEEDUP:-2.0}"
+# Sim-throughput gates for the engines section, one per non-cycle
+# engine.  Both the recorded speedup and the gate land in meta in the
+# same run, so check_bench never meets an engine the baseline has not
+# heard of.
+MIN_EVENT_SPEEDUP="${MIN_EVENT_SPEEDUP:-2.0}"
+MIN_COMPILED_SPEEDUP="${MIN_COMPILED_SPEEDUP:-10.0}"
 
 dune build bench/main.exe
 
@@ -32,22 +38,44 @@ PAR=$(python3 -c "print(($t1-$t0)/1e9)")
 dune exec --no-build bench/main.exe -- -j1 --json=bench/baseline.json --history=none \
   >/dev/null
 
-SEQ="$SEQ" PAR="$PAR" MIN_SPEEDUP="$MIN_SPEEDUP" python3 - <<'EOF'
+SEQ="$SEQ" PAR="$PAR" MIN_SPEEDUP="$MIN_SPEEDUP" \
+MIN_EVENT_SPEEDUP="$MIN_EVENT_SPEEDUP" \
+MIN_COMPILED_SPEEDUP="$MIN_COMPILED_SPEEDUP" python3 - <<'EOF'
 import json, os
 d = json.load(open('bench/baseline.json'))
 seq, par = float(os.environ['SEQ']), float(os.environ['PAR'])
-d['meta'] = {
+meta = {
     'recorded_cores': os.cpu_count(),
     'jobs': 4,
     'seq_seconds': round(seq, 2),
     'par_seconds': round(par, 2),
     'recorded_speedup': round(seq / par, 3),
     'min_speedup': float(os.environ['MIN_SPEEDUP']),
-    'note': ('sections = bench --json at -j1 (deterministic; exact gate). '
-             'seq/par_seconds = deterministic sections at -j1/-j4 on the '
-             'recording host; refresh with bench/record_baseline.sh when '
-             'paper-accuracy numbers legitimately change.'),
 }
+# Per-engine sim-throughput speedups, read back from the engines section
+# this same run just measured.  The recorded_* numbers document the
+# recording host; the min_* numbers are the CI gates check_bench
+# enforces (it fails when an engine has a speedup but no gate, so a new
+# engine cannot land without re-running this script).
+engines = d.get('sections', {}).get('engines', {})
+mins = {'event': float(os.environ['MIN_EVENT_SPEEDUP']),
+        'compiled': float(os.environ['MIN_COMPILED_SPEEDUP'])}
+for key, value in sorted(engines.items()):
+    if not key.endswith('_speedup'):
+        continue
+    name = key[:-len('_speedup')]
+    if name not in mins:
+        raise SystemExit(f'engines section has {key} but record_baseline.sh '
+                         f'defines no MIN_{name.upper()}_SPEEDUP default; '
+                         f'teach it about the new engine first')
+    meta[f'recorded_{name}_speedup'] = round(value, 2)
+    meta[f'min_{name}_speedup'] = mins[name]
+meta['note'] = (
+    'sections = bench --json at -j1 (deterministic; exact gate). '
+    'seq/par_seconds = deterministic sections at -j1/-j4 on the '
+    'recording host; refresh with bench/record_baseline.sh when '
+    'paper-accuracy numbers legitimately change.')
+d['meta'] = meta
 json.dump(d, open('bench/baseline.json', 'w'), indent=1)
 open('bench/baseline.json', 'a').write('\n')
 EOF

@@ -53,16 +53,22 @@ let engine_conv =
     | Some e -> Ok e
     | None ->
       Error
-        (`Msg (Printf.sprintf "unknown engine %s (expected cycle or event)" str))
+        (`Msg
+          (Printf.sprintf "unknown engine %s (expected %s)" str
+             (String.concat ", "
+                (List.map Finepar_machine.Engine.to_string
+                   Finepar_machine.Engine.all))))
   in
   let print ppf e = Fmt.string ppf (Finepar_machine.Engine.to_string e) in
   Arg.conv (parse, print)
 
 let engine_arg =
   let doc =
-    "Simulation engine: $(b,cycle) (the reference stepper) or $(b,event) \
-     (event-driven fast-forward).  The two are cycle-exact to each other; \
-     $(b,event) is faster on latency-dominated runs."
+    "Simulation engine: $(b,cycle) (the reference stepper), $(b,event) \
+     (event-driven fast-forward) or $(b,compiled) (per-core programs \
+     pre-specialized to closure arrays, driven by the same fast-forward).  \
+     All three are cycle-exact to each other; $(b,event) is faster on \
+     latency-dominated runs and $(b,compiled) is fastest overall."
   in
   Arg.(
     value

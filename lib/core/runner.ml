@@ -39,7 +39,18 @@ let run_with_sim ?(check = true) ?(workload = []) ?core_map ?tracing
         ]
       ("sim:" ^ engine_name)
       (fun () ->
-        let cycles = Sim.run ?engine sim in
+        (* The compiled engine's one-time closure compilation is timed as
+           its own pass span, nested under the sim span, so traces show
+           the specialize cost separately from the run proper. *)
+        let specialized =
+          match engine with
+          | Some Engine.Compiled ->
+            Some
+              (Finepar_telemetry.Tracer.with_span ~cat:"pass" "specialize"
+                 (fun () -> Sim.specialize sim))
+          | Some (Engine.Cycle | Engine.Event) | None -> None
+        in
+        let cycles = Sim.run ?engine ?specialized sim in
         Finepar_telemetry.Tracer.set_arg "cycles"
           (Finepar_telemetry.Json.Int cycles);
         cycles)

@@ -12,10 +12,10 @@
       [cycles * threads], and queue occupancy respects capacity;
     - {b determinism}: a second run of the same compiled program on the
       same workload reproduces the cycle count and outputs;
-    - {b cross-engine}: the other simulation engine (cycle stepper vs
-      event-driven fast-forward, {!Finepar_machine.Engine}) reproduces
-      the cycle count, the architectural outputs, and the full telemetry
-      report;
+    - {b cross-engine}: every other simulation engine (cycle stepper,
+      event-driven fast-forward, compiled — {!Finepar_machine.Engine})
+      reproduces the cycle count, the architectural outputs, and the
+      full telemetry report;
     - {b cross-core agreement}: the same kernel compiled for one core
       produces the same observable results.
 
@@ -159,39 +159,54 @@ let check ?(compile : compile_fn = Finepar.Compiler.compile)
             not (Eval.result_equal run1.Finepar.Runner.result run2.Finepar.Runner.result)
           then fail "determinism" "results differ across identical runs"
           else (
-            (* Cross-engine: the other engine must be cycle-exact —
+            (* Cross-engine: every other engine must be cycle-exact —
                same cycle count, same architectural outputs, same
                telemetry report (the report JSON covers every counter
-               and histogram). *)
-            let other =
-              match engine with
-              | Finepar_machine.Engine.Cycle -> Finepar_machine.Engine.Event
-              | Finepar_machine.Engine.Event -> Finepar_machine.Engine.Cycle
+               and histogram).  With three engines each case checks the
+               two it did not run under, so the three-way matrix closes
+               whatever engine the campaign selected. *)
+            let cross_engine_failure other =
+              match
+                Finepar.Runner.run ~check:false ~workload ~core_map
+                  ~engine:other c
+              with
+              | exception e ->
+                Some
+                  (fail "cross-engine" "%s engine raised %s"
+                     (Finepar_machine.Engine.to_string other)
+                     (Printexc.to_string e))
+              | run_other ->
+                if run1.Finepar.Runner.cycles <> run_other.Finepar.Runner.cycles
+                then
+                  Some
+                    (fail "cross-engine" "cycle counts differ: %s %d vs %s %d"
+                       (Finepar_machine.Engine.to_string engine)
+                       run1.Finepar.Runner.cycles
+                       (Finepar_machine.Engine.to_string other)
+                       run_other.Finepar.Runner.cycles)
+                else if
+                  not
+                    (Eval.result_equal run1.Finepar.Runner.result
+                       run_other.Finepar.Runner.result)
+                then
+                  Some
+                    (fail "cross-engine" "results differ across engines (%s vs %s)"
+                       (Finepar_machine.Engine.to_string engine)
+                       (Finepar_machine.Engine.to_string other))
+                else if report_json run1 <> report_json run_other then
+                  Some
+                    (fail "cross-engine"
+                       "telemetry reports differ across engines (%s vs %s)"
+                       (Finepar_machine.Engine.to_string engine)
+                       (Finepar_machine.Engine.to_string other))
+                else None
             in
-            match
-              Finepar.Runner.run ~check:false ~workload ~core_map
-                ~engine:other c
-            with
-            | exception e ->
-              fail "cross-engine" "%s engine raised %s"
-                (Finepar_machine.Engine.to_string other)
-                (Printexc.to_string e)
-            | run_other ->
-            if run1.Finepar.Runner.cycles <> run_other.Finepar.Runner.cycles
-            then
-              fail "cross-engine" "cycle counts differ: %s %d vs %s %d"
-                (Finepar_machine.Engine.to_string engine)
-                run1.Finepar.Runner.cycles
-                (Finepar_machine.Engine.to_string other)
-                run_other.Finepar.Runner.cycles
-            else if
-              not
-                (Eval.result_equal run1.Finepar.Runner.result
-                   run_other.Finepar.Runner.result)
-            then fail "cross-engine" "results differ across engines"
-            else if report_json run1 <> report_json run_other then
-              fail "cross-engine" "telemetry reports differ across engines"
-            else
+            let others =
+              List.filter (fun e -> e <> engine) Finepar_machine.Engine.all
+            in
+            match List.find_map cross_engine_failure others with
+            | Some failure -> failure
+            | None ->
             (* Cross-core agreement: one-core compilation of the same
                kernel must observe the same live-outs and arrays. *)
             let config1 = { case.Gen.config with Finepar.Compiler.cores = 1 } in

@@ -31,7 +31,7 @@ val check :
     defaults to {!Finepar.Compiler.compile} and exists so tests can
     inject deliberate miscompiles.  [engine] selects the primary
     simulation engine (default {!Finepar_machine.Engine.default}); the
-    cross-engine oracle always runs the other one and demands identical
-    cycles, outputs, and telemetry. *)
+    cross-engine oracle always runs every other engine and demands
+    identical cycles, outputs, and telemetry. *)
 
 val pp_failure : Format.formatter -> failure -> unit

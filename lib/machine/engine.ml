@@ -20,15 +20,20 @@
     operand stall, queue stall — with boundaries given by [min_issue] and
     the operand-ready time ({!segments}). *)
 
-type t = Cycle | Event
+type t = Cycle | Event | Compiled
 
 let default = Cycle
-let all = [ Cycle; Event ]
-let to_string = function Cycle -> "cycle" | Event -> "event"
+let all = [ Cycle; Event; Compiled ]
+
+let to_string = function
+  | Cycle -> "cycle"
+  | Event -> "event"
+  | Compiled -> "compiled"
 
 let of_string = function
   | "cycle" -> Some Cycle
   | "event" -> Some Event
+  | "compiled" -> Some Compiled
   | _ -> None
 
 (** What gates a core's next issue beyond its scoreboard and [min_issue]:

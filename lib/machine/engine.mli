@@ -9,6 +9,12 @@ type t =
           state can change, bulk-crediting the skipped cycles.
           Cycle-exact with {!Cycle} by contract: identical cycle counts,
           architectural outputs, telemetry reports and [Stuck] payloads. *)
+  | Compiled
+      (** pre-compiled stepping: each core's program is specialized once
+          into a flat array of closures (operands resolved to scoreboard
+          slots, latencies, branch targets and queue endpoints baked in),
+          then driven with the same quiescent fast-forward as {!Event}.
+          Bound by the same cycle-exactness contract as {!Event}. *)
 
 val default : t
 (** {!Cycle}, the reference semantics. *)

@@ -806,14 +806,637 @@ let run_event t =
   t.cycles <- !cy;
   !cy
 
+(* ------------------------------------------------------------------ *)
+(* The compiled engine.
+
+   [specialize] translates each core's program once into a flat array of
+   closures, one per pc: operand checks are unrolled over the exact
+   source list, destinations/latencies/branch targets/queue endpoints/
+   fiber slots/stall reasons are resolved to direct array slots and
+   constants, and the per-issue / per-stall bookkeeping is pre-bound.
+   The hot path then executes [steps.(pc) cy] — no [Isa.srcs] list
+   allocation, no [List.for_all] closure, no inner [finish_simple]/
+   [branch_to] closures, no event-variant allocation when tracing is
+   off.  Every state mutation happens in the same order as [step_core],
+   so the engine inherits the cycle-exactness contract.
+
+   The closures capture the arrays of ONE [t]; a [specialized] value is
+   only valid for the instance it was built from. *)
+
+type specialized = {
+  sp_for : t;  (** the instance the closures capture *)
+  sp_steps : (int -> bool) array array;
+      (** per logical core, per pc: attempt to issue at cycle; same
+          result and side effects as [step_core].  The driver does the
+          pc bounds check (and the off-the-end fault) itself, so the
+          hot path is a single indirect call per attempt. *)
+  sp_wakes : (unit -> int) array array;
+      (** per logical core, per pc: the wake cycle of that instruction
+          ([Engine.wake] of [profile_of]), [max_int] for [Never] *)
+  sp_credits : (int -> int -> unit) array array;
+      (** per logical core, per pc: [credit from until] replicates the
+          non-halted branch of [credit_quiescent] for that core *)
+  sp_threads : int array array;  (** physical core -> logical cores *)
+  sp_identity : bool;
+      (** identity core map: issue sweep order is core order and the
+          round-robin cursors never move, so the driver can skip SMT
+          arbitration entirely *)
+  sp_live : int ref;
+      (** non-halted core count, maintained by the Halt closures;
+          re-initialized by [run_compiled] *)
+}
+
+let specialize t =
+  let n = Array.length t.program.Program.cores in
+  let cfg = t.config in
+  let tracing = t.tracing in
+  let live = ref 0 in
+  let compile_core core =
+    let prog = t.program.Program.cores.(core) in
+    let code = prog.Program.code in
+    let regs = t.regs.(core) and ready = t.reg_ready.(core) in
+    let stats = t.stats.(core) in
+    (* Every step closure ends by repeating [finish_simple]'s issue
+       bookkeeping inline — pc, min_issue, instrs, episode flush, fiber
+       counter, trace — because a shared closure would cost an indirect
+       call on every issued instruction.  The mutations are textually
+       duplicated across the arms but their order is the stepper's. *)
+    let compile_at pc instr =
+      let slot = fiber_slot t core pc in
+      (* [note_stall] with the reason, class index and counter pre-bound.
+         The stall path keeps one out-of-line closure per gate: it
+         touches an episode histogram anyway, so a call there is noise,
+         unlike the issue path above. *)
+      let stall reason =
+        let cls = Telemetry.Stall.class_index reason in
+        fun cy ->
+          (match reason with
+          | Telemetry.Stall.Operand ->
+            stats.stall_operand <- stats.stall_operand + 1
+          | Telemetry.Stall.Queue_full _ ->
+            stats.stall_queue_full <- stats.stall_queue_full + 1
+          | Telemetry.Stall.Queue_empty _ ->
+            stats.stall_queue_empty <- stats.stall_queue_empty + 1);
+          if t.stall_run_class.(core) = cls then
+            t.stall_run_len.(core) <- t.stall_run_len.(core) + 1
+          else begin
+            flush_stall_run t core;
+            t.stall_run_class.(core) <- cls;
+            t.stall_run_len.(core) <- 1
+          end;
+          t.fiber_stall.(slot) <- t.fiber_stall.(slot) + 1;
+          if tracing then
+            Telemetry.Ring.push t.trace
+              (Ev_stall { core; cycle = cy; pc; reason });
+          false
+      in
+      match instr with
+      | Isa.Li (d, v) ->
+        fun cy ->
+          regs.(d) <- v;
+          ready.(d) <- cy + 1;
+          t.pc.(core) <- pc + 1;
+          t.min_issue.(core) <- cy + 1;
+          stats.instrs <- stats.instrs + 1;
+          if t.stall_run_class.(core) >= 0 then flush_stall_run t core;
+          t.fiber_issue.(slot) <- t.fiber_issue.(slot) + 1;
+          if tracing then
+            Telemetry.Ring.push t.trace (Ev_issue { core; cycle = cy; pc; instr });
+          true
+      | Isa.Mov (d, s) ->
+        let op_stall = stall Telemetry.Stall.Operand in
+        fun cy ->
+          if ready.(s) <= cy then begin
+            regs.(d) <- regs.(s);
+            ready.(d) <- cy + 1;
+            t.pc.(core) <- pc + 1;
+            t.min_issue.(core) <- cy + 1;
+            stats.instrs <- stats.instrs + 1;
+            if t.stall_run_class.(core) >= 0 then flush_stall_run t core;
+            t.fiber_issue.(slot) <- t.fiber_issue.(slot) + 1;
+            if tracing then
+              Telemetry.Ring.push t.trace
+                (Ev_issue { core; cycle = cy; pc; instr });
+            true
+          end
+          else op_stall cy
+      | Isa.Un (op, d, s) ->
+        let lat_i = Op_cost.unop_latency op Types.I64 in
+        let lat_f = Op_cost.unop_latency op Types.F64 in
+        let op_stall = stall Telemetry.Stall.Operand in
+        fun cy ->
+          if ready.(s) <= cy then begin
+            let v = regs.(s) in
+            regs.(d) <- Types.apply_unop op v;
+            ready.(d) <-
+              (cy + match v with Types.VInt _ -> lat_i | Types.VFloat _ -> lat_f);
+            t.pc.(core) <- pc + 1;
+            t.min_issue.(core) <- cy + 1;
+            stats.instrs <- stats.instrs + 1;
+            if t.stall_run_class.(core) >= 0 then flush_stall_run t core;
+            t.fiber_issue.(slot) <- t.fiber_issue.(slot) + 1;
+            if tracing then
+              Telemetry.Ring.push t.trace
+                (Ev_issue { core; cycle = cy; pc; instr });
+            true
+          end
+          else op_stall cy
+      | Isa.Bin (op, d, a, b) ->
+        let lat_i = Op_cost.binop_latency op Types.I64 in
+        let lat_f = Op_cost.binop_latency op Types.F64 in
+        let op_stall = stall Telemetry.Stall.Operand in
+        fun cy ->
+          if ready.(a) <= cy && ready.(b) <= cy then begin
+            let va = regs.(a) in
+            regs.(d) <- Types.apply_binop op va regs.(b);
+            ready.(d) <-
+              (cy
+              + match va with Types.VInt _ -> lat_i | Types.VFloat _ -> lat_f);
+            t.pc.(core) <- pc + 1;
+            t.min_issue.(core) <- cy + 1;
+            stats.instrs <- stats.instrs + 1;
+            if t.stall_run_class.(core) >= 0 then flush_stall_run t core;
+            t.fiber_issue.(slot) <- t.fiber_issue.(slot) + 1;
+            if tracing then
+              Telemetry.Ring.push t.trace
+                (Ev_issue { core; cycle = cy; pc; instr });
+            true
+          end
+          else op_stall cy
+      | Isa.Sel (d, c, tr, fr) ->
+        let lat = Op_cost.select_latency in
+        let op_stall = stall Telemetry.Stall.Operand in
+        fun cy ->
+          if ready.(c) <= cy && ready.(tr) <= cy && ready.(fr) <= cy then begin
+            regs.(d) <-
+              (if Types.value_is_true regs.(c) then regs.(tr) else regs.(fr));
+            ready.(d) <- cy + lat;
+            t.pc.(core) <- pc + 1;
+            t.min_issue.(core) <- cy + 1;
+            stats.instrs <- stats.instrs + 1;
+            if t.stall_run_class.(core) >= 0 then flush_stall_run t core;
+            t.fiber_issue.(slot) <- t.fiber_issue.(slot) + 1;
+            if tracing then
+              Telemetry.Ring.push t.trace
+                (Ev_issue { core; cycle = cy; pc; instr });
+            true
+          end
+          else op_stall cy
+      | Isa.Load (d, arr, ir) ->
+        let mem = t.memory.(arr) in
+        let op_stall = stall Telemetry.Stall.Operand in
+        fun cy ->
+          if ready.(ir) <= cy then begin
+            let idx = int_of_reg t core ir in
+            check_idx t arr idx;
+            let latency = load_latency t core arr idx in
+            regs.(d) <- mem.(idx);
+            ready.(d) <- cy + latency;
+            t.pc.(core) <- pc + 1;
+            t.min_issue.(core) <- cy + 1;
+            stats.instrs <- stats.instrs + 1;
+            if t.stall_run_class.(core) >= 0 then flush_stall_run t core;
+            t.fiber_issue.(slot) <- t.fiber_issue.(slot) + 1;
+            if tracing then
+              Telemetry.Ring.push t.trace
+                (Ev_issue { core; cycle = cy; pc; instr });
+            true
+          end
+          else op_stall cy
+      | Isa.Store (arr, ir, sr) ->
+        let mem = t.memory.(arr) in
+        let op_stall = stall Telemetry.Stall.Operand in
+        fun cy ->
+          if ready.(ir) <= cy && ready.(sr) <= cy then begin
+            let idx = int_of_reg t core ir in
+            check_idx t arr idx;
+            mem.(idx) <- regs.(sr);
+            store_effects t core arr idx;
+            t.pc.(core) <- pc + 1;
+            t.min_issue.(core) <- cy + 1;
+            stats.instrs <- stats.instrs + 1;
+            if t.stall_run_class.(core) >= 0 then flush_stall_run t core;
+            t.fiber_issue.(slot) <- t.fiber_issue.(slot) + 1;
+            if tracing then
+              Telemetry.Ring.push t.trace
+                (Ev_issue { core; cycle = cy; pc; instr });
+            true
+          end
+          else op_stall cy
+      | Isa.Enq (q, sr) ->
+        let qs = t.queues.(q) in
+        let cap = cfg.Config.queue_len in
+        let lat = cfg.Config.transfer_latency in
+        let op_stall = stall Telemetry.Stall.Operand in
+        let full = stall (Telemetry.Stall.Queue_full q) in
+        fun cy ->
+          if ready.(sr) <= cy then
+            if Queue.length qs.items >= cap then full cy
+            else begin
+              Queue.add (regs.(sr), cy + lat) qs.items;
+              qs.transfers <- qs.transfers + 1;
+              qs.max_occupancy <- max qs.max_occupancy (Queue.length qs.items);
+              Telemetry.Histogram.observe qs.occupancy (Queue.length qs.items);
+              t.pc.(core) <- pc + 1;
+              t.min_issue.(core) <- cy + 1;
+              stats.instrs <- stats.instrs + 1;
+              if t.stall_run_class.(core) >= 0 then flush_stall_run t core;
+              t.fiber_issue.(slot) <- t.fiber_issue.(slot) + 1;
+              if tracing then
+                Telemetry.Ring.push t.trace
+                  (Ev_issue { core; cycle = cy; pc; instr });
+              true
+            end
+          else op_stall cy
+      | Isa.Deq (d, q) ->
+        let qs = t.queues.(q) in
+        let lat = cfg.Config.deq_latency in
+        let empty = stall (Telemetry.Stall.Queue_empty q) in
+        fun cy ->
+          if Queue.is_empty qs.items then empty cy
+          else
+            let v, visible_at = Queue.peek qs.items in
+            if visible_at <= cy then begin
+              ignore (Queue.pop qs.items);
+              regs.(d) <- v;
+              ready.(d) <- cy + lat;
+              t.pc.(core) <- pc + 1;
+              t.min_issue.(core) <- cy + 1;
+              stats.instrs <- stats.instrs + 1;
+              if t.stall_run_class.(core) >= 0 then flush_stall_run t core;
+              t.fiber_issue.(slot) <- t.fiber_issue.(slot) + 1;
+              if tracing then
+                Telemetry.Ring.push t.trace
+                  (Ev_issue { core; cycle = cy; pc; instr });
+              true
+            end
+            else empty cy
+      | Isa.Bz (r, l) ->
+        let target = prog.Program.label_pos.(l) in
+        let pen = cfg.Config.branch_taken_penalty in
+        let op_stall = stall Telemetry.Stall.Operand in
+        fun cy ->
+          if ready.(r) <= cy then begin
+            let taken = not (Types.value_is_true regs.(r)) in
+            t.pc.(core) <- (if taken then target else pc + 1);
+            t.min_issue.(core) <- (cy + 1 + if taken then pen else 0);
+            stats.instrs <- stats.instrs + 1;
+            if t.stall_run_class.(core) >= 0 then flush_stall_run t core;
+            t.fiber_issue.(slot) <- t.fiber_issue.(slot) + 1;
+            if tracing then
+              Telemetry.Ring.push t.trace
+                (Ev_issue { core; cycle = cy; pc; instr });
+            true
+          end
+          else op_stall cy
+      | Isa.Bnz (r, l) ->
+        let target = prog.Program.label_pos.(l) in
+        let pen = cfg.Config.branch_taken_penalty in
+        let op_stall = stall Telemetry.Stall.Operand in
+        fun cy ->
+          if ready.(r) <= cy then begin
+            let taken = Types.value_is_true regs.(r) in
+            t.pc.(core) <- (if taken then target else pc + 1);
+            t.min_issue.(core) <- (cy + 1 + if taken then pen else 0);
+            stats.instrs <- stats.instrs + 1;
+            if t.stall_run_class.(core) >= 0 then flush_stall_run t core;
+            t.fiber_issue.(slot) <- t.fiber_issue.(slot) + 1;
+            if tracing then
+              Telemetry.Ring.push t.trace
+                (Ev_issue { core; cycle = cy; pc; instr });
+            true
+          end
+          else op_stall cy
+      | Isa.Jmp l ->
+        let target = prog.Program.label_pos.(l) in
+        let pen = cfg.Config.branch_taken_penalty in
+        fun cy ->
+          t.pc.(core) <- target;
+          t.min_issue.(core) <- cy + 1 + pen;
+          stats.instrs <- stats.instrs + 1;
+          if t.stall_run_class.(core) >= 0 then flush_stall_run t core;
+          t.fiber_issue.(slot) <- t.fiber_issue.(slot) + 1;
+          if tracing then
+            Telemetry.Ring.push t.trace (Ev_issue { core; cycle = cy; pc; instr });
+          true
+      | Isa.Halt ->
+        fun cy ->
+          t.halted.(core) <- true;
+          decr live;
+          stats.finished_at <- cy;
+          stats.instrs <- stats.instrs + 1;
+          if t.stall_run_class.(core) >= 0 then flush_stall_run t core;
+          t.fiber_issue.(slot) <- t.fiber_issue.(slot) + 1;
+          if tracing then
+            Telemetry.Ring.push t.trace (Ev_issue { core; cycle = cy; pc; instr });
+          true
+    in
+    (* The fast-forward side of the specialization: per pc, the wake time
+       of [Engine.wake (profile_of t core)] and the window crediting of
+       [credit_quiescent]'s non-halted branch, with the operand max,
+       queue gate, stall reason, class index, counter and fiber slot all
+       baked in (no [Isa.srcs] list, no profile record, no [bulk_stall]
+       dispatch on the quiescent path). *)
+    let wake_at _pc instr =
+      let operands_at =
+        match Isa.srcs instr with
+        | [] -> fun () -> 0
+        | [ a ] -> fun () -> ready.(a)
+        | [ a; b ] ->
+          fun () ->
+            let x = ready.(a) and y = ready.(b) in
+            if x > y then x else y
+        | [ a; b; c ] ->
+          fun () ->
+            let x = ready.(a) and y = ready.(b) and z = ready.(c) in
+            max x (max y z)
+        | srcs -> fun () -> List.fold_left (fun acc r -> max acc ready.(r)) 0 srcs
+      in
+      let base () =
+        let m = t.min_issue.(core) and o = operands_at () in
+        if m > o then m else o
+      in
+      match instr with
+      | Isa.Enq (q, _) ->
+        let qs = t.queues.(q) in
+        let cap = cfg.Config.queue_len in
+        fun () -> if Queue.length qs.items >= cap then max_int else base ()
+      | Isa.Deq (_, q) ->
+        let qs = t.queues.(q) in
+        fun () ->
+          if Queue.is_empty qs.items then max_int
+          else
+            let _, visible_at = Queue.peek qs.items in
+            let b = base () in
+            if b > visible_at then b else visible_at
+      | _ -> base
+    in
+    let credit_at pc instr =
+      let slot = fiber_slot t core pc in
+      let cls_op = Telemetry.Stall.class_index Telemetry.Stall.Operand in
+      let operands_at =
+        match Isa.srcs instr with
+        | [] -> fun () -> 0
+        | [ a ] -> fun () -> ready.(a)
+        | [ a; b ] ->
+          fun () ->
+            let x = ready.(a) and y = ready.(b) in
+            if x > y then x else y
+        | [ a; b; c ] ->
+          fun () ->
+            let x = ready.(a) and y = ready.(b) and z = ready.(c) in
+            max x (max y z)
+        | srcs -> fun () -> List.fold_left (fun acc r -> max acc ready.(r)) 0 srcs
+      in
+      (* The operand segment, [bulk_stall] inlined with everything
+         resolved: [m] is the segment's first cycle, [count] its length. *)
+      let operand_seg count m =
+        stats.stall_operand <- stats.stall_operand + count;
+        if t.stall_run_class.(core) = cls_op then
+          t.stall_run_len.(core) <- t.stall_run_len.(core) + count
+        else begin
+          flush_stall_run t core;
+          t.stall_run_class.(core) <- cls_op;
+          t.stall_run_len.(core) <- count
+        end;
+        t.fiber_stall.(slot) <- t.fiber_stall.(slot) + count;
+        if tracing then
+          for i = 0 to count - 1 do
+            Telemetry.Ring.push t.trace
+              (Ev_stall
+                 { core; cycle = m + i; pc; reason = Telemetry.Stall.Operand })
+          done
+      in
+      match instr with
+      | Isa.Enq (q, _) | Isa.Deq (_, q) ->
+        let reason =
+          match instr with
+          | Isa.Enq _ -> Telemetry.Stall.Queue_full q
+          | _ -> Telemetry.Stall.Queue_empty q
+        in
+        let cls_q = Telemetry.Stall.class_index reason in
+        let is_full = match instr with Isa.Enq _ -> true | _ -> false in
+        fun from until ->
+          let clamp x =
+            if x < from then from else if x > until then until else x
+          in
+          let m = clamp t.min_issue.(core) in
+          let r =
+            let o = clamp (operands_at ()) in
+            if o < m then m else o
+          in
+          stats.branch_wait <- stats.branch_wait + (m - from);
+          if r > m then operand_seg (r - m) m;
+          if until > r then begin
+            let count = until - r in
+            if is_full then
+              stats.stall_queue_full <- stats.stall_queue_full + count
+            else stats.stall_queue_empty <- stats.stall_queue_empty + count;
+            if t.stall_run_class.(core) = cls_q then
+              t.stall_run_len.(core) <- t.stall_run_len.(core) + count
+            else begin
+              flush_stall_run t core;
+              t.stall_run_class.(core) <- cls_q;
+              t.stall_run_len.(core) <- count
+            end;
+            t.fiber_stall.(slot) <- t.fiber_stall.(slot) + count;
+            if tracing then
+              for i = 0 to count - 1 do
+                Telemetry.Ring.push t.trace
+                  (Ev_stall { core; cycle = r + i; pc; reason })
+              done
+          end
+      | _ ->
+        fun from until ->
+          let clamp x =
+            if x < from then from else if x > until then until else x
+          in
+          let m = clamp t.min_issue.(core) in
+          let r =
+            let o = clamp (operands_at ()) in
+            if o < m then m else o
+          in
+          stats.branch_wait <- stats.branch_wait + (m - from);
+          if r > m then operand_seg (r - m) m;
+          (* only queue gates leave a third segment *)
+          assert (until <= r)
+    in
+    (Array.mapi compile_at code, Array.mapi wake_at code,
+     Array.mapi credit_at code)
+  in
+  let compiled = Array.init n compile_core in
+  {
+    sp_for = t;
+    sp_steps = Array.map (fun (s, _, _) -> s) compiled;
+    sp_wakes = Array.map (fun (_, w, _) -> w) compiled;
+    sp_credits = Array.map (fun (_, _, c) -> c) compiled;
+    sp_threads = Array.map Array.of_list t.threads_of;
+    sp_identity =
+      (let id = ref (Array.length t.core_map = n) in
+       Array.iteri (fun i p -> if p <> i then id := false) t.core_map;
+       !id);
+    sp_live = live;
+  }
+
+(* One cycle under the compiled engine: the same two phases as
+   [step_cycle] (round-robin issue sweep, then classification of the
+   cores that never got an attempt) over the pre-compiled steps.  The
+   classification stays a separate pass even on the identity fast path
+   so a fault raised mid-sweep leaves the very counters the reference
+   stepper would.  A pc off the end of the code faults here with the
+   stepper's message ([profile_of] reports such a core as [Free], so the
+   fast-forward path always jumps it back into this sweep). *)
+let step_cycle_compiled t spec attempted cy =
+  let n = Array.length spec.sp_steps in
+  let progressed = ref false in
+  (* Both sweeps dispatch the step closures inline (no shared [attempt]
+     helper): a local function would be allocated afresh on every swept
+     cycle, and the SMT sweep runs hot enough that even that shows up.
+     The wrap-around round-robin index replaces the modulo of
+     [step_cycle] — same orbit, no integer division. *)
+  if spec.sp_identity then
+    for core = 0 to n - 1 do
+      if (not t.halted.(core)) && t.min_issue.(core) <= cy then begin
+        attempted.(core) <- true;
+        let steps = spec.sp_steps.(core) in
+        let pc = t.pc.(core) in
+        if pc >= Array.length steps then
+          fault t "core %d ran off the end of its code" core
+        else if steps.(pc) cy then progressed := true
+      end
+    done
+  else
+    for phys = 0 to Array.length spec.sp_threads - 1 do
+      let threads = spec.sp_threads.(phys) in
+      let k = Array.length threads in
+      if k > 0 then begin
+        let idx = ref t.rr.(phys) in
+        let j = ref 0 in
+        let issued = ref false in
+        while (not !issued) && !j < k do
+          let core = threads.(!idx) in
+          if (not t.halted.(core)) && t.min_issue.(core) <= cy then begin
+            attempted.(core) <- true;
+            let steps = spec.sp_steps.(core) in
+            let pc = t.pc.(core) in
+            if pc >= Array.length steps then
+              fault t "core %d ran off the end of its code" core
+            else if steps.(pc) cy then begin
+              issued := true;
+              t.rr.(phys) <- (if !idx + 1 = k then 0 else !idx + 1);
+              progressed := true
+            end
+          end;
+          incr j;
+          incr idx;
+          if !idx = k then idx := 0
+        done
+      end
+    done;
+  for core = 0 to n - 1 do
+    if attempted.(core) then attempted.(core) <- false
+    else begin
+      let stats = t.stats.(core) in
+      if t.halted.(core) then stats.idle_after_halt <- stats.idle_after_halt + 1
+      else if t.min_issue.(core) > cy then
+        stats.branch_wait <- stats.branch_wait + 1
+      else stats.smt_wait <- stats.smt_wait + 1
+    end
+  done;
+  !progressed
+
+(** The compiled engine's driver: the [run_event] loop (quiescent cycles
+    fast-forwarded to the earliest wake, clamped by the deadlock deadline
+    and the cycle budget) over the pre-compiled per-core steps, with the
+    wake and crediting math served by the specialized closures instead of
+    [profile_of].  Off the end of the code, [profile_of] reports a [Free]
+    gate with no operand wait, so the wake is [min_issue] and any
+    credited window is all branch wait (the next sweep then raises the
+    same fault the stepper would). *)
+let run_compiled t spec =
+  if spec.sp_for != t then
+    invalid_arg "Sim.run: specialized value belongs to a different sim";
+  let n = Array.length t.program.Program.cores in
+  let max_cycles = t.config.Config.max_cycles in
+  let cy = ref 0 in
+  let last_progress = ref 0 in
+  let deadlock_window = deadlock_window t in
+  let attempted = Array.make n false in
+  let live = spec.sp_live in
+  live := 0;
+  Array.iter (fun h -> if not h then incr live) t.halted;
+  while !live > 0 do
+    t.cycles <- !cy;
+    if !cy >= max_cycles then
+      raise (Stuck (snapshot t (Max_cycles { limit = max_cycles })));
+    if step_cycle_compiled t spec attempted !cy then begin
+      last_progress := !cy;
+      incr cy
+    end
+    else begin
+      if !cy - !last_progress > deadlock_window then
+        raise (Stuck (snapshot t (Deadlock { window = deadlock_window })));
+      let wake = ref max_int in
+      for core = 0 to n - 1 do
+        if not t.halted.(core) then begin
+          let wakes = spec.sp_wakes.(core) in
+          let pc = t.pc.(core) in
+          let w =
+            if pc >= Array.length wakes then t.min_issue.(core)
+            else wakes.(pc) ()
+          in
+          if w < !wake then wake := w
+        end
+      done;
+      (* The machine is quiescent: nothing can change before the earliest
+         wake, the deadlock deadline, or the cycle budget — whichever
+         comes first ([max_int] = no self-wake, the event engine's
+         [Never]). *)
+      let deadline = !last_progress + deadlock_window + 1 in
+      let target = min (min !wake deadline) max_cycles in
+      assert (target > !cy);
+      let from = !cy + 1 in
+      if target > from then
+        for core = 0 to n - 1 do
+          if t.halted.(core) then
+            t.stats.(core).idle_after_halt <-
+              t.stats.(core).idle_after_halt + (target - from)
+          else begin
+            let credits = spec.sp_credits.(core) in
+            let pc = t.pc.(core) in
+            if pc >= Array.length credits then
+              t.stats.(core).branch_wait <-
+                t.stats.(core).branch_wait + (target - from)
+            else credits.(pc) from target
+          end
+        done;
+      cy := target
+    end
+  done;
+  for core = 0 to n - 1 do
+    flush_stall_run t core
+  done;
+  t.cycles <- !cy;
+  !cy
+
 (** Run the program to completion; returns the cycle count of the last
     core to halt.  Raises {!Stuck} on deadlock (no core can make progress
     for [queue length * transfer latency + slack] consecutive cycles) or
     when [max_cycles] is reached (inclusive bound: a run executes at most
-    [max_cycles] cycles).  Both engines implement identical semantics
-    (see {!Engine}); [Engine.Event] only runs faster. *)
-let run ?(engine = Engine.default) t =
-  match engine with Engine.Cycle -> run_cycle t | Engine.Event -> run_event t
+    [max_cycles] cycles).  All engines implement identical semantics
+    (see {!Engine}); [Engine.Event] and [Engine.Compiled] only run
+    faster.  [specialized] (only meaningful for {!Engine.Compiled}) lets
+    the caller time {!specialize} separately; it must come from
+    [specialize] on this same [t]. *)
+let run ?(engine = Engine.default) ?specialized t =
+  match engine with
+  | Engine.Cycle -> run_cycle t
+  | Engine.Event -> run_event t
+  | Engine.Compiled ->
+    let spec =
+      match specialized with Some s -> s | None -> specialize t
+    in
+    run_compiled t spec
 
 (** Final contents of a named array. *)
 let array_contents t name =

@@ -21,8 +21,9 @@
 module Telemetry = Finepar_telemetry
 
 module Engine = Engine
-(** Engine selection for {!run}: the reference cycle stepper or the
-    cycle-exact event-driven fast-forward engine. *)
+(** Engine selection for {!run}: the reference cycle stepper, the
+    cycle-exact event-driven fast-forward engine, or the compiled engine
+    (pre-specialized closures driven by the same fast-forward). *)
 
 (** What a non-halted core is waiting on when the simulator gives up. *)
 type wait =
@@ -173,11 +174,26 @@ val pp_wait : Format.formatter -> wait -> unit
 val pp_blocked_core : Format.formatter -> blocked_core -> unit
 val pp_queue_occupancy : Format.formatter -> queue_occupancy -> unit
 
-val run : ?engine:Engine.t -> t -> int
+type specialized
+(** A sim instance's program pre-compiled for {!Engine.Compiled}: per
+    core, a flat array of closures (one per pc) with operand checks
+    unrolled and destinations, latencies, branch targets, queue
+    endpoints, fiber slots and stall reasons resolved to direct slots
+    and constants.  Valid only for the instance it was built from. *)
+
+val specialize : t -> specialized
+(** Compile [t]'s program into {!specialized} form.  O(total
+    instructions); typically well under a millisecond.  Pure
+    preparation: no simulation state changes. *)
+
+val run : ?engine:Engine.t -> ?specialized:specialized -> t -> int
 (** Run to completion under the selected engine ([Engine.default], the
-    cycle stepper, when omitted); returns the final cycle count.  Both
+    cycle stepper, when omitted); returns the final cycle count.  All
     engines are cycle-exact to each other: identical cycle counts,
-    architectural outputs, telemetry, and {!Stuck} payloads. *)
+    architectural outputs, telemetry, and {!Stuck} payloads.
+    [specialized] is only consulted by {!Engine.Compiled} (which
+    otherwise calls {!specialize} itself) and must come from
+    {!specialize} on this same [t] — [Invalid_argument] otherwise. *)
 
 val array_contents : t -> String.t -> Finepar_ir.Types.value array
 val reg_value : t -> int -> int -> Finepar_ir.Types.value

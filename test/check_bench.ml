@@ -23,10 +23,13 @@
    the tolerance instead.
 
    The "engines" section (simulation-engine throughput on the fuzz
-   corpus) is also machine-dependent: it is never compared exactly;
-   instead its event_speedup is gated against meta.min_event_speedup
-   when the baseline carries one, and the per-engine throughput is
-   reported in the job summary. *)
+   corpus) is also machine-dependent: it is never compared exactly.
+   Instead, every <engine>_speedup the bench reports is gated against
+   min_<engine>_speedup in the baseline meta, and the per-engine
+   throughput is reported in the job summary.  A speedup without its
+   gate — or a gate whose engine row is missing from the current run —
+   is a hard failure pointing at bench/record_baseline.sh, not a silent
+   skip: the baseline must learn about every engine the bench knows. *)
 
 module J = Finepar_telemetry.Json
 
@@ -185,18 +188,23 @@ let markdown ~out ~cur ~speedup =
       (match Option.bind (find "sections" cur) (find "engines") with
       | Some e ->
         p "\n### Simulation engines (fuzz-corpus replay)\n\n";
-        p "| engine | simulated cycles/second |\n|---|---|\n";
-        (match
-           ( Option.bind (find "cycle_cycles_per_second" e) num,
-             Option.bind (find "event_cycles_per_second" e) num )
-         with
-        | Some c, Some ev ->
-          p "| cycle | %.0f |\n| event | %.0f |\n" c ev
-        | _ -> ());
-        (match Option.bind (find "event_speedup" e) num with
-        | Some s ->
-          p "\nEvent-engine sim-throughput speedup: **%.2fx**\n" s
-        | None -> ())
+        p "| engine | simulated cycles/second | speedup vs cycle |\n";
+        p "|---|---|---|\n";
+        List.iter
+          (fun (k, v) ->
+            match
+              (String.ends_with ~suffix:"_cycles_per_second" k, num v)
+            with
+            | true, Some rate ->
+              let name =
+                String.sub k 0 (String.length k - String.length
+                                                   "_cycles_per_second")
+              in
+              (match Option.bind (find (name ^ "_speedup") e) num with
+              | Some s -> p "| %s | %.0f | %.2fx |\n" name rate s
+              | None -> p "| %s | %.0f | - |\n" name rate)
+            | _ -> ())
+          (obj_assoc e)
       | None -> ());
       (match !history_trends with
       | [] -> ()
@@ -294,24 +302,78 @@ let () =
     else note "parallel harness speedup %.2fx (gate: >= %.2fx)" s m
   | Some s, None -> note "parallel harness speedup %.2fx (no gate)" s
   | None, _ -> ());
-  (* The engines section: event-engine sim-throughput speedup over the
-     cycle stepper on the fuzz corpus, gated against
-     meta.min_event_speedup when the baseline records one. *)
+  (* The engines section: per-engine sim-throughput speedup over the
+     cycle stepper on the fuzz corpus.  The gates live in the baseline
+     meta as min_<engine>_speedup keys; both directions must agree —
+     a measured speedup without its gate means the baseline predates
+     the engine, a gate without its row means an engine fell out of the
+     bench — and either way the mismatch fails loudly instead of
+     degrading into an unguarded engine. *)
+  let gate_engines =
+    List.filter_map
+      (fun (k, v) ->
+        if
+          String.starts_with ~prefix:"min_" k
+          && String.ends_with ~suffix:"_speedup" k
+          && String.length k > String.length "min__speedup"
+        then
+          Option.map
+            (fun m ->
+              (String.sub k 4 (String.length k - String.length "min__speedup"),
+               m))
+            (num v)
+        else None)
+      (obj_assoc meta)
+  in
   (match find "engines" cur_sections with
-  | None -> ()
-  | Some e -> (
-    let fnum k = Option.bind (find k e) num in
-    match (fnum "event_speedup", Option.bind (find "min_event_speedup" meta) num)
-    with
-    | Some s, Some m ->
-      if s < m then
-        fail "event-engine sim-throughput speedup %.2fx below the %.2fx gate"
-          s m
-      else
-        note "event-engine sim-throughput speedup %.2fx (gate: >= %.2fx)" s m
-    | Some s, None ->
-      note "event-engine sim-throughput speedup %.2fx (no gate)" s
-    | None, _ -> fail "engines section has no event_speedup number"));
+  | None ->
+    List.iter
+      (fun (name, _) ->
+        fail
+          "baseline meta gates the %s engine but the current run has no \
+           engines section"
+          name)
+      gate_engines
+  | Some e ->
+    let measured =
+      List.filter_map
+        (fun (k, v) ->
+          if String.ends_with ~suffix:"_speedup" k then
+            Option.map
+              (fun s ->
+                (String.sub k 0 (String.length k - String.length "_speedup"),
+                 s))
+              (num v)
+          else None)
+        (obj_assoc e)
+    in
+    if measured = [] then
+      fail "engines section has no per-engine speedup numbers";
+    List.iter
+      (fun (name, s) ->
+        match List.assoc_opt name gate_engines with
+        | Some m ->
+          if s < m then
+            fail "%s-engine sim-throughput speedup %.2fx below the %.2fx gate"
+              name s m
+          else
+            note "%s-engine sim-throughput speedup %.2fx (gate: >= %.2fx)"
+              name s m
+        | None ->
+          fail
+            "%s-engine speedup %.2fx has no min_%s_speedup gate in the \
+             baseline meta; refresh it with bench/record_baseline.sh"
+            name s name)
+      measured;
+    List.iter
+      (fun (name, m) ->
+        if not (List.mem_assoc name measured) then
+          fail
+            "baseline meta gates the %s engine at %.2fx but the current \
+             engines section has no %s_speedup; refresh the baseline with \
+             bench/record_baseline.sh if the engine was retired"
+            name m name)
+      gate_engines);
   Option.iter check_history hist;
   (match md with
   | Some out -> markdown ~out ~cur ~speedup

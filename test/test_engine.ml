@@ -1,6 +1,7 @@
-(* Differential tests for the two simulation engines: the cycle stepper
-   (the reference semantics) and the event-driven fast-forward engine
-   must be cycle-exact to each other — identical final cycle counts,
+(* Differential tests for the simulation engines: the cycle stepper is
+   the reference semantics, and every other engine — the event-driven
+   fast-forward engine and the compiled (pre-specialized closure)
+   engine — must be cycle-exact to it: identical final cycle counts,
    bit-identical architectural outputs, identical telemetry reports
    (every counter, stall-episode histogram and queue-occupancy
    histogram) and identical structured [Stuck] payloads.  Covered here:
@@ -14,9 +15,13 @@
    - a latency-dominated pipeline where almost the whole run is
      fast-forwarded, checking every per-core counter survives the jump;
    - the pure fast-forward scheduling math (Engine.wake / segments);
+   - specialization edge cases for the compiled engine: indirect
+     addressing (including the out-of-bounds fault payload), data-
+     dependent trip counts, the staggered halt handshake, and the
+     one-sim-only contract of [Sim.specialize];
    - a qcheck property over random lib/fuzz cases: cross-engine
-     equality plus the per-core accounting invariant under both
-     engines. *)
+     equality plus the per-core accounting invariant under every
+     engine. *)
 
 open Finepar_ir
 open Finepar_machine
@@ -24,7 +29,7 @@ module Compiler = Finepar.Compiler
 module Runner = Finepar.Runner
 module Registry = Finepar_kernels.Registry
 
-let engines = [ Engine.Cycle; Engine.Event ]
+let engines = Engine.all
 
 let report_json (r : Runner.run) =
   Finepar_telemetry.Json.to_string (Finepar.Report.to_json r.Runner.telemetry)
@@ -39,6 +44,21 @@ let check_pair what (a : Runner.run) (b : Runner.run) =
   Alcotest.(check string)
     (what ^ ": telemetry reports identical")
     (report_json a) (report_json b)
+
+(* Run [what] under every engine via [run_of] and check each non-head
+   engine against the head (the cycle stepper, by [Engine.all]'s
+   order). *)
+let check_all what run_of =
+  match List.map (fun e -> (e, run_of e)) engines with
+  | [] | [ _ ] -> Alcotest.failf "%s: need at least two engines" what
+  | (e0, r0) :: rest ->
+    List.iter
+      (fun (e, r) ->
+        check_pair
+          (Printf.sprintf "%s [%s vs %s]" what (Engine.to_string e0)
+             (Engine.to_string e))
+          r0 r)
+      rest
 
 (* ------------------------------------------------------------------ *)
 (* Registry differential sweep.                                        *)
@@ -78,14 +98,8 @@ let registry_sweep (e : Registry.entry) () =
             Printf.sprintf "%s cores=%d %s" e.Registry.kernel.Kernel.name cores
               vname
           in
-          match
-            List.map
-              (fun engine ->
-                Runner.run ~workload:e.Registry.workload ?core_map ~engine c)
-              engines
-          with
-          | [ cy; ev ] -> check_pair what cy ev
-          | _ -> assert false)
+          check_all what (fun engine ->
+              Runner.run ~workload:e.Registry.workload ?core_map ~engine c))
         variants)
     [ 2; 4 ]
 
@@ -122,13 +136,8 @@ let test_corpus_differential () =
         Finepar_kernels.Workload.default
           ~seed:case.Finepar_fuzz.Gen.workload_seed case.Finepar_fuzz.Gen.kernel
       in
-      match
-        List.map
-          (fun engine -> Runner.run ~check:false ~workload ~core_map ~engine c)
-          engines
-      with
-      | [ cy; ev ] -> check_pair (Filename.basename path) cy ev
-      | _ -> assert false)
+      check_all (Filename.basename path) (fun engine ->
+          Runner.run ~check:false ~workload ~core_map ~engine c))
     files
 
 (* ------------------------------------------------------------------ *)
@@ -143,38 +152,46 @@ let stuck_of ?(config = Config.default) program engine =
   | exception Sim.Stuck st -> Ok (st, sim)
 
 let check_stuck_pair what ?config program =
-  match
-    ( stuck_of ?config program Engine.Cycle,
-      stuck_of ?config program Engine.Event )
-  with
-  | Ok (a, sim_a), Ok (b, sim_b) ->
-    Alcotest.(check int) (what ^ ": stuck at the same cycle") a.Sim.st_cycle
-      b.Sim.st_cycle;
-    Alcotest.(check string)
-      (what ^ ": identical stuck message")
-      (Sim.stuck_message a) (Sim.stuck_message b);
-    Alcotest.(check bool)
-      (what ^ ": identical blocked set")
-      true
-      (a.Sim.st_blocked = b.Sim.st_blocked);
-    Alcotest.(check bool)
-      (what ^ ": identical queue occupancies")
-      true
-      (a.Sim.st_queues = b.Sim.st_queues);
-    (* The partial run's accounting must also agree, per core. *)
-    Array.iteri
-      (fun i (sa : Sim.core_stats) ->
-        Alcotest.(check bool)
-          (Printf.sprintf "%s: core %d stats equal" what i)
-          true
-          (sa = sim_b.Sim.stats.(i)))
-      sim_a.Sim.stats
-  | Error cy_a, Error cy_b ->
-    Alcotest.failf "%s: expected Stuck, both engines finished (%d, %d)" what
-      cy_a cy_b
-  | Ok _, Error cy | Error cy, Ok _ ->
-    Alcotest.failf "%s: one engine finished in %d cycles, the other got stuck"
-      what cy
+  match List.map (fun e -> (e, stuck_of ?config program e)) engines with
+  | [] | [ _ ] -> Alcotest.failf "%s: need at least two engines" what
+  | (e0, head) :: rest ->
+    List.iter
+      (fun (e, outcome) ->
+        let what =
+          Printf.sprintf "%s [%s vs %s]" what (Engine.to_string e0)
+            (Engine.to_string e)
+        in
+        match (head, outcome) with
+        | Ok (a, sim_a), Ok (b, sim_b) ->
+          Alcotest.(check int)
+            (what ^ ": stuck at the same cycle")
+            a.Sim.st_cycle b.Sim.st_cycle;
+          Alcotest.(check string)
+            (what ^ ": identical stuck message")
+            (Sim.stuck_message a) (Sim.stuck_message b);
+          Alcotest.(check bool)
+            (what ^ ": identical blocked set")
+            true
+            (a.Sim.st_blocked = b.Sim.st_blocked);
+          Alcotest.(check bool)
+            (what ^ ": identical queue occupancies")
+            true
+            (a.Sim.st_queues = b.Sim.st_queues);
+          (* The partial run's accounting must also agree, per core. *)
+          Array.iteri
+            (fun i (sa : Sim.core_stats) ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s: core %d stats equal" what i)
+                true
+                (sa = sim_b.Sim.stats.(i)))
+            sim_a.Sim.stats
+        | Error cy_a, Error cy_b ->
+          Alcotest.failf "%s: expected Stuck, both engines finished (%d, %d)"
+            what cy_a cy_b
+        | Ok _, Error cy | Error cy, Ok _ ->
+          Alcotest.failf
+            "%s: one engine finished in %d cycles, the other got stuck" what cy)
+      rest
 
 let test_deadlock_payloads () =
   (* A consumer dequeuing from a queue that is never fed. *)
@@ -279,27 +296,35 @@ let test_fast_forward_counters () =
         emit bb Isa.Halt)
   in
   let sim_c, cy_c = Helpers.run ~config ~engine:Engine.Cycle program in
-  let sim_e, cy_e = Helpers.run ~config ~engine:Engine.Event program in
-  Alcotest.(check int) "cycle counts equal" cy_c cy_e;
   Alcotest.(check bool) "consumer waited out the transfer latency" true
     (sim_c.Sim.stats.(1).Sim.stall_queue_empty > 90);
-  Array.iteri
-    (fun i (sc : Sim.core_stats) ->
-      Alcotest.(check bool)
-        (Printf.sprintf "core %d stats equal" i)
-        true
-        (sc = sim_e.Sim.stats.(i)))
-    sim_c.Sim.stats;
-  Alcotest.(check bool) "stall-episode histograms equal" true
-    (Array.for_all2
-       (fun a b ->
-         Finepar_telemetry.Histogram.buckets a
-         = Finepar_telemetry.Histogram.buckets b)
-       sim_c.Sim.stall_hist sim_e.Sim.stall_hist);
-  Alcotest.(check bool) "dequeued value identical" true
-    (Types.value_equal (Sim.reg_value sim_c 1 1) (Sim.reg_value sim_e 1 1));
   Helpers.check_accounting "fast-forward (cycle)" sim_c;
-  Helpers.check_accounting "fast-forward (event)" sim_e
+  List.iter
+    (fun engine ->
+      let name = Engine.to_string engine in
+      let sim_e, cy_e = Helpers.run ~config ~engine program in
+      Alcotest.(check int) (name ^ ": cycle counts equal") cy_c cy_e;
+      Array.iteri
+        (fun i (sc : Sim.core_stats) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: core %d stats equal" name i)
+            true
+            (sc = sim_e.Sim.stats.(i)))
+        sim_c.Sim.stats;
+      Alcotest.(check bool)
+        (name ^ ": stall-episode histograms equal")
+        true
+        (Array.for_all2
+           (fun a b ->
+             Finepar_telemetry.Histogram.buckets a
+             = Finepar_telemetry.Histogram.buckets b)
+           sim_c.Sim.stall_hist sim_e.Sim.stall_hist);
+      Alcotest.(check bool)
+        (name ^ ": dequeued value identical")
+        true
+        (Types.value_equal (Sim.reg_value sim_c 1 1) (Sim.reg_value sim_e 1 1));
+      Helpers.check_accounting ("fast-forward (" ^ name ^ ")") sim_e)
+    (List.filter (fun e -> e <> Engine.Cycle) engines)
 
 (* ------------------------------------------------------------------ *)
 (* The pure scheduling math.                                            *)
@@ -355,6 +380,186 @@ let test_engine_names () =
     (Engine.of_string "warp" = None)
 
 (* ------------------------------------------------------------------ *)
+(* Compiled-engine specialization edge cases.                           *)
+
+(* Indirect addressing: the specialized Load/Store closures resolve the
+   array to a direct slot at specialize time, but the index register is
+   read at run time — in bounds the access must behave like the stepper,
+   and out of bounds it must raise the stepper's exact fault payload. *)
+let test_specialize_indirect () =
+  let arrays = [| Helpers.farr_layout "a" 4 64 |] in
+  let in_bounds =
+    Helpers.one_core ~arrays (fun bb ->
+        let open Program.Builder in
+        let v = fresh_reg bb and idx = fresh_reg bb and d = fresh_reg bb in
+        emit bb (Isa.Li (v, Types.VFloat 2.5));
+        emit bb (Isa.Li (idx, Types.VInt 3));
+        emit bb (Isa.Store (0, idx, v));
+        emit bb (Isa.Load (d, 0, idx));
+        emit bb Isa.Halt)
+  in
+  (match List.map (fun engine -> Helpers.run ~engine in_bounds) engines with
+  | (sim0, cy0) :: rest ->
+    List.iter
+      (fun (sim, cy) ->
+        Alcotest.(check int) "indirect store/load: cycles equal" cy0 cy;
+        Alcotest.(check bool) "indirect store/load: value equal" true
+          (Types.value_equal (Sim.reg_value sim0 0 2) (Sim.reg_value sim 0 2)))
+      rest
+  | _ -> assert false);
+  let out_of_bounds =
+    Helpers.one_core ~arrays (fun bb ->
+        let open Program.Builder in
+        let idx = fresh_reg bb and d = fresh_reg bb in
+        emit bb (Isa.Li (idx, Types.VInt 9));
+        emit bb (Isa.Load (d, 0, idx));
+        emit bb Isa.Halt)
+  in
+  check_stuck_pair "out-of-bounds indirect load" out_of_bounds
+
+(* Data-dependent trip counts: the branch targets are baked at
+   specialize time but the taken/not-taken decision is a run-time value,
+   so the same specialized code must walk a workload-sized loop.  Two
+   workloads with different bounds keep the engines in lockstep on
+   both. *)
+let test_specialize_trip_counts () =
+  let arrays =
+    [| { Program.arr_name = "n"; arr_ty = Types.I64; arr_len = 1; arr_base = 64 } |]
+  in
+  let program =
+    Helpers.one_core ~arrays (fun bb ->
+        let open Program.Builder in
+        let n = fresh_reg bb
+        and one = fresh_reg bb
+        and acc = fresh_reg bb
+        and idx = fresh_reg bb in
+        emit bb (Isa.Li (idx, Types.VInt 0));
+        emit bb (Isa.Load (n, 0, idx));
+        emit bb (Isa.Li (one, Types.VInt 1));
+        emit bb (Isa.Li (acc, Types.VInt 0));
+        let top = fresh_label bb in
+        place_label bb top;
+        emit bb (Isa.Bin (Types.Add, acc, acc, n));
+        emit bb (Isa.Bin (Types.Sub, n, n, one));
+        emit bb (Isa.Bnz (n, top));
+        emit bb Isa.Halt)
+  in
+  let sum_to k = k * (k + 1) / 2 in
+  List.iter
+    (fun trip ->
+      let initial = [ ("n", [| Types.VInt trip |]) ] in
+      match
+        List.map (fun engine -> Helpers.run ~engine ~initial program) engines
+      with
+      | (sim0, cy0) :: rest ->
+        Alcotest.(check bool)
+          (Printf.sprintf "trip=%d: loop actually summed" trip)
+          true
+          (Types.value_equal (Sim.reg_value sim0 0 2)
+             (Types.VInt (sum_to trip)));
+        List.iter
+          (fun (sim, cy) ->
+            Alcotest.(check int)
+              (Printf.sprintf "trip=%d: cycles equal" trip)
+              cy0 cy;
+            Array.iteri
+              (fun i (s0 : Sim.core_stats) ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "trip=%d: core %d stats equal" trip i)
+                  true
+                  (s0 = sim.Sim.stats.(i)))
+              sim0.Sim.stats)
+          rest
+      | _ -> assert false)
+    [ 1; 5; 13 ]
+
+(* The spawn/halt handshake: cores retire at different cycles, and the
+   [idle_after_halt] / [finished_at] accounting of the early finishers
+   must survive both the live-count bookkeeping of the compiled engine
+   and its fast-forward windows. *)
+let test_specialize_halt_handshake () =
+  let queues = [| { Isa.src = 1; dst = 2; cls = Isa.Qint } |] in
+  let core0 bb = Program.Builder.emit bb Isa.Halt in
+  let core1 bb =
+    let open Program.Builder in
+    let n = fresh_reg bb and one = fresh_reg bb in
+    emit bb (Isa.Li (n, Types.VInt 4));
+    emit bb (Isa.Li (one, Types.VInt 1));
+    let top = fresh_label bb in
+    place_label bb top;
+    emit bb (Isa.Enq (0, n));
+    emit bb (Isa.Bin (Types.Sub, n, n, one));
+    emit bb (Isa.Bnz (n, top));
+    emit bb Isa.Halt
+  in
+  let core2 bb =
+    let open Program.Builder in
+    let d = fresh_reg bb and acc = fresh_reg bb in
+    emit bb (Isa.Li (acc, Types.VInt 0));
+    for _ = 1 to 4 do
+      emit bb (Isa.Deq (d, 0));
+      emit bb (Isa.Bin (Types.Add, acc, acc, d))
+    done;
+    emit bb Isa.Halt
+  in
+  let program =
+    let b0 = Helpers.b () and b1 = Helpers.b () and b2 = Helpers.b () in
+    core0 b0;
+    core1 b1;
+    core2 b2;
+    {
+      Program.cores =
+        [|
+          Program.Builder.finish b0;
+          Program.Builder.finish b1;
+          Program.Builder.finish b2;
+        |];
+      queues;
+      arrays = [||];
+    }
+  in
+  match List.map (fun engine -> Helpers.run ~engine program) engines with
+  | (sim0, cy0) :: rest ->
+    Alcotest.(check bool) "core 0 idled after its early halt" true
+      (sim0.Sim.stats.(0).Sim.idle_after_halt > 0);
+    Alcotest.(check bool) "cores retired at distinct cycles" true
+      (sim0.Sim.stats.(0).Sim.finished_at < sim0.Sim.stats.(1).Sim.finished_at
+      && sim0.Sim.stats.(1).Sim.finished_at
+         < sim0.Sim.stats.(2).Sim.finished_at);
+    Helpers.check_accounting "halt handshake (head)" sim0;
+    List.iter
+      (fun (sim, cy) ->
+        Alcotest.(check int) "halt handshake: cycles equal" cy0 cy;
+        Array.iteri
+          (fun i (s0 : Sim.core_stats) ->
+            Alcotest.(check bool)
+              (Printf.sprintf "halt handshake: core %d stats equal" i)
+              true
+              (s0 = sim.Sim.stats.(i)))
+          sim0.Sim.stats)
+      rest
+  | _ -> assert false
+
+(* A specialized value is bound to the sim it was compiled from. *)
+let test_specialize_one_sim_only () =
+  let program =
+    Helpers.one_core (fun bb ->
+        let open Program.Builder in
+        let r = fresh_reg bb in
+        emit bb (Isa.Li (r, Types.VInt 1));
+        emit bb Isa.Halt)
+  in
+  let sim_a = Sim.create ~config:Config.default ~initial:[] program in
+  let sim_b = Sim.create ~config:Config.default ~initial:[] program in
+  let spec = Sim.specialize sim_a in
+  Alcotest.check_raises "foreign specialization rejected"
+    (Invalid_argument "Sim.run: specialized value belongs to a different sim")
+    (fun () ->
+      ignore (Sim.run ~engine:Engine.Compiled ~specialized:spec sim_b));
+  Alcotest.(check bool) "the right sim still runs" true
+    (Sim.run ~engine:Engine.Compiled ~specialized:spec sim_a > 0)
+
+(* ------------------------------------------------------------------ *)
 (* qcheck: random cases are cycle-exact across engines.                 *)
 
 let arbitrary_case =
@@ -367,7 +572,7 @@ let arbitrary_case =
 
 let prop_cross_engine =
   QCheck.Test.make ~count:80
-    ~name:"random cases: engines agree and both account every cycle"
+    ~name:"random cases: all engines agree and account every cycle"
     arbitrary_case
     (fun case ->
       match
@@ -397,19 +602,26 @@ let prop_cross_engine =
           | exception Sim.Stuck st -> Error (Sim.stuck_message st)
           | exception e -> Error (Printexc.to_string e)
         in
-        match (outcome Engine.Cycle, outcome Engine.Event) with
-        | Ok (run_c, sim_c), Ok (run_e, sim_e) ->
-          let accounted (sim : Sim.t) =
-            Array.for_all
-              (fun s -> Sim.accounted_cycles s = sim.Sim.cycles)
-              sim.Sim.stats
-          in
-          run_c.Runner.cycles = run_e.Runner.cycles
-          && Eval.result_equal run_c.Runner.result run_e.Runner.result
-          && String.equal (report_json run_c) (report_json run_e)
-          && accounted sim_c && accounted sim_e
-        | Error a, Error b -> String.equal a b
-        | Ok _, Error _ | Error _, Ok _ -> false))
+        let accounted (sim : Sim.t) =
+          Array.for_all
+            (fun s -> Sim.accounted_cycles s = sim.Sim.cycles)
+            sim.Sim.stats
+        in
+        let agrees head other =
+          match (head, other) with
+          | Ok ((run_c : Runner.run), _), Ok ((run_e : Runner.run), sim_e) ->
+            run_c.Runner.cycles = run_e.Runner.cycles
+            && Eval.result_equal run_c.Runner.result run_e.Runner.result
+            && String.equal (report_json run_c) (report_json run_e)
+            && accounted sim_e
+          | Error a, Error b -> String.equal a b
+          | Ok _, Error _ | Error _, Ok _ -> false
+        in
+        match List.map outcome engines with
+        | [] | [ _ ] -> false
+        | head :: rest ->
+          (match head with Ok (_, sim) -> accounted sim | Error _ -> true)
+          && List.for_all (agrees head) rest))
 
 (* ------------------------------------------------------------------ *)
 
@@ -437,6 +649,16 @@ let () =
           Alcotest.test_case "wake math" `Quick test_wake_math;
           Alcotest.test_case "segment math" `Quick test_segments_math;
           Alcotest.test_case "engine names" `Quick test_engine_names;
+        ] );
+      ( "specialize",
+        [
+          Alcotest.test_case "indirect addressing" `Quick
+            test_specialize_indirect;
+          Alcotest.test_case "data-dependent trip counts" `Quick
+            test_specialize_trip_counts;
+          Alcotest.test_case "halt handshake" `Quick
+            test_specialize_halt_handshake;
+          Alcotest.test_case "one sim only" `Quick test_specialize_one_sim_only;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest [ prop_cross_engine ] );
