@@ -6,7 +6,7 @@
    Sections (select with a command-line argument prefix, default: all):
      table1 table2 table3 fig11 fig12 fig13 fig14
      ablation_throughput ablation_multipair ablation_overhead
-     ablation_queue characterization wallclock
+     ablation_queue characterization engines service wallclock
 
    --json=FILE additionally writes the measured numbers of the sections
    that ran as machine-readable JSON (for tracking runs over time; the
@@ -503,6 +503,101 @@ let engines ctx =
              rows))
 
 (* ------------------------------------------------------------------ *)
+(* Compile-and-simulate service throughput: a registry subset crossed   *)
+(* with every engine, served cold (fresh store — every request is a     *)
+(* compile + simulate) and warm (identical second batch — every request *)
+(* is a store read), at one and four domains.  The responses are        *)
+(* asserted byte-identical cold-vs-warm and -j1-vs-j4 (the service's    *)
+(* determinism contract); only the wall time differs.  Warm passes use  *)
+(* best-of-reps like the engines section: timing noise is one-sided.    *)
+(* The numbers are machine-dependent, so the CI gate never compares     *)
+(* them exactly — it gates meta.min_service_warm_speedup against the    *)
+(* warm_speedup this section reports (warm rps / cold rps at -j1).      *)
+
+let service ctx =
+  section "service"
+    "compile-and-simulate service (requests/second, cold vs warm store)";
+  let module Wire = Finepar_service.Wire in
+  let module Cache = Finepar_service.Cache in
+  let module Server = Finepar_service.Server in
+  let rec rm_rf path =
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+  in
+  let entries =
+    List.filteri (fun i _ -> i < 6) Finepar_kernels.Registry.all
+  in
+  let reqs =
+    List.concat_map
+      (fun (e : Finepar_kernels.Registry.entry) ->
+        let job =
+          {
+            Wire.kernel = e.Finepar_kernels.Registry.kernel;
+            config = Compiler.default_config ~cores:4 ();
+            sequential = false;
+            placement = Finepar_fuzz.Gen.Identity;
+            workload = Wire.Explicit e.Finepar_kernels.Registry.workload;
+            profile_counters = [];
+          }
+        in
+        List.map
+          (fun engine -> Result.ok (Wire.Run { job; engine }))
+          Finepar_machine.Engine.all)
+      entries
+  in
+  let n = List.length reqs in
+  let measure ~jobs =
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "finepar-bench-svc-%d-j%d" (Unix.getpid ()) jobs)
+    in
+    let pool = if jobs > 1 then Some (Pool.create ~domains:jobs ()) else None in
+    let server = Server.create ?pool ~cache:(Cache.create dir) () in
+    Gc.full_major ();
+    let t0 = Unix.gettimeofday () in
+    let cold = Server.handle_requests server reqs in
+    let t_cold = Unix.gettimeofday () -. t0 in
+    let reps = 5 in
+    let t_warm = ref infinity in
+    for _ = 1 to reps do
+      Gc.full_major ();
+      let t0 = Unix.gettimeofday () in
+      let warm = Server.handle_requests server reqs in
+      let t = Unix.gettimeofday () -. t0 in
+      assert (warm = cold);
+      if t < !t_warm then t_warm := t
+    done;
+    rm_rf dir;
+    (cold, float_of_int n /. t_cold, float_of_int n /. !t_warm)
+  in
+  let cold_j1, cold_rps_j1, warm_rps_j1 = measure ~jobs:1 in
+  let cold_j4, cold_rps_j4, warm_rps_j4 = measure ~jobs:4 in
+  assert (cold_j1 = cold_j4);
+  let warm_speedup = warm_rps_j1 /. cold_rps_j1 in
+  Fmt.pr "%-8s %14s %14s@." "domains" "cold req/s" "warm req/s";
+  Fmt.pr "%-8d %14.1f %14.1f@." 1 cold_rps_j1 warm_rps_j1;
+  Fmt.pr "%-8d %14.1f %14.1f@." 4 cold_rps_j4 warm_rps_j4;
+  Fmt.pr
+    "warm-store speedup: %.1fx over cold (%d requests: %d kernels x %d \
+     engines; responses byte-identical cold-vs-warm and -j1-vs-j4)@."
+    warm_speedup n (List.length entries)
+    (List.length Finepar_machine.Engine.all);
+  collect ctx "service"
+    (J.Obj
+       [
+         ("requests", J.Int n);
+         ("cold_rps_j1", J.Float cold_rps_j1);
+         ("warm_rps_j1", J.Float warm_rps_j1);
+         ("cold_rps_j4", J.Float cold_rps_j4);
+         ("warm_rps_j4", J.Float warm_rps_j4);
+         ("warm_speedup", J.Float warm_speedup);
+       ])
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock benchmarks of the toolchain itself.             *)
 
 let wallclock ctx =
@@ -581,6 +676,7 @@ let all_sections =
     ("extension_simd", extension_simd);
     ("characterization", characterization);
     ("engines", engines);
+    ("service", service);
     ("wallclock", wallclock);
   ]
 

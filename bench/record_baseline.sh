@@ -18,6 +18,10 @@ MIN_SPEEDUP="${MIN_SPEEDUP:-2.0}"
 # heard of.
 MIN_EVENT_SPEEDUP="${MIN_EVENT_SPEEDUP:-2.0}"
 MIN_COMPILED_SPEEDUP="${MIN_COMPILED_SPEEDUP:-10.0}"
+# Warm-over-cold throughput gate for the compile-and-simulate service
+# section (requests answered from the content-addressed store vs
+# computed fresh).  Same recording discipline as the engine gates.
+MIN_SERVICE_WARM_SPEEDUP="${MIN_SERVICE_WARM_SPEEDUP:-5.0}"
 
 dune build bench/main.exe
 
@@ -40,7 +44,8 @@ dune exec --no-build bench/main.exe -- -j1 --json=bench/baseline.json --history=
 
 SEQ="$SEQ" PAR="$PAR" MIN_SPEEDUP="$MIN_SPEEDUP" \
 MIN_EVENT_SPEEDUP="$MIN_EVENT_SPEEDUP" \
-MIN_COMPILED_SPEEDUP="$MIN_COMPILED_SPEEDUP" python3 - <<'EOF'
+MIN_COMPILED_SPEEDUP="$MIN_COMPILED_SPEEDUP" \
+MIN_SERVICE_WARM_SPEEDUP="$MIN_SERVICE_WARM_SPEEDUP" python3 - <<'EOF'
 import json, os
 d = json.load(open('bench/baseline.json'))
 seq, par = float(os.environ['SEQ']), float(os.environ['PAR'])
@@ -70,6 +75,15 @@ for key, value in sorted(engines.items()):
                          f'teach it about the new engine first')
     meta[f'recorded_{name}_speedup'] = round(value, 2)
     meta[f'min_{name}_speedup'] = mins[name]
+# The service section's warm-over-cold gate, read back the same way.
+# check_bench fails when the section and the gate disagree about each
+# other's existence, so the pair must land together.
+service = d.get('sections', {}).get('service')
+if service is None:
+    raise SystemExit('bench produced no service section; the baseline '
+                     'would gate a section that does not exist')
+meta['recorded_service_warm_speedup'] = round(service['warm_speedup'], 1)
+meta['min_service_warm_speedup'] = float(os.environ['MIN_SERVICE_WARM_SPEEDUP'])
 meta['note'] = (
     'sections = bench --json at -j1 (deterministic; exact gate). '
     'seq/par_seconds = deterministic sections at -j1/-j4 on the '

@@ -83,6 +83,110 @@ let machine_of ~latency ~queue_len =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Service routing: sweep/autotune/report/fuzz-replay can send their
+   compile+run work through the content-addressed result cache, either
+   in-process over a disk store or to a running `finepar serve`. *)
+
+module Wire = Finepar_service.Wire
+module Svc_cache = Finepar_service.Cache
+module Svc_server = Finepar_service.Server
+module Svc_client = Finepar_service.Client
+
+let via_conv =
+  let parse s =
+    match Svc_client.via_of_string s with
+    | Ok v -> Ok v
+    | Error m -> Error (`Msg m)
+  in
+  Arg.conv (parse, fun ppf v -> Fmt.string ppf (Svc_client.via_to_string v))
+
+let via_arg =
+  let doc =
+    "Route compile/run work through the persistent result cache: \
+     $(b,store:DIR) opens the on-disk store in-process (no server \
+     needed), $(b,socket:PATH) sends batches to a running `finepar \
+     serve`.  Results are byte-identical to the direct path (cached or \
+     not); repeated invocations are answered from the store."
+  in
+  Arg.(value & opt (some via_conv) None & info [ "via" ] ~doc ~docv:"VIA")
+
+(* A session: one exec function whose cache handle persists across
+   batches of the same CLI invocation, plus that handle's hit/miss
+   counters (invocation-lifetime for store:, server-lifetime for
+   socket:). *)
+let with_via via f =
+  match via with
+  | Svc_client.Store dir ->
+    let cache = Svc_cache.create dir in
+    let server = Svc_server.create ~cache () in
+    let exec reqs =
+      List.map Wire.response_of_string
+        (Svc_server.handle_requests server
+           (List.map (fun r -> Ok r) reqs))
+    in
+    f ~exec ~counters:(fun () -> Svc_cache.counters cache)
+  | Svc_client.Socket _ ->
+    let exec reqs = Svc_client.exec via reqs in
+    let counters () =
+      match exec [ Wire.Stats ] with
+      | [ Wire.Stats_result cs ] -> cs
+      | _ ->
+        Fmt.epr "service: bad stats response@.";
+        exit 1
+    in
+    f ~exec ~counters
+
+let pp_cache_counters counters =
+  let get name = Option.value ~default:0 (List.assoc_opt name counters) in
+  let hits = get "hits" and misses = get "misses" in
+  let total = hits + misses in
+  Fmt.epr "cache: %d hits, %d misses (%.1f%% hit rate), %d entries@." hits
+    misses
+    (if total = 0 then 0. else 100. *. float_of_int hits /. float_of_int total)
+    (get "entries")
+
+let run_payload_exn = function
+  | Wire.Run_result p -> p
+  | Wire.Error msg ->
+    Fmt.epr "service error: %s@." msg;
+    exit 1
+  | _ ->
+    Fmt.epr "service: unexpected response kind@.";
+    exit 1
+
+let registry_job ~config ?(sequential = false) (e : Registry.entry) =
+  {
+    Wire.kernel = e.Registry.kernel;
+    config;
+    sequential;
+    placement = Finepar_fuzz.Gen.Identity;
+    workload = Wire.Explicit e.Registry.workload;
+    profile_counters = [];
+  }
+
+(* The service-side replica of {!Runner.speedup}'s profile-feedback
+   chain: a sequential-baseline run request per latency point, then the
+   parallel requests carrying the measured load counters.  The chain is
+   what the direct path computes, so the printed numbers match it
+   byte-for-byte. *)
+let speedup_via ~exec ~machine ~config ~engine ~cores (e : Registry.entry) =
+  let config = { config with Compiler.machine; cores } in
+  let seq_job = registry_job ~config ~sequential:true e in
+  let seq =
+    run_payload_exn (List.hd (exec [ Wire.Run { job = seq_job; engine } ]))
+  in
+  let par_job =
+    { seq_job with Wire.sequential = false;
+      profile_counters = seq.Wire.load_counters }
+  in
+  let par =
+    run_payload_exn (List.hd (exec [ Wire.Run { job = par_job; engine } ]))
+  in
+  ( seq,
+    par,
+    float_of_int seq.Wire.cycles /. float_of_int par.Wire.cycles )
+
+(* ------------------------------------------------------------------ *)
 (* Unified host-side tracing: every heavyweight subcommand accepts the
    same --trace-out/--profile pair.  With neither given no tracer is
    installed and every span site stays a single atomic load. *)
@@ -380,13 +484,39 @@ let report_cmd =
     let doc = "Output format: text, json or csv." in
     Arg.(value & opt string "text" & info [ "format" ] ~doc)
   in
-  let run name cores latency queue_len speculation throughput engine format
-      output =
-    let _, r, _ =
-      compile_and_sim ~name ~cores ~latency ~queue_len ~speculation
-        ~throughput ~tracing:false ~engine
+  let run name cores latency queue_len speculation throughput engine via
+      format output =
+    let t =
+      match via with
+      | None ->
+        let _, r, _ =
+          compile_and_sim ~name ~cores ~latency ~queue_len ~speculation
+            ~throughput ~tracing:false ~engine
+        in
+        r.Runner.telemetry
+      | Some via ->
+        (* Through the cache.  The report is bit-identical except that
+           pass_times never crosses the wire (wall-clock noise), so the
+           csv format — which only covers deterministic metrics — byte-
+           matches the direct path; CI relies on that. *)
+        let e = find_entry name in
+        let machine = machine_of ~latency ~queue_len in
+        let config =
+          {
+            (Compiler.default_config ~cores ()) with
+            Compiler.speculation;
+            throughput;
+            machine;
+          }
+        in
+        with_via via @@ fun ~exec ~counters:_ ->
+        let p =
+          run_payload_exn
+            (List.hd
+               (exec [ Wire.Run { job = registry_job ~config e; engine } ]))
+        in
+        p.Wire.report
     in
-    let t = r.Runner.telemetry in
     match format with
     | "text" ->
       with_output output (fun oc ->
@@ -408,48 +538,122 @@ let report_cmd =
           simulated kernel, plus compiler pass times")
     Term.(
       const run $ kernel_arg $ cores_arg $ latency_arg $ queue_len_arg
-      $ speculation_arg $ throughput_arg $ engine_arg $ format_arg
-      $ output_arg)
+      $ speculation_arg $ throughput_arg $ engine_arg $ via_arg
+      $ format_arg $ output_arg)
 
 let sweep_cmd =
-  let run name cores queue_len engine trace_out profile =
+  let run name cores queue_len engine via trace_out profile =
     with_tracing ~trace_out ~profile @@ fun () ->
     let e = find_entry name in
+    let latencies = [ 5; 10; 20; 50; 100 ] in
     Fmt.pr "%-10s %8s@." "latency" "speedup";
-    List.iter
-      (fun latency ->
-        let machine = machine_of ~latency ~queue_len in
-        let _, _, s =
-          Runner.speedup ~machine ~engine ~workload:e.Registry.workload
-            ~cores e.Registry.kernel
-        in
-        Fmt.pr "%-10d %8.2f@." latency s)
-      [ 5; 10; 20; 50; 100 ]
+    match via with
+    | None ->
+      List.iter
+        (fun latency ->
+          let machine = machine_of ~latency ~queue_len in
+          let _, _, s =
+            Runner.speedup ~machine ~engine ~workload:e.Registry.workload
+              ~cores e.Registry.kernel
+          in
+          Fmt.pr "%-10d %8.2f@." latency s)
+        latencies
+    | Some via ->
+      with_via via @@ fun ~exec ~counters ->
+      List.iter
+        (fun latency ->
+          let machine = machine_of ~latency ~queue_len in
+          let _, _, s =
+            speedup_via ~exec ~machine ~config:(Compiler.default_config ())
+              ~engine ~cores e
+          in
+          Fmt.pr "%-10d %8.2f@." latency s)
+        latencies;
+      pp_cache_counters (counters ())
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Transfer-latency sweep for one kernel (Fig. 13)")
     Term.(
       const run $ kernel_arg $ cores_arg $ queue_len_arg $ engine_arg
-      $ trace_out_arg $ profile_arg)
+      $ via_arg $ trace_out_arg $ profile_arg)
+
+(* The service-side replica of {!Runner.autotune}: one sequential run
+   for profile feedback, then the six candidate configurations as one
+   batch; same candidates, same tie-breaking (strictly fewer cycles
+   wins, first candidate wins ties), so the printed table matches the
+   direct path byte-for-byte. *)
+let autotune_via ~exec ~machine ~engine ~cores (e : Registry.entry) =
+  let seq_job =
+    registry_job
+      ~config:{ (Compiler.default_config ~cores ()) with Compiler.machine }
+      ~sequential:true e
+  in
+  let seq =
+    run_payload_exn (List.hd (exec [ Wire.Run { job = seq_job; engine } ]))
+  in
+  let base = { (Compiler.default_config ~cores ()) with Compiler.machine } in
+  let candidates =
+    [
+      ("sequential", { base with Compiler.cores = 1 });
+      ("baseline", base);
+      ("speculation", { base with Compiler.speculation = true });
+      ("throughput", { base with Compiler.throughput = true });
+      ( "speculation+throughput",
+        { base with Compiler.speculation = true; throughput = true } );
+      ("multi-pair", { base with Compiler.algorithm = `Multi_pair });
+    ]
+  in
+  let responses =
+    exec
+      (List.map
+         (fun (_, config) ->
+           let job =
+             { (registry_job ~config e) with
+               Wire.profile_counters = seq.Wire.load_counters }
+           in
+           Wire.Run { job; engine })
+         candidates)
+  in
+  let measured =
+    List.map2
+      (fun (name, _) resp -> (name, (run_payload_exn resp).Wire.cycles))
+      candidates responses
+  in
+  let best_name, best_cycles =
+    List.fold_left
+      (fun (bn, bcy) (n, cy) -> if cy < bcy then (n, cy) else (bn, bcy))
+      (List.hd measured) (List.tl measured)
+  in
+  (best_name, best_cycles, measured)
 
 let autotune_cmd =
-  let run name cores latency queue_len engine trace_out profile =
+  let run name cores latency queue_len engine via trace_out profile =
     with_tracing ~trace_out ~profile @@ fun () ->
     let e = find_entry name in
     let machine = machine_of ~latency ~queue_len in
-    let t =
-      Runner.autotune ~machine ~cores ~engine ~workload:e.Registry.workload
-        e.Registry.kernel
+    let best_name, best_cycles, candidates =
+      match via with
+      | None ->
+        let t =
+          Runner.autotune ~machine ~cores ~engine
+            ~workload:e.Registry.workload e.Registry.kernel
+        in
+        (t.Runner.best_name, t.Runner.best_cycles, t.Runner.candidates)
+      | Some via ->
+        with_via via @@ fun ~exec ~counters ->
+        let r = autotune_via ~exec ~machine ~engine ~cores e in
+        pp_cache_counters (counters ());
+        r
     in
     Fmt.pr "%-24s %10s@." "configuration" "cycles";
     List.iter
       (fun (n, cy) ->
         Fmt.pr "%-24s %10d%s@." n cy
-          (if String.equal n t.Runner.best_name then "  <- best" else ""))
-      t.Runner.candidates;
-    let seq = List.assoc "sequential" t.Runner.candidates in
-    Fmt.pr "@.best: %s (speedup %.2f over sequential)@." t.Runner.best_name
-      (float_of_int seq /. float_of_int t.Runner.best_cycles)
+          (if String.equal n best_name then "  <- best" else ""))
+      candidates;
+    let seq = List.assoc "sequential" candidates in
+    Fmt.pr "@.best: %s (speedup %.2f over sequential)@." best_name
+      (float_of_int seq /. float_of_int best_cycles)
   in
   Cmd.v
     (Cmd.info "autotune"
@@ -458,7 +662,7 @@ let autotune_cmd =
           III-I)")
     Term.(
       const run $ kernel_arg $ cores_arg $ latency_arg $ queue_len_arg
-      $ engine_arg $ trace_out_arg $ profile_arg)
+      $ engine_arg $ via_arg $ trace_out_arg $ profile_arg)
 
 let fuzz_cmd =
   let cases_arg =
@@ -503,10 +707,78 @@ let fuzz_cmd =
     in
     Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~doc)
   in
-  let run cases seconds seed out_dir summary replay jobs engine trace_out
+  let replay_via ~engine via dir =
+    (* Cache-backed replay: each reproducer becomes one run request, so
+       a cross-engine replay of the same corpus reuses the compile half
+       of the pipeline (one group per (kernel, config) serves every
+       engine), and a repeated replay is answered entirely from the
+       store.  Bit-exactness vs the reference evaluator is checked on
+       every fresh computation; this path does not re-run the other
+       oracles (determinism, telemetry invariants) — the default replay
+       does. *)
+    with_via via @@ fun ~exec ~counters ->
+    let files = Finepar_fuzz.Corpus.files dir in
+    let jobs =
+      List.map
+        (fun path ->
+          match Finepar_fuzz.Corpus.load_file path with
+          | entry ->
+            let case = entry.Finepar_fuzz.Corpus.case in
+            ( path,
+              Ok
+                {
+                  Wire.kernel = case.Finepar_fuzz.Gen.kernel;
+                  config = case.Finepar_fuzz.Gen.config;
+                  sequential = false;
+                  placement = case.Finepar_fuzz.Gen.placement;
+                  workload =
+                    Wire.Seeded case.Finepar_fuzz.Gen.workload_seed;
+                  profile_counters = [];
+                } )
+          | exception e -> (path, Error (Printexc.to_string e)))
+        files
+    in
+    let requests =
+      List.filter_map
+        (function
+          | _, Ok job -> Some (Wire.Run { job; engine })
+          | _, Error _ -> None)
+        jobs
+    in
+    let responses = ref (exec requests) in
+    let next_response () =
+      match !responses with
+      | r :: rest ->
+        responses := rest;
+        r
+      | [] -> Wire.Error "missing response"
+    in
+    let failed = ref 0 in
+    List.iter
+      (fun (path, job) ->
+        match job with
+        | Error msg ->
+          incr failed;
+          Fmt.pr "FAIL %s: unreadable reproducer: %s@." path msg
+        | Ok _ -> (
+          match next_response () with
+          | Wire.Run_result _ -> Fmt.pr "PASS %s@." path
+          | Wire.Error msg ->
+            incr failed;
+            Fmt.pr "FAIL %s: %s@." path msg
+          | _ ->
+            incr failed;
+            Fmt.pr "FAIL %s: unexpected response kind@." path))
+      jobs;
+    Fmt.pr "replayed %d reproducers, %d failing@." (List.length jobs) !failed;
+    pp_cache_counters (counters ());
+    if !failed > 0 then exit 1
+  in
+  let run cases seconds seed out_dir summary replay via jobs engine trace_out
       profile =
     with_tracing ~trace_out ~profile @@ fun () ->
     match replay with
+    | Some dir when via <> None -> replay_via ~engine (Option.get via) dir
     | Some dir ->
       let replays = Finepar_fuzz.Corpus.replay_dir ~engine dir in
       let failed = ref 0 in
@@ -529,6 +801,8 @@ let fuzz_cmd =
         !failed;
       if !failed > 0 then exit 1
     | None ->
+      if via <> None then
+        Fmt.epr "--via only applies to --replay; running a direct campaign@.";
       let pool = Finepar_exec.Pool.create ?domains:jobs () in
       let s =
         Finepar_fuzz.Driver.run ~engine ?out_dir ?seconds ~pool ~cases ~seed ()
@@ -605,8 +879,8 @@ let fuzz_cmd =
           shrunk to minimal reproducers")
     Term.(
       const run $ cases_arg $ seconds_arg $ seed_arg $ out_dir_arg
-      $ summary_arg $ replay_arg $ jobs_arg $ engine_arg $ trace_out_arg
-      $ profile_arg)
+      $ summary_arg $ replay_arg $ via_arg $ jobs_arg $ engine_arg
+      $ trace_out_arg $ profile_arg)
 
 let verify_cmd =
   let module Verify = Finepar_verify.Verify in
@@ -957,6 +1231,204 @@ let perf_report_cmd =
       const run $ history_arg $ window_arg $ tolerance_arg $ format_arg
       $ check_arg)
 
+(* ------------------------------------------------------------------ *)
+(* The compile-and-simulate service. *)
+
+let serve_cmd =
+  let socket_arg =
+    let doc = "Serve a length-prefixed frame protocol on this Unix domain \
+               socket (created; a stale file is replaced)."
+    in
+    Arg.(value & opt (some string) None & info [ "socket" ] ~doc ~docv:"PATH")
+  in
+  let stdio_arg =
+    let doc = "Serve frames on stdin/stdout instead of a socket — the CI \
+               pipeline fallback."
+    in
+    Arg.(value & flag & info [ "stdio" ] ~doc)
+  in
+  let store_arg =
+    let doc = "Directory of the persistent content-addressed result store \
+               (created)."
+    in
+    Arg.(
+      required & opt (some string) None & info [ "store" ] ~doc ~docv:"DIR")
+  in
+  let jobs_arg =
+    let doc = "Fan cache misses out over this many domains (default: the \
+               FINEPAR_DOMAINS environment variable, else the machine's \
+               core count minus one).  Responses are byte-identical at \
+               every -j."
+    in
+    Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~doc)
+  in
+  let max_entries_arg =
+    let doc = "Evict the oldest store entries (by mtime) past this count." in
+    Arg.(value & opt (some int) None & info [ "max-entries" ] ~doc)
+  in
+  let run socket stdio store jobs max_entries =
+    let cache = Svc_cache.create ?max_entries store in
+    let pool = Finepar_exec.Pool.create ?domains:jobs () in
+    let server = Svc_server.create ~pool ~cache () in
+    (match (socket, stdio) with
+    | Some path, false ->
+      Fmt.epr "finepar serve: socket %s, store %s, %d domain(s)@." path store
+        (Finepar_exec.Pool.domains pool);
+      Svc_server.serve_socket server path
+    | None, true -> Svc_server.serve_channels server stdin stdout
+    | _ ->
+      Fmt.epr "pass exactly one of --socket PATH or --stdio@.";
+      exit 2);
+    Fmt.epr "cache stats: %s@."
+      (Finepar_telemetry.Json.to_string (Svc_cache.stats_json cache))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Long-running compile-and-simulate server: batched \
+          compile/run/verify requests over a Unix domain socket (or \
+          stdin/stdout), fanned out over a domain pool and answered \
+          from a persistent content-addressed result cache")
+    Term.(
+      const run $ socket_arg $ stdio_arg $ store_arg $ jobs_arg
+      $ max_entries_arg)
+
+let request_cmd =
+  let file_arg =
+    let doc = "Batch request file ('-' for stdin)." in
+    Arg.(value & pos 0 string "-" & info [] ~doc ~docv:"FILE")
+  in
+  let emit_arg =
+    let doc =
+      "Instead of executing, write a batch request file covering the \
+       kernel registry (and, with --corpus, the fuzz corpus) crossed \
+       with --engines, and exit."
+    in
+    Arg.(value & flag & info [ "emit" ] ~doc)
+  in
+  let engines_arg =
+    let doc = "Comma-separated engines for --emit (default: all three)." in
+    Arg.(
+      value
+      & opt (list engine_conv) Finepar_machine.Engine.all
+      & info [ "engines" ] ~doc)
+  in
+  let corpus_arg =
+    let doc = "Also emit one run request per fuzz reproducer in this \
+               directory (crossed with --engines)."
+    in
+    Arg.(value & opt (some string) None & info [ "corpus" ] ~doc ~docv:"DIR")
+  in
+  let jobs_arg =
+    let doc = "Domains for the in-process store: path (socket servers \
+               control their own -j)."
+    in
+    Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~doc)
+  in
+  let stats_arg =
+    let doc = "Print cache hit/miss counters to stderr after executing." in
+    Arg.(value & flag & info [ "stats" ] ~doc)
+  in
+  let emit ~engines ~cores ~latency ~queue_len ~corpus output =
+    let machine = machine_of ~latency ~queue_len in
+    let config = { (Compiler.default_config ~cores ()) with Compiler.machine } in
+    let registry_reqs =
+      List.concat_map
+        (fun (e : Registry.entry) ->
+          List.map
+            (fun engine -> Wire.Run { job = registry_job ~config e; engine })
+            engines)
+        Registry.all
+    in
+    let corpus_reqs =
+      match corpus with
+      | None -> []
+      | Some dir ->
+        List.concat_map
+          (fun path ->
+            let entry = Finepar_fuzz.Corpus.load_file path in
+            let case = entry.Finepar_fuzz.Corpus.case in
+            let job =
+              {
+                Wire.kernel = case.Finepar_fuzz.Gen.kernel;
+                config = case.Finepar_fuzz.Gen.config;
+                sequential = false;
+                placement = case.Finepar_fuzz.Gen.placement;
+                workload = Wire.Seeded case.Finepar_fuzz.Gen.workload_seed;
+                profile_counters = [];
+              }
+            in
+            List.map (fun engine -> Wire.Run { job; engine }) engines)
+          (Finepar_fuzz.Corpus.files dir)
+    in
+    let batch = Wire.batch_to_string (registry_reqs @ corpus_reqs) in
+    with_output output (fun oc ->
+        output_string oc batch;
+        output_char oc '\n')
+  in
+  let read_all ic =
+    let buf = Buffer.create 65536 in
+    (try
+       while true do
+         Buffer.add_channel buf ic 65536
+       done
+     with End_of_file -> ());
+    Buffer.contents buf
+  in
+  let execute ~via ~jobs ~stats file output =
+    let payload =
+      String.trim
+        (if String.equal file "-" then read_all stdin
+         else begin
+           let ic = open_in_bin file in
+           Fun.protect
+             ~finally:(fun () -> close_in ic)
+             (fun () -> read_all ic)
+         end)
+    in
+    let response, counters =
+      match via with
+      | Svc_client.Store dir ->
+        let cache = Svc_cache.create dir in
+        let pool = Finepar_exec.Pool.create ?domains:jobs () in
+        let server = Svc_server.create ~pool ~cache () in
+        (Svc_server.handle_frame server payload, fun () -> Svc_cache.counters cache)
+      | Svc_client.Socket _ ->
+        ( Svc_client.exec_frame via payload,
+          fun () ->
+            match Svc_client.exec via [ Wire.Stats ] with
+            | [ Wire.Stats_result cs ] -> cs
+            | _ ->
+              Fmt.epr "service: bad stats response@.";
+              exit 1 )
+    in
+    with_output output (fun oc ->
+        output_string oc response;
+        output_char oc '\n');
+    if stats then pp_cache_counters (counters ())
+  in
+  let run file emit_flag engines corpus via jobs stats cores latency queue_len
+      output =
+    if emit_flag then emit ~engines ~cores ~latency ~queue_len ~corpus output
+    else
+      match via with
+      | Some via -> execute ~via ~jobs ~stats file output
+      | None ->
+        Fmt.epr "pass --via=store:DIR or --via=socket:PATH (or --emit)@.";
+        exit 2
+  in
+  Cmd.v
+    (Cmd.info "request"
+       ~doc:
+         "Submit a batch request file to the compile-and-simulate \
+          service (one frame out, one frame in; the response payload is \
+          written verbatim, so identical batches produce byte-identical \
+          files, cached or not) — or generate such a file with --emit")
+    Term.(
+      const run $ file_arg $ emit_arg $ engines_arg $ corpus_arg $ via_arg
+      $ jobs_arg $ stats_arg $ cores_arg $ latency_arg $ queue_len_arg
+      $ output_arg)
+
 let classify_cmd =
   let run () =
     List.iter
@@ -983,5 +1455,5 @@ let () =
           [
             list_cmd; run_cmd; verify_cmd; show_cmd; trace_cmd; report_cmd;
             sweep_cmd; autotune_cmd; classify_cmd; fuzz_cmd; profile_cmd;
-            perf_report_cmd;
+            perf_report_cmd; serve_cmd; request_cmd;
           ]))

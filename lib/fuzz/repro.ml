@@ -12,42 +12,128 @@ exception Parse_error of string
 let parse_error fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
 
 (* ------------------------------------------------------------------ *)
-(* Generic s-expression reading and writing.                           *)
+(* Generic s-expression reading and writing.
 
-let rec pp_sexp ppf = function
-  | Atom a -> Fmt.string ppf a
-  | List l -> Fmt.pf ppf "@[<hv 1>(%a)@]" Fmt.(list ~sep:sp pp_sexp) l
+   Atoms that contain structural characters (whitespace, parens, quotes,
+   backslashes, semicolons) or are empty are written as double-quoted
+   strings with backslash escapes, so arbitrary text — error messages,
+   verifier violations — survives the wire round-trip in
+   {!Finepar_service.Wire}.  Plain atoms (identifiers, numbers, hex
+   floats) print exactly as before, keeping the reproducer corpus
+   byte-stable. *)
 
-let tokenize (s : string) : string list =
-  let tokens = ref [] and buf = Buffer.create 16 in
-  let flush () =
-    if Buffer.length buf > 0 then (
-      tokens := Buffer.contents buf :: !tokens;
-      Buffer.clear buf)
-  in
+let atom_needs_quoting a =
+  String.length a = 0
+  || String.exists
+       (function
+         | '(' | ')' | '"' | '\\' | ';' | ' ' | '\t' | '\n' | '\r' -> true
+         | _ -> false)
+       a
+
+let quote_atom a =
+  let buf = Buffer.create (String.length a + 2) in
+  Buffer.add_char buf '"';
   String.iter
     (fun c ->
       match c with
-      | '(' | ')' ->
-        flush ();
-        tokens := String.make 1 c :: !tokens
-      | ' ' | '\t' | '\n' | '\r' -> flush ()
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
       | c -> Buffer.add_char buf c)
-    s;
+    a;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let atom_repr a = if atom_needs_quoting a then quote_atom a else a
+
+let rec pp_sexp ppf = function
+  | Atom a -> Fmt.string ppf (atom_repr a)
+  | List l -> Fmt.pf ppf "@[<hv 1>(%a)@]" Fmt.(list ~sep:sp pp_sexp) l
+
+(* Canonical single-line rendering: one space between siblings, no line
+   breaks regardless of width.  Digest inputs and wire frames use this so
+   the bytes never depend on a formatter margin. *)
+let canon sexp =
+  let buf = Buffer.create 256 in
+  let rec go = function
+    | Atom a -> Buffer.add_string buf (atom_repr a)
+    | List l ->
+      Buffer.add_char buf '(';
+      List.iteri
+        (fun i s ->
+          if i > 0 then Buffer.add_char buf ' ';
+          go s)
+        l;
+      Buffer.add_char buf ')'
+  in
+  go sexp;
+  Buffer.contents buf
+
+type token = T_open | T_close | T_atom of string
+
+let tokenize (s : string) : token list =
+  let n = String.length s in
+  let tokens = ref [] and buf = Buffer.create 16 in
+  let flush () =
+    if Buffer.length buf > 0 then (
+      tokens := T_atom (Buffer.contents buf) :: !tokens;
+      Buffer.clear buf)
+  in
+  let i = ref 0 in
+  while !i < n do
+    (match s.[!i] with
+    | '(' ->
+      flush ();
+      tokens := T_open :: !tokens
+    | ')' ->
+      flush ();
+      tokens := T_close :: !tokens
+    | ' ' | '\t' | '\n' | '\r' -> flush ()
+    | '"' ->
+      flush ();
+      incr i;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        (match s.[!i] with
+        | '"' -> closed := true
+        | '\\' ->
+          incr i;
+          if !i >= n then parse_error "unterminated escape in string"
+          else (
+            match s.[!i] with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'r' -> Buffer.add_char buf '\r'
+            | c -> parse_error "unknown escape '\\%c'" c)
+        | c -> Buffer.add_char buf c);
+        incr i
+      done;
+      if not !closed then parse_error "unterminated string literal";
+      decr i;
+      (* Quoted atoms flush unconditionally so "" survives as an atom. *)
+      tokens := T_atom (Buffer.contents buf) :: !tokens;
+      Buffer.clear buf
+    | c -> Buffer.add_char buf c);
+    incr i
+  done;
   flush ();
   List.rev !tokens
 
 let parse_sexp (s : string) : sexp =
   let rec one = function
     | [] -> parse_error "unexpected end of input"
-    | "(" :: rest ->
+    | T_open :: rest ->
       let items, rest = list_items rest in
       (List items, rest)
-    | ")" :: _ -> parse_error "unexpected ')'"
-    | atom :: rest -> (Atom atom, rest)
+    | T_close :: _ -> parse_error "unexpected ')'"
+    | T_atom atom :: rest -> (Atom atom, rest)
   and list_items = function
     | [] -> parse_error "unterminated '('"
-    | ")" :: rest -> ([], rest)
+    | T_close :: rest -> ([], rest)
     | tokens ->
       let item, rest = one tokens in
       let items, rest = list_items rest in
@@ -55,7 +141,9 @@ let parse_sexp (s : string) : sexp =
   in
   match one (tokenize s) with
   | sexp, [] -> sexp
-  | _, tok :: _ -> parse_error "trailing input at %S" tok
+  | _, tok :: _ ->
+    parse_error "trailing input at %S"
+      (match tok with T_open -> "(" | T_close -> ")" | T_atom a -> a)
 
 (* Field access within (key value ...) association lists.
    [field_items] yields all values after the key (used for body, arrays,

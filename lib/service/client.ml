@@ -1,0 +1,79 @@
+(** Client side of the service: route a batch either through a live
+    server over its Unix domain socket, or directly through the disk
+    store in-process ([--via=store:DIR] — no server needed, same cache,
+    same bytes). *)
+
+type via = Store of string | Socket of string
+
+let via_of_string s =
+  match String.index_opt s ':' with
+  | Some i when i > 0 && i < String.length s - 1 -> (
+    let scheme = String.sub s 0 i in
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    match scheme with
+    | "store" -> Ok (Store rest)
+    | "socket" -> Ok (Socket rest)
+    | _ ->
+      Error
+        (Printf.sprintf "bad --via %S: expected store:DIR or socket:PATH" s))
+  | _ ->
+    Error (Printf.sprintf "bad --via %S: expected store:DIR or socket:PATH" s)
+
+let via_to_string = function
+  | Store dir -> "store:" ^ dir
+  | Socket path -> "socket:" ^ path
+
+(* The server may still be binding when the client starts (CI launches
+   both back to back), so connection attempts retry briefly. *)
+let connect ?(attempts = 50) path =
+  let rec go n =
+    let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect sock (Unix.ADDR_UNIX path) with
+    | () -> sock
+    | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _)
+      when n > 1 ->
+      Unix.close sock;
+      Unix.sleepf 0.1;
+      go (n - 1)
+    | exception e ->
+      Unix.close sock;
+      raise e
+  in
+  go attempts
+
+let exec_socket ?attempts path payload =
+  let sock = connect ?attempts path in
+  let ic = Unix.in_channel_of_descr sock in
+  let oc = Unix.out_channel_of_descr sock in
+  Fun.protect
+    ~finally:(fun () ->
+      close_out_noerr oc;
+      close_in_noerr ic)
+    (fun () ->
+      Server.write_frame oc payload;
+      match Server.read_frame ic with
+      | Some response -> response
+      | None -> failwith "service: server closed the connection")
+
+(* One frame out, one frame in; the response payload is returned as
+   raw bytes so callers can byte-compare or persist it unchanged. *)
+let exec_frame ?pool ?attempts via payload =
+  match via with
+  | Socket path -> exec_socket ?attempts path payload
+  | Store dir ->
+    let server = Server.create ?pool ~cache:(Cache.create dir) () in
+    Server.handle_frame server payload
+
+let exec_strings ?pool ?attempts via reqs =
+  let payload =
+    exec_frame ?pool ?attempts via (Wire.batch_to_string reqs)
+  in
+  match Wire.responses_of_string payload with
+  | _ ->
+    (* Re-split without re-rendering: items of a canonical batch are
+       themselves canonical. *)
+    List.map Finepar_fuzz.Repro.canon (Wire.batch_items_of_string payload)
+  | exception _ -> failwith ("service: bad response payload: " ^ payload)
+
+let exec ?pool ?attempts via reqs =
+  List.map Wire.response_of_string (exec_strings ?pool ?attempts via reqs)

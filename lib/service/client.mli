@@ -1,0 +1,35 @@
+(** Client side of the service. *)
+
+(** Where to send a batch: [Socket path] talks to a live [finepar
+    serve] over its Unix domain socket; [Store dir] opens the disk
+    store in-process — no server needed, same cache, same bytes. *)
+type via = Store of string | Socket of string
+
+val via_of_string : string -> (via, string) result
+(** Parses ["store:DIR"] or ["socket:PATH"]. *)
+
+val via_to_string : via -> string
+
+val exec_frame :
+  ?pool:Finepar_exec.Pool.t -> ?attempts:int -> via -> string -> string
+(** One frame out, one frame in, raw payload bytes both ways (callers
+    byte-compare or persist them unchanged).  [pool] parallelizes the
+    in-process [Store] path; [attempts] (default 50, 0.1 s apart)
+    retries the socket connection while the server is still binding. *)
+
+val exec_strings :
+  ?pool:Finepar_exec.Pool.t ->
+  ?attempts:int ->
+  via ->
+  Wire.request list ->
+  string list
+(** Send a batch; canonical response strings, one per request, in
+    order. *)
+
+val exec :
+  ?pool:Finepar_exec.Pool.t ->
+  ?attempts:int ->
+  via ->
+  Wire.request list ->
+  Wire.response list
+(** Like {!exec_strings}, parsed. *)

@@ -1,0 +1,12 @@
+(** Result-semantics version of the compile-and-simulate pipeline.
+
+    Part of every cache key: a stored entry answers a request only when
+    it was computed by the same code version.  Bump this string whenever
+    a change can alter any byte of a response for the same request —
+    compiler passes, simulator timing, telemetry accounting, or the wire
+    encoding itself.  Digests alone cannot capture this (the request
+    bytes do not change when the pipeline does), which is why the
+    version is a separate key component; see DESIGN.md "Cache-key
+    hygiene". *)
+
+let code_version = "fp-svc-1"

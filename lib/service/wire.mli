@@ -1,0 +1,111 @@
+(** Canonical wire format for the compile-and-simulate service.
+
+    Every message is one s-expression rendered with
+    {!Finepar_fuzz.Repro.canon}, so equal values serialize to equal
+    bytes: the framing layer and the content-addressed cache both key
+    on the rendered string.  Kernel, config and value encodings are the
+    fuzz reproducer's ({!Finepar_fuzz.Repro}); floats travel as [%h]
+    hexadecimal atoms and round-trip bit-exactly, including negative
+    zero and the infinities (NaNs canonicalize to a payload-free [nan]
+    atom, so every NaN digests to the same cache key).
+
+    [Report.pass_times] (wall-clock seconds) is deliberately not
+    encoded and round-trips as [[]]: responses must be byte-identical
+    cached-vs-fresh and [-j1]-vs-[-jN]. *)
+
+(** Workload arrays: either derived from a splitmix64 seed
+    ({!Finepar_kernels.Workload.default}) or carried explicitly (the
+    registry's fixed workloads). *)
+type workload_spec = Seeded of int | Explicit of Finepar_ir.Eval.workload
+
+(** One unit of compile work plus everything that parameterizes it. *)
+type job = {
+  kernel : Finepar_ir.Kernel.t;
+  config : Finepar.Compiler.config;
+  sequential : bool;
+      (** compile with {!Finepar.Compiler.compile_sequential} (the
+          speedup baseline) instead of the full pipeline *)
+  placement : Finepar_fuzz.Gen.placement;  (** SMT thread placement *)
+  workload : workload_spec;
+  profile_counters : (string * int * int) list;
+      (** per-array (name, loads, L1 misses) profile feedback; [[]]
+          means no feedback (all hits) *)
+}
+
+type request =
+  | Run of { job : job; engine : Finepar_machine.Engine.t }
+  | Compile of job
+  | Verify of job
+  | Stats  (** cache hit/miss counters — not cached itself *)
+  | Ping  (** liveness + code version — not cached *)
+  | Shutdown
+
+type run_payload = {
+  cycles : int;
+  instrs : int;
+  queues_used : int;
+  load_counters : (string * int * int) list;
+  result : Finepar_ir.Eval.result;
+  report : Finepar.Report.t;  (** [pass_times] always [[]] *)
+}
+
+type response =
+  | Run_result of run_payload
+  | Compile_result of Finepar.Compiler.stats
+  | Verify_result of { ok : bool; violations : string list }
+  | Stats_result of (string * int) list
+  | Pong of string  (** code version *)
+  | Shutdown_ack
+  | Error of string
+      (** deterministic rendering of the pipeline exception; never
+          cached *)
+
+val job_of_request : request -> job option
+(** The job a cacheable request carries; [None] for control requests. *)
+
+val engine_slot : request -> string option
+(** The cache key's engine component: the engine name for [Run],
+    ["compile"]/["verify"] for the simulation-free kinds (all engines
+    share those entries), [None] for control requests. *)
+
+val kernel_canon : job -> string
+(** Digest input covering the kernel text alone. *)
+
+val job_canon : job -> string
+(** Digest input covering everything else that can change a response
+    for the same kernel: config (machine geometry, weights, ...),
+    sequential flag, placement, workload, profile feedback. *)
+
+(** {2 Single messages} *)
+
+val request_to_string : request -> string
+val request_of_string : string -> request
+val response_to_string : response -> string
+val response_of_string : string -> response
+
+(** {2 Batches — what actually travels in a frame} *)
+
+val batch_to_string : request list -> string
+val requests_of_string : string -> request list
+val responses_of_string : string -> response list
+
+val batch_items_of_string : string -> Finepar_fuzz.Repro.sexp list
+(** The items of a [(batch ...)] payload, unparsed beyond sexp shape. *)
+
+val batch_of_response_strings : string list -> string
+(** Reassemble a [(batch ...)] from already-canonical response strings
+    without re-rendering, so cached bytes pass through untouched. *)
+
+(**/**)
+
+(* Exposed for the server's per-item batch parsing and for tests. *)
+val sexp_of_request : request -> Finepar_fuzz.Repro.sexp
+val request_of_sexp : Finepar_fuzz.Repro.sexp -> request
+val sexp_of_config : Finepar.Compiler.config -> Finepar_fuzz.Repro.sexp
+val config_of_sexp : Finepar_fuzz.Repro.sexp -> Finepar.Compiler.config
+val sexp_of_job : job -> Finepar_fuzz.Repro.sexp
+val job_of_sexp : Finepar_fuzz.Repro.sexp -> job
+val sexp_of_report : Finepar.Report.t -> Finepar_fuzz.Repro.sexp
+val report_of_sexp : Finepar_fuzz.Repro.sexp -> Finepar.Report.t
+val sexp_of_result : Finepar_ir.Eval.result -> Finepar_fuzz.Repro.sexp
+val result_of_sexp : Finepar_fuzz.Repro.sexp -> Finepar_ir.Eval.result

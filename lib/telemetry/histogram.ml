@@ -42,6 +42,23 @@ let linear_bounds n =
   if n <= 0 then invalid_arg "Histogram.linear_bounds";
   Array.init n (fun i -> i + 1)
 
+(* Rebuild a histogram from its serialized parts (see {!Service.Wire}):
+   the caller supplies exactly what [buckets]/[sum]/[min_value]/[max_value]
+   expose, so [restore (decompose t)] observes the same state as [t]. *)
+let restore ~bounds ~counts ~sum:s ~min_value:mn ~max_value:mx =
+  let n = Array.length bounds in
+  if Array.length counts <> n + 1 then
+    invalid_arg "Histogram.restore: counts must have length bounds + 1";
+  let t = create ~bounds in
+  Array.blit counts 0 t.counts 0 (n + 1);
+  t.count <- Array.fold_left ( + ) 0 counts;
+  t.sum <- s;
+  (match mn with Some v -> t.min <- v | None -> ());
+  (match mx with Some v -> t.max <- v | None -> ());
+  if (t.count = 0) <> (mn = None && mx = None) then
+    invalid_arg "Histogram.restore: min/max inconsistent with counts";
+  t
+
 (* Index of the first bucket whose bound is >= v (binary search), or the
    overflow bucket. *)
 let bucket_index t v =

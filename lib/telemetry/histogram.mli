@@ -13,6 +13,20 @@ val exponential_bounds : int -> int array
 (** Upper bounds 1, 2, ..., [n]. *)
 val linear_bounds : int -> int array
 
+(** Rebuild a histogram from serialized parts — the inverse of reading
+    back {!buckets} (without the overflow sentinel bound), {!sum},
+    {!min_value} and {!max_value}.  [counts] must have length
+    [Array.length bounds + 1] (the overflow bucket); raises
+    [Invalid_argument] on a length mismatch or when [min_value]/
+    [max_value] presence disagrees with the counts being all zero. *)
+val restore :
+  bounds:int array ->
+  counts:int array ->
+  sum:int ->
+  min_value:int option ->
+  max_value:int option ->
+  t
+
 val observe : t -> int -> unit
 val count : t -> int
 val sum : t -> int

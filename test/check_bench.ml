@@ -29,7 +29,15 @@
    throughput is reported in the job summary.  A speedup without its
    gate — or a gate whose engine row is missing from the current run —
    is a hard failure pointing at bench/record_baseline.sh, not a silent
-   skip: the baseline must learn about every engine the bench knows. *)
+   skip: the baseline must learn about every engine the bench knows.
+
+   The "service" section (compile-and-simulate service throughput,
+   cold vs warm store) follows the same convention: never compared
+   exactly, and meta.min_service_warm_speedup is gated against the
+   section's warm_speedup with a hard failure in BOTH missing-key
+   directions — a gate without the section (or a section without its
+   gate) means baseline and bench disagree about the service's
+   existence and someone must refresh bench/record_baseline.sh. *)
 
 module J = Finepar_telemetry.Json
 
@@ -206,6 +214,21 @@ let markdown ~out ~cur ~speedup =
             | _ -> ())
           (obj_assoc e)
       | None -> ());
+      (match Option.bind (find "sections" cur) (find "service") with
+      | Some s ->
+        p "\n### Compile-and-simulate service (cold vs warm store)\n\n";
+        p "| domains | cold req/s | warm req/s |\n|---|---|---|\n";
+        let cell k = Option.bind (find k s) num in
+        (match (cell "cold_rps_j1", cell "warm_rps_j1") with
+        | Some c, Some w -> p "| 1 | %.1f | %.1f |\n" c w
+        | _ -> ());
+        (match (cell "cold_rps_j4", cell "warm_rps_j4") with
+        | Some c, Some w -> p "| 4 | %.1f | %.1f |\n" c w
+        | _ -> ());
+        (match cell "warm_speedup" with
+        | Some ws -> p "\nWarm-store speedup over cold: **%.1fx**\n" ws
+        | None -> ())
+      | None -> ());
       (match !history_trends with
       | [] -> ()
       | ts ->
@@ -269,14 +292,17 @@ let () =
       | Some c ->
         if String.equal name "wallclock" then
           compare_wallclock ~tolerance b c
-        else if String.equal name "engines" then
+        else if String.equal name "engines" || String.equal name "service"
+        then
           (* Machine-dependent throughput: gated via meta below. *)
           ()
         else compare_exact name b c)
     (obj_assoc base_sections);
   List.iter
     (fun (name, _) ->
-      if find name base_sections = None && not (String.equal name "engines")
+      if
+        find name base_sections = None
+        && not (String.equal name "engines" || String.equal name "service")
       then note "section %S not in baseline (refresh bench/baseline.json)" name)
     (obj_assoc cur_sections);
   let meta = Option.value ~default:(J.Obj []) (find "meta" base) in
@@ -316,6 +342,9 @@ let () =
           String.starts_with ~prefix:"min_" k
           && String.ends_with ~suffix:"_speedup" k
           && String.length k > String.length "min__speedup"
+          (* min_service_* gates belong to the service section below,
+             not to a simulation engine. *)
+          && not (String.starts_with ~prefix:"min_service_" k)
         then
           Option.map
             (fun m ->
@@ -374,6 +403,32 @@ let () =
              bench/record_baseline.sh if the engine was retired"
             name m name)
       gate_engines);
+  (* The service section: warm-store throughput over cold, gated
+     against meta.min_service_warm_speedup.  Both missing-key
+     directions fail explicitly — never degrade into an unguarded
+     cache. *)
+  let service_gate = Option.bind (find "min_service_warm_speedup" meta) num in
+  let service_measured =
+    Option.bind (find "service" cur_sections) (fun s ->
+        Option.bind (find "warm_speedup" s) num)
+  in
+  (match (service_gate, service_measured) with
+  | Some m, Some s ->
+    if s < m then
+      fail "service warm-store speedup %.1fx below the %.1fx gate" s m
+    else note "service warm-store speedup %.1fx (gate: >= %.1fx)" s m
+  | Some m, None ->
+    fail
+      "baseline meta gates the service warm-store speedup at %.1fx but the \
+       current run has no service.warm_speedup; refresh the baseline with \
+       bench/record_baseline.sh if the section was retired"
+      m
+  | None, Some s ->
+    fail
+      "service warm-store speedup %.1fx has no min_service_warm_speedup \
+       gate in the baseline meta; refresh it with bench/record_baseline.sh"
+      s
+  | None, None -> ());
   Option.iter check_history hist;
   (match md with
   | Some out -> markdown ~out ~cur ~speedup
