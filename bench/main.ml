@@ -6,7 +6,7 @@
    Sections (select with a command-line argument prefix, default: all):
      table1 table2 table3 fig11 fig12 fig13 fig14
      ablation_throughput ablation_multipair ablation_overhead
-     ablation_queue characterization engines service wallclock
+     ablation_queue characterization engines service autotune wallclock
 
    --json=FILE additionally writes the measured numbers of the sections
    that ran as machine-readable JSON (for tracking runs over time; the
@@ -598,6 +598,45 @@ let service ctx =
        ])
 
 (* ------------------------------------------------------------------ *)
+(* Autotune search coverage and throughput: the generational beam       *)
+(* search (lib/tune) over a registry subset, on the compiled engine     *)
+(* (cycle counts are engine-invariant, so the rows match any engine).   *)
+(* The per-kernel rows and every count are deterministic and compared   *)
+(* exactly by the CI gate; configs_per_second is machine-dependent and  *)
+(* stripped before the comparison (and reported in the job summary).    *)
+
+let autotune ctx =
+  section "autotune" "generational autotune search (lib/tune coverage)";
+  let module Search = Finepar_tune.Search in
+  let targets =
+    List.filteri (fun i _ -> i < 6) (Search.registry_targets ())
+  in
+  let params =
+    { Search.default_params with Search.generations = 2; budget = 12 }
+  in
+  let evaluator =
+    Search.direct ?pool:ctx.pool ~engine:Finepar_machine.Engine.Compiled ()
+  in
+  Gc.full_major ();
+  let t0 = Unix.gettimeofday () in
+  let rows = Search.run params evaluator targets in
+  let dt = Unix.gettimeofday () -. t0 in
+  let evaluated =
+    List.fold_left
+      (fun a (r : Search.row) -> a + r.Search.r_evaluated)
+      0 rows
+  in
+  let cps = if dt > 0. then float_of_int evaluated /. dt else 0. in
+  Fmt.pr "%a" Search.pp_table rows;
+  Fmt.pr "throughput: %.1f configs evaluated/second (%d in %.2fs)@." cps
+    evaluated dt;
+  let deterministic =
+    match Search.to_json ~params rows with J.Obj kvs -> kvs | _ -> []
+  in
+  collect ctx "autotune"
+    (J.Obj (deterministic @ [ ("configs_per_second", J.Float cps) ]))
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock benchmarks of the toolchain itself.             *)
 
 let wallclock ctx =
@@ -678,6 +717,7 @@ let all_sections =
     ("engines", engines);
     ("service", service);
     ("wallclock", wallclock);
+    ("autotune", autotune);
   ]
 
 (* -j N, -jN or --jobs=N; --trace-out=FILE, --profile[=FILE] and

@@ -110,31 +110,25 @@ let via_arg =
   in
   Arg.(value & opt (some via_conv) None & info [ "via" ] ~doc ~docv:"VIA")
 
-(* A session: one exec function whose cache handle persists across
-   batches of the same CLI invocation, plus that handle's hit/miss
-   counters (invocation-lifetime for store:, server-lifetime for
-   socket:). *)
-let with_via via f =
-  match via with
-  | Svc_client.Store dir ->
-    let cache = Svc_cache.create dir in
-    let server = Svc_server.create ~cache () in
-    let exec reqs =
-      List.map Wire.response_of_string
-        (Svc_server.handle_requests server
-           (List.map (fun r -> Ok r) reqs))
-    in
-    f ~exec ~counters:(fun () -> Svc_cache.counters cache)
-  | Svc_client.Socket _ ->
-    let exec reqs = Svc_client.exec via reqs in
-    let counters () =
-      match exec [ Wire.Stats ] with
-      | [ Wire.Stats_result cs ] -> cs
-      | _ ->
-        Fmt.epr "service: bad stats response@.";
-        exit 1
-    in
-    f ~exec ~counters
+(* A session: one exec function whose cache handle (store:) or socket
+   connection persists across batches of the same CLI invocation, plus
+   that handle's hit/miss counters (invocation-lifetime for store:,
+   server-lifetime for socket:).  [pool] parallelizes the in-process
+   store path's miss computation. *)
+let with_via ?pool via f =
+  match
+    Svc_client.with_session ?pool via (fun session ->
+        f
+          ~exec:(Svc_client.session_exec session)
+          ~counters:(fun () -> Svc_client.session_counters session))
+  with
+  | v -> v
+  | exception Finepar_tune.Service_eval.Service_error msg ->
+    Fmt.epr "service error: %s@." msg;
+    exit 1
+  | exception Failure msg ->
+    Fmt.epr "%s@." msg;
+    exit 1
 
 let pp_cache_counters counters =
   let get name = Option.value ~default:0 (List.assoc_opt name counters) in
@@ -577,60 +571,143 @@ let sweep_cmd =
       const run $ kernel_arg $ cores_arg $ queue_len_arg $ engine_arg
       $ via_arg $ trace_out_arg $ profile_arg)
 
-(* The service-side replica of {!Runner.autotune}: one sequential run
-   for profile feedback, then the six candidate configurations as one
-   batch; same candidates, same tie-breaking (strictly fewer cycles
-   wins, first candidate wins ties), so the printed table matches the
-   direct path byte-for-byte. *)
-let autotune_via ~exec ~machine ~engine ~cores (e : Registry.entry) =
-  let seq_job =
-    registry_job
-      ~config:{ (Compiler.default_config ~cores ()) with Compiler.machine }
-      ~sequential:true e
-  in
-  let seq =
-    run_payload_exn (List.hd (exec [ Wire.Run { job = seq_job; engine } ]))
-  in
-  let base = { (Compiler.default_config ~cores ()) with Compiler.machine } in
-  let candidates =
-    [
-      ("sequential", { base with Compiler.cores = 1 });
-      ("baseline", base);
-      ("speculation", { base with Compiler.speculation = true });
-      ("throughput", { base with Compiler.throughput = true });
-      ( "speculation+throughput",
-        { base with Compiler.speculation = true; throughput = true } );
-      ("multi-pair", { base with Compiler.algorithm = `Multi_pair });
-    ]
-  in
-  let responses =
-    exec
-      (List.map
-         (fun (_, config) ->
-           let job =
-             { (registry_job ~config e) with
-               Wire.profile_counters = seq.Wire.load_counters }
-           in
-           Wire.Run { job; engine })
-         candidates)
-  in
-  let measured =
-    List.map2
-      (fun (name, _) resp -> (name, (run_payload_exn resp).Wire.cycles))
-      candidates responses
-  in
-  let best_name, best_cycles =
-    List.fold_left
-      (fun (bn, bcy) (n, cy) -> if cy < bcy then (n, cy) else (bn, bcy))
-      (List.hd measured) (List.tl measured)
-  in
-  (best_name, best_cycles, measured)
+module Tune_search = Finepar_tune.Search
+module Tune_eval = Finepar_tune.Service_eval
 
 let autotune_cmd =
-  let run name cores latency queue_len engine via trace_out profile =
-    with_tracing ~trace_out ~profile @@ fun () ->
+  let kernel_opt_arg =
+    let doc =
+      "Kernel name (see `finepar list`).  Required without --search; \
+       with --search, restricts the search to that one target."
+    in
+    Arg.(value & opt (some string) None & info [ "k"; "kernel" ] ~doc)
+  in
+  let search_arg =
+    let doc =
+      "Generational beam search over merge algorithm, affinity weights, \
+       speculation/throughput, core count, queue length and transfer \
+       latency, instead of the fixed six-candidate list.  Output is \
+       byte-identical at every -j and cached-vs-fresh through --via."
+    in
+    Arg.(value & flag & info [ "search" ] ~doc)
+  in
+  let scope_arg =
+    let doc =
+      "Search targets: $(b,registry) (the 18 evaluation kernels), \
+       $(b,loops) (the 33 excluded characterization loops) or $(b,all) \
+       (both)."
+    in
+    Arg.(value & opt string "all" & info [ "scope" ] ~doc)
+  in
+  let fuzz_corpus_arg =
+    let doc =
+      "Also tune every promoted fuzz reproducer in this corpus \
+       directory (targets named fuzz:<basename>)."
+    in
+    Arg.(value & opt (some string) None & info [ "fuzz-corpus" ] ~doc)
+  in
+  let beam_arg =
+    let doc = "Elite configurations expanded each generation." in
+    Arg.(value & opt int 2 & info [ "beam" ] ~doc)
+  in
+  let generations_arg =
+    let doc = "Neighbor-expansion generations after the seed generation." in
+    Arg.(value & opt int 3 & info [ "generations" ] ~doc)
+  in
+  let budget_arg =
+    let doc =
+      "Maximum candidate evaluations per kernel (the sequential \
+       reference is not counted)."
+    in
+    Arg.(value & opt int 40 & info [ "budget" ] ~doc)
+  in
+  let format_arg =
+    let doc = "Search output format: text or json." in
+    Arg.(value & opt string "text" & info [ "format" ] ~doc)
+  in
+  let jobs_arg =
+    let doc =
+      "Evaluate candidates on this many domains in parallel (default: \
+       the FINEPAR_DOMAINS environment variable, else the machine's \
+       core count minus one; 1 is fully sequential).  Results are \
+       byte-identical at every -j."
+    in
+    Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~doc)
+  in
+  let search ~name ~scope ~fuzz_corpus ~params ~engine ~via ~jobs ~format
+      ~output =
+    let targets =
+      (match scope with
+      | "registry" -> Tune_search.registry_targets ()
+      | "loops" -> Tune_search.corpus_targets ()
+      | "all" ->
+        Tune_search.registry_targets () @ Tune_search.corpus_targets ()
+      | other ->
+        Fmt.epr "unknown scope %s (expected registry, loops or all)@." other;
+        exit 1)
+      @
+      match fuzz_corpus with
+      | None -> []
+      | Some dir -> Tune_search.fuzz_targets ~dir
+    in
+    let targets =
+      match name with
+      | None -> targets
+      | Some n -> (
+        match
+          List.filter
+            (fun (t : Tune_search.target) -> String.equal t.Tune_search.t_name n)
+            targets
+        with
+        | [] ->
+          Fmt.epr "no search target named %s in scope %s@." n scope;
+          exit 1
+        | ts -> ts)
+    in
+    let t0 = Unix.gettimeofday () in
+    let rows =
+      match via with
+      | None ->
+        let pool = Finepar_exec.Pool.create ?domains:jobs () in
+        Tune_search.run params (Tune_search.direct ~pool ~engine ()) targets
+      | Some via ->
+        let pool = Finepar_exec.Pool.create ?domains:jobs () in
+        with_via ~pool via @@ fun ~exec ~counters ->
+        let rows =
+          Tune_search.run params (Tune_eval.evaluator ~exec ~engine) targets
+        in
+        pp_cache_counters (counters ());
+        rows
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    let evaluated =
+      List.fold_left
+        (fun a (r : Tune_search.row) -> a + r.Tune_search.r_evaluated)
+        0 rows
+    in
+    (* Wall-clock throughput is machine-dependent: stderr only, so the
+       stdout table/JSON stays byte-comparable across runs. *)
+    Fmt.epr "search: %d configurations in %.2fs%s@." evaluated dt
+      (if dt > 0. then
+         Fmt.str " (%.1f configs/sec)" (float_of_int evaluated /. dt)
+       else "");
+    match format with
+    | "text" ->
+      with_output output (fun oc ->
+          Fmt.pf
+            (Format.formatter_of_out_channel oc)
+            "%a@?" Tune_search.pp_table rows)
+    | "json" ->
+      with_output output (fun oc ->
+          Finepar_telemetry.Json.to_channel oc
+            (Tune_search.to_json ~params rows);
+          output_char oc '\n')
+    | other ->
+      Fmt.epr "unknown format %s (expected text or json)@." other;
+      exit 1
+  in
+  let classic ~name ~machine ~cores ~engine ~via =
     let e = find_entry name in
-    let machine = machine_of ~latency ~queue_len in
     let best_name, best_cycles, candidates =
       match via with
       | None ->
@@ -641,28 +718,43 @@ let autotune_cmd =
         (t.Runner.best_name, t.Runner.best_cycles, t.Runner.candidates)
       | Some via ->
         with_via via @@ fun ~exec ~counters ->
-        let r = autotune_via ~exec ~machine ~engine ~cores e in
+        let r =
+          Tune_eval.autotune ~exec ~machine ~engine ~cores
+            ~workload:e.Registry.workload e.Registry.kernel
+        in
         pp_cache_counters (counters ());
         r
     in
-    Fmt.pr "%-24s %10s@." "configuration" "cycles";
-    List.iter
-      (fun (n, cy) ->
-        Fmt.pr "%-24s %10d%s@." n cy
-          (if String.equal n best_name then "  <- best" else ""))
-      candidates;
-    let seq = List.assoc "sequential" candidates in
-    Fmt.pr "@.best: %s (speedup %.2f over sequential)@." best_name
-      (float_of_int seq /. float_of_int best_cycles)
+    Fmt.pr "%a" Tune_search.pp_autotune (best_name, best_cycles, candidates)
+  in
+  let run name do_search scope fuzz_corpus beam generations budget format
+      jobs cores latency queue_len engine via trace_out profile output =
+    with_tracing ~trace_out ~profile @@ fun () ->
+    let machine = machine_of ~latency ~queue_len in
+    if do_search then
+      let params =
+        { Tune_search.cores; machine; beam; generations; budget }
+      in
+      search ~name ~scope ~fuzz_corpus ~params ~engine ~via ~jobs ~format
+        ~output
+    else
+      match name with
+      | Some name -> classic ~name ~machine ~cores ~engine ~via
+      | None ->
+        Fmt.epr "pass -k KERNEL (or --search)@.";
+        exit 2
   in
   Cmd.v
     (Cmd.info "autotune"
        ~doc:
          "Compile multiple code versions and keep the fastest (Section \
-          III-I)")
+          III-I); with --search, a generational beam search over the \
+          full configuration space across the kernel corpus")
     Term.(
-      const run $ kernel_arg $ cores_arg $ latency_arg $ queue_len_arg
-      $ engine_arg $ via_arg $ trace_out_arg $ profile_arg)
+      const run $ kernel_opt_arg $ search_arg $ scope_arg $ fuzz_corpus_arg
+      $ beam_arg $ generations_arg $ budget_arg $ format_arg $ jobs_arg
+      $ cores_arg $ latency_arg $ queue_len_arg $ engine_arg $ via_arg
+      $ trace_out_arg $ profile_arg $ output_arg)
 
 let fuzz_cmd =
   let cases_arg =

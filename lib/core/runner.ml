@@ -132,35 +132,65 @@ type tuned = {
   candidates : (string * int) list;  (** configuration -> cycles *)
 }
 
-let autotune ?(machine = Config.default) ?(cores = 4) ?(workload = []) ?engine
-    kernel =
+let autotune_candidates (base : Compiler.config) =
+  [
+    ("sequential", { base with Compiler.cores = 1 });
+    ("baseline", base);
+    ("speculation", { base with Compiler.speculation = true });
+    ("throughput", { base with Compiler.throughput = true });
+    ("speculation+throughput",
+     { base with Compiler.speculation = true; throughput = true });
+    ("multi-pair", { base with Compiler.algorithm = `Multi_pair });
+  ]
+
+(* The preference key behind {!compare_candidates}: cheaper configurations
+   first, so a cycle tie resolves to the simplest machine.  Every knob that
+   distinguishes candidates appears here; any configs equal under this key
+   are observationally identical to the search. *)
+let config_preference (c : Compiler.config) =
+  let alg = match c.Compiler.algorithm with `Greedy -> 0 | `Multi_pair -> 1 in
+  let w = c.Compiler.weights in
+  ( c.Compiler.cores,
+    (Bool.to_int c.Compiler.speculation, Bool.to_int c.Compiler.throughput, alg),
+    ( c.Compiler.machine.Config.transfer_latency,
+      c.Compiler.machine.Config.queue_len ),
+    ( (w.Finepar_partition.Affinity.w_dep,
+       w.Finepar_partition.Affinity.w_time,
+       w.Finepar_partition.Affinity.w_prox),
+      c.Compiler.max_height,
+      c.Compiler.max_queue_pairs ) )
+
+let compare_candidates (cy_a, (a : Compiler.config)) (cy_b, (b : Compiler.config)) =
+  match compare (cy_a : int) cy_b with
+  | 0 -> compare (config_preference a) (config_preference b)
+  | n -> n
+
+let autotune ?(machine = Config.default) ?(cores = 4) ?(workload = [])
+    ?(check = true) ?engine kernel =
   let seq = Compiler.compile_sequential ~machine kernel in
-  let seq_run = run ~check:false ~workload ?engine seq in
+  (* The same check policy applies to the sequential reference and every
+     candidate: checking happens after the simulation, so cycle counts are
+     unaffected either way, but a uniform policy keeps the measurement
+     protocol honest and the error behaviour consistent. *)
+  let seq_run = run ~check ~workload ?engine seq in
   let profile = Finepar_analysis.Profile.of_counters seq_run.load_counters in
   let base = { (Compiler.default_config ~cores ()) with Compiler.machine; profile } in
-  let candidates =
-    [
-      ("sequential", { base with Compiler.cores = 1 });
-      ("baseline", base);
-      ("speculation", { base with Compiler.speculation = true });
-      ("throughput", { base with Compiler.throughput = true });
-      ("speculation+throughput",
-       { base with Compiler.speculation = true; throughput = true });
-      ("multi-pair", { base with Compiler.algorithm = `Multi_pair });
-    ]
-  in
   let measured =
     List.map
       (fun (name, config) ->
         let c = Compiler.compile config kernel in
-        let r = run ~workload ?engine c in
+        let r = run ~check ~workload ?engine c in
         (name, c, r.cycles))
-      candidates
+      (autotune_candidates base)
   in
   let best_name, best, best_cycles =
     List.fold_left
       (fun (bn, bc, bcy) (n, c, cy) ->
-        if cy < bcy then (n, c, cy) else (bn, bc, bcy))
+        (* Strict [< 0]: ties keep the earlier candidate, so the winner is
+           independent of how a parallel search happened to interleave. *)
+        if compare_candidates (cy, c.Compiler.config) (bcy, bc.Compiler.config) < 0
+        then (n, c, cy)
+        else (bn, bc, bcy))
       (let n, c, cy = List.hd measured in
        (n, c, cy))
       (List.tl measured)

@@ -85,17 +85,37 @@ type tuned = {
   candidates : (string * int) list;  (** configuration name -> cycles *)
 }
 
+(** The fixed candidate enumeration behind {!autotune} — sequential,
+    baseline, speculation, throughput, their combination, and multi-pair
+    merge, all derived from [base].  Shared with the service-side autotune
+    and with [Finepar_tune]'s generation 0 so the three can never drift. *)
+val autotune_candidates :
+  Compiler.config -> (string * Compiler.config) list
+
+(** Deterministic candidate ordering: fewer cycles first, then the
+    simpler configuration — fewer cores; speculation off before on;
+    throughput off before on; [`Greedy] before [`Multi_pair]; lower
+    transfer latency; shorter queues; then the remaining knobs (weights,
+    max height, max queue pairs).  Candidates that still compare equal
+    are observationally identical, and selection keeps the earlier one —
+    so a parallel search merge reproduces the same winner at any [-j]. *)
+val compare_candidates :
+  int * Compiler.config -> int * Compiler.config -> int
+
 (** Multi-version compilation with dynamic feedback.  Section III-I
     (limitation 1): the compiler "can generate multiple code versions for
     regions with potential, and rely on a runtime system with dynamic
     feedback to decide which code version to execute".  Compiles the
-    candidate configurations (sequential, baseline, speculation,
-    throughput, their combination, multi-pair merge), measures each once,
-    and keeps the fastest. *)
+    candidate configurations (see {!autotune_candidates}), measures each
+    once, and keeps the fastest under {!compare_candidates}.
+    @param check applied uniformly to the sequential (profiling)
+      reference and every candidate (default [true]); checking happens
+      after simulation, so cycle counts do not depend on it. *)
 val autotune :
   ?machine:Finepar_machine.Config.t ->
   ?cores:int ->
   ?workload:Finepar_ir.Eval.workload ->
+  ?check:bool ->
   ?engine:Finepar_machine.Engine.t ->
   Finepar_ir.Kernel.t ->
   tuned

@@ -77,3 +77,61 @@ let exec_strings ?pool ?attempts via reqs =
 
 let exec ?pool ?attempts via reqs =
   List.map Wire.response_of_string (exec_strings ?pool ?attempts via reqs)
+
+(* ------------------------------------------------------------------ *)
+(* Sessions: one cache handle (Store) or one connection (Socket) that
+   persists across many batches, so a generational search reuses the
+   same store and the same socket for every generation's frame. *)
+
+type session =
+  | S_store of Server.t * Cache.t
+  | S_socket of { ic : in_channel; oc : out_channel }
+
+let open_session ?pool ?attempts via =
+  match via with
+  | Store dir ->
+    let cache = Cache.create dir in
+    (S_store (Server.create ?pool ~cache (), cache) : session)
+  | Socket path ->
+    let sock = connect ?attempts path in
+    S_socket
+      {
+        ic = Unix.in_channel_of_descr sock;
+        oc = Unix.out_channel_of_descr sock;
+      }
+
+let close_session = function
+  | S_store _ -> ()
+  | S_socket { ic; oc } ->
+    close_out_noerr oc;
+    close_in_noerr ic
+
+let session_frame session payload =
+  match session with
+  | S_store (server, _) -> Server.handle_frame server payload
+  | S_socket { ic; oc } -> (
+    Server.write_frame oc payload;
+    match Server.read_frame ic with
+    | Some response -> response
+    | None -> failwith "service: server closed the connection")
+
+let session_exec_strings session reqs =
+  let payload = session_frame session (Wire.batch_to_string reqs) in
+  match Wire.responses_of_string payload with
+  | _ -> List.map Finepar_fuzz.Repro.canon (Wire.batch_items_of_string payload)
+  | exception _ -> failwith ("service: bad response payload: " ^ payload)
+
+let session_exec session reqs =
+  List.map Wire.response_of_string (session_exec_strings session reqs)
+
+let session_counters session =
+  match session with
+  | S_store (_, cache) -> Cache.counters cache
+  | S_socket _ -> (
+    match session_exec session [ Wire.Stats ] with
+    | [ Wire.Stats_result cs ] -> cs
+    | _ -> failwith "service: bad stats response")
+
+let with_session ?pool ?attempts via f =
+  let session = open_session ?pool ?attempts via in
+  Fun.protect ~finally:(fun () -> close_session session) (fun () -> f session)

@@ -1,0 +1,35 @@
+(** Evaluation through the compile-and-simulate service cache: the
+    [--via=store:DIR|socket:PATH] counterpart of {!Search.direct}, and
+    the service-side replica of {!Finepar.Runner.autotune} built from
+    the same shared candidate enumeration and comparison — the two can
+    no longer drift. *)
+
+exception Service_error of string
+(** A service [Error] response (or unexpected response kind) on a path
+    that expected a run result. *)
+
+type exec = Finepar_service.Wire.request list -> Finepar_service.Wire.response list
+(** One batch round-trip, e.g. [Finepar_service.Client.session_exec]
+    partially applied to an open session. *)
+
+val evaluator :
+  exec:exec -> engine:Finepar_machine.Engine.t -> Search.evaluator
+(** Sends each batch as [Run] requests; cycles and load counters from
+    [Run_result], service [Error] payloads as [Error] measures — the
+    same measures {!Search.direct} computes, byte-for-byte. *)
+
+val autotune :
+  exec:exec ->
+  machine:Finepar_machine.Config.t ->
+  engine:Finepar_machine.Engine.t ->
+  cores:int ->
+  workload:Finepar_ir.Eval.workload ->
+  Finepar_ir.Kernel.t ->
+  string * int * (string * int) list
+(** The classic fixed-candidate autotune through the service: one
+    sequential run for profile feedback, then
+    {!Finepar.Runner.autotune_candidates} as one batch, best picked
+    with {!Finepar.Runner.compare_candidates} — identical names, cycle
+    counts and winner to the direct {!Finepar.Runner.autotune}.
+    Returns [(best name, best cycles, (candidate, cycles) list)];
+    raises {!Service_error} on an error response. *)

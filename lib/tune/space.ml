@@ -1,0 +1,85 @@
+(* The search space: one-knob mutations over the compiler configuration,
+   with pure describe/key helpers.  See the .mli for the determinism
+   contract. *)
+
+module Compiler = Finepar.Compiler
+module Config = Finepar_machine.Config
+module Affinity = Finepar_partition.Affinity
+
+let weight_presets =
+  [
+    ("default", Affinity.default);
+    ("dep", { Affinity.w_dep = 0.8; w_time = 0.1; w_prox = 0.1 });
+    ("time", { Affinity.w_dep = 0.1; w_time = 0.8; w_prox = 0.1 });
+    ("prox", { Affinity.w_dep = 0.1; w_time = 0.1; w_prox = 0.8 });
+  ]
+
+let weights_name (w : Affinity.weights) =
+  match List.find_opt (fun (_, p) -> p = w) weight_presets with
+  | Some (name, _) -> name
+  | None ->
+    Printf.sprintf "%g/%g/%g" w.Affinity.w_dep w.Affinity.w_time
+      w.Affinity.w_prox
+
+let algorithm_name = function `Greedy -> "greedy" | `Multi_pair -> "multi-pair"
+
+let describe (c : Compiler.config) =
+  Printf.sprintf "%dc %s%s%s q%d lat%d w:%s" c.Compiler.cores
+    (algorithm_name c.Compiler.algorithm)
+    (if c.Compiler.speculation then " +spec" else "")
+    (if c.Compiler.throughput then " +tp" else "")
+    c.Compiler.machine.Config.queue_len
+    c.Compiler.machine.Config.transfer_latency
+    (weights_name c.Compiler.weights)
+
+let key (c : Compiler.config) =
+  let w = c.Compiler.weights in
+  Printf.sprintf "%d|%s|%b|%b|%d|%d|%h|%h|%h|%d|%s" c.Compiler.cores
+    (algorithm_name c.Compiler.algorithm)
+    c.Compiler.speculation c.Compiler.throughput
+    c.Compiler.machine.Config.queue_len
+    c.Compiler.machine.Config.transfer_latency w.Affinity.w_dep
+    w.Affinity.w_time w.Affinity.w_prox c.Compiler.max_height
+    (match c.Compiler.max_queue_pairs with
+    | None -> "-"
+    | Some n -> string_of_int n)
+
+let cores_choices = [ 1; 2; 4; 8 ]
+let queue_len_choices = [ 4; 8; 20; 64 ]
+let latency_choices = [ 1; 5; 20 ]
+
+let neighbors (c : Compiler.config) =
+  let m = c.Compiler.machine in
+  [
+    { c with Compiler.speculation = not c.Compiler.speculation };
+    { c with Compiler.throughput = not c.Compiler.throughput };
+    {
+      c with
+      Compiler.algorithm =
+        (match c.Compiler.algorithm with
+        | `Greedy -> `Multi_pair
+        | `Multi_pair -> `Greedy);
+    };
+  ]
+  @ List.filter_map
+      (fun n ->
+        if n = c.Compiler.cores then None else Some { c with Compiler.cores = n })
+      cores_choices
+  @ List.filter_map
+      (fun q ->
+        if q = m.Config.queue_len then None
+        else
+          Some { c with Compiler.machine = { m with Config.queue_len = q } })
+      queue_len_choices
+  @ List.filter_map
+      (fun l ->
+        if l = m.Config.transfer_latency then None
+        else
+          Some
+            { c with Compiler.machine = { m with Config.transfer_latency = l } })
+      latency_choices
+  @ List.filter_map
+      (fun (_, w) ->
+        if w = c.Compiler.weights then None
+        else Some { c with Compiler.weights = w })
+      weight_presets

@@ -37,7 +37,13 @@
    section's warm_speedup with a hard failure in BOTH missing-key
    directions — a gate without the section (or a section without its
    gate) means baseline and bench disagree about the service's
-   existence and someone must refresh bench/record_baseline.sh. *)
+   existence and someone must refresh bench/record_baseline.sh.
+
+   The "autotune" section (the generational search's per-kernel
+   best-config rows) is deterministic except for its one throughput
+   number: configs_per_second is stripped from both sides, then the
+   rest — every best-config row, cycle count and heuristic gap — is
+   compared exactly like any paper-accuracy section. *)
 
 module J = Finepar_telemetry.Json
 
@@ -101,6 +107,19 @@ let rec compare_exact path (base : J.t) (cur : J.t) =
           fail "%s.%s: not in baseline (refresh bench/baseline.json)" path k)
       ys
   | _ -> fail "%s: type changed" path
+
+(* The autotune section: deterministic search rows compared exactly,
+   with the one machine-dependent number (configs_per_second) stripped
+   from both sides first and surfaced as a note instead. *)
+let compare_autotune base cur =
+  let strip = function
+    | J.Obj kvs -> J.Obj (List.remove_assoc "configs_per_second" kvs)
+    | j -> j
+  in
+  (match Option.bind (find "configs_per_second" cur) num with
+  | Some cps -> note "autotune: %.1f configs evaluated/second" cps
+  | None -> ());
+  compare_exact "autotune" (strip base) (strip cur)
 
 (* The bechamel section: entries matched by name, ns/run gated with the
    tolerance (regressions fail, improvements are reported). *)
@@ -229,6 +248,34 @@ let markdown ~out ~cur ~speedup =
         | Some ws -> p "\nWarm-store speedup over cold: **%.1fx**\n" ws
         | None -> ())
       | None -> ());
+      (match Option.bind (find "sections" cur) (find "autotune") with
+      | Some a ->
+        p "\n### Autotune search (found optimum vs Section III-B heuristic)\n\n";
+        (match Option.bind (find "configs_per_second" a) num with
+        | Some cps -> p "%.1f configs evaluated/second\n\n" cps
+        | None -> ());
+        p "| kernel | heuristic | best | gap | best configuration |\n";
+        p "|---|---|---|---|---|\n";
+        (match find "kernels" a with
+        | Some (J.List rows) ->
+          List.iter
+            (fun row ->
+              match
+                ( find "name" row,
+                  Option.bind (find "heuristic_cycles" row) num,
+                  Option.bind (find "best_cycles" row) num,
+                  find "best_config" row )
+              with
+              | Some (J.String k), Some h, Some b, Some (J.String cfg) ->
+                p "| %s | %.0f | %.0f | %s | %s |\n" k h b
+                  (match Option.bind (find "gap" row) num with
+                  | Some g -> Printf.sprintf "%.2fx" g
+                  | None -> "-")
+                  cfg
+              | _ -> ())
+            rows
+        | _ -> ())
+      | None -> ());
       (match !history_trends with
       | [] -> ()
       | ts ->
@@ -292,6 +339,7 @@ let () =
       | Some c ->
         if String.equal name "wallclock" then
           compare_wallclock ~tolerance b c
+        else if String.equal name "autotune" then compare_autotune b c
         else if String.equal name "engines" || String.equal name "service"
         then
           (* Machine-dependent throughput: gated via meta below. *)
