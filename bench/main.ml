@@ -5,8 +5,9 @@
 
    Sections (select with a command-line argument prefix, default: all):
      table1 table2 table3 fig11 fig12 fig13 fig14
-     ablation_throughput ablation_multipair ablation_overhead
-     ablation_queue characterization engines service autotune wallclock
+     ablation_throughput ablation_multipair ablation_comm
+     ablation_issue_width ablation_overhead ablation_queue
+     characterization engines service autotune wallclock
 
    --json=FILE additionally writes the measured numbers of the sections
    that ran as machine-readable JSON (for tracking runs over time; the
@@ -286,6 +287,36 @@ let ablation_multipair ctx =
     "multi-pair merge variant (faster compilation, Section III-B)"
     (Experiments.multipair_ablation ?pool:ctx.pool ())
     ~paper_note:"(paper: used for compile time; quality comparable)"
+
+let ablation_rows_json rows =
+  J.List
+    (List.map
+       (fun (r : Experiments.ablation_row) ->
+         J.Obj
+           [
+             ("kernel", J.String r.Experiments.ab_name);
+             ("base", J.Float r.Experiments.ab_base);
+             ("variant", J.Float r.Experiments.ab_variant);
+           ])
+       rows)
+
+let ablation_comm ctx =
+  let rows = Experiments.comm_mode_ablation ?pool:ctx.pool () in
+  ablation "ablation_comm"
+    "hardware queues vs shared-cache valid-flag coupling (Section II)" rows
+    ~paper_note:
+      "(the paper's motivation for dedicated queues: cache-coupled spin \
+       handshakes pay full load/store latency per transfer)";
+  collect ctx "ablation_comm" (ablation_rows_json rows)
+
+let ablation_issue_width ctx =
+  let rows = Experiments.issue_width_ablation ?pool:ctx.pool () in
+  ablation "ablation_issue_width"
+    "single-issue vs dual-issue cores (thread-level vs ILP)" rows
+    ~paper_note:
+      "(both columns are 4-core speedups over a sequential baseline on the \
+       same-width machine; dual issue shrinks the pie threading can win)";
+  collect ctx "ablation_issue_width" (ablation_rows_json rows)
 
 let ablation_overhead ctx =
   section "ablation_overhead"
@@ -707,6 +738,8 @@ let all_sections =
     ("fig14", fig14);
     ("ablation_throughput", ablation_throughput);
     ("ablation_multipair", ablation_multipair);
+    ("ablation_comm", ablation_comm);
+    ("ablation_issue_width", ablation_issue_width);
     ("ablation_overhead", ablation_overhead);
     ("ablation_queue", ablation_queue);
     ("extension_smt", extension_smt);

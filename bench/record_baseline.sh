@@ -17,7 +17,12 @@ MIN_SPEEDUP="${MIN_SPEEDUP:-2.0}"
 # same run, so check_bench never meets an engine the baseline has not
 # heard of.
 MIN_EVENT_SPEEDUP="${MIN_EVENT_SPEEDUP:-2.0}"
-MIN_COMPILED_SPEEDUP="${MIN_COMPILED_SPEEDUP:-10.0}"
+# The compiled gate sat at 10x while the corpus was all queue-mode;
+# shared-cache reproducers spin on valid flags, and a spinning core
+# issues every cycle, so fast-forward engines get no quiescent windows
+# to skip on those entries (~6.7x compiled / ~2.4x event on the
+# recording host).  The gate follows the honest mixed-corpus number.
+MIN_COMPILED_SPEEDUP="${MIN_COMPILED_SPEEDUP:-5.0}"
 # Warm-over-cold throughput gate for the compile-and-simulate service
 # section (requests answered from the content-addressed store vs
 # computed fresh).  Same recording discipline as the engine gates.

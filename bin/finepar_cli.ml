@@ -47,6 +47,33 @@ let throughput_arg =
   let doc = "Enable the throughput (unidirectional) merge heuristic." in
   Arg.(value & flag & info [ "throughput" ] ~doc)
 
+let issue_width_arg =
+  let doc = "Instructions each core may issue per cycle (1 = the paper's \
+             machine, 2 = dual-issue)." in
+  Arg.(value & opt int 1 & info [ "issue-width" ] ~doc)
+
+let comm_conv =
+  let parse s =
+    match Finepar_transform.Comm.mode_of_name s with
+    | Some m -> Ok m
+    | None ->
+      Error
+        (`Msg (Printf.sprintf "unknown comm mode %s (expected queues or shared_cache)" s))
+  in
+  Arg.conv
+    (parse, fun ppf m -> Fmt.string ppf (Finepar_transform.Comm.mode_name m))
+
+let comm_arg =
+  let doc =
+    "How cross-core transfers are realized: $(b,queues) (the paper's \
+     dedicated hardware queues) or $(b,shared_cache) (valid-flag \
+     handshakes through the ordinary cache hierarchy)."
+  in
+  Arg.(
+    value
+    & opt comm_conv Finepar_transform.Comm.Queues
+    & info [ "comm" ] ~doc)
+
 let engine_conv =
   let parse str =
     match Finepar_machine.Engine.of_string str with
@@ -75,11 +102,12 @@ let engine_arg =
     & opt engine_conv Finepar_machine.Engine.default
     & info [ "engine" ] ~doc)
 
-let machine_of ~latency ~queue_len =
+let machine_of ?(issue_width = 1) ~latency ~queue_len () =
   {
     Finepar_machine.Config.default with
     Finepar_machine.Config.transfer_latency = latency;
     queue_len;
+    issue_width;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -276,16 +304,17 @@ let list_cmd =
     Term.(const run $ const ())
 
 let run_cmd =
-  let run name cores latency queue_len speculation throughput engine trace_out
-      profile =
+  let run name cores latency queue_len speculation throughput issue_width comm
+      engine trace_out profile =
     with_tracing ~trace_out ~profile @@ fun () ->
     let e = find_entry name in
-    let machine = machine_of ~latency ~queue_len in
+    let machine = machine_of ~issue_width ~latency ~queue_len () in
     let config =
       {
         (Compiler.default_config ~cores ()) with
         Compiler.speculation;
         throughput;
+        comm_mode = comm;
         machine;
       }
     in
@@ -305,8 +334,8 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Compile and simulate one kernel")
     Term.(
       const run $ kernel_arg $ cores_arg $ latency_arg $ queue_len_arg
-      $ speculation_arg $ throughput_arg $ engine_arg $ trace_out_arg
-      $ profile_arg)
+      $ speculation_arg $ throughput_arg $ issue_width_arg $ comm_arg
+      $ engine_arg $ trace_out_arg $ profile_arg)
 
 let show_cmd =
   let stage_arg =
@@ -427,15 +456,17 @@ let with_output file f =
     Fmt.pr "wrote %s@." file
   end
 
-let compile_and_sim ~name ~cores ~latency ~queue_len ~speculation ~throughput
-    ~tracing ~engine =
+let compile_and_sim ?(issue_width = 1) ?(comm = Finepar_transform.Comm.Queues)
+    ~name ~cores ~latency ~queue_len ~speculation ~throughput ~tracing ~engine
+    () =
   let e = find_entry name in
-  let machine = machine_of ~latency ~queue_len in
+  let machine = machine_of ~issue_width ~latency ~queue_len () in
   let config =
     {
       (Compiler.default_config ~cores ()) with
       Compiler.speculation;
       throughput;
+      comm_mode = comm;
       machine;
     }
   in
@@ -446,10 +477,11 @@ let compile_and_sim ~name ~cores ~latency ~queue_len ~speculation ~throughput
   (c, run, sim)
 
 let trace_cmd =
-  let run name cores latency queue_len speculation throughput engine output =
+  let run name cores latency queue_len speculation throughput issue_width comm
+      engine output =
     let c, _, sim =
-      compile_and_sim ~name ~cores ~latency ~queue_len ~speculation
-        ~throughput ~tracing:true ~engine
+      compile_and_sim ~issue_width ~comm ~name ~cores ~latency ~queue_len
+        ~speculation ~throughput ~tracing:true ~engine ()
     in
     let events =
       Report.chrome_trace ~pass_times:c.Compiler.pass_times sim
@@ -471,21 +503,22 @@ let trace_cmd =
           occupancy counter per queue, and a compiler-pass lane")
     Term.(
       const run $ kernel_arg $ cores_arg $ latency_arg $ queue_len_arg
-      $ speculation_arg $ throughput_arg $ engine_arg $ output_arg)
+      $ speculation_arg $ throughput_arg $ issue_width_arg $ comm_arg
+      $ engine_arg $ output_arg)
 
 let report_cmd =
   let format_arg =
     let doc = "Output format: text, json or csv." in
     Arg.(value & opt string "text" & info [ "format" ] ~doc)
   in
-  let run name cores latency queue_len speculation throughput engine via
-      format output =
+  let run name cores latency queue_len speculation throughput issue_width comm
+      engine via format output =
     let t =
       match via with
       | None ->
         let _, r, _ =
-          compile_and_sim ~name ~cores ~latency ~queue_len ~speculation
-            ~throughput ~tracing:false ~engine
+          compile_and_sim ~issue_width ~comm ~name ~cores ~latency ~queue_len
+            ~speculation ~throughput ~tracing:false ~engine ()
         in
         r.Runner.telemetry
       | Some via ->
@@ -494,12 +527,13 @@ let report_cmd =
            csv format — which only covers deterministic metrics — byte-
            matches the direct path; CI relies on that. *)
         let e = find_entry name in
-        let machine = machine_of ~latency ~queue_len in
+        let machine = machine_of ~issue_width ~latency ~queue_len () in
         let config =
           {
             (Compiler.default_config ~cores ()) with
             Compiler.speculation;
             throughput;
+            comm_mode = comm;
             machine;
           }
         in
@@ -532,8 +566,8 @@ let report_cmd =
           simulated kernel, plus compiler pass times")
     Term.(
       const run $ kernel_arg $ cores_arg $ latency_arg $ queue_len_arg
-      $ speculation_arg $ throughput_arg $ engine_arg $ via_arg
-      $ format_arg $ output_arg)
+      $ speculation_arg $ throughput_arg $ issue_width_arg $ comm_arg
+      $ engine_arg $ via_arg $ format_arg $ output_arg)
 
 let sweep_cmd =
   let run name cores queue_len engine via trace_out profile =
@@ -545,7 +579,7 @@ let sweep_cmd =
     | None ->
       List.iter
         (fun latency ->
-          let machine = machine_of ~latency ~queue_len in
+          let machine = machine_of ~latency ~queue_len () in
           let _, _, s =
             Runner.speedup ~machine ~engine ~workload:e.Registry.workload
               ~cores e.Registry.kernel
@@ -556,7 +590,7 @@ let sweep_cmd =
       with_via via @@ fun ~exec ~counters ->
       List.iter
         (fun latency ->
-          let machine = machine_of ~latency ~queue_len in
+          let machine = machine_of ~latency ~queue_len () in
           let _, _, s =
             speedup_via ~exec ~machine ~config:(Compiler.default_config ())
               ~engine ~cores e
@@ -730,7 +764,7 @@ let autotune_cmd =
   let run name do_search scope fuzz_corpus beam generations budget format
       jobs cores latency queue_len engine via trace_out profile output =
     with_tracing ~trace_out ~profile @@ fun () ->
-    let machine = machine_of ~latency ~queue_len in
+    let machine = machine_of ~latency ~queue_len () in
     if do_search then
       let params =
         { Tune_search.cores; machine; beam; generations; budget }
@@ -1016,7 +1050,7 @@ let verify_cmd =
     match Compiler.compile config k with
     | c ->
       let r =
-        Verify.run ~plan:c.Compiler.comm
+        Verify.run ~plan:c.Compiler.comm ~mode:config.Compiler.comm_mode
           ~queue_len:config.Compiler.machine.Finepar_machine.Config.queue_len
           c.Compiler.code.Finepar_codegen.Lower.program
       in
@@ -1033,7 +1067,7 @@ let verify_cmd =
             (Compiler.default_config ~cores ()) with
             Compiler.speculation;
             throughput;
-            machine = machine_of ~latency ~queue_len;
+            machine = machine_of ~latency ~queue_len ();
           }
         in
         verify_kernel
@@ -1086,7 +1120,7 @@ let verify_cmd =
                 let config =
                   {
                     (Compiler.default_config ~cores ()) with
-                    Compiler.machine = machine_of ~latency ~queue_len;
+                    Compiler.machine = machine_of ~latency ~queue_len ();
                   }
                 in
                 let c = Compiler.compile config e.Registry.kernel in
@@ -1130,7 +1164,7 @@ let verify_cmd =
           (Compiler.default_config ~cores ()) with
           Compiler.speculation;
           throughput;
-          machine = machine_of ~latency ~queue_len;
+          machine = machine_of ~latency ~queue_len ();
         }
       in
       verify_kernel (Fmt.str "%s cores=%d" name cores) config e.Registry.kernel
@@ -1188,7 +1222,7 @@ let profile_cmd =
         ~finally:(fun () -> Finepar_telemetry.Tracer.uninstall ())
         (fun () ->
           compile_and_sim ~name ~cores ~latency ~queue_len ~speculation
-            ~throughput ~tracing:false ~engine)
+            ~throughput ~tracing:false ~engine ())
     in
     let tree =
       Finepar_telemetry.Profile_tree.of_spans
@@ -1422,7 +1456,7 @@ let request_cmd =
     Arg.(value & flag & info [ "stats" ] ~doc)
   in
   let emit ~engines ~cores ~latency ~queue_len ~corpus output =
-    let machine = machine_of ~latency ~queue_len in
+    let machine = machine_of ~latency ~queue_len () in
     let config = { (Compiler.default_config ~cores ()) with Compiler.machine } in
     let registry_reqs =
       List.concat_map

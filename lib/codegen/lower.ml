@@ -185,12 +185,33 @@ let item_preds = function
   | It_fiber s -> s.Region.preds
   | It_enq tr | It_deq tr -> tr.Comm.preds
 
+(* Shared-cache lowering context: ids of the synthetic handshake arrays
+   and the canonical slot of each transfer. *)
+type shared_info = {
+  sh_flag_arr : int;
+  sh_data_arr : Types.ty -> int;
+  sh_slot : Comm.transfer -> Comm.slot;
+}
+
+let shared_slot_of comm =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun ((tr : Comm.transfer), s) ->
+      Hashtbl.replace tbl (tr.Comm.src_core, tr.Comm.dst_core, tr.Comm.ty, tr.Comm.seq) s)
+    (Comm.shared_slots comm);
+  fun (tr : Comm.transfer) ->
+    match
+      Hashtbl.find_opt tbl (tr.Comm.src_core, tr.Comm.dst_core, tr.Comm.ty, tr.Comm.seq)
+    with
+    | Some s -> s
+    | None -> codegen_error "transfer %s has no handshake slot" tr.Comm.var
+
 (** Emit a list of predicated items, replicating conditional structure by
     opening and closing branch scopes as the predicate context changes.
     [fiber_of] gives the source fiber each item's instructions are
     attributed to (provenance for the telemetry layer); guard branches are
     attributed to the item they guard. *)
-let emit_items ctx ~array_id ~queues ~fiber_of items =
+let emit_items ctx ~array_id ~queues ~shared ~fiber_of items =
   let open Program.Builder in
   let stack = ref [] in
   (* innermost first: (pred, end label) *)
@@ -234,18 +255,50 @@ let emit_items ctx ~array_id ~queues ~fiber_of items =
           let ri = lower_expr ctx ~array_id idx in
           let rv = lower_expr ctx ~array_id s.Region.rhs in
           emit ctx.b (Isa.Store (array_id a, ri, rv)))
-      | It_enq tr ->
-        let q =
-          Queues.id queues ~src:tr.Comm.src_core ~dst:tr.Comm.dst_core
-            ~cls:(qclass_of_ty tr.Comm.ty)
-        in
-        emit ctx.b (Isa.Enq (q, reg_use ctx tr.Comm.var))
-      | It_deq tr ->
-        let q =
-          Queues.id queues ~src:tr.Comm.src_core ~dst:tr.Comm.dst_core
-            ~cls:(qclass_of_ty tr.Comm.ty)
-        in
-        emit ctx.b (Isa.Deq (reg_def ctx tr.Comm.var, q)))
+      | It_enq tr -> (
+        match shared with
+        | None ->
+          let q =
+            Queues.id queues ~src:tr.Comm.src_core ~dst:tr.Comm.dst_core
+              ~cls:(qclass_of_ty tr.Comm.ty)
+          in
+          emit ctx.b (Isa.Enq (q, reg_use ctx tr.Comm.var))
+        | Some sh ->
+          (* Producer handshake: spin while the slot is still full from
+             the previous round, write the value, then set the flag. *)
+          let sl = sh.sh_slot tr in
+          let r_fidx = creg ctx (Types.VInt sl.Comm.sl_flag) in
+          let r_didx = creg ctx (Types.VInt sl.Comm.sl_data) in
+          let rt = fresh_reg ctx.b in
+          let l_spin = fresh_label ctx.b in
+          place_label ctx.b l_spin;
+          emit ctx.b (Isa.Load (rt, sh.sh_flag_arr, r_fidx));
+          emit ctx.b (Isa.Bnz (rt, l_spin));
+          emit ctx.b
+            (Isa.Store (sh.sh_data_arr tr.Comm.ty, r_didx, reg_use ctx tr.Comm.var));
+          emit ctx.b (Isa.Store (sh.sh_flag_arr, r_fidx, creg ctx (Types.VInt 1))))
+      | It_deq tr -> (
+        match shared with
+        | None ->
+          let q =
+            Queues.id queues ~src:tr.Comm.src_core ~dst:tr.Comm.dst_core
+              ~cls:(qclass_of_ty tr.Comm.ty)
+          in
+          emit ctx.b (Isa.Deq (reg_def ctx tr.Comm.var, q))
+        | Some sh ->
+          (* Consumer handshake: spin until the flag is set, read the
+             value, then clear the flag to release the slot. *)
+          let sl = sh.sh_slot tr in
+          let r_fidx = creg ctx (Types.VInt sl.Comm.sl_flag) in
+          let r_didx = creg ctx (Types.VInt sl.Comm.sl_data) in
+          let rt = fresh_reg ctx.b in
+          let l_spin = fresh_label ctx.b in
+          place_label ctx.b l_spin;
+          emit ctx.b (Isa.Load (rt, sh.sh_flag_arr, r_fidx));
+          emit ctx.b (Isa.Bz (rt, l_spin));
+          emit ctx.b
+            (Isa.Load (reg_def ctx tr.Comm.var, sh.sh_data_arr tr.Comm.ty, r_didx));
+          emit ctx.b (Isa.Store (sh.sh_flag_arr, r_fidx, creg ctx (Types.VInt 0)))))
     items;
   close_down_to 0;
   Program.Builder.set_fiber ctx.b Program.no_fiber
@@ -258,7 +311,7 @@ let consts_of_expr e =
     (fun acc e -> match e with Expr.Const v -> v :: acc | _ -> acc)
     [] e
 
-let consts_of_items items =
+let consts_of_items ~shared items =
   List.concat_map
     (fun it ->
       match it with
@@ -267,7 +320,21 @@ let consts_of_items items =
         @ (match s.Region.lhs with
           | Region.Lstore (_, idx) -> consts_of_expr idx
           | Region.Lscalar _ -> [])
-      | It_enq _ | It_deq _ -> [])
+      | It_enq tr -> (
+        (* Handshake constants (slot indices and the flag value) only
+           enter the pool in shared-cache mode, so queues-mode codegen
+           is byte-identical to before. *)
+        match shared with
+        | None -> []
+        | Some sh ->
+          let sl = sh.sh_slot tr in
+          [ Types.VInt sl.Comm.sl_flag; Types.VInt sl.Comm.sl_data; Types.VInt 1 ])
+      | It_deq tr -> (
+        match shared with
+        | None -> []
+        | Some sh ->
+          let sl = sh.sh_slot tr in
+          [ Types.VInt sl.Comm.sl_flag; Types.VInt sl.Comm.sl_data; Types.VInt 0 ]))
     items
 
 (* ------------------------------------------------------------------ *)
@@ -317,10 +384,37 @@ let entry_vars ~(kernel : Kernel.t) ~(deps : Deps.t) ~cluster_of ~core items =
 
 let generate ~(kernel : Kernel.t) ~(region : Region.t) ~(deps : Deps.t)
     ~(cluster_of : int array) ~(n_clusters : int) ~(order : int list)
-    ~(comm : Comm.t) ~line_size () =
+    ~(comm : Comm.t) ?(mode = Comm.Queues) ~line_size () =
   let cores = n_clusters in
   let tenv = Cost.region_tenv region in
-  let layout = Program.layout_arrays ~line:line_size kernel.Kernel.arrays in
+  let n_flags, n_i64, n_f64 = Comm.shared_slot_counts comm in
+  let layout =
+    let decls = kernel.Kernel.arrays in
+    let decls =
+      match mode with
+      | Comm.Queues -> decls
+      | Comm.Shared_cache ->
+        (* Synthetic handshake arrays live after the kernel's arrays so
+           kernel addresses are unchanged between modes. *)
+        let extra =
+          (if n_flags > 0 then
+             [ { Kernel.a_name = Comm.flag_array_name; a_ty = Types.I64;
+                 a_len = n_flags } ]
+           else [])
+          @ (if n_i64 > 0 then
+               [ { Kernel.a_name = Comm.i64_array_name; a_ty = Types.I64;
+                   a_len = n_i64 } ]
+             else [])
+          @
+          if n_f64 > 0 then
+            [ { Kernel.a_name = Comm.f64_array_name; a_ty = Types.F64;
+                a_len = n_f64 } ]
+          else []
+        in
+        decls @ extra
+    in
+    Program.layout_arrays ~line:line_size decls
+  in
   let array_id name =
     let rec go i =
       if i >= Array.length layout then codegen_error "unknown array %s" name
@@ -344,6 +438,23 @@ let generate ~(kernel : Kernel.t) ~(region : Region.t) ~(deps : Deps.t)
       else Program.no_fiber
   in
   let queues = Queues.create () in
+  let shared =
+    match mode with
+    | Comm.Queues -> None
+    | Comm.Shared_cache ->
+      if n_flags = 0 then None
+      else
+        Some
+          {
+            sh_flag_arr = array_id Comm.flag_array_name;
+            sh_data_arr =
+              (fun ty ->
+                match ty with
+                | Types.I64 -> array_id Comm.i64_array_name
+                | Types.F64 -> array_id Comm.f64_array_name);
+            sh_slot = shared_slot_of comm;
+          }
+  in
   (* Build per-core items with sort keys: (anchor, phase, tiebreak). *)
   let items_of_core core =
     let fibers =
@@ -416,7 +527,7 @@ let generate ~(kernel : Kernel.t) ~(region : Region.t) ~(deps : Deps.t)
     emit ctx.b (Isa.Bin (Types.Lt, r_t, r_idx, r_hi));
     emit ctx.b (Isa.Bz (r_t, l_exit));
     place_label ctx.b l_top;
-    emit_items ctx ~array_id ~queues ~fiber_of:item_fiber items;
+    emit_items ctx ~array_id ~queues ~shared ~fiber_of:item_fiber items;
     emit ctx.b (Isa.Bin (Types.Add, r_idx, r_idx, creg ctx (Types.VInt 1)));
     emit ctx.b (Isa.Bin (Types.Lt, r_t, r_idx, r_hi));
     emit ctx.b (Isa.Bnz (r_t, l_top));
@@ -429,7 +540,8 @@ let generate ~(kernel : Kernel.t) ~(region : Region.t) ~(deps : Deps.t)
     let ctx = new_ctx 0 in
     let items = items_of_core 0 in
     let consts =
-      Types.VInt 0 :: Types.VInt 1 :: Types.VInt hi :: consts_of_items items
+      Types.VInt 0 :: Types.VInt 1 :: Types.VInt hi
+      :: consts_of_items ~shared items
     in
     emit_const_pool ctx consts;
     (* Materialize every declared scalar: they are runtime parameters of
@@ -487,7 +599,7 @@ let generate ~(kernel : Kernel.t) ~(region : Region.t) ~(deps : Deps.t)
     let ctx = new_ctx c in
     let items = items_of_core c in
     let consts =
-      Types.VInt 1 :: Types.VInt hi :: consts_of_items items
+      Types.VInt 1 :: Types.VInt hi :: consts_of_items ~shared items
     in
     emit_const_pool ctx consts;
     let l_driver = Program.Builder.fresh_label ctx.b

@@ -51,12 +51,27 @@ type item =
   | It_enq of Finepar_transform.Comm.transfer
   | It_deq of Finepar_transform.Comm.transfer
 val item_preds : item -> Finepar_ir.Region.pred list
+
+type shared_info = {
+  sh_flag_arr : int;
+  sh_data_arr : Finepar_ir.Types.ty -> int;
+  sh_slot : Finepar_transform.Comm.transfer -> Finepar_transform.Comm.slot;
+}
+(** Shared-cache lowering context: ids of the synthetic handshake arrays
+    and each transfer's canonical slot. *)
+
+val shared_slot_of :
+  Finepar_transform.Comm.t ->
+  Finepar_transform.Comm.transfer -> Finepar_transform.Comm.slot
+
 val emit_items :
   core_ctx ->
   array_id:(string -> int) ->
-  queues:Queues.t -> fiber_of:(item -> int) -> item list -> unit
+  queues:Queues.t ->
+  shared:shared_info option -> fiber_of:(item -> int) -> item list -> unit
 val consts_of_expr : Finepar_ir.Expr.t -> Finepar_ir.Types.value list
-val consts_of_items : item list -> Finepar_ir.Types.value list
+val consts_of_items :
+  shared:shared_info option -> item list -> Finepar_ir.Types.value list
 type t = {
   program : Finepar_machine.Program.t;
   cores_used : int;
@@ -76,4 +91,10 @@ val generate :
   cluster_of:int array ->
   n_clusters:int ->
   order:int list ->
-  comm:Finepar_transform.Comm.t -> line_size:int -> unit -> t
+  comm:Finepar_transform.Comm.t ->
+  ?mode:Finepar_transform.Comm.mode -> line_size:int -> unit -> t
+(** [mode] (default [Queues]) selects the transfer realization; in
+    [Shared_cache] mode transfers lower to valid-flag handshakes over
+    synthetic arrays appended after the kernel's arrays, and the driver
+    protocol (spawn, entry values, live-outs, completion and halt
+    tokens) stays on queues. *)

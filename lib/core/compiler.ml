@@ -30,6 +30,9 @@ type config = {
   weights : Affinity.weights;
   profile : Profile.t;  (** memory-latency feedback for the cost model *)
   machine : Config.t;
+  comm_mode : Comm.mode;
+      (** how cross-core transfers are realized: hardware queues or a
+          valid-flag handshake through the shared cache *)
 }
 
 let default_config ?(cores = 4) () =
@@ -43,6 +46,7 @@ let default_config ?(cores = 4) () =
     weights = Affinity.default;
     profile = Profile.all_hits;
     machine = Config.default;
+    comm_mode = Comm.Queues;
   }
 
 (** Static characteristics of one compilation — the columns of Table III
@@ -126,19 +130,22 @@ let compile (config : config) (kernel : Kernel.t) =
     timed "lower" (fun () ->
         Lower.generate ~kernel:kernel' ~region ~deps
           ~cluster_of:merge.Merge.cluster_of ~n_clusters:merge.Merge.n_clusters
-          ~order ~comm ~line_size:config.machine.Config.l1_line ())
+          ~order ~comm ~mode:config.comm_mode
+          ~line_size:config.machine.Config.l1_line ())
   in
-  (* Static queue-protocol verification: reject miscompiled comm before
+  (* Static comm-protocol verification: reject miscompiled comm before
      a single cycle is simulated. *)
   let verification =
     timed "verify" (fun () ->
-        Verify.run ~plan:comm
+        Verify.run ~plan:comm ~mode:config.comm_mode
           ~queue_len:config.machine.Config.queue_len code.Lower.program)
   in
   if not (Verify.ok verification) then
     raise (Verify.Rejected (kernel.Kernel.name, verification.Verify.violations));
-  List.iter (fun w -> Logs.warn (fun m -> m "%s: %s" kernel.Kernel.name w))
-    comm.Comm.warnings;
+  (* Queue-capacity warnings describe the hardware-queue realization. *)
+  if config.comm_mode = Comm.Queues then
+    List.iter (fun w -> Logs.warn (fun m -> m "%s: %s" kernel.Kernel.name w))
+      comm.Comm.warnings;
   {
     kernel = kernel';
     source = kernel;

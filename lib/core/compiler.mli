@@ -27,6 +27,10 @@ type config = {
   profile : Finepar_analysis.Profile.t;
       (** memory-latency feedback for the static cost model *)
   machine : Finepar_machine.Config.t;  (** target machine parameters *)
+  comm_mode : Finepar_transform.Comm.mode;
+      (** how cross-core transfers are realized: dedicated hardware
+          queues (the paper's model, the default) or a valid-flag
+          handshake through the shared cache *)
 }
 
 (** The paper's evaluation configuration: greedy merging, no speculation,

@@ -294,6 +294,40 @@ let multipair_ablation ?pool ?machine () =
       { ab_name = base.name; ab_base = base.speedup; ab_variant = variant.speedup })
     Registry.all
 
+(** Section II ablation: hardware queues vs plain shared-cache coupling.
+    The paper's queues are the special hardware it proposes; the variant
+    lowers every cross-core transfer to a spin-wait valid-flag handshake
+    through the ordinary cache hierarchy, quantifying how much of the
+    speedup the dedicated queues buy. *)
+let comm_mode_ablation ?pool ?machine () =
+  pmap pool
+    (fun (e : Registry.entry) ->
+      let base, _ = run_entry ?machine ~cores:4 e in
+      let config =
+        {
+          (Compiler.default_config ~cores:4 ()) with
+          Compiler.comm_mode = Finepar_transform.Comm.Shared_cache;
+        }
+      in
+      let variant, _ = run_entry ~config ?machine ~cores:4 e in
+      { ab_name = base.name; ab_base = base.speedup; ab_variant = variant.speedup })
+    Registry.all
+
+(** Dual-issue ablation: does fine-grained threading still pay when the
+    baseline core is twice as wide?  Both columns are 4-core speedups
+    over a sequential baseline on the {e same} machine, so the variant
+    pits 4 dual-issue cores against 1 dual-issue core — the paper-era
+    question of thread-level vs instruction-level parallelism. *)
+let issue_width_ablation ?pool ?machine () =
+  let machine = Option.value ~default:Config.default machine in
+  pmap pool
+    (fun (e : Registry.entry) ->
+      let base, _ = run_entry ~machine ~cores:4 e in
+      let wide = { machine with Config.issue_width = 2 } in
+      let variant, _ = run_entry ~machine:wide ~cores:4 e in
+      { ab_name = base.name; ab_base = base.speedup; ab_variant = variant.speedup })
+    Registry.all
+
 (* ------------------------------------------------------------------ *)
 
 (** Section III-G: start-up overhead amortization.  The paper argues the

@@ -91,6 +91,22 @@ val throughput_ablation :
 val multipair_ablation :
   ?pool:Finepar_exec.Pool.t ->
   ?machine:Finepar_machine.Config.t -> unit -> ablation_row list
+
+(** Hardware queues vs shared-cache valid-flag coupling: 4-core speedup
+    with the paper's queues ([ab_base]) against the same partitioning
+    communicating through spin-wait handshakes in the ordinary cache
+    hierarchy ([ab_variant]). *)
+val comm_mode_ablation :
+  ?pool:Finepar_exec.Pool.t ->
+  ?machine:Finepar_machine.Config.t -> unit -> ablation_row list
+
+(** 4-core speedup over a sequential baseline on a single-issue machine
+    ([ab_base]) vs the same comparison with every core dual-issue
+    ([ab_variant] — a wider baseline core competes with thread-level
+    parallelism). *)
+val issue_width_ablation :
+  ?pool:Finepar_exec.Pool.t ->
+  ?machine:Finepar_machine.Config.t -> unit -> ablation_row list
 val overhead_study :
   ?pool:Finepar_exec.Pool.t ->
   ?machine:Finepar_machine.Config.t ->

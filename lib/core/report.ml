@@ -16,6 +16,7 @@ type core_row = {
   branch_wait : int;
   smt_wait : int;
   idle_after_halt : int;
+  dual_issued : int;  (** instructions issued in bundle slots >= 2 *)
   stall_episodes : T.Histogram.t;  (** durations of contiguous stalls *)
 }
 
@@ -66,6 +67,7 @@ let of_sim ?compiled (sim : Sim.t) =
           branch_wait = s.Sim.branch_wait;
           smt_wait = s.Sim.smt_wait;
           idle_after_halt = s.Sim.idle_after_halt;
+          dual_issued = s.Sim.dual_issued;
           stall_episodes = sim.Sim.stall_hist.(i);
         })
   in
@@ -178,6 +180,7 @@ let metrics t =
       wait "branch" r.branch_wait;
       wait "smt" r.smt_wait;
       wait "halted" r.idle_after_halt;
+      cnt "core_dual_issued_total" r.dual_issued;
       T.Histogram.merge_into
         ~into:
           (T.Metrics.histogram m ~labels:core
@@ -250,6 +253,7 @@ let to_json t =
                    ("branch_wait", Int r.branch_wait);
                    ("smt_wait", Int r.smt_wait);
                    ("idle_after_halt", Int r.idle_after_halt);
+                   ("dual_issued", Int r.dual_issued);
                    ("stall_episodes", T.Histogram.to_json r.stall_episodes);
                  ])
              t.cores) );
@@ -300,13 +304,13 @@ let pp ppf t =
   in
   Fmt.pf ppf "kernel %s: %d cycles on %d cores, %d instructions@." t.kernel
     t.cycles t.n_cores t.instrs;
-  Fmt.pf ppf "@.%-5s %9s %9s %9s %9s %9s %9s %9s@." "core" "instrs" "operand"
-    "q-full" "q-empty" "branch" "smt" "halted";
+  Fmt.pf ppf "@.%-5s %9s %9s %9s %9s %9s %9s %9s %9s@." "core" "instrs"
+    "operand" "q-full" "q-empty" "branch" "smt" "halted" "dual";
   List.iter
     (fun r ->
-      Fmt.pf ppf "%-5d %9d %9d %9d %9d %9d %9d %9d@." r.core r.instrs
+      Fmt.pf ppf "%-5d %9d %9d %9d %9d %9d %9d %9d %9d@." r.core r.instrs
         r.stall_operand r.stall_queue_full r.stall_queue_empty r.branch_wait
-        r.smt_wait r.idle_after_halt)
+        r.smt_wait r.idle_after_halt r.dual_issued)
     t.cores;
   if t.queues <> [] then begin
     Fmt.pf ppf "@.%-5s %9s %9s %9s@." "queue" "src->dst" "transfers" "max-occ";
@@ -330,11 +334,12 @@ let pp ppf t =
   let attributed =
     List.fold_left (fun acc f -> acc + f.issue + f.stall) 0 t.fibers
   in
+  let dual = List.fold_left (fun acc r -> acc + r.dual_issued) 0 t.cores in
   Fmt.pf ppf "@.accounting: %d attributed + %d wait = %d = %d cycles x %d \
-              cores@."
+              cores + %d dual-issued@."
     attributed t.wait_cycles
     (attributed + t.wait_cycles)
-    t.cycles t.n_cores;
+    t.cycles t.n_cores dual;
   if t.pass_times <> [] then begin
     Fmt.pf ppf "@.%-12s %12s@." "pass" "seconds";
     List.iter

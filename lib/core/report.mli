@@ -3,10 +3,11 @@
     (via the metrics registry) and the Chrome [trace_event] format
     (loadable in [chrome://tracing] or Perfetto). *)
 
-(** One simulated core's cycle accounting.  The seven integer fields
+(** One simulated core's cycle accounting.  The integer fields
     partition the run's cycles exactly:
-    [instrs + stalls + branch_wait + smt_wait + idle_after_halt =
-     run cycles]. *)
+    [instrs - dual_issued + stalls + branch_wait + smt_wait +
+     idle_after_halt = run cycles] (an instruction issued in an extra
+    bundle slot shares its cycle with the bundle's first issue). *)
 type core_row = {
   core : int;
   instrs : int;
@@ -16,6 +17,7 @@ type core_row = {
   branch_wait : int;
   smt_wait : int;
   idle_after_halt : int;
+  dual_issued : int;  (** instructions issued in bundle slots >= 2 *)
   stall_episodes : Finepar_telemetry.Histogram.t;
       (** durations of contiguous stall episodes *)
 }

@@ -149,11 +149,18 @@ let autotune_candidates (base : Compiler.config) =
    are observationally identical to the search. *)
 let config_preference (c : Compiler.config) =
   let alg = match c.Compiler.algorithm with `Greedy -> 0 | `Multi_pair -> 1 in
+  let comm =
+    match c.Compiler.comm_mode with
+    | Finepar_transform.Comm.Queues -> 0
+    | Finepar_transform.Comm.Shared_cache -> 1
+  in
   let w = c.Compiler.weights in
   ( c.Compiler.cores,
     (Bool.to_int c.Compiler.speculation, Bool.to_int c.Compiler.throughput, alg),
     ( c.Compiler.machine.Config.transfer_latency,
-      c.Compiler.machine.Config.queue_len ),
+      c.Compiler.machine.Config.queue_len,
+      c.Compiler.machine.Config.issue_width,
+      comm ),
     ( (w.Finepar_partition.Affinity.w_dep,
        w.Finepar_partition.Affinity.w_time,
        w.Finepar_partition.Affinity.w_prox),

@@ -6,7 +6,8 @@
     addressing, variable trip counts and array lengths, multiple stores
     and live-outs — crossed with the whole configuration space (core
     count, SMT placements, speculation, merge heuristics, queue and cache
-    geometry).
+    geometry, issue width, and the queue vs shared-cache transfer
+    realization).
 
     Generated kernels are sound by construction with respect to the
     compiler's structural restrictions (see {!Finepar_analysis.Deps}):
@@ -440,6 +441,7 @@ let gen_config rng =
       mem_latency = Rng.choose r [ 80; 200 ];
       branch_taken_penalty = Rng.choose r [ 0; 1; 3 ];
       deq_latency = Rng.choose r [ 1; 2 ];
+      issue_width = Rng.weighted r [ (3, 1); (2, 2) ];
     }
   in
   {
@@ -450,6 +452,9 @@ let gen_config rng =
     max_queue_pairs =
       (if Rng.chance r 0.2 then Some (Rng.int_in r 1 4) else None);
     speculation = Rng.chance r 0.35;
+    comm_mode =
+      (if Rng.chance r 0.35 then Finepar_transform.Comm.Shared_cache
+       else Finepar_transform.Comm.Queues);
     machine;
   }
 

@@ -67,10 +67,16 @@ let telemetry_failure (sim : Sim.t) =
       (fun acc (_, issue, stall) -> acc + issue + stall)
       0 (Sim.fiber_counters sim)
   in
-  let total = cycles * n_threads in
+  (* Each extra-slot issue attributes a fiber cycle beyond the 1-per-core
+     cycle budget, so the dual-issue total joins the right-hand side. *)
+  let dual =
+    Array.fold_left (fun acc s -> acc + s.Sim.dual_issued) 0 sim.Sim.stats
+  in
+  let total = (cycles * n_threads) + dual in
   if attributed + Sim.wait_cycles sim <> total then
-    record "fiber attribution %d + wait %d <> %d cycles x %d threads"
-      attributed (Sim.wait_cycles sim) cycles n_threads;
+    record
+      "fiber attribution %d + wait %d <> %d cycles x %d threads + %d dual-issued"
+      attributed (Sim.wait_cycles sim) cycles n_threads dual;
   Array.iteri
     (fun i (q : Sim.queue_state) ->
       if q.Sim.max_occupancy < 0 || q.Sim.max_occupancy > sim.Sim.config.Finepar_machine.Config.queue_len
@@ -117,6 +123,7 @@ let check ?(compile : compile_fn = Finepar.Compiler.compile)
        after the pipeline's own verify pass). *)
     let verdict =
       Verify.run ~plan:c.Finepar.Compiler.comm
+        ~mode:case.Gen.config.Finepar.Compiler.comm_mode
         ~queue_len:
           case.Gen.config.Finepar.Compiler.machine
             .Finepar_machine.Config.queue_len

@@ -167,6 +167,26 @@ let field name s =
   | [ v ] -> v
   | _ -> parse_error "field %S expects a single value" name
 
+(* Reject unknown fields in a record such as (machine (queue_len 2) ...):
+   every keyed item must be one the parser consumes.  Without this a
+   misspelled or stale field in a hand-edited reproducer (or a config
+   produced by a newer writer) would be silently dropped and the case
+   would replay under a different configuration than the file says.
+   [extra] lists fields a wrapping parser layers on top (the service
+   wire format appends [weights] to the reproducer config encoding). *)
+let check_fields ~what ~known ?(extra = []) s =
+  match s with
+  | List (Atom _tag :: items) ->
+    List.iter
+      (function
+        | List (Atom k :: _)
+          when not (List.mem k known || List.mem k extra) ->
+          parse_error "unknown %s field %S (known fields: %s)" what k
+            (String.concat ", " (known @ extra))
+        | _ -> ())
+      items
+  | List _ | Atom _ -> parse_error "expected a (%s ...) record" what
+
 (* A sub-record such as (machine (queue_len 2) ...): rebuilt with its
    tag so it can be fielded into recursively. *)
 let section name s = List (Atom name :: field_items name s)
@@ -361,9 +381,18 @@ let sexp_of_machine (m : Finepar_machine.Config.t) =
       List [ Atom "branch_taken_penalty"; Atom (string_of_int m.Finepar_machine.Config.branch_taken_penalty) ];
       List [ Atom "deq_latency"; Atom (string_of_int m.Finepar_machine.Config.deq_latency) ];
       List [ Atom "max_cycles"; Atom (string_of_int m.Finepar_machine.Config.max_cycles) ];
+      List [ Atom "issue_width"; Atom (string_of_int m.Finepar_machine.Config.issue_width) ];
     ]
 
+let machine_fields =
+  [
+    "queue_len"; "transfer_latency"; "l1_bytes"; "l1_line"; "l2_bytes";
+    "l1_hit"; "l2_hit"; "mem_latency"; "branch_taken_penalty"; "deq_latency";
+    "max_cycles"; "issue_width";
+  ]
+
 let machine_of_sexp s =
+  check_fields ~what:"machine" ~known:machine_fields s;
   {
     Finepar_machine.Config.queue_len = int_of (field "queue_len" s);
     transfer_latency = int_of (field "transfer_latency" s);
@@ -376,6 +405,7 @@ let machine_of_sexp s =
     branch_taken_penalty = int_of (field "branch_taken_penalty" s);
     deq_latency = int_of (field "deq_latency" s);
     max_cycles = int_of (field "max_cycles" s);
+    issue_width = int_of (field "issue_width" s);
   }
 
 let sexp_of_config (c : Finepar.Compiler.config) =
@@ -401,10 +431,22 @@ let sexp_of_config (c : Finepar.Compiler.config) =
           | Some n -> Atom (string_of_int n));
         ];
       List [ Atom "speculation"; Atom (string_of_bool c.Finepar.Compiler.speculation) ];
+      List
+        [
+          Atom "comm_mode";
+          Atom (Finepar_transform.Comm.mode_name c.Finepar.Compiler.comm_mode);
+        ];
       sexp_of_machine c.Finepar.Compiler.machine;
     ]
 
-let config_of_sexp s =
+let config_fields =
+  [
+    "cores"; "max_height"; "algorithm"; "throughput"; "max_queue_pairs";
+    "speculation"; "comm_mode"; "machine";
+  ]
+
+let config_of_sexp ?extra s =
+  check_fields ~what:"config" ~known:config_fields ?extra s;
   let default =
     Finepar.Compiler.default_config ~cores:(int_of (field "cores" s)) ()
   in
@@ -422,6 +464,11 @@ let config_of_sexp s =
       | "none" -> None
       | n -> Some (int_of (Atom n)));
     speculation = bool_of (field "speculation" s);
+    comm_mode =
+      (let name = atom (field "comm_mode" s) in
+       match Finepar_transform.Comm.mode_of_name name with
+       | Some m -> m
+       | None -> parse_error "unknown comm_mode %S" name);
     machine = machine_of_sexp (section "machine" s);
   }
 
@@ -435,9 +482,12 @@ let sexp_of_case (case : Gen.case) =
       List [ Atom "workload_seed"; Atom (string_of_int case.Gen.workload_seed) ];
     ]
 
+let case_fields = [ "kernel"; "config"; "placement"; "workload_seed" ]
+
 let case_of_sexp s =
   match s with
   | List (Atom "case" :: _) ->
+    check_fields ~what:"case" ~known:case_fields s;
     {
       Gen.kernel = kernel_of_sexp (section "kernel" s);
       config = config_of_sexp (section "config" s);

@@ -47,6 +47,15 @@ val atom : sexp -> string
 val int_of : sexp -> int
 val bool_of : sexp -> bool
 
+val check_fields :
+  what:string -> known:string list -> ?extra:string list -> sexp -> unit
+(** Reject unknown fields in a [(tag (key value) ...)] record: every
+    keyed item must be in [known] (or [extra], for fields a wrapping
+    parser layers on top).  Without this a misspelled or stale field in
+    a hand-edited reproducer — or one written by a newer format — would
+    be silently dropped and the case would replay under a different
+    configuration than the file says.  Raises {!Parse_error}. *)
+
 val float_atom : float -> sexp
 (** A float as a [%h] hexadecimal atom — bit-exact round-trip, including
     negative zero; [nan]/[infinity] render to atoms [float_of_string]
@@ -63,12 +72,14 @@ val kernel_of_sexp : sexp -> Finepar_ir.Kernel.t
 val sexp_of_machine : Finepar_machine.Config.t -> sexp
 val machine_of_sexp : sexp -> Finepar_machine.Config.t
 val sexp_of_config : Finepar.Compiler.config -> sexp
-val config_of_sexp : sexp -> Finepar.Compiler.config
+val config_of_sexp : ?extra:string list -> sexp -> Finepar.Compiler.config
 (** [sexp_of_config] records the structural knobs (cores, height,
-    algorithm, throughput, queue pairs, speculation, machine); affinity
-    weights and profile feedback are rebuilt from defaults by
-    [config_of_sexp].  Wire formats that must round-trip weights carry
-    them separately (see {!Finepar_service.Wire}). *)
+    algorithm, throughput, queue pairs, speculation, comm mode,
+    machine); affinity weights and profile feedback are rebuilt from
+    defaults by [config_of_sexp].  Wire formats that must round-trip
+    weights carry them separately and declare those fields via [extra]
+    (see {!Finepar_service.Wire}); any other unknown field is rejected
+    with {!Parse_error}. *)
 
 val sexp_of_case : Gen.case -> sexp
 val case_of_sexp : sexp -> Gen.case

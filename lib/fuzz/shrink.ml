@@ -65,6 +65,8 @@ let config_distance (case : Gen.case) =
   + diff m.Finepar_machine.Config.mem_latency dm.Finepar_machine.Config.mem_latency
   + diff m.Finepar_machine.Config.branch_taken_penalty dm.Finepar_machine.Config.branch_taken_penalty
   + diff m.Finepar_machine.Config.deq_latency dm.Finepar_machine.Config.deq_latency
+  + diff m.Finepar_machine.Config.issue_width dm.Finepar_machine.Config.issue_width
+  + diff c.Finepar.Compiler.comm_mode d.Finepar.Compiler.comm_mode
   + diff case.Gen.placement Gen.Identity
   + diff case.Gen.workload_seed 0
 
@@ -397,6 +399,12 @@ let config_candidates (case : Gen.case) : Gen.case list =
        else []);
       (if m.Finepar_machine.Config.deq_latency <> dm.Finepar_machine.Config.deq_latency
        then [ with_machine { m with Finepar_machine.Config.deq_latency = dm.Finepar_machine.Config.deq_latency } ]
+       else []);
+      (if m.Finepar_machine.Config.issue_width <> dm.Finepar_machine.Config.issue_width
+       then [ with_machine { m with Finepar_machine.Config.issue_width = dm.Finepar_machine.Config.issue_width } ]
+       else []);
+      (if c.Finepar.Compiler.comm_mode <> Finepar_transform.Comm.Queues then
+         [ with_config { c with Finepar.Compiler.comm_mode = Finepar_transform.Comm.Queues } ]
        else []);
       (if case.Gen.placement <> Gen.Identity then
          [ { case with Gen.placement = Gen.Identity } ]

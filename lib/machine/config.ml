@@ -18,6 +18,9 @@ type t = {
   branch_taken_penalty : int;  (** extra cycles after a taken branch *)
   deq_latency : int;  (** cycles from dequeue issue to value availability *)
   max_cycles : int;  (** safety/deadlock bound for one simulation *)
+  issue_width : int;
+      (** instructions a core may issue per cycle (>= 1); width 2 models
+          the dual-issue lightweight cores of Colagrande & Benini *)
 }
 
 let default =
@@ -33,6 +36,8 @@ let default =
     branch_taken_penalty = 1;
     deq_latency = 1;
     max_cycles = 200_000_000;
+    issue_width = 1;
   }
 
 let with_transfer_latency latency t = { t with transfer_latency = latency }
+let with_issue_width width t = { t with issue_width = width }

@@ -17,6 +17,8 @@ type t = {
   branch_taken_penalty : int;
   deq_latency : int;
   max_cycles : int;
+  issue_width : int;
 }
 val default : t
 val with_transfer_latency : int -> t -> t
+val with_issue_width : int -> t -> t

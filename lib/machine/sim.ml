@@ -1,9 +1,16 @@
 (** Cycle-level multi-core simulator.
 
-    Cores are in-order, single-issue, with a register scoreboard: an
-    instruction issues once its operands are ready and at most one
-    instruction issues per cycle; results become available after the
-    operation latency.  Loads consult a private L1 / shared L2 hierarchy.
+    Cores are in-order, with a register scoreboard: an instruction
+    issues once its operands are ready, and at most
+    [Config.issue_width] instructions issue per core per cycle (default
+    1); results become available after the operation latency.  At width
+    W >= 2 a core issues a bundle: after the first issue of a cycle it
+    keeps issuing as long as execution fell straight through (pc
+    advanced by one, no extra penalty pending, not halted) and the next
+    instruction's operands and queue gates are ready — so a RAW hazard,
+    a taken branch, or a blocked queue ends the bundle, and a refused
+    extra slot records no stall (the cycle is already accounted to the
+    bundle's first issue).  Loads consult a private L1 / shared L2 hierarchy.
     Enqueue and dequeue follow the semantics of Section II and Fig. 11:
     enqueue blocks while the queue is full, dequeue blocks until the head
     value's [enqueue time + transfer latency] has elapsed.
@@ -78,6 +85,9 @@ type core_stats = {
       (** cycles an eligible thread lost the shared issue slot (SMT) *)
   mutable idle_after_halt : int;
   mutable finished_at : int;
+  mutable dual_issued : int;
+      (** instructions issued in slots >= 2 of an issue bundle (always 0
+          at issue width 1) *)
 }
 
 (** Total cycles this core spent blocked on an issue attempt. *)
@@ -87,9 +97,12 @@ let stall_total (s : core_stats) =
 (** Every cycle of a core is exactly one of: issue, stall, branch-penalty
     wait, SMT arbitration loss, or post-halt idle — so this equals the
     run's total cycle count for every core (the invariant the telemetry
-    tests check). *)
+    tests check).  Extra-slot issues of a bundle share their cycle with
+    the first issue, so they are subtracted back out via
+    [dual_issued]. *)
 let accounted_cycles (s : core_stats) =
-  s.instrs + stall_total s + s.branch_wait + s.smt_wait + s.idle_after_halt
+  s.instrs - s.dual_issued + stall_total s + s.branch_wait + s.smt_wait
+  + s.idle_after_halt
 
 type event =
   | Ev_issue of { core : int; cycle : int; pc : int; instr : Isa.instr }
@@ -209,6 +222,7 @@ let create ?(tracing = false) ?(trace_capacity = default_trace_capacity)
             smt_wait = 0;
             idle_after_halt = 0;
             finished_at = 0;
+            dual_issued = 0;
           });
     rr = Array.make n_phys 0;
     threads_of;
@@ -477,6 +491,62 @@ let step_core t core cy =
       true
   end
 
+(* Whether [core]'s next instruction would issue at [cy], with no side
+   effects — the gate for the extra slots of an issue bundle, where a
+   refusal must not record a stall (the cycle is already accounted to
+   the bundle's first issue).  Mirrors [step_core]'s issue conditions
+   exactly; a pc off the end of the code is not issuable, so the
+   off-the-end fault fires on the next cycle's slot-1 attempt, exactly
+   as at width 1. *)
+let issuable t core cy =
+  let prog = t.program.Program.cores.(core) in
+  let pc = t.pc.(core) in
+  pc < Array.length prog.Program.code
+  &&
+  let instr = prog.Program.code.(pc) in
+  let ready = t.reg_ready.(core) in
+  List.for_all (fun r -> ready.(r) <= cy) (Isa.srcs instr)
+  &&
+  match instr with
+  | Isa.Enq (q, _) ->
+    Queue.length t.queues.(q).items < t.config.Config.queue_len
+  | Isa.Deq (_, q) -> (
+    match Queue.peek_opt t.queues.(q).items with
+    | Some (_, visible_at) -> visible_at <= cy
+    | None -> false)
+  | _ -> true
+
+(* Fill the remaining slots of [core]'s issue bundle at [cy], after the
+   slot-1 issue from [prev_pc] succeeded.  Continuation requires a pure
+   fall-through — pc advanced by exactly one, [min_issue] is the plain
+   [cy + 1] (no taken-branch penalty pending), not halted — plus
+   [issuable]; each extra issue runs the full [step_core] semantics and
+   is counted in [dual_issued] so the accounting invariant still sums
+   to one per (core, cycle). *)
+let issue_rest t core cy ~prev_pc =
+  let width = t.config.Config.issue_width in
+  let stats = t.stats.(core) in
+  let prev = ref prev_pc in
+  let slot = ref 1 in
+  let continue_ = ref true in
+  while !continue_ && !slot < width do
+    if
+      (not t.halted.(core))
+      && t.pc.(core) = !prev + 1
+      && t.min_issue.(core) = cy + 1
+      && issuable t core cy
+    then begin
+      let pc0 = t.pc.(core) in
+      if step_core t core cy then begin
+        stats.dual_issued <- stats.dual_issued + 1;
+        prev := pc0;
+        incr slot
+      end
+      else continue_ := false
+    end
+    else continue_ := false
+  done
+
 let all_halted t = Array.for_all Fun.id t.halted
 
 let pp_wait ppf = function
@@ -590,15 +660,18 @@ let deadlock_window t =
     arbitration with issue attempts, then classification of the cores
     that never got an attempt.  [step_core] accounts every attempted core
     (issue or stall counter); the second pass classifies the rest, so
-    every (core, cycle) lands in exactly one counter.  [attempted] is
+    every (core, cycle) lands in exactly one counter.  At issue width
+    W >= 2 the winning thread fills its bundle's remaining slots via
+    [issue_rest] before the sweep moves on.  [attempted] is
     caller-owned scratch of length [cores], reused across cycles.
     Returns [true] iff any instruction issued. *)
 let step_cycle t attempted cy =
   let n = Array.length t.program.Program.cores in
+  let width = t.config.Config.issue_width in
   let progressed = ref false in
   Array.fill attempted 0 n false;
-  (* Each physical core issues at most one instruction per cycle; its
-     hardware threads arbitrate round-robin (SMT sharing when several
+  (* Each physical core grants its issue slots to one hardware thread
+     per cycle; threads arbitrate round-robin (SMT sharing when several
      logical cores map to one physical core). *)
   Array.iteri
     (fun phys threads ->
@@ -614,10 +687,12 @@ let step_cycle t attempted cy =
             && t.min_issue.(core) <= cy
           then begin
             attempted.(core) <- true;
+            let pc0 = t.pc.(core) in
             if step_core t core cy then begin
               issued := true;
               t.rr.(phys) <- (t.rr.(phys) + j + 1) mod k;
-              progressed := true
+              progressed := true;
+              if width > 1 then issue_rest t core cy ~prev_pc:pc0
             end
           end
         done
@@ -833,6 +908,11 @@ type specialized = {
   sp_wakes : (unit -> int) array array;
       (** per logical core, per pc: the wake cycle of that instruction
           ([Engine.wake] of [profile_of]), [max_int] for [Never] *)
+  sp_cans : (int -> bool) array array;
+      (** per logical core, per pc: [issuable] with everything resolved —
+          the side-effect-free gate for a bundle's extra slots.  Not
+          derivable from [sp_wakes]: a wake folds in [min_issue], which
+          the slot-1 issue just pushed to [cy + 1]. *)
   sp_credits : (int -> int -> unit) array array;
       (** per logical core, per pc: [credit from until] replicates the
           non-halted branch of [credit_quiescent] for that core *)
@@ -1171,6 +1251,33 @@ let specialize t =
             if b > visible_at then b else visible_at
       | _ -> base
     in
+    (* [issuable] specialized per pc: operand readiness unrolled over the
+       exact source list plus the queue gate, no side effects.  Must
+       mirror the step closures' own issue conditions exactly — a [true]
+       here guarantees the step closure issues (records no stall). *)
+    let can_at _pc instr =
+      let operands_ready =
+        match Isa.srcs instr with
+        | [] -> fun _cy -> true
+        | [ a ] -> fun cy -> ready.(a) <= cy
+        | [ a; b ] -> fun cy -> ready.(a) <= cy && ready.(b) <= cy
+        | [ a; b; c ] ->
+          fun cy -> ready.(a) <= cy && ready.(b) <= cy && ready.(c) <= cy
+        | srcs -> fun cy -> List.for_all (fun r -> ready.(r) <= cy) srcs
+      in
+      match instr with
+      | Isa.Enq (q, _) ->
+        let qs = t.queues.(q) in
+        let cap = cfg.Config.queue_len in
+        fun cy -> operands_ready cy && Queue.length qs.items < cap
+      | Isa.Deq (_, q) ->
+        let qs = t.queues.(q) in
+        fun cy ->
+          (match Queue.peek_opt qs.items with
+          | Some (_, visible_at) -> visible_at <= cy
+          | None -> false)
+      | _ -> operands_ready
+    in
     let credit_at pc instr =
       let slot = fiber_slot t core pc in
       let cls_op = Telemetry.Stall.class_index Telemetry.Stall.Operand in
@@ -1262,14 +1369,15 @@ let specialize t =
           assert (until <= r)
     in
     (Array.mapi compile_at code, Array.mapi wake_at code,
-     Array.mapi credit_at code)
+     Array.mapi can_at code, Array.mapi credit_at code)
   in
   let compiled = Array.init n compile_core in
   {
     sp_for = t;
-    sp_steps = Array.map (fun (s, _, _) -> s) compiled;
-    sp_wakes = Array.map (fun (_, w, _) -> w) compiled;
-    sp_credits = Array.map (fun (_, _, c) -> c) compiled;
+    sp_steps = Array.map (fun (s, _, _, _) -> s) compiled;
+    sp_wakes = Array.map (fun (_, w, _, _) -> w) compiled;
+    sp_cans = Array.map (fun (_, _, c, _) -> c) compiled;
+    sp_credits = Array.map (fun (_, _, _, c) -> c) compiled;
     sp_threads = Array.map Array.of_list t.threads_of;
     sp_identity =
       (let id = ref (Array.length t.core_map = n) in
@@ -1286,8 +1394,38 @@ let specialize t =
    stepper would.  A pc off the end of the code faults here with the
    stepper's message ([profile_of] reports such a core as [Free], so the
    fast-forward path always jumps it back into this sweep). *)
+(* [issue_rest] over the specialized closures: the same continuation
+   rule, with [sp_cans] standing in for [issuable]. *)
+let issue_rest_compiled t spec core cy ~prev_pc =
+  let width = t.config.Config.issue_width in
+  let stats = t.stats.(core) in
+  let steps = spec.sp_steps.(core) in
+  let cans = spec.sp_cans.(core) in
+  let len = Array.length steps in
+  let prev = ref prev_pc in
+  let slot = ref 1 in
+  let continue_ = ref true in
+  while !continue_ && !slot < width do
+    let pcn = t.pc.(core) in
+    if
+      (not t.halted.(core))
+      && pcn = !prev + 1
+      && t.min_issue.(core) = cy + 1
+      && pcn < len
+      && cans.(pcn) cy
+    then
+      if steps.(pcn) cy then begin
+        stats.dual_issued <- stats.dual_issued + 1;
+        prev := pcn;
+        incr slot
+      end
+      else continue_ := false
+    else continue_ := false
+  done
+
 let step_cycle_compiled t spec attempted cy =
   let n = Array.length spec.sp_steps in
+  let width = t.config.Config.issue_width in
   let progressed = ref false in
   (* Both sweeps dispatch the step closures inline (no shared [attempt]
      helper): a local function would be allocated afresh on every swept
@@ -1302,7 +1440,10 @@ let step_cycle_compiled t spec attempted cy =
         let pc = t.pc.(core) in
         if pc >= Array.length steps then
           fault t "core %d ran off the end of its code" core
-        else if steps.(pc) cy then progressed := true
+        else if steps.(pc) cy then begin
+          progressed := true;
+          if width > 1 then issue_rest_compiled t spec core cy ~prev_pc:pc
+        end
       end
     done
   else
@@ -1324,7 +1465,8 @@ let step_cycle_compiled t spec attempted cy =
             else if steps.(pc) cy then begin
               issued := true;
               t.rr.(phys) <- (if !idx + 1 = k then 0 else !idx + 1);
-              progressed := true
+              progressed := true;
+              if width > 1 then issue_rest_compiled t spec core cy ~prev_pc:pc
             end
           end;
           incr j;

@@ -1,9 +1,14 @@
 (** Cycle-level multi-core simulator.
 
-    Cores are in-order, single-issue, with a register scoreboard: an
-    instruction issues once its operands are ready and at most one
-    instruction issues per cycle; results become available after the
-    operation latency.  Loads consult a private L1 / shared L2 hierarchy.
+    Cores are in-order, with a register scoreboard: an instruction
+    issues once its operands are ready, and at most
+    [Config.issue_width] instructions issue per core per cycle (default
+    1, i.e. single-issue); results become available after the operation
+    latency.  At width W >= 2 a core issues a bundle: after the first
+    issue of a cycle it keeps issuing while execution falls straight
+    through (pc + 1, no extra penalty, not halted) and the next
+    instruction's operands and queue gates are ready; a refused extra
+    slot records no stall.  Loads consult a private L1 / shared L2 hierarchy.
     Enqueue and dequeue follow the semantics of Section II and Fig. 11:
     enqueue blocks while the queue is full, dequeue blocks until the head
     value's [enqueue time + transfer latency] has elapsed.
@@ -84,14 +89,19 @@ type core_stats = {
       (** cycles an eligible thread lost the shared issue slot (SMT) *)
   mutable idle_after_halt : int;
   mutable finished_at : int;
+  mutable dual_issued : int;
+      (** instructions issued in slots >= 2 of an issue bundle (always 0
+          at issue width 1) *)
 }
 
 val stall_total : core_stats -> int
 (** Total cycles this core spent blocked on an issue attempt. *)
 
 val accounted_cycles : core_stats -> int
-(** [instrs + stalls + branch_wait + smt_wait + idle_after_halt]; equals
-    the run's total cycle count for every core after {!run}. *)
+(** [instrs - dual_issued + stalls + branch_wait + smt_wait +
+    idle_after_halt]; equals the run's total cycle count for every core
+    after {!run} (extra-slot issues share their cycle with the bundle's
+    first issue). *)
 
 type event =
   | Ev_issue of { core : int; cycle : int; pc : int; instr : Isa.instr }
@@ -148,6 +158,11 @@ val check_idx : t -> int -> int -> unit
 val int_of_reg : t -> int -> int -> int
 val record_event : t -> event -> unit
 val step_core : t -> int -> int -> bool
+
+val issuable : t -> int -> int -> bool
+(** [issuable t core cy]: whether [core]'s next instruction would issue
+    at [cy] — the side-effect-free gate for a bundle's extra slots. *)
+
 val all_halted : t -> bool
 
 val occupancies : t -> queue_occupancy list

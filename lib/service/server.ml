@@ -68,7 +68,8 @@ let verify_response compiled =
       .Finepar_machine.Config.queue_len
   in
   let res =
-    Finepar_verify.Verify.run ~plan:compiled.Compiler.comm ~queue_len
+    Finepar_verify.Verify.run ~plan:compiled.Compiler.comm
+      ~mode:compiled.Compiler.config.Compiler.comm_mode ~queue_len
       compiled.Compiler.code.Finepar_codegen.Lower.program
   in
   Wire.Verify_result

@@ -9,4 +9,6 @@
     version is a separate key component; see DESIGN.md "Cache-key
     hygiene". *)
 
-let code_version = "fp-svc-1"
+(* fp-svc-2: issue_width / comm_mode config axes, dual_issued report
+   column — both the request and the response bytes changed. *)
+let code_version = "fp-svc-2"

@@ -92,7 +92,9 @@ let float_of s =
   | None -> err "bad float literal %S" (atom s)
 
 let config_of_sexp s =
-  let base = R.config_of_sexp s in
+  (* [weights] is the one field this format layers onto the reproducer
+     config encoding; everything else unknown is still rejected. *)
+  let base = R.config_of_sexp ~extra:[ "weights" ] s in
   match field_items "weights" s with
   | [ d; t; p ] ->
     {
@@ -308,6 +310,7 @@ let sexp_of_report (t : Finepar.Report.t) =
                    Atom (string_of_int r.branch_wait);
                    Atom (string_of_int r.smt_wait);
                    Atom (string_of_int r.idle_after_halt);
+                   Atom (string_of_int r.dual_issued);
                    sexp_of_hist r.stall_episodes;
                  ])
              t.cores);
@@ -345,7 +348,7 @@ let report_of_sexp s : Finepar.Report.t =
   let cores =
     List.map
       (function
-        | List [ c; i; so; sqf; sqe; bw; sw; ih; h ] ->
+        | List [ c; i; so; sqf; sqe; bw; sw; ih; di; h ] ->
           {
             core = int_of c;
             instrs = int_of i;
@@ -355,6 +358,7 @@ let report_of_sexp s : Finepar.Report.t =
             branch_wait = int_of bw;
             smt_wait = int_of sw;
             idle_after_halt = int_of ih;
+            dual_issued = int_of di;
             stall_episodes = hist_of_sexp h;
           }
         | _ -> err "bad core row")

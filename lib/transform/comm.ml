@@ -16,6 +16,33 @@
 open Finepar_ir
 open Finepar_analysis
 
+(** How cross-core transfers are realized by the code generator.
+    [Queues] is the paper's dedicated hardware queues; [Shared_cache]
+    models Desai's cache-coupled threads: each transfer becomes a
+    valid-flag handshake over synthetic arrays that live in ordinary
+    memory, so producer and consumer communicate through the existing
+    private-L1 / shared-L2 hierarchy (spin until the flag clears, store
+    the value, set the flag; spin until the flag sets, load the value,
+    clear the flag). *)
+type mode = Queues | Shared_cache
+
+let mode_name = function Queues -> "queues" | Shared_cache -> "shared_cache"
+
+let mode_of_name = function
+  | "queues" -> Some Queues
+  | "shared_cache" -> Some Shared_cache
+  | _ -> None
+
+(* Reserved names of the synthetic handshake arrays appended to the
+   memory layout in [Shared_cache] mode; the verifier recognizes
+   handshakes by these names. *)
+let flag_array_name = "__comm_flag"
+let i64_array_name = "__comm_i64"
+let f64_array_name = "__comm_f64"
+
+let is_comm_array_name n =
+  String.length n >= 7 && String.equal (String.sub n 0 7) "__comm_"
+
 type transfer = {
   var : string;
   ty : Types.ty;
@@ -33,6 +60,49 @@ type t = {
   pairs_used : (int * int) list;  (** distinct (src, dst) core pairs *)
   warnings : string list;
 }
+
+(** Handshake slots of one transfer in [Shared_cache] mode. *)
+type slot = {
+  sl_flag : int;  (** index into the flag array; unique per transfer *)
+  sl_data : int;
+      (** index into the data array of the transfer's value class;
+          unique per transfer within its class *)
+}
+
+(** Canonical slot assignment: flag slots number the transfers in the
+    plan's canonical order ([transfers] is sorted by (enq_anchor, seq,
+    var)), data slots count per value class in the same order.  The
+    code generator and the static verifier both derive slots from this
+    single function, which is what makes flag-location agreement
+    checkable. *)
+let shared_slots (t : t) : (transfer * slot) list =
+  let flag = ref 0 and n_i64 = ref 0 and n_f64 = ref 0 in
+  List.map
+    (fun tr ->
+      let data =
+        match tr.ty with
+        | Types.I64 ->
+          let d = !n_i64 in
+          incr n_i64;
+          d
+        | Types.F64 ->
+          let d = !n_f64 in
+          incr n_f64;
+          d
+      in
+      let s = { sl_flag = !flag; sl_data = data } in
+      incr flag;
+      (tr, s))
+    t.transfers
+
+(** (flag slots, i64 data slots, f64 data slots) needed by the plan. *)
+let shared_slot_counts (t : t) =
+  List.fold_left
+    (fun (f, i, fl) (tr : transfer) ->
+      match tr.ty with
+      | Types.I64 -> (f + 1, i + 1, fl)
+      | Types.F64 -> (f + 1, i, fl + 1))
+    (0, 0, 0) t.transfers
 
 let compute ~(region : Region.t) ~(deps : Deps.t) ~(cluster_of : int array)
     ~(order : int list) ~queue_len =

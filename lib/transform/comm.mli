@@ -13,6 +13,24 @@
     per-queue FIFO order and guarantees a transferred predicate value is
     dequeued before any dequeue or statement guarded by it. *)
 
+type mode = Queues | Shared_cache
+(** How transfers are realized: dedicated hardware queues (the paper's
+    model) or a valid-flag handshake through the shared L2 / private L1
+    hierarchy (Desai's cache-coupled threads). *)
+
+val mode_name : mode -> string
+val mode_of_name : string -> mode option
+
+val flag_array_name : string
+(** Reserved synthetic arrays appended to the layout in
+    [Shared_cache] mode. *)
+
+val i64_array_name : string
+val f64_array_name : string
+
+val is_comm_array_name : string -> bool
+(** True for the reserved ["__comm_"]-prefixed array names. *)
+
 type transfer = {
   var : string;
   ty : Finepar_ir.Types.ty;
@@ -29,6 +47,20 @@ type t = {
   pairs_used : (int * int) list;
   warnings : string list;
 }
+
+type slot = { sl_flag : int; sl_data : int }
+(** Handshake slots of one transfer in [Shared_cache] mode: [sl_flag]
+    indexes the flag array (unique per transfer), [sl_data] the data
+    array of the transfer's value class. *)
+
+val shared_slots : t -> (transfer * slot) list
+(** Canonical slot assignment, derived deterministically from the
+    plan's canonical transfer order; the code generator and the static
+    verifier both use this function. *)
+
+val shared_slot_counts : t -> int * int * int
+(** (flag slots, i64 data slots, f64 data slots) the plan needs. *)
+
 val compute :
   region:Finepar_ir.Region.t ->
   deps:Finepar_analysis.Deps.t ->

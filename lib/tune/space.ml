@@ -24,17 +24,19 @@ let weights_name (w : Affinity.weights) =
 let algorithm_name = function `Greedy -> "greedy" | `Multi_pair -> "multi-pair"
 
 let describe (c : Compiler.config) =
-  Printf.sprintf "%dc %s%s%s q%d lat%d w:%s" c.Compiler.cores
+  Printf.sprintf "%dc %s%s%s q%d lat%d i%d %s w:%s" c.Compiler.cores
     (algorithm_name c.Compiler.algorithm)
     (if c.Compiler.speculation then " +spec" else "")
     (if c.Compiler.throughput then " +tp" else "")
     c.Compiler.machine.Config.queue_len
     c.Compiler.machine.Config.transfer_latency
+    c.Compiler.machine.Config.issue_width
+    (Finepar_transform.Comm.mode_name c.Compiler.comm_mode)
     (weights_name c.Compiler.weights)
 
 let key (c : Compiler.config) =
   let w = c.Compiler.weights in
-  Printf.sprintf "%d|%s|%b|%b|%d|%d|%h|%h|%h|%d|%s" c.Compiler.cores
+  Printf.sprintf "%d|%s|%b|%b|%d|%d|%h|%h|%h|%d|%s|%d|%s" c.Compiler.cores
     (algorithm_name c.Compiler.algorithm)
     c.Compiler.speculation c.Compiler.throughput
     c.Compiler.machine.Config.queue_len
@@ -43,10 +45,13 @@ let key (c : Compiler.config) =
     (match c.Compiler.max_queue_pairs with
     | None -> "-"
     | Some n -> string_of_int n)
+    c.Compiler.machine.Config.issue_width
+    (Finepar_transform.Comm.mode_name c.Compiler.comm_mode)
 
 let cores_choices = [ 1; 2; 4; 8 ]
 let queue_len_choices = [ 4; 8; 20; 64 ]
 let latency_choices = [ 1; 5; 20 ]
+let issue_width_choices = [ 1; 2 ]
 
 let neighbors (c : Compiler.config) =
   let m = c.Compiler.machine in
@@ -59,6 +64,13 @@ let neighbors (c : Compiler.config) =
         (match c.Compiler.algorithm with
         | `Greedy -> `Multi_pair
         | `Multi_pair -> `Greedy);
+    };
+    {
+      c with
+      Compiler.comm_mode =
+        (match c.Compiler.comm_mode with
+        | Finepar_transform.Comm.Queues -> Finepar_transform.Comm.Shared_cache
+        | Finepar_transform.Comm.Shared_cache -> Finepar_transform.Comm.Queues);
     };
   ]
   @ List.filter_map
@@ -78,6 +90,11 @@ let neighbors (c : Compiler.config) =
           Some
             { c with Compiler.machine = { m with Config.transfer_latency = l } })
       latency_choices
+  @ List.filter_map
+      (fun w ->
+        if w = m.Config.issue_width then None
+        else Some { c with Compiler.machine = { m with Config.issue_width = w } })
+      issue_width_choices
   @ List.filter_map
       (fun (_, w) ->
         if w = c.Compiler.weights then None

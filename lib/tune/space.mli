@@ -17,16 +17,17 @@ val weights_name : Finepar_partition.Affinity.weights -> string
 
 val describe : Finepar.Compiler.config -> string
 (** A compact human-readable summary, e.g.
-    ["4c greedy +spec q20 lat5 w:default"]. *)
+    ["4c greedy +spec q20 lat5 i1 queues w:default"]. *)
 
 val key : Finepar.Compiler.config -> string
 (** A canonical dedup key covering every knob the search varies (cores,
-    algorithm, flags, queue length, transfer latency, weights, height
-    and queue-pair bounds).  Two configs with equal keys are identical
-    to the search. *)
+    algorithm, flags, queue length, transfer latency, weights, height,
+    queue-pair bounds, issue width and comm mode).  Two configs with
+    equal keys are identical to the search. *)
 
 val neighbors : Finepar.Compiler.config -> Finepar.Compiler.config list
 (** The one-knob mutations of a configuration, in a fixed documented
     order: speculation toggle, throughput toggle, merge-algorithm swap,
-    then the alternative core counts (1, 2, 4, 8), queue lengths (4, 8,
-    20, 64), transfer latencies (1, 5, 20) and weight presets. *)
+    comm-mode swap (queues vs shared cache), then the alternative core
+    counts (1, 2, 4, 8), queue lengths (4, 8, 20, 64), transfer
+    latencies (1, 5, 20), issue widths (1, 2) and weight presets. *)

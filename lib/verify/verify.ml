@@ -46,6 +46,7 @@ type check =
   | Fifo
   | Deadlock
   | Protocol
+  | Handshake
 
 let check_name = function
   | Structure -> "structure"
@@ -55,6 +56,7 @@ let check_name = function
   | Fifo -> "fifo"
   | Deadlock -> "deadlock"
   | Protocol -> "protocol"
+  | Handshake -> "handshake"
 
 type violation = {
   v_check : check;
@@ -111,7 +113,11 @@ let parse_core (cp : Program.core_program) =
   let code = cp.Program.code in
   let n = Array.length code in
   let target l = cp.Program.label_pos.(l) in
-  (* Loop headers: target position -> outermost back-edge position. *)
+  (* Loop headers: target position -> back-edge positions.  A header
+     can close several nested loops at once — e.g. a shared-cache spin
+     handshake lowered as the first body item of a kernel loop shares
+     its head pc with the enclosing loop — so every latch is kept and
+     peeled outermost-first below. *)
   let latch_of = Hashtbl.create 8 in
   Array.iteri
     (fun pc instr ->
@@ -119,10 +125,8 @@ let parse_core (cp : Program.core_program) =
       | Isa.Bz (_, l) | Isa.Bnz (_, l) | Isa.Jmp l ->
         let t = target l in
         if t <= pc then begin
-          let cur =
-            Option.value (Hashtbl.find_opt latch_of t) ~default:(-1)
-          in
-          if pc > cur then Hashtbl.replace latch_of t pc
+          let cur = Option.value (Hashtbl.find_opt latch_of t) ~default:[] in
+          Hashtbl.replace latch_of t (pc :: cur)
         end
       | _ -> ())
     code;
@@ -132,10 +136,13 @@ let parse_core (cp : Program.core_program) =
     while !pc < hi do
       let here = !pc in
       match Hashtbl.find_opt latch_of here with
-      | Some latch ->
+      | Some latches ->
+        let latch = List.fold_left max (-1) latches in
         if latch >= hi then
           raise (Unstructured (here, "loop crosses a scope boundary"));
-        Hashtbl.remove latch_of here;
+        (match List.filter (fun p -> p <> latch) latches with
+        | [] -> Hashtbl.remove latch_of here
+        | inner -> Hashtbl.replace latch_of here inner);
         let body = region here latch in
         items := Loop { head = here; latch; body } :: !items;
         pc := latch + 1
@@ -431,6 +438,35 @@ let typing_check add (program : Program.t) =
                         (cls_name c) s
                         (qclass_name queues.(q).Isa.cls)
                         q;
+                  }
+              | _ -> ())
+            | Isa.Store (arr, _, s)
+              when arr >= 0
+                   && arr < Array.length program.Program.arrays
+                   && Comm.is_comm_array_name
+                        program.Program.arrays.(arr).Program.arr_name
+                   && states.(pc) <> [||] -> (
+              (* Shared-cache mode: a torn transfer (wrong value class
+                 stored into a handshake slot) is the analogue of
+                 enqueueing onto the wrong-class queue. *)
+              let c = states.(pc).(s) in
+              let want =
+                cls_of_ty program.Program.arrays.(arr).Program.arr_ty
+              in
+              match (c, want) with
+              | Cint, Cfloat | Cfloat, Cint ->
+                add
+                  {
+                    v_check = Typing;
+                    v_core = Some core;
+                    v_queue = None;
+                    v_pc = Some pc;
+                    v_message =
+                      Fmt.str
+                        "torn transfer: store of %s register r%d into %s \
+                         handshake array %s"
+                        (cls_name c) s (cls_name want)
+                        program.Program.arrays.(arr).Program.arr_name;
                   }
               | _ -> ())
             | _ -> ())
@@ -899,9 +935,284 @@ let conformance_check add (program : Program.t) (plan : Comm.t) summaries =
     summaries
 
 (* ------------------------------------------------------------------ *)
+(* Shared-cache handshake conformance.                                 *)
+
+(* One recognized valid-flag handshake: a spin loop on the flag array
+   followed by the data access and the flag release. *)
+type sc_op = {
+  sc_pc : int;  (** pc of the spin-loop head *)
+  sc_send : bool;
+  sc_flag : int;  (** flag slot index *)
+  sc_data : int;  (** data slot index *)
+  sc_cls : cls;  (** class of the data array accessed *)
+  sc_path : bool list;
+}
+
+let shared_check add (program : Program.t) (plan : Comm.t) parsed =
+  let arrays = program.Program.arrays in
+  let arr_named name =
+    let r = ref None in
+    Array.iteri
+      (fun i (l : Program.array_layout) ->
+        if String.equal l.Program.arr_name name then r := Some i)
+      arrays;
+    !r
+  in
+  let flag_arr = arr_named Comm.flag_array_name in
+  let is_comm_arr a =
+    a >= 0
+    && a < Array.length arrays
+    && Comm.is_comm_array_name arrays.(a).Program.arr_name
+  in
+  let slot_of =
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun ((tr : Comm.transfer), (s : Comm.slot)) ->
+        Hashtbl.replace tbl
+          (tr.Comm.src_core, tr.Comm.dst_core, tr.Comm.ty, tr.Comm.seq)
+          s)
+      (Comm.shared_slots plan);
+    fun (tr : Comm.transfer) ->
+      Hashtbl.find
+        tbl
+        (tr.Comm.src_core, tr.Comm.dst_core, tr.Comm.ty, tr.Comm.seq)
+  in
+  let wants (tr : Comm.transfer) =
+    List.map (fun (p : Region.pred) -> p.Region.want) tr.Comm.preds
+  in
+  let sig_str (send, f, d, c, _path) =
+    Fmt.str "%s flag%d/%s%d"
+      (if send then "send" else "recv")
+      f (cls_name c) d
+  in
+  Array.iteri
+    (fun core (nodes, (items, _)) ->
+      let cp = program.Program.cores.(core) in
+      let code = cp.Program.code in
+      let const = const_table cp in
+      let fail pc msg =
+        add
+          {
+            v_check = Handshake;
+            v_core = Some core;
+            v_queue = None;
+            v_pc = pc;
+            v_message = msg;
+          }
+      in
+      (* In shared-cache mode the kernel loop is queue-free: the only
+         queue instructions are the driver protocol outside the loop. *)
+      (match in_loop_ops items with
+      | [] -> ()
+      | o :: _ ->
+        fail (Some o.o_pc)
+          "queue instruction inside the kernel loop in shared-cache mode");
+      (* Collect handshakes from the node tree; any other access to a
+         handshake array (a reordered flag write, a stray load) is
+         malformed. *)
+      let ops = ref [] in
+      let const_int pc r what =
+        match const r with
+        | Some (Types.VInt v) -> Some v
+        | Some _ | None ->
+          fail (Some pc) (Fmt.str "%s is not an integer constant" what);
+          None
+      in
+      let spin_of nd =
+        match (nd, flag_arr) with
+        | Loop { head; latch; body = [ Op h ] }, Some fa when h = head -> (
+          match (code.(head), code.(latch)) with
+          | Isa.Load (rt, a, rf), Isa.Bnz (rb, _) when a = fa && rb = rt ->
+            (* spins while the flag is set: producer side *)
+            Some (true, head, rf)
+          | Isa.Load (rt, a, rf), Isa.Bz (rb, _) when a = fa && rb = rt ->
+            (* spins while the flag is clear: consumer side *)
+            Some (false, head, rf)
+          | _ -> None)
+        | _ -> None
+      in
+      let rec go path nodes =
+        match nodes with
+        | [] -> ()
+        | nd :: rest -> (
+          match spin_of nd with
+          | Some (send, head, rf) -> (
+            let record flag_slot data_arr data_slot =
+              ops :=
+                {
+                  sc_pc = head;
+                  sc_send = send;
+                  sc_flag = flag_slot;
+                  sc_data = data_slot;
+                  sc_cls = cls_of_ty arrays.(data_arr).Program.arr_ty;
+                  sc_path = path;
+                }
+                :: !ops
+            in
+            let check_body p1 p2 da ri rf2 rv rest' =
+              (match
+                 ( const_int head rf "spin flag index",
+                   const_int p2 rf2 "flag release index",
+                   const_int p1 ri "data slot index",
+                   const_int p2 rv "flag release value" )
+               with
+              | Some f1, Some f2, Some d, Some v ->
+                if f1 <> f2 then
+                  fail (Some p2)
+                    (Fmt.str
+                       "handshake at pc %d spins on flag slot %d but writes \
+                        flag slot %d"
+                       head f1 f2);
+                if send && v = 0 then
+                  fail (Some p2)
+                    (Fmt.str
+                       "producer handshake at pc %d publishes a zero flag \
+                        token"
+                       head);
+                if (not send) && v <> 0 then
+                  fail (Some p2)
+                    (Fmt.str
+                       "consumer handshake at pc %d releases its slot with a \
+                        nonzero flag token"
+                       head);
+                record f1 da d
+              | _ -> ());
+              go path rest'
+            in
+            match rest with
+            | Op p1 :: Op p2 :: rest' -> (
+              match (send, code.(p1), code.(p2)) with
+              | true, Isa.Store (da, ri, _), Isa.Store (fa2, rf2, rv)
+                when is_comm_arr da && Some fa2 = flag_arr ->
+                check_body p1 p2 da ri rf2 rv rest'
+              | false, Isa.Load (_, da, ri), Isa.Store (fa2, rf2, rv)
+                when is_comm_arr da && Some fa2 = flag_arr ->
+                check_body p1 p2 da ri rf2 rv rest'
+              | _ ->
+                fail (Some head)
+                  (Fmt.str
+                     "%s spin at pc %d is not followed by the data access \
+                      and the flag write"
+                     (if send then "producer" else "consumer")
+                     head);
+                go path rest)
+            | _ ->
+              fail (Some head)
+                (Fmt.str "spin loop at pc %d has no handshake body" head);
+              go path rest)
+          | None -> (
+            match nd with
+            | Op pc ->
+              (match code.(pc) with
+              | (Isa.Load (_, a, _) | Isa.Store (a, _, _)) when is_comm_arr a
+                ->
+                fail (Some pc)
+                  (Fmt.str
+                     "access to handshake array %s outside a recognized \
+                      handshake"
+                     arrays.(a).Program.arr_name)
+              | _ -> ());
+              go path rest
+            | Cond { taken_when; body; _ } ->
+              go (path @ [ taken_when ]) body;
+              go path rest
+            | Loop { body; _ } ->
+              go [] body;
+              go path rest
+            | Break _ -> go path rest))
+      in
+      go [] nodes;
+      let actual = List.rev !ops in
+      (* Expected handshakes: the plan's transfers under the exact sort
+         keys the code generator uses (sends in anchor order, receives
+         in producer-anchor order with the suffix-min hoist). *)
+      let sig_of send tr =
+        let sl = slot_of tr in
+        ( send,
+          sl.Comm.sl_flag,
+          sl.Comm.sl_data,
+          cls_of_ty tr.Comm.ty,
+          wants tr )
+      in
+      let sends =
+        List.filter_map
+          (fun (tr : Comm.transfer) ->
+            if tr.Comm.src_core = core then
+              Some ((tr.Comm.enq_anchor, 2, tr.Comm.seq), sig_of true tr)
+            else None)
+          plan.Comm.transfers
+      in
+      let recv_trs =
+        List.filter
+          (fun (tr : Comm.transfer) -> tr.Comm.dst_core = core)
+          plan.Comm.transfers
+        |> List.sort (fun (a : Comm.transfer) (b : Comm.transfer) ->
+               compare
+                 (a.Comm.enq_anchor, a.Comm.src_core, a.Comm.ty, a.Comm.seq)
+                 (b.Comm.enq_anchor, b.Comm.src_core, b.Comm.ty, b.Comm.seq))
+        |> Array.of_list
+      in
+      let anchors = Array.map (fun tr -> tr.Comm.deq_anchor) recv_trs in
+      for i = Array.length anchors - 2 downto 0 do
+        if anchors.(i + 1) < anchors.(i) then anchors.(i) <- anchors.(i + 1)
+      done;
+      let recvs =
+        List.init (Array.length recv_trs) (fun i ->
+            ((anchors.(i), 0, i), sig_of false recv_trs.(i)))
+      in
+      let expected =
+        List.sort (fun (k1, _) (k2, _) -> compare k1 k2) (sends @ recvs)
+      in
+      let n_exp = List.length expected and n_act = List.length actual in
+      if n_exp <> n_act then
+        fail None
+          (Fmt.str "core carries %d handshake(s) but the comm plan schedules %d"
+             n_act n_exp)
+      else begin
+        (* Same group-tolerant walk as the queue-mode FIFO check: within
+           a key group any order is a valid sort. *)
+        let rec walk expected actual =
+          match expected with
+          | [] -> ()
+          | (key, _) :: _ ->
+            let group, expected' =
+              List.partition (fun (k, _) -> k = key) expected
+            in
+            let g = List.length group in
+            let rec split n acc l =
+              if n = 0 then (List.rev acc, l)
+              else
+                match l with
+                | x :: rest -> split (n - 1) (x :: acc) rest
+                | [] -> (List.rev acc, [])
+            in
+            let here, actual' = split g [] actual in
+            let exp_sig = List.sort compare (List.map snd group) in
+            let act_sig =
+              List.sort compare
+                (List.map
+                   (fun o ->
+                     (o.sc_send, o.sc_flag, o.sc_data, o.sc_cls, o.sc_path))
+                   here)
+            in
+            if exp_sig <> act_sig then
+              fail
+                (match here with o :: _ -> Some o.sc_pc | [] -> None)
+                (Fmt.str
+                   "handshake order deviates from the plan: expected %s, \
+                    found %s"
+                   (String.concat "+" (List.map sig_str exp_sig))
+                   (String.concat "+" (List.map sig_str act_sig)))
+            else walk expected' actual'
+        in
+        walk expected actual
+      end)
+    parsed
+
+(* ------------------------------------------------------------------ *)
 (* Driver.                                                             *)
 
-let run ?plan ~queue_len (program : Program.t) =
+let run ?plan ?(mode = Comm.Queues) ~queue_len (program : Program.t) =
   let violations = ref [] in
   let add v = violations := v :: !violations in
   let ops_checked =
@@ -919,7 +1230,7 @@ let run ?plan ~queue_len (program : Program.t) =
     Array.mapi
       (fun core cp ->
         match parse_core cp with
-        | nodes -> Some (summarize cp.Program.code nodes)
+        | nodes -> Some (nodes, summarize cp.Program.code nodes)
         | exception Unstructured (pc, msg) ->
           add
             {
@@ -933,7 +1244,8 @@ let run ?plan ~queue_len (program : Program.t) =
       program.Program.cores
   in
   (if Array.for_all Option.is_some parsed then begin
-     let summaries = Array.map Option.get parsed in
+     let both = Array.map Option.get parsed in
+     let summaries = Array.map snd both in
      (* Balance per queue. *)
      Array.iteri
        (fun q (spec : Isa.queue_spec) ->
@@ -977,7 +1289,10 @@ let run ?plan ~queue_len (program : Program.t) =
      protocol_check add program summaries;
      deadlock_check add ~queue_len program summaries;
      match plan with
-     | Some p -> conformance_check add program p summaries
+     | Some p -> (
+       match mode with
+       | Comm.Queues -> conformance_check add program p summaries
+       | Comm.Shared_cache -> shared_check add program p both)
      | None -> ()
    end);
   {

@@ -33,7 +33,23 @@
 
     What remains dynamic-only: operand-latency waits, actual trip
     counts, memory effects, and value-dependent guard outcomes (the
-    verifier proves path-wise consistency, not path feasibility). *)
+    verifier proves path-wise consistency, not path feasibility).
+
+    In [Shared_cache] mode (see {!Finepar_transform.Comm.mode}) the
+    kernel-loop transfers are valid-flag handshakes over the synthetic
+    ["__comm_*"] arrays instead of queue instructions, and the
+    plan-directed check changes accordingly: every access to a
+    handshake array must belong to a well-formed producer
+    (spin-while-set, store data, set flag) or consumer (spin-while-
+    clear, load data, clear flag) sequence; flag and data slot indices
+    must be constants agreeing with the plan's canonical slot
+    assignment on both cores of each transfer; the per-core handshake
+    order must replay the plan's anchor order (the same keys as the
+    queue-mode FIFO check); the value stored into a data slot must have
+    the slot's class (no torn int/float transfers); and the kernel loop
+    must carry no queue instructions at all — the driver protocol
+    (spawn, entry values, live-outs, halt tokens) stays on queues and
+    keeps its queue-mode checks. *)
 
 type check =
   | Structure  (** code is not reducible to loops + forward guards *)
@@ -43,6 +59,9 @@ type check =
   | Fifo  (** in-loop comm interleaving deviates from the comm plan *)
   | Deadlock  (** static wait-for cycle *)
   | Protocol  (** malformed driver spawn/halt-token handshake *)
+  | Handshake
+      (** shared-cache mode: malformed or misplaced valid-flag
+          handshake, or slot disagreement with the comm plan *)
 
 val check_name : check -> string
 
@@ -70,10 +89,13 @@ exception Rejected of string * violation list
 
 val run :
   ?plan:Finepar_transform.Comm.t ->
+  ?mode:Finepar_transform.Comm.mode ->
   queue_len:int ->
   Finepar_machine.Program.t ->
   result
 (** Verify [program] against a queue capacity of [queue_len] slots.
-    With [?plan] the FIFO-consistency check additionally validates the
-    lowered code against the comm plan; without it only the
-    plan-independent checks run (useful for hand-built programs). *)
+    With [?plan] the plan-directed check additionally validates the
+    lowered code against the comm plan: in [Queues] mode (the default)
+    the FIFO-consistency check, in [Shared_cache] mode the valid-flag
+    handshake check.  Without a plan only the plan-independent checks
+    run (useful for hand-built programs). *)

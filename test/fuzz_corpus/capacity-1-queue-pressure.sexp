@@ -3,181 +3,111 @@
   (name fuzz)
   (index i)
   (lo 0)
-  (hi 14)
-  (arrays (a f64 28) (b f64 17) (out f64 22) (out2 f64 26))
+  (hi 18)
+  (arrays (a f64 23) (idx i64 32) (out f64 31) (out2 f64 33) (iout i64 30))
   (scalars
-   (p f64 (f 0x1.9fd0bd3f2d6e8p+0))
-   (q f64 (f 0x1.194fe0afe43d2p+0))
-   (k i64 (i -1))
-   (facc f64 (f -0x1.ed2dc38dcd718p-3)))
+   (p f64 (f 0x1.90786bfdd3894p-1))
+   (q f64 (f 0x1.fb43d8530ccc9p+0))
+   (k i64 (i 8))
+   (facc f64 (f 0x1.a0df665f4ef48p-2))
+   (gacc f64 (f 0x1p+0)))
   (body
-   (assign x1 (var facc))
+   (if
+    (binop
+     ge
+     (binop sub (var p) (var q))
+     (binop mul (load out (load idx (var i))) (load out2 (var i))))
+    ((assign
+      t1
+      (binop
+       sub
+       (binop min (var facc) (load a (load idx (var i))))
+       (unop
+        log
+        (binop add (unop abs (load out (var i))) (const (f 0x1p-1))))))
+     (assign
+      m4
+      (binop
+       max
+       (load a (var i))
+       (binop min (var p) (load out2 (load idx (var i)))))))
+    ((if
+      (binop gt (binop gt (var k) (var i)) (const (i 7)))
+      ((store
+        out2
+        (load idx (var i))
+        (binop
+         div
+         (binop mul (var gacc) (load out (load idx (var i))))
+         (load out (var i)))))
+      ((assign
+        t2
+        (binop
+         div
+         (binop
+          div
+          (var gacc)
+          (binop add (unop abs (load a (var i))) (const (f 0x1p+0))))
+         (binop
+          add
+          (unop
+           abs
+           (binop
+            div
+            (const (f -0x1.059453e8a5028p+0))
+            (load out (load idx (var i)))))
+          (const (f 0x1p+0)))))
+       (assign t3 (binop rem (var i) (var k)))))
+     (store
+      out2
+      (var i)
+      (binop
+       mul
+       (binop div (load out2 (var i)) (load a (var i)))
+       (unop neg (load a (var i)))))
+     (assign
+      m4
+      (unop
+       exp
+       (binop min (const (f 0x1.57a9887b454acp-1)) (const (f 0x1p+2)))))))
+   (assign x5 (var m4))
+   (store
+    iout
+    (var i)
+    (binop
+     le
+     (binop min (var p) (load out2 (load idx (var i))))
+     (binop add (load out (load idx (var i))) (load out2 (var i)))))
+   (assign x6 (const (i 6)))
+   (assign x7 (const (i -2)))
    (store
     out
     (var i)
     (binop
      div
-     (const (f -0x1.90b38ad3b4f2ep+0))
-     (binop
-      add
-      (unop
-       abs
-       (binop
-        div
-        (var p)
-        (binop add (unop abs (load b (var i))) (const (f 0x1p+0)))))
-      (const (f 0x1p+0)))))
-   (assign
-    x2
-    (unop
-     exp
-     (binop
-      min
-      (unop log (binop add (unop abs (var q)) (const (f 0x1p-1))))
-      (const (f 0x1p+2)))))
-   (if
-    (binop ge (var x2) (load b (var i)))
-    ((store out (var i) (var q))
-     (assign t3 (unop to_float (unop to_int (load b (var i)))))
-     (if
-      (binop
-       le
-       (unop neg (const (f 0x1.bc8a9c003424cp+0)))
-       (unop exp (binop min (var facc) (const (f 0x1p+2)))))
-      ((assign t4 (var i))
-       (assign
-        facc
-        (binop
-         add
-         (var facc)
-         (binop
-          div
-          (binop
-           div
-           (const (f -0x1.a4ff2be1a174ep+0))
-           (binop add (unop abs (load out2 (var i))) (const (f 0x1p+0))))
-          (unop sqrt (unop abs (load b (var i)))))))
-       (assign m5 (binop max (binop sub (var i) (var i)) (var i))))
-      ((store
-        out
-        (var i)
-        (binop
-         min
-         (binop add (var x1) (var x1))
-         (binop
-          div
-          (var x2)
-          (binop add (unop abs (load b (var i))) (const (f 0x1p+0))))))
-       (store
-        out2
-        (var i)
-        (binop
-         div
-         (unop exp (binop min (load out (const (i 0))) (const (f 0x1p+2))))
-         (var facc)))
-       (assign facc (var facc))
-       (assign m5 (var i))))
-     (assign m6 (binop shl (var i) (const (i 4)))))
-    ((assign m6 (unop to_int (unop to_float (const (i 1)))))))
-   (store
-    out
-    (var i)
-    (binop
-     min
-     (binop div (load a (var i)) (var x1))
-     (const (f -0x1.e322039fd9398p-2))))
-   (if
-    (binop ge (binop eq (const (i 6)) (var m6)) (const (i 5)))
-    ((store
-      out2
-      (var i)
-      (binop
-       min
-       (binop
-        div
-        (var facc)
-        (binop add (unop abs (var q)) (const (f 0x1p+0))))
-       (binop max (var x2) (const (f -0x1.7b9ec53144d76p+0)))))
-     (assign
-      facc
-      (binop
-       max
-       (var facc)
-       (unop
-        exp
-        (binop min (binop add (load b (var i)) (var q)) (const (f 0x1p+2)))))))
-    ((if
-      (binop
-       le
-       (binop or (const (i 3)) (const (i -4)))
-       (binop shr (var i) (const (i 0))))
-      ((store out (var i) (const (f -0x1.33c9faa73439p-1)))
-       (store
-        out2
-        (var i)
-        (binop
-         add
-         (unop to_float (var i))
-         (binop max (var q) (load out2 (var i)))))
-       (assign m7 (binop mul (const (f 0x1.6a4d72f46d02cp+0)) (var x2))))
-      ((store
-        out2
-        (var i)
-        (binop
-         min
-         (binop min (const (f 0x1.3261c8887684p+0)) (var x2))
-         (var q)))
-       (assign
-        m7
-        (binop
-         div
-         (binop add (load out2 (var i)) (var x1))
-         (binop
-          add
-          (unop
-           abs
-           (select
-            (binop le (const (f 0x1.3dfbbfe4d1d68p+1)) (var x1))
-            (load out2 (var i))
-            (load out2 (var i))))
-          (const (f 0x1p+0)))))))
-     (store
-      out2
-      (var i)
-      (binop
-       div
-       (binop add (const (f 0x1.bc96d38dd8e38p-1)) (load out2 (var i)))
-       (binop sub (load b (var i)) (const (f 0x1.f8d215815aa2cp+0)))))
-     (assign facc (var facc))))
-   (assign
-    x8
-    (unop
-     to_float
-     (binop
-      min
-      (binop add (var m6) (const (i 7)))
-      (binop div (var k) (const (i -1))))))
-   (assign x9 (binop max (var q) (load a (const (i 3)))))
-   (store out (var i) (unop to_float (binop add (var k) (var k)))))
-  (live_out q facc))
+     (var q)
+     (binop sub (load out2 (load idx (var i))) (load a (var i))))))
+  (live_out facc gacc))
  (config
-  (cores 4)
-  (max_height 2)
-  (algorithm greedy)
+  (cores 2)
+  (max_height 3)
+  (algorithm multi_pair)
   (throughput false)
   (max_queue_pairs none)
   (speculation false)
+  (comm_mode queues)
   (machine
    (queue_len 1)
    (transfer_latency 400)
-   (l1_bytes 512)
+   (l1_bytes 2048)
    (l1_line 64)
-   (l2_bytes 65536)
-   (l1_hit 2)
+   (l2_bytes 4096)
+   (l1_hit 6)
    (l2_hit 40)
    (mem_latency 80)
-   (branch_taken_penalty 3)
+   (branch_taken_penalty 1)
    (deq_latency 1)
-   (max_cycles 200000000)))
- (placement mod2)
- (workload_seed 549))
+   (max_cycles 200000000)
+   (issue_width 2)))
+ (placement identity)
+ (workload_seed 988))

@@ -3,64 +3,89 @@
   (name fuzz)
   (index i)
   (lo 0)
-  (hi 23)
-  (arrays (a f64 26) (out f64 30) (out2 f64 39))
+  (hi 26)
+  (arrays (a f64 29) (b f64 35) (out f64 39) (out2 f64 36))
   (scalars
-   (p f64 (f 0x1.0d64b2dc69a1cp-1))
-   (k i64 (i 5))
-   (facc f64 (f -0x1.2bd6c58719268p-2))
-   (iacc i64 (i 4)))
+   (p f64 (f 0x1.c35015817e388p-3))
+   (q f64 (f 0x1.5987ed585136ep+1))
+   (k i64 (i 7))
+   (facc f64 (f 0x1.fece92170686cp-1))
+   (gacc f64 (f 0x1p+0)))
   (body
-   (assign x1 (unop sqrt (unop abs (unop to_float (var i)))))
-   (assign x2 (load a (var i)))
-   (assign x3 (binop min (var facc) (load a (var i))))
-   (assign x4 (binop sub (load a (var i)) (const (f -0x1.a499836ba4d58p-2))))
-   (assign x5 (unop sqrt (unop abs (load a (var i)))))
-   (store
-    out
-    (var i)
-    (select
-     (binop ne (load a (var i)) (load a (const (i 0))))
-     (unop to_float (var iacc))
-     (unop sqrt (unop abs (var x3)))))
+   (assign gacc (binop min (var gacc) (unop abs (load a (var i)))))
+   (store out2 (var i) (var p))
+   (assign
+    x1
+    (binop
+     max
+     (unop to_float (var k))
+     (unop sqrt (unop abs (const (f -0x1.a7a096d069e7p-3))))))
+   (assign
+    gacc
+    (binop min (var gacc) (binop add (var p) (unop abs (var p)))))
+   (if
+    (binop
+     ne
+     (unop neg (var x1))
+     (binop add (load b (const (i 3))) (var facc)))
+    ((store out2 (const (i 2)) (const (f 0x1.9d5436e891p+0)))
+     (store out2 (var i) (unop to_float (binop lt (var k) (var i))))
+     (store out2 (var i) (unop to_float (binop shl (var i) (const (i 3)))))
+     (assign
+      gacc
+      (binop
+       add
+       (var gacc)
+       (binop
+        max
+        (load b (var i))
+        (binop add (var q) (load a (const (i 3))))))))
+    ((store out2 (var i) (binop max (load b (var i)) (var gacc)))
+     (assign gacc (binop max (var gacc) (var q)))))
    (assign
     facc
     (binop
      add
-     (binop mul (var facc) (const (f 0x1.0efca2173f04ep+0)))
-     (select
-      (binop ne (var iacc) (var iacc))
-      (unop to_float (const (i 7)))
-      (const (f 0x1.1e58f8f1dbbep-1)))))
-   (assign
-    iacc
-    (binop
-     min
-     (var iacc)
+     (var facc)
      (binop
-      min
-      (binop add (const (i 3)) (var i))
-      (binop sub (var k) (var i)))))
-   (store out (var i) (var x3)))
-  (live_out iacc))
+      max
+      (binop add (load b (var i)) (const (f -0x1.010447754e3fap+0)))
+      (binop mul (load a (var i)) (const (f 0x1.a144503354204p+0))))))
+   (store
+    out2
+    (var i)
+    (binop
+     div
+     (binop add (load b (var i)) (const (f 0x1.169d2cbeb6f7p+0)))
+     (unop to_float (var k))))
+   (store
+    out
+    (var i)
+    (select
+     (binop lt (var x1) (var x1))
+     (unop abs (const (f 0x1.365581b77ea3p-2)))
+     (unop neg (load a (const (i 3)))))))
+  (live_out k facc gacc))
  (config
   (cores 3)
-  (max_height 1)
-  (algorithm multi_pair)
+  (max_height 2)
+  (algorithm greedy)
   (throughput false)
-  (max_queue_pairs 4)
+  (max_queue_pairs none)
   (speculation false)
+  (comm_mode queues)
   (machine
-   (queue_len 2)
+   (queue_len 4)
    (transfer_latency 50)
-   (l1_bytes 2048)
+   (l1_bytes 512)
    (l1_line 64)
    (l2_bytes 65536)
    (l1_hit 6)
    (l2_hit 40)
-   (mem_latency 80)
-   (branch_taken_penalty 0)
-   (deq_latency 1)
-   (max_cycles 200000000)))
- (placement div2)
- (workload_seed 414))
+   (mem_latency 200)
+   (branch_taken_penalty 1)
+   (deq_latency 2)
+   (max_cycles 200000000)
+   (issue_width 2)))
+ (placement identity)
+ (workload_seed 546))

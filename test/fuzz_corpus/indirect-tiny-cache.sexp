@@ -2,101 +2,66 @@
  (kernel
   (name fuzz)
   (index i)
-  (lo 0)
-  (hi 3)
-  (arrays
-   (a f64 18)
-   (b f64 12)
-   (idx i64 15)
-   (out f64 20)
-   (out2 f64 8)
-   (iout i64 13))
+  (lo 7)
+  (hi 18)
+  (arrays (a f64 32) (b f64 30) (idx i64 28) (out f64 31) (iout i64 25))
   (scalars
-   (p f64 (f 0x1.0d195a2c5ca9p-3))
-   (k i64 (i -3))
-   (facc f64 (f -0x1.5cfcb462b48d4p-2))
-   (iacc i64 (i 1)))
+   (p f64 (f 0x1.44516a228f3aap+0))
+   (k i64 (i 0))
+   (facc f64 (f 0x1.c7869baa938ap-3))
+   (iacc i64 (i 0)))
   (body
    (assign
     x1
-    (binop sub (binop sub (var k) (var k)) (binop or (const (i 0)) (var k))))
+    (binop
+     or
+     (binop mul (var i) (var iacc))
+     (binop mul (var i) (load idx (load idx (var i))))))
+   (store
+    out
+    (var i)
+    (binop
+     div
+     (unop to_float (var i))
+     (binop add (unop abs (load a (var i))) (const (f 0x1p+0)))))
+   (store out (var i) (var facc))
    (assign
     facc
     (binop
      add
-     (binop mul (var facc) (const (f 0x1.45b6f11bf865cp-1)))
-     (unop to_float (binop and (var iacc) (const (i 0))))))
-   (assign x2 (load idx (var i)))
-   (if
-    (binop
-     ne
-     (binop sub (load idx (var i)) (var x1))
-     (binop div (load idx (const (i 3))) (var i)))
-    ((assign
-      t3
-      (binop
-       div
-       (binop min (load a (load idx (var i))) (var facc))
-       (binop add (unop abs (binop sub (var p) (var p))) (const (f 0x1p+0)))))
-     (store
-      out
-      (var i)
-      (binop
-       add
-       (binop sub (load b (load idx (var i))) (var t3))
-       (unop to_float (var i)))))
-    ((store
-      out
-      (var i)
-      (select
-       (binop eq (load idx (var i)) (var i))
-       (binop sub (var facc) (load b (load idx (var i))))
-       (select
-        (binop ne (var i) (load idx (load idx (var i))))
-        (load b (const (i 2)))
-        (load b (var i)))))))
-   (store
-    out2
-    (var i)
-    (binop
-     div
+     (var facc)
      (binop
       div
-      (var facc)
+      (binop
+       div
+       (var facc)
+       (binop add (unop abs (var p)) (const (f 0x1p+0))))
       (binop
        add
-       (unop abs (const (f -0x1.1481f8483c77ap-1)))
-       (const (f 0x1p+0))))
-     (binop
-      add
-      (unop abs (const (f -0x1.f1ddc29fa62ccp-2)))
-      (const (f 0x1p+0)))))
-   (store
-    out
-    (var i)
-    (select
-     (binop lt (var facc) (var p))
-     (unop to_float (var k))
-     (binop div (load a (var i)) (var p)))))
+       (unop abs (binop sub (var facc) (load b (var i))))
+       (const (f 0x1p+0))))))
+   (store out (var i) (unop to_float (load idx (load idx (var i))))))
   (live_out p iacc))
  (config
-  (cores 3)
-  (max_height 2)
-  (algorithm greedy)
-  (throughput true)
+  (cores 2)
+  (max_height 3)
+  (algorithm multi_pair)
+  (throughput false)
   (max_queue_pairs none)
   (speculation false)
+  (comm_mode shared_cache)
   (machine
-   (queue_len 3)
+   (queue_len 20)
    (transfer_latency 20)
    (l1_bytes 512)
    (l1_line 64)
-   (l2_bytes 4194304)
-   (l1_hit 2)
-   (l2_hit 40)
+   (l2_bytes 4096)
+   (l1_hit 6)
+   (l2_hit 12)
    (mem_latency 80)
    (branch_taken_penalty 3)
-   (deq_latency 1)
-   (max_cycles 200000000)))
- (placement div2)
- (workload_seed 290))
+   (deq_latency 2)
+   (max_cycles 200000000)
+   (issue_width 1)))
+ (placement identity)
+ (workload_seed 369))

@@ -63,15 +63,16 @@
   (live_out q))
  (config
   (cores 4)
-  (max_height 2)
+  (max_height 1)
   (algorithm greedy)
-  (throughput true)
+  (throughput false)
   (max_queue_pairs none)
   (speculation true)
+  (comm_mode queues)
   (machine
-   (queue_len 8)
+   (queue_len 4)
    (transfer_latency 20)
-   (l1_bytes 2048)
+   (l1_bytes 512)
    (l1_line 64)
    (l2_bytes 65536)
    (l1_hit 2)
@@ -79,6 +80,7 @@
    (mem_latency 80)
    (branch_taken_penalty 1)
    (deq_latency 1)
-   (max_cycles 2709)))
+   (max_cycles 2300)
+   (issue_width 2)))
  (placement identity)
- (workload_seed 891))
+ (workload_seed 309))

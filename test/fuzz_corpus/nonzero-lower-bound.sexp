@@ -41,22 +41,24 @@
   (live_out q facc gacc iacc))
  (config
   (cores 4)
-  (max_height 5)
+  (max_height 2)
   (algorithm multi_pair)
-  (throughput false)
-  (max_queue_pairs none)
+  (throughput true)
+  (max_queue_pairs 1)
   (speculation false)
+  (comm_mode queues)
   (machine
-   (queue_len 20)
+   (queue_len 4)
    (transfer_latency 20)
    (l1_bytes 512)
    (l1_line 64)
-   (l2_bytes 4194304)
+   (l2_bytes 4096)
    (l1_hit 6)
-   (l2_hit 12)
+   (l2_hit 40)
    (mem_latency 80)
-   (branch_taken_penalty 1)
-   (deq_latency 1)
-   (max_cycles 200000000)))
+   (branch_taken_penalty 0)
+   (deq_latency 2)
+   (max_cycles 200000000)
+   (issue_width 2)))
  (placement identity)
- (workload_seed 515))
+ (workload_seed 121))

@@ -2,132 +2,63 @@
  (kernel
   (name fuzz)
   (index i)
-  (lo 0)
-  (hi 26)
-  (arrays (a f64 30) (b f64 27) (idx i64 42) (out f64 35) (out2 f64 35))
+  (lo 3)
+  (hi 4)
+  (arrays (a f64 14) (b f64 4) (out f64 4))
   (scalars
-   (p f64 (f 0x1.df2ed8952081cp+0))
-   (k i64 (i -3))
-   (facc f64 (f -0x1.443055dbf2a6cp-2))
-   (gacc f64 (f 0x1p+0)))
+   (p f64 (f 0x1.0acd582c8a2ap-4))
+   (q f64 (f 0x1.996103cc31514p+0))
+   (k i64 (i 0))
+   (facc f64 (f 0x1.0f0ba90ef49cp-4))
+   (gacc f64 (f 0x1p+0))
+   (iacc i64 (i 4)))
   (body
-   (assign
-    gacc
-    (binop
-     max
-     (var gacc)
-     (binop
-      min
-      (binop
-       div
-       (const (f -0x1.2296db3d1a9b6p+0))
-       (binop add (unop abs (load b (var i))) (const (f 0x1p+0))))
-      (binop div (var gacc) (load a (var i))))))
-   (assign x1 (binop max (load b (var i)) (const (f 0x1.b558fc625f13cp-1))))
-   (assign
-    x2
-    (select
-     (binop ne (var p) (const (f 0x1.07f4d1f89041p-1)))
-     (load b (load idx (var i)))
-     (const (f 0x1.e5782a1c03a8p-4))))
+   (store out (var i) (const (f -0x1.12a564816c65p+0)))
    (store
     out
-    (load idx (var i))
-    (binop
-     mul
-     (binop add (load b (var i)) (const (f 0x1.1e40f506baebp-1)))
-     (binop max (var x2) (const (f 0x1.cba7ef8c43f54p+0)))))
-   (store
-    out2
-    (load idx (var i))
-    (unop
-     neg
-     (binop
-      max
-      (const (f -0x1.dd71fb0c3bb6ap+0))
-      (const (f -0x1.1a06488769bf4p-1)))))
-   (if
-    (binop
-     lt
-     (binop add (var p) (load b (load idx (var i))))
-     (unop sqrt (unop abs (load a (var i)))))
-    ((store
-      out
-      (var i)
-      (binop
-       max
-       (unop abs (load a (load idx (var i))))
-       (unop exp (binop min (load a (var i)) (const (f 0x1p+2))))))
-     (if
-      (binop
-       lt
-       (binop shl (var i) (const (i 1)))
-       (binop or (const (i 8)) (var i)))
-      ((assign t3 (unop to_float (load idx (var i))))
-       (store
-        out
-        (load idx (var i))
-        (binop
-         div
-         (binop max (var gacc) (var x2))
-         (load b (load idx (var i)))))
-       (assign
-        facc
-        (binop
-         max
-         (var facc)
-         (binop
-          min
-          (unop neg (var x1))
-          (binop mul (load a (load idx (var i))) (var facc)))))
-       (assign m5 (const (f -0x1.7cbccc7c321dap+0))))
-      ((assign
-        t4
-        (binop div (binop shl (load idx (var i)) (const (i 2))) (var k)))
-       (assign facc (var facc))
-       (assign
-        m5
-        (binop
-         add
-         (unop sqrt (unop abs (load a (load idx (var i)))))
-         (binop
-          add
-          (const (f 0x1.10a46b8e2bb54p+1))
-          (const (f -0x1.308d5dcec4a4ap+0)))))))
-     (assign facc (binop min (var facc) (var gacc))))
-    ((assign
-      t6
-      (binop
-       add
-       (binop sub (var x2) (var facc))
-       (binop mul (load b (const (i 0))) (var gacc))))
-     (assign facc (var facc))))
+    (var i)
+    (binop add (var q) (binop mul (var facc) (load a (const (i 3))))))
    (store
     out
     (var i)
     (binop
-     sub
-     (binop min (var gacc) (load a (var i)))
-     (unop to_float (load idx (load idx (var i)))))))
-  (live_out facc gacc))
+     add
+     (binop div (load b (var i)) (load a (var i)))
+     (select
+      (binop le (var k) (var iacc))
+      (load b (const (i 0)))
+      (load b (var i)))))
+   (store
+    out
+    (var i)
+    (binop
+     div
+     (binop sub (load b (var i)) (var facc))
+     (binop
+      add
+      (unop abs (binop add (load a (var i)) (load b (var i))))
+      (const (f 0x1p+0))))))
+  (live_out q facc gacc iacc))
  (config
   (cores 4)
-  (max_height 3)
-  (algorithm greedy)
-  (throughput false)
+  (max_height 2)
+  (algorithm multi_pair)
+  (throughput true)
   (max_queue_pairs 1)
-  (speculation true)
+  (speculation false)
+  (comm_mode queues)
   (machine
-   (queue_len 2)
-   (transfer_latency 50)
-   (l1_bytes 2048)
+   (queue_len 4)
+   (transfer_latency 20)
+   (l1_bytes 512)
    (l1_line 64)
    (l2_bytes 4096)
    (l1_hit 6)
    (l2_hit 40)
-   (mem_latency 200)
-   (branch_taken_penalty 1)
+   (mem_latency 80)
+   (branch_taken_penalty 0)
    (deq_latency 2)
-   (max_cycles 200000000)))
- (placement single-core)
- (workload_seed 804))
+   (max_cycles 200000000)
+   (issue_width 2)))
+ (placement identity)
+ (workload_seed 121))

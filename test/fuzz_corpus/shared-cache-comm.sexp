@@ -1,0 +1,68 @@
+(case
+ (kernel
+  (name fuzz)
+  (index i)
+  (lo 0)
+  (hi 23)
+  (arrays (a f64 26) (out f64 30) (out2 f64 39))
+  (scalars
+   (p f64 (f 0x1.0d64b2dc69a1cp-1))
+   (k i64 (i 5))
+   (facc f64 (f -0x1.2bd6c58719268p-2))
+   (iacc i64 (i 4)))
+  (body
+   (assign x1 (unop sqrt (unop abs (unop to_float (var i)))))
+   (assign x2 (load a (var i)))
+   (assign x3 (binop min (var facc) (load a (var i))))
+   (assign x4 (binop sub (load a (var i)) (const (f -0x1.a499836ba4d58p-2))))
+   (assign x5 (unop sqrt (unop abs (load a (var i)))))
+   (store
+    out
+    (var i)
+    (select
+     (binop ne (load a (var i)) (load a (const (i 0))))
+     (unop to_float (var iacc))
+     (unop sqrt (unop abs (var x3)))))
+   (assign
+    facc
+    (binop
+     add
+     (binop mul (var facc) (const (f 0x1.0efca2173f04ep+0)))
+     (select
+      (binop ne (var iacc) (var iacc))
+      (unop to_float (const (i 7)))
+      (const (f 0x1.1e58f8f1dbbep-1)))))
+   (assign
+    iacc
+    (binop
+     min
+     (var iacc)
+     (binop
+      min
+      (binop add (const (i 3)) (var i))
+      (binop sub (var k) (var i)))))
+   (store out (var i) (var x3)))
+  (live_out iacc))
+ (config
+  (cores 3)
+  (max_height 1)
+  (algorithm greedy)
+  (throughput true)
+  (max_queue_pairs none)
+  (speculation true)
+  (comm_mode shared_cache)
+  (machine
+   (queue_len 8)
+   (transfer_latency 1)
+   (l1_bytes 16384)
+   (l1_line 64)
+   (l2_bytes 65536)
+   (l1_hit 2)
+   (l2_hit 40)
+   (mem_latency 200)
+   (branch_taken_penalty 0)
+   (deq_latency 1)
+   (max_cycles 200000000)
+   (issue_width 1)))
+ (placement mod2)
+ (workload_seed 785))

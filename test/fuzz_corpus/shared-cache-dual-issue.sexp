@@ -1,0 +1,97 @@
+(case
+ (kernel
+  (name fuzz)
+  (index i)
+  (lo 0)
+  (hi 28)
+  (arrays (a f64 34) (out f64 41) (out2 f64 33) (iout i64 39))
+  (scalars
+   (p f64 (f 0x1.981c1db8e85dp+0))
+   (q f64 (f 0x1.10ccba045e90ep+0))
+   (k i64 (i -3))
+   (facc f64 (f 0x1.0a1c729c75d6ep-1))
+   (gacc f64 (f 0x1p+0))
+   (iacc i64 (i 2)))
+  (body
+   (assign
+    iacc
+    (binop
+     add
+     (var iacc)
+     (binop div (binop rem (var iacc) (const (i 8))) (var iacc))))
+   (store out2 (var i) (unop to_float (var iacc)))
+   (store out2 (var i) (unop to_float (binop mul (const (i -2)) (var i))))
+   (if
+    (binop ne (const (i 0)) (var i))
+    ((assign t1 (binop div (binop add (var q) (load out2 (var i))) (var q)))
+     (assign
+      m2
+      (binop
+       max
+       (unop to_int (const (f 0x1.5f3ab1331f0c8p-1)))
+       (binop lt (const (i 0)) (var k)))))
+    ((assign m2 (binop lt (binop rem (const (i 6)) (const (i 8))) (var k)))))
+   (assign x3 (var iacc))
+   (assign
+    x4
+    (select
+     (binop ne (var i) (var iacc))
+     (binop add (const (f -0x1.afa7902aa3d8p-5)) (var p))
+     (binop
+      div
+      (var q)
+      (binop
+       add
+       (unop abs (const (f 0x1.08665c4a9d80cp+0)))
+       (const (f 0x1p+0))))))
+   (assign
+    facc
+    (binop
+     max
+     (var facc)
+     (binop
+      min
+      (unop exp (binop min (var gacc) (const (f 0x1p+2))))
+      (binop mul (load out (var i)) (const (f 0x1.3db4365a706acp+1))))))
+   (assign
+    x5
+    (binop
+     min
+     (binop
+      div
+      (binop sub (load a (var i)) (var q))
+      (binop
+       add
+       (unop
+        abs
+        (select
+         (binop eq (load out (const (i 2))) (var q))
+         (const (f 0x1.784729406481p-1))
+         (var p)))
+       (const (f 0x1p+0))))
+     (binop max (var x4) (const (f 0x1.727de43b2c55ap+0)))))
+   (store out (var i) (binop min (var q) (unop abs (var q)))))
+  (live_out facc iacc))
+ (config
+  (cores 4)
+  (max_height 3)
+  (algorithm greedy)
+  (throughput true)
+  (max_queue_pairs none)
+  (speculation false)
+  (comm_mode shared_cache)
+  (machine
+   (queue_len 2)
+   (transfer_latency 5)
+   (l1_bytes 512)
+   (l1_line 64)
+   (l2_bytes 4096)
+   (l1_hit 2)
+   (l2_hit 12)
+   (mem_latency 200)
+   (branch_taken_penalty 3)
+   (deq_latency 2)
+   (max_cycles 200000000)
+   (issue_width 2)))
+ (placement identity)
+ (workload_seed 706))

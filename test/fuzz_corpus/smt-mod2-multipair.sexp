@@ -3,84 +3,73 @@
   (name fuzz)
   (index i)
   (lo 0)
-  (hi 1)
-  (arrays (a f64 13) (b f64 10) (idx i64 7) (out f64 18) (out2 f64 14))
+  (hi 5)
+  (arrays
+   (a f64 5)
+   (b f64 6)
+   (idx i64 11)
+   (out f64 17)
+   (out2 f64 21)
+   (iout i64 14))
   (scalars
-   (p f64 (f 0x1.54613a14dc0a8p-1))
-   (q f64 (f 0x1.855668fdfedfcp+0))
-   (k i64 (i -1))
-   (iacc i64 (i 0)))
+   (p f64 (f 0x1.e5499cf62d006p+0))
+   (q f64 (f 0x1.67708ba0bae04p+1))
+   (k i64 (i 0))
+   (gacc f64 (f 0x1p+0)))
   (body
-   (assign
-    x1
-    (select
-     (binop le (var iacc) (load idx (load idx (var i))))
-     (binop mul (var q) (load out2 (var i)))
-     (binop mul (var q) (const (f 0x1.97e08de0c2354p-1)))))
    (store
     out
-    (load idx (var i))
-    (binop
-     max
-     (binop
-      div
-      (const (f 0x1.a73eb3b37d82p-3))
-      (binop
-       add
-       (unop abs (const (f 0x1.5e1624783e1cep+1)))
-       (const (f 0x1p+0))))
-     (binop div (var q) (binop add (unop abs (var x1)) (const (f 0x1p+0))))))
+    (var i)
+    (select
+     (binop lt (const (f 0x1.d58b01fc65d0cp-1)) (var q))
+     (unop abs (var gacc))
+     (unop abs (load out (load idx (var i))))))
    (store
     out
-    (load idx (var i))
-    (unop to_float (binop shl (const (i 3)) (const (i 1)))))
-   (assign
-    iacc
+    (var i)
     (binop
-     max
-     (var iacc)
+     mul
      (binop
-      max
-      (binop mul (var i) (load idx (var i)))
-      (load idx (const (i 0))))))
-   (assign x2 (unop to_float (binop add (var iacc) (const (i 8)))))
-   (assign x3 (var q))
-   (store
-    out2
-    (load idx (var i))
-    (select
-     (binop le (load idx (var i)) (const (i 2)))
-     (binop div (const (f 0x1.79955695d54dep+1)) (var p))
-     (binop min (var x1) (load a (var i)))))
+      min
+      (load out (load idx (var i)))
+      (const (f -0x1.dd5f15091ae9p-2)))
+     (binop div (load b (load idx (var i))) (const (f 0x1.7b4ee23de7d34p+1)))))
+   (assign x1 (binop add (var k) (var i)))
+   (store iout (load idx (var i)) (var i))
+   (assign
+    x2
+    (binop
+     div
+     (unop to_float (var k))
+     (binop add (unop abs (binop sub (var p) (var p))) (const (f 0x1p+0)))))
    (store
     out
     (var i)
     (binop
      div
-     (unop to_float (var iacc))
-     (binop
-      add
-      (unop abs (binop add (load out (var i)) (var x1)))
-      (const (f 0x1p+0))))))
-  (live_out iacc))
+     (load out2 (var i))
+     (binop add (unop abs (unop to_float (const (i -3)))) (const (f 0x1p+0))))))
+  (live_out))
  (config
-  (cores 2)
-  (max_height 2)
+  (cores 4)
+  (max_height 1)
   (algorithm multi_pair)
   (throughput true)
-  (max_queue_pairs 3)
-  (speculation false)
+  (max_queue_pairs 4)
+  (speculation true)
+  (comm_mode queues)
   (machine
-   (queue_len 4)
-   (transfer_latency 5)
+   (queue_len 20)
+   (transfer_latency 1)
    (l1_bytes 16384)
    (l1_line 64)
-   (l2_bytes 65536)
-   (l1_hit 6)
-   (l2_hit 40)
+   (l2_bytes 4194304)
+   (l1_hit 2)
+   (l2_hit 12)
    (mem_latency 80)
-   (branch_taken_penalty 1)
+   (branch_taken_penalty 3)
    (deq_latency 2)
-   (max_cycles 200000000)))
+   (max_cycles 200000000)
+   (issue_width 2)))
  (placement mod2)
- (workload_seed 818))
+ (workload_seed 922))

@@ -2,132 +2,220 @@
  (kernel
   (name fuzz)
   (index i)
-  (lo 0)
-  (hi 26)
-  (arrays (a f64 30) (b f64 27) (idx i64 42) (out f64 35) (out2 f64 35))
+  (lo 4)
+  (hi 6)
+  (arrays (a f64 14) (b f64 15) (idx i64 11) (out f64 6))
   (scalars
-   (p f64 (f 0x1.df2ed8952081cp+0))
-   (k i64 (i -3))
-   (facc f64 (f -0x1.443055dbf2a6cp-2))
+   (p f64 (f 0x1.d9812a4a74664p+0))
+   (q f64 (f 0x1.696d1191e194cp-3))
+   (k i64 (i -2))
    (gacc f64 (f 0x1p+0)))
   (body
-   (assign
-    gacc
-    (binop
-     max
-     (var gacc)
-     (binop
-      min
-      (binop
-       div
-       (const (f -0x1.2296db3d1a9b6p+0))
-       (binop add (unop abs (load b (var i))) (const (f 0x1p+0))))
-      (binop div (var gacc) (load a (var i))))))
-   (assign x1 (binop max (load b (var i)) (const (f 0x1.b558fc625f13cp-1))))
-   (assign
-    x2
-    (select
-     (binop ne (var p) (const (f 0x1.07f4d1f89041p-1)))
-     (load b (load idx (var i)))
-     (const (f 0x1.e5782a1c03a8p-4))))
-   (store
-    out
-    (load idx (var i))
-    (binop
-     mul
-     (binop add (load b (var i)) (const (f 0x1.1e40f506baebp-1)))
-     (binop max (var x2) (const (f 0x1.cba7ef8c43f54p+0)))))
-   (store
-    out2
-    (load idx (var i))
-    (unop
-     neg
-     (binop
-      max
-      (const (f -0x1.dd71fb0c3bb6ap+0))
-      (const (f -0x1.1a06488769bf4p-1)))))
    (if
     (binop
-     lt
-     (binop add (var p) (load b (load idx (var i))))
-     (unop sqrt (unop abs (load a (var i)))))
-    ((store
-      out
-      (var i)
+     ne
+     (unop to_int (load out (var i)))
+     (binop min (const (i -1)) (var i)))
+    ((assign
+      t1
       (binop
-       max
-       (unop abs (load a (load idx (var i))))
-       (unop exp (binop min (load a (var i)) (const (f 0x1p+2))))))
-     (if
+       add
+       (select
+        (binop le (load idx (load idx (var i))) (const (i 7)))
+        (var gacc)
+        (var p))
+       (binop min (var p) (var q)))))
+    ((if
       (binop
-       lt
-       (binop shl (var i) (const (i 1)))
-       (binop or (const (i 8)) (var i)))
-      ((assign t3 (unop to_float (load idx (var i))))
+       le
+       (unop to_float (var k))
+       (binop mul (load out (var i)) (const (f 0x1.215d52f41041p-2))))
+      ((store
+        out
+        (var i)
+        (binop
+         add
+         (binop
+          div
+          (load b (load idx (var i)))
+          (binop add (unop abs (var p)) (const (f 0x1p+0))))
+         (unop sqrt (unop abs (var q)))))
        (store
         out
         (load idx (var i))
         (binop
+         min
+         (binop add (load b (var i)) (const (f -0x1.8969a4eb2eecap-1)))
+         (unop
+          log
+          (binop add (unop abs (load a (var i))) (const (f 0x1p-1)))))))
+      ((store
+        out
+        (load idx (var i))
+        (binop
          div
-         (binop max (var gacc) (var x2))
-         (load b (load idx (var i)))))
-       (assign
-        facc
-        (binop
-         max
-         (var facc)
-         (binop
-          min
-          (unop neg (var x1))
-          (binop mul (load a (load idx (var i))) (var facc)))))
-       (assign m5 (const (f -0x1.7cbccc7c321dap+0))))
-      ((assign
-        t4
-        (binop div (binop shl (load idx (var i)) (const (i 2))) (var k)))
-       (assign facc (var facc))
-       (assign
-        m5
-        (binop
-         add
-         (unop sqrt (unop abs (load a (load idx (var i)))))
+         (binop min (var q) (const (f -0x1.7b6343a1c6aep-2)))
          (binop
           add
-          (const (f 0x1.10a46b8e2bb54p+1))
-          (const (f -0x1.308d5dcec4a4ap+0)))))))
-     (assign facc (binop min (var facc) (var gacc))))
-    ((assign
-      t6
+          (unop abs (binop add (load b (var i)) (var gacc)))
+          (const (f 0x1p+0)))))
+       (assign
+        t2
+        (binop
+         and
+         (binop or (var i) (load idx (var i)))
+         (binop and (var k) (const (i 4)))))))
+     (store
+      out
+      (const (i 1))
+      (unop sqrt (unop abs (load out (load idx (var i))))))))
+   (assign
+    gacc
+    (binop
+     add
+     (var gacc)
+     (binop add (unop to_float (var i)) (binop min (load a (var i)) (var p)))))
+   (assign x3 (binop lt (const (i 0)) (const (i -2))))
+   (if
+    (binop
+     eq
+     (binop max (const (i -1)) (const (i 1)))
+     (binop min (var k) (var k)))
+    ((store
+      out
+      (const (i 3))
+      (unop
+       exp
+       (binop
+        min
+        (binop
+         div
+         (var gacc)
+         (binop add (unop abs (var p)) (const (f 0x1p+0))))
+        (const (f 0x1p+2)))))
+     (assign
+      gacc
       (binop
        add
-       (binop sub (var x2) (var facc))
-       (binop mul (load b (const (i 0))) (var gacc))))
-     (assign facc (var facc))))
+       (binop mul (var gacc) (const (f 0x1.1256a496b31ecp+0)))
+       (unop neg (binop min (var q) (var gacc))))))
+    ((assign
+      t4
+      (binop
+       le
+       (binop or (const (i -2)) (load idx (const (i 1))))
+       (binop and (var i) (var k))))
+     (store
+      out
+      (const (i 0))
+      (binop
+       mul
+       (binop
+        div
+        (var p)
+        (binop
+         add
+         (unop abs (const (f -0x1.69151d07ded2ep+0)))
+         (const (f 0x1p+0))))
+       (select
+        (binop ne (const (i 5)) (load idx (var i)))
+        (load out (var i))
+        (load out (load idx (var i))))))
+     (assign gacc (var gacc))))
+   (if
+    (binop
+     ge
+     (binop div (load a (load idx (var i))) (load out (var i)))
+     (binop mul (load a (const (i 2))) (var gacc)))
+    ((if
+      (binop
+       ge
+       (unop to_int (load out (var i)))
+       (unop to_int (load a (var i))))
+      ((assign
+        t5
+        (binop
+         add
+         (binop max (load out (var i)) (var gacc))
+         (unop
+          log
+          (binop add (unop abs (load b (var i))) (const (f 0x1p-1))))))
+       (assign t6 (binop mul (binop lt (load idx (var i)) (var k)) (var x3)))
+       (assign
+        gacc
+        (binop
+         max
+         (var gacc)
+         (binop
+          mul
+          (load a (var i))
+          (binop mul (load out (var i)) (load a (var i))))))
+       (assign m7 (var gacc)))
+      ((assign
+        gacc
+        (binop
+         add
+         (var gacc)
+         (binop
+          div
+          (load b (load idx (var i)))
+          (binop
+           add
+           (unop
+            abs
+            (binop
+             add
+             (const (f -0x1.ff8c87f117f32p+0))
+             (load out (load idx (var i)))))
+           (const (f 0x1p+0))))))
+       (assign m7 (load a (load idx (var i))))))
+     (assign
+      m8
+      (binop
+       ne
+       (binop add (const (i 6)) (const (i -3)))
+       (binop shr (var i) (const (i 3))))))
+    ((assign
+      m8
+      (unop to_int (binop sub (const (f -0x1.0df3d2f10b70bp+0)) (var p))))))
+   (assign
+    x9
+    (unop
+     log
+     (binop
+      add
+      (unop
+       abs
+       (binop sub (load out (load idx (var i))) (load a (load idx (var i)))))
+      (const (f 0x1p-1)))))
    (store
     out
     (var i)
     (binop
-     sub
-     (binop min (var gacc) (load a (var i)))
-     (unop to_float (load idx (load idx (var i)))))))
-  (live_out facc gacc))
+     max
+     (binop div (var x9) (binop add (unop abs (var p)) (const (f 0x1p+0))))
+     (binop mul (var q) (var q)))))
+  (live_out p k gacc))
  (config
-  (cores 4)
+  (cores 3)
   (max_height 3)
-  (algorithm greedy)
+  (algorithm multi_pair)
   (throughput false)
-  (max_queue_pairs 1)
+  (max_queue_pairs none)
   (speculation true)
+  (comm_mode queues)
   (machine
-   (queue_len 2)
-   (transfer_latency 50)
-   (l1_bytes 2048)
+   (queue_len 3)
+   (transfer_latency 20)
+   (l1_bytes 16384)
    (l1_line 64)
-   (l2_bytes 4096)
+   (l2_bytes 65536)
    (l1_hit 6)
-   (l2_hit 40)
+   (l2_hit 12)
    (mem_latency 200)
    (branch_taken_penalty 1)
    (deq_latency 2)
-   (max_cycles 200000000)))
- (placement single-core)
- (workload_seed 804))
+   (max_cycles 200000000)
+   (issue_width 1)))
+ (placement identity)
+ (workload_seed 217))

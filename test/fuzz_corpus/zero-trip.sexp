@@ -42,22 +42,24 @@
   (live_out p facc))
  (config
   (cores 4)
-  (max_height 5)
-  (algorithm greedy)
-  (throughput true)
+  (max_height 2)
+  (algorithm multi_pair)
+  (throughput false)
   (max_queue_pairs none)
-  (speculation false)
+  (speculation true)
+  (comm_mode queues)
   (machine
-   (queue_len 3)
-   (transfer_latency 50)
-   (l1_bytes 512)
+   (queue_len 20)
+   (transfer_latency 1)
+   (l1_bytes 2048)
    (l1_line 64)
-   (l2_bytes 4194304)
-   (l1_hit 2)
+   (l2_bytes 4096)
+   (l1_hit 6)
    (l2_hit 12)
    (mem_latency 80)
    (branch_taken_penalty 1)
-   (deq_latency 2)
-   (max_cycles 200000000)))
+   (deq_latency 1)
+   (max_cycles 200000000)
+   (issue_width 1)))
  (placement identity)
- (workload_seed 625))
+ (workload_seed 472))

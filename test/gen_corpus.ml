@@ -25,6 +25,15 @@ let with_machine (c : F.Gen.case) m =
 
 let pred p (c : F.Gen.case) = if p c then Some c else None
 
+(* The case compiles and its comm plan moves at least one value across
+   cores — without this, a "shared-cache" entry could be a case whose
+   partitioning never communicates, exercising nothing. *)
+let communicates (c : F.Gen.case) =
+  match Finepar.Compiler.compile c.F.Gen.config c.F.Gen.kernel with
+  | exception _ -> false
+  | compiled ->
+    compiled.Finepar.Compiler.comm.Finepar_transform.Comm.transfers <> []
+
 (* The tightest budget both oracle runs fit in: the parallel compilation
    and the cross-core 1-core compilation share the machine config, so the
    inclusive max_cycles boundary must sit at the slower of the two. *)
@@ -113,6 +122,28 @@ let profiles : (string * (F.Gen.case -> F.Gen.case option)) list =
                  && stats.F.Oracle.cycles > 25 * stats.F.Oracle.instrs ->
             Some c
           | _ -> None );
+    (* Cross-thread transfers realized through the shared cache: the
+       compiler lowers every queue pair to a spin-wait valid-flag
+       handshake, so the replay exercises the Load/Bz spin loops and
+       flag protocol none of the queue-mode entries reach. *)
+    ( "shared-cache-comm",
+      pred (fun c ->
+          c.F.Gen.config.Finepar.Compiler.comm_mode
+            = Finepar_transform.Comm.Shared_cache
+          && c.F.Gen.config.Finepar.Compiler.cores >= 2
+          && Finepar_ir.Kernel.trip_count c.F.Gen.kernel > 0
+          && communicates c) );
+    (* The two new machine axes together: dual-issue cores spinning on
+       shared-cache valid flags (an extra-slot issue must not let a
+       consumer overtake the producer's flag write). *)
+    ( "shared-cache-dual-issue",
+      pred (fun c ->
+          c.F.Gen.config.Finepar.Compiler.comm_mode
+            = Finepar_transform.Comm.Shared_cache
+          && (machine c).Finepar_machine.Config.issue_width = 2
+          && c.F.Gen.config.Finepar.Compiler.cores >= 2
+          && Finepar_ir.Kernel.trip_count c.F.Gen.kernel > 0
+          && communicates c) );
     (* A budget sitting exactly on the inclusive max_cycles boundary:
        the slower of the parallel and 1-core oracle runs finishes in
        precisely max_cycles cycles (one less would raise Max_cycles). *)

@@ -7,7 +7,12 @@
    histogram) and identical structured [Stuck] payloads.  Covered here:
 
    - the full kernel registry x {2, 4} cores x {default,
-     high-transfer-latency, SMT core_map} configurations;
+     high-transfer-latency, SMT core_map} configurations, crossed with
+     issue widths {1, 2} and both transfer realizations (hardware
+     queues / shared-cache valid-flag handshakes);
+   - hand-built dual-issue units: an issue bundle split by a RAW hazard
+     (the refused slot records no stall), and a shared-cache consumer
+     whose flag read races the producer's flag write in the same cycle;
    - the checked-in fuzz corpus, each case under its own recorded
      configuration and placement;
    - hand-built deadlock / max-cycles / boundary programs (Stuck payload
@@ -63,25 +68,38 @@ let check_all what run_of =
 (* ------------------------------------------------------------------ *)
 (* Registry differential sweep.                                        *)
 
-(* The three machine/placement variants.  The SMT variant packs the
-   program's hardware threads two-per-physical-core; the map is sized
-   from the compiled program because the partitioner can produce fewer
-   threads than the requested core count. *)
+(* The machine/placement variants.  The SMT variant packs the program's
+   hardware threads two-per-physical-core; the map is sized from the
+   compiled program because the partitioner can produce fewer threads
+   than the requested core count.  The last three cross the tentpole
+   knobs: dual-issue cores, shared-cache transfer lowering, and both at
+   once. *)
+module Comm = Finepar_transform.Comm
+
+let dual = { Config.default with Config.issue_width = 2 }
+
 let variants =
   [
-    ("default", Config.default, false);
+    ("default", Config.default, false, Comm.Queues);
     ("transfer-latency-50", Config.with_transfer_latency 50 Config.default,
-     false);
-    ("smt", Config.default, true);
+     false, Comm.Queues);
+    ("smt", Config.default, true, Comm.Queues);
+    ("dual-issue", dual, false, Comm.Queues);
+    ("shared-cache", Config.default, false, Comm.Shared_cache);
+    ("dual-issue+shared-cache", dual, false, Comm.Shared_cache);
   ]
 
 let registry_sweep (e : Registry.entry) () =
   List.iter
     (fun cores ->
       List.iter
-        (fun (vname, machine, smt) ->
+        (fun (vname, machine, smt, comm_mode) ->
           let config =
-            { (Compiler.default_config ~cores ()) with Compiler.machine }
+            {
+              (Compiler.default_config ~cores ()) with
+              Compiler.machine;
+              comm_mode;
+            }
           in
           let c = Compiler.compile config e.Registry.kernel in
           let n_threads =
@@ -560,6 +578,140 @@ let test_specialize_one_sim_only () =
     (Sim.run ~engine:Engine.Compiled ~specialized:spec sim_a > 0)
 
 (* ------------------------------------------------------------------ *)
+(* Dual-issue and shared-cache hand-built units.                        *)
+
+(* An issue bundle split by a RAW hazard: at width 2 the two Li's pair
+   up, the first Add issues alone (its consumer reads a result that is
+   only ready next cycle), and the dependent Add then pairs with a
+   following independent one.  The refused slot must record NO stall —
+   the cycle is already accounted to the slot-1 issue. *)
+let test_dual_issue_raw_split () =
+  let program =
+    Helpers.one_core (fun bb ->
+        let open Program.Builder in
+        let r0 = fresh_reg bb
+        and r1 = fresh_reg bb
+        and r2 = fresh_reg bb
+        and r3 = fresh_reg bb
+        and r4 = fresh_reg bb in
+        emit bb (Isa.Li (r0, Types.VInt 1));
+        emit bb (Isa.Li (r1, Types.VInt 2));
+        emit bb (Isa.Bin (Types.Add, r2, r0, r1));
+        emit bb (Isa.Bin (Types.Add, r3, r2, r2));
+        emit bb (Isa.Bin (Types.Add, r4, r0, r1));
+        emit bb Isa.Halt)
+  in
+  let wide = { Config.default with Config.issue_width = 2 } in
+  (match List.map (fun engine -> Helpers.run ~config:wide ~engine program) engines
+   with
+  | (sim0, cy0) :: rest ->
+    Alcotest.(check int) "width 2: Li pair and Add pair dual-issued" 2
+      sim0.Sim.stats.(0).Sim.dual_issued;
+    Alcotest.(check int) "width 2: the refused slot recorded no stall" 0
+      (Sim.stall_total sim0.Sim.stats.(0));
+    Alcotest.(check bool) "width 2: dependent Add computed through the split"
+      true
+      (Types.value_equal (Sim.reg_value sim0 0 3) (Types.VInt 6));
+    Helpers.check_accounting "raw split (head)" sim0;
+    List.iter
+      (fun (sim, cy) ->
+        Alcotest.(check int) "raw split: cycles equal" cy0 cy;
+        Array.iteri
+          (fun i (s0 : Sim.core_stats) ->
+            Alcotest.(check bool)
+              (Printf.sprintf "raw split: core %d stats equal" i)
+              true
+              (s0 = sim.Sim.stats.(i)))
+          sim0.Sim.stats;
+        Helpers.check_accounting "raw split (other)" sim)
+      rest
+  | _ -> assert false);
+  (* The same program at width 1 never dual-issues and takes strictly
+     longer. *)
+  let sim1, cy1 = Helpers.run program in
+  let _, cy2 = Helpers.run ~config:wide program in
+  Alcotest.(check int) "width 1: no dual issues" 0
+    sim1.Sim.stats.(0).Sim.dual_issued;
+  Alcotest.(check bool) "width 2 is strictly faster" true (cy2 < cy1)
+
+(* A shared-cache style handshake built by hand: the consumer spins on a
+   valid flag the producer sets after writing the data word.  The
+   consumer's flag load can land in the same cycle as the producer's
+   flag store; the deterministic core sweep order resolves the race, and
+   every engine must resolve it identically.  Both producer placements
+   are run so the race is exercised from both sides of the sweep. *)
+let shared_handshake ~producer_first =
+  let arrays =
+    [|
+      { Program.arr_name = "flag"; arr_ty = Types.I64; arr_len = 1; arr_base = 64 };
+      { Program.arr_name = "data"; arr_ty = Types.I64; arr_len = 1; arr_base = 128 };
+    |]
+  in
+  let producer bb =
+    let open Program.Builder in
+    let v = fresh_reg bb and z = fresh_reg bb and one = fresh_reg bb in
+    emit bb (Isa.Li (v, Types.VInt 42));
+    emit bb (Isa.Li (z, Types.VInt 0));
+    emit bb (Isa.Li (one, Types.VInt 1));
+    emit bb (Isa.Store (1, z, v));
+    emit bb (Isa.Store (0, z, one));
+    emit bb Isa.Halt
+  in
+  let consumer bb =
+    let open Program.Builder in
+    let z = fresh_reg bb and f = fresh_reg bb and d = fresh_reg bb in
+    emit bb (Isa.Li (z, Types.VInt 0));
+    let spin = fresh_label bb in
+    place_label bb spin;
+    emit bb (Isa.Load (f, 0, z));
+    emit bb (Isa.Bz (f, spin));
+    emit bb (Isa.Load (d, 1, z));
+    emit bb Isa.Halt
+  in
+  if producer_first then
+    Helpers.two_cores ~arrays ~queues:[||] producer consumer
+  else Helpers.two_cores ~arrays ~queues:[||] consumer producer
+
+let test_shared_flag_race () =
+  List.iter
+    (fun producer_first ->
+      let what =
+        if producer_first then "producer swept first" else "consumer swept first"
+      in
+      let program = shared_handshake ~producer_first in
+      let consumer_core = if producer_first then 1 else 0 in
+      match List.map (fun engine -> Helpers.run ~engine program) engines with
+      | (sim0, cy0) :: rest ->
+        Alcotest.(check bool)
+          (what ^ ": consumer read the data word, not a torn value")
+          true
+          (Types.value_equal
+             (Sim.reg_value sim0 consumer_core 2)
+             (Types.VInt 42));
+        Alcotest.(check bool) (what ^ ": consumer actually spun") true
+          (sim0.Sim.stats.(consumer_core).Sim.instrs > 5);
+        Helpers.check_accounting (what ^ " (head)") sim0;
+        List.iter
+          (fun (sim, cy) ->
+            Alcotest.(check int) (what ^ ": cycles equal") cy0 cy;
+            Alcotest.(check bool)
+              (what ^ ": consumer value equal")
+              true
+              (Types.value_equal
+                 (Sim.reg_value sim consumer_core 2)
+                 (Sim.reg_value sim0 consumer_core 2));
+            Array.iteri
+              (fun i (s0 : Sim.core_stats) ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s: core %d stats equal" what i)
+                  true
+                  (s0 = sim.Sim.stats.(i)))
+              sim0.Sim.stats)
+          rest
+      | _ -> assert false)
+    [ true; false ]
+
+(* ------------------------------------------------------------------ *)
 (* qcheck: random cases are cycle-exact across engines.                 *)
 
 let arbitrary_case =
@@ -659,6 +811,13 @@ let () =
           Alcotest.test_case "halt handshake" `Quick
             test_specialize_halt_handshake;
           Alcotest.test_case "one sim only" `Quick test_specialize_one_sim_only;
+        ] );
+      ( "dual-issue+shared-cache",
+        [
+          Alcotest.test_case "RAW hazard splits the bundle" `Quick
+            test_dual_issue_raw_split;
+          Alcotest.test_case "flag read races the flag write" `Quick
+            test_shared_flag_race;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest [ prop_cross_engine ] );

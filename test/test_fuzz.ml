@@ -89,6 +89,41 @@ let test_repro_roundtrip () =
       | F.Oracle.Fail f -> fail_failure seed f)
     [ 0; 3; 42; 777; 424242 ]
 
+(* A reproducer carrying a config field this build does not know must
+   be rejected loudly, not silently dropped: a silently-ignored knob
+   replays a different configuration than the one that failed. *)
+let test_repro_rejects_unknown_field () =
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    m = 0 || go 0
+  in
+  let inject_before ~marker ~insert text =
+    let n = String.length text and m = String.length marker in
+    let rec find i =
+      if i + m > n then Alcotest.failf "marker %s not found" marker
+      else if String.sub text i m = marker then i
+      else find (i + 1)
+    in
+    let i = find 0 in
+    String.sub text 0 i ^ insert ^ String.sub text i (n - i)
+  in
+  let text = F.Repro.to_string (F.Gen.case_of_seed 0) in
+  List.iter
+    (fun (marker, insert, expected) ->
+      match F.Repro.of_string (inject_before ~marker ~insert text) with
+      | exception F.Repro.Parse_error msg ->
+        Alcotest.(check bool)
+          (Printf.sprintf "error names the field: %s" msg)
+          true (contains msg expected)
+      | _ -> Alcotest.failf "unknown field %s accepted" expected)
+    [
+      ("(cores", "(frobnicate 3) ", "unknown config field \"frobnicate\"");
+      ( "(queue_len",
+        "(bogus_latency 9) ",
+        "unknown machine field \"bogus_latency\"" );
+    ]
+
 let test_repro_hex_floats () =
   (* Float constants survive bit-exactly even when decimal printing
      would not round-trip. *)
@@ -277,6 +312,8 @@ let () =
       ( "repro",
         [
           Alcotest.test_case "round-trip" `Quick test_repro_roundtrip;
+          Alcotest.test_case "unknown fields rejected" `Quick
+            test_repro_rejects_unknown_field;
           Alcotest.test_case "hex float bit-exactness" `Quick
             test_repro_hex_floats;
         ] );

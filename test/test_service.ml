@@ -352,6 +352,45 @@ let test_parallel_equals_serial () =
   Alcotest.(check (list string)) "-j1 and -j4 produce identical bytes" serial
     parallel
 
+let test_corpus_parallel_equals_serial () =
+  (* The whole regression corpus — which carries both queue-mode and
+     shared-cache reproducers — replayed through the service on every
+     engine: a 4-domain pool must produce the same bytes as -j1. *)
+  let entries =
+    List.map F.Corpus.load_file (F.Corpus.files "fuzz_corpus")
+  in
+  Alcotest.(check bool) "corpus present" true (List.length entries >= 5);
+  let modes =
+    List.sort_uniq compare
+      (List.map
+         (fun (e : F.Corpus.entry) ->
+           e.F.Corpus.case.F.Gen.config.Finepar.Compiler.comm_mode)
+         entries)
+  in
+  Alcotest.(check int) "corpus covers both comm modes" 2 (List.length modes);
+  let reqs =
+    List.concat_map
+      (fun (e : F.Corpus.entry) ->
+        List.map
+          (fun engine ->
+            Ok (Wire.Run { job = job_of_case e.F.Corpus.case; engine }))
+          Finepar_machine.Engine.all)
+      entries
+  in
+  let serial =
+    Server.handle_requests
+      (Server.create ~cache:(Cache.create (temp_dir ())) ())
+      reqs
+  in
+  let pool = Finepar_exec.Pool.create ~domains:4 () in
+  let parallel =
+    Server.handle_requests
+      (Server.create ~pool ~cache:(Cache.create (temp_dir ())) ())
+      reqs
+  in
+  Alcotest.(check (list string))
+    "corpus replay: -j1 and -j4 produce identical bytes" serial parallel
+
 let test_errors_not_cached () =
   (* A workload that truncates one of the kernel's arrays to zero
      elements fails at evaluation: the response must be a deterministic
@@ -507,6 +546,8 @@ let () =
             test_cached_equals_fresh;
           Alcotest.test_case "-j1 equals -j4, byte for byte" `Quick
             test_parallel_equals_serial;
+          Alcotest.test_case "corpus replay -j1 equals -j4, both comm modes"
+            `Quick test_corpus_parallel_equals_serial;
           Alcotest.test_case "errors deterministic, never cached" `Quick
             test_errors_not_cached;
           Alcotest.test_case "malformed batch items fail in place" `Quick

@@ -275,7 +275,8 @@ let test_search_budget_and_generation_bounds () =
 let test_space_key_dedupes_and_describe_is_stable () =
   let base = Compiler.default_config ~cores:4 () in
   Alcotest.(check string)
-    "describe baseline" "4c greedy q20 lat5 w:default" (Space.describe base);
+    "describe baseline" "4c greedy q20 lat5 i1 queues w:default"
+    (Space.describe base);
   let ns = Space.neighbors base in
   Alcotest.(check bool) "neighbors exist" true (List.length ns > 10);
   (* No neighbor equals the origin, and keys distinguish all of them. *)

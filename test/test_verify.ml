@@ -222,26 +222,37 @@ let test_registry_accepted () =
     (fun (e : Registry.entry) ->
       List.iter
         (fun cores ->
-          let config = Compiler.default_config ~cores () in
-          let name = e.Registry.kernel.Kernel.name in
-          match Compiler.compile config e.Registry.kernel with
-          | exception Verify.Rejected (k, vs) ->
-            Alcotest.failf "%s cores=%d rejected: %s: %a" name cores k
-              Fmt.(list ~sep:(any "; ") Verify.pp_violation)
-              vs
-          | c ->
-            let r =
-              Verify.run ~plan:c.Compiler.comm
-                ~queue_len:config.Compiler.machine.Config.queue_len
-                c.Compiler.code.Finepar_codegen.Lower.program
-            in
-            Alcotest.(check bool)
-              (Fmt.str "%s cores=%d verifies" name cores)
-              true (Verify.ok r);
-            Alcotest.(check bool)
-              (Fmt.str "%s cores=%d records the verify pass" name cores)
-              true
-              (List.mem_assoc "verify" c.Compiler.pass_times))
+          List.iter
+            (fun mode ->
+              let config =
+                {
+                  (Compiler.default_config ~cores ()) with
+                  Compiler.comm_mode = mode;
+                }
+              in
+              let name = e.Registry.kernel.Kernel.name in
+              let mname = Finepar_transform.Comm.mode_name mode in
+              match Compiler.compile config e.Registry.kernel with
+              | exception Verify.Rejected (k, vs) ->
+                Alcotest.failf "%s cores=%d %s rejected: %s: %a" name cores
+                  mname k
+                  Fmt.(list ~sep:(any "; ") Verify.pp_violation)
+                  vs
+              | c ->
+                let r =
+                  Verify.run ~plan:c.Compiler.comm ~mode
+                    ~queue_len:config.Compiler.machine.Config.queue_len
+                    c.Compiler.code.Finepar_codegen.Lower.program
+                in
+                Alcotest.(check bool)
+                  (Fmt.str "%s cores=%d %s verifies" name cores mname)
+                  true (Verify.ok r);
+                Alcotest.(check bool)
+                  (Fmt.str "%s cores=%d %s records the verify pass" name cores
+                     mname)
+                  true
+                  (List.mem_assoc "verify" c.Compiler.pass_times))
+            [ Finepar_transform.Comm.Queues; Finepar_transform.Comm.Shared_cache ])
         [ 1; 2; 4 ])
     Registry.all
 
@@ -262,6 +273,7 @@ let test_corpus_accepted () =
       | c ->
         let r =
           Verify.run ~plan:c.Compiler.comm
+            ~mode:case.Finepar_fuzz.Gen.config.Compiler.comm_mode
             ~queue_len:
               case.Finepar_fuzz.Gen.config.Compiler.machine.Config.queue_len
             c.Compiler.code.Finepar_codegen.Lower.program
@@ -312,6 +324,107 @@ let test_mutations_caught_statically () =
         true
         (Option.value ~default:0 (Hashtbl.find_opt applied rule) > 0))
     rules
+
+(* Shared-cache handshake corruptions, applied directly to the lowered
+   code: a flag index retargeted one slot over and a flag write
+   reordered before its data store must both be rejected statically by
+   the Handshake check — no simulation involved. *)
+let test_shared_mutations_caught_statically () =
+  let module Comm = Finepar_transform.Comm in
+  let flag_sites = ref 0 and reorder_sites = ref 0 in
+  let exception Done in
+  List.iter
+    (fun (e : Registry.entry) ->
+      let config =
+        {
+          (Compiler.default_config ~cores:2 ()) with
+          Compiler.comm_mode = Comm.Shared_cache;
+        }
+      in
+      let c = Compiler.compile config e.Registry.kernel in
+      if c.Compiler.comm.Finepar_transform.Comm.transfers <> [] then begin
+        let program = c.Compiler.code.Finepar_codegen.Lower.program in
+        let arr_name a = program.Program.arrays.(a).Program.arr_name in
+        let is_flag a = String.equal (arr_name a) Comm.flag_array_name in
+        let is_data a =
+          Comm.is_comm_array_name (arr_name a) && not (is_flag a)
+        in
+        let reverify what p =
+          let r =
+            Verify.run ~plan:c.Compiler.comm ~mode:Comm.Shared_cache
+              ~queue_len:config.Compiler.machine.Config.queue_len p
+          in
+          Alcotest.(check bool)
+            (Fmt.str "%s on %s rejected statically" what
+               e.Registry.kernel.Kernel.name)
+            false (Verify.ok r);
+          Alcotest.(check bool)
+            (Fmt.str "%s on %s flagged by the handshake check" what
+               e.Registry.kernel.Kernel.name)
+            true (has Verify.Handshake r)
+        in
+        let with_core_code core code =
+          let cores = Array.copy program.Program.cores in
+          cores.(core) <- { cores.(core) with Program.code = code };
+          { program with Program.cores }
+        in
+        (* First spin found: retarget the [Li] feeding its flag index
+           register so both the spin and the release address the wrong
+           slot — internally consistent, but disagreeing with the comm
+           plan's slot assignment. *)
+        (try
+           Array.iteri
+             (fun core (cp : Program.core_program) ->
+               let code = cp.Program.code in
+               Array.iteri
+                 (fun pc instr ->
+                   match instr with
+                   | Isa.Load (_, a, rf) when is_flag a ->
+                     for p = pc - 1 downto 0 do
+                       match code.(p) with
+                       | Isa.Li (r, Finepar_ir.Types.VInt v) when r = rf ->
+                         let code' = Array.copy code in
+                         code'.(p) <- Isa.Li (r, Finepar_ir.Types.VInt (v + 1));
+                         incr flag_sites;
+                         reverify "corrupted flag slot"
+                           (with_core_code core code');
+                         raise Done
+                       | _ -> ()
+                     done
+                   | _ -> ())
+                 code)
+             program.Program.cores
+         with Done -> ());
+        (* First producer handshake found: swap the data store and the
+           flag release, publishing the token before the data lands. *)
+        try
+          Array.iteri
+            (fun core (cp : Program.core_program) ->
+              let code = cp.Program.code in
+              Array.iteri
+                (fun pc instr ->
+                  match instr with
+                  | Isa.Store (da, _, _)
+                    when is_data da && pc + 1 < Array.length code -> (
+                    match code.(pc + 1) with
+                    | Isa.Store (fa, _, _) when is_flag fa ->
+                      let code' = Array.copy code in
+                      code'.(pc) <- code.(pc + 1);
+                      code'.(pc + 1) <- code.(pc);
+                      incr reorder_sites;
+                      reverify "reordered flag write"
+                        (with_core_code core code');
+                      raise Done
+                    | _ -> ())
+                  | _ -> ())
+                code)
+            program.Program.cores
+        with Done -> ()
+      end)
+    Registry.all;
+  Alcotest.(check bool) "corrupted flag slots found sites" true (!flag_sites > 0);
+  Alcotest.(check bool) "reordered flag writes found sites" true
+    (!reorder_sites > 0)
 
 (* ------------------------------------------------------------------ *)
 (* Oracle integration: stuck classification and the verifier oracle.   *)
@@ -393,6 +506,8 @@ let () =
         ] );
       ( "mutations",
         [
+          Alcotest.test_case "shared-cache corruptions caught statically"
+            `Quick test_shared_mutations_caught_statically;
           Alcotest.test_case "comm corruptions caught statically" `Quick
             test_mutations_caught_statically;
           Alcotest.test_case "oracle classifies max-cycles" `Quick
